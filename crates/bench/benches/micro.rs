@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! plan featurization (hash encoding included), TCN inference, native
+//! optimization with join-order DP, simulated execution, candidate
+//! exploration, and GBDT prediction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use loam_core::explorer::PlanExplorer;
+use loam_core::featurize::{EnvSource, PlanFeaturizer};
+use loam_core::selector::ranker_features;
+use loam_core::AdaptiveCostPredictor;
+use mcsim_catalog::{EnvMetrics, Project, ProjectId, ProjectProfile};
+use mcsim_exec::{Cluster, ClusterConfig, Executor};
+use mcsim_optimizer::{Knobs, NativeOptimizer};
+
+fn bench_project() -> Project {
+    let mut prof = ProjectProfile::evaluation_project(1).expect("project 1");
+    prof.n_tables = 40;
+    prof.n_temp_tables = 4;
+    prof.n_columns = 300;
+    prof.n_templates = 20;
+    prof.generate(ProjectId(1))
+}
+
+fn benches(c: &mut Criterion) {
+    let project = bench_project();
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let queries = project.workload_for_day(0);
+    let query = queries
+        .iter()
+        .find(|q| q.table_count() >= 3)
+        .unwrap_or(&queries[0]);
+    let plan = optimizer.optimize(query, &Knobs::default());
+    let env = EnvMetrics::new(0.5, 0.04, 8.0, 0.55);
+
+    c.bench_function("optimize_default_plan", |b| {
+        b.iter(|| optimizer.optimize(black_box(query), &Knobs::default()))
+    });
+
+    let explorer = PlanExplorer::default();
+    c.bench_function("explore_candidate_set", |b| {
+        b.iter(|| explorer.explore(&optimizer, black_box(query)))
+    });
+
+    let featurizer = PlanFeaturizer::default();
+    c.bench_function("featurize_plan", |b| {
+        b.iter(|| featurizer.featurize(black_box(&plan), EnvSource::Uniform(env)))
+    });
+
+    let predictor = AdaptiveCostPredictor::new(1, true);
+    c.bench_function("tcn_predict_cost", |b| {
+        b.iter(|| predictor.predict(black_box(&plan), EnvSource::Uniform(env)))
+    });
+
+    let mut executor = Executor::new(1, Cluster::new(1, ClusterConfig::default()), 0.2);
+    executor.cluster.advance(50);
+    c.bench_function("simulated_execution", |b| {
+        b.iter(|| executor.execute(black_box(&plan), &project.catalog))
+    });
+
+    c.bench_function("intrinsic_cost", |b| {
+        b.iter(|| executor.intrinsic_cost(black_box(&plan), &project.catalog))
+    });
+
+    c.bench_function("ranker_featurize", |b| {
+        b.iter(|| ranker_features(black_box(&plan), &project.catalog, 1234.5))
+    });
+
+    // GBDT training and prediction on a small synthetic regression task.
+    let x: Vec<Vec<f64>> = (0..300)
+        .map(|i| vec![(i % 17) as f64, (i % 5) as f64, i as f64 / 300.0])
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + r[1] - r[2]).collect();
+    c.bench_function("gbdt_fit_300x3", |b| {
+        b.iter(|| tinygbdt::Gbdt::fit(black_box(&x), black_box(&y), tinygbdt::GbdtConfig {
+            n_trees: 20,
+            ..tinygbdt::GbdtConfig::default()
+        }, 7))
+    });
+    let model = tinygbdt::Gbdt::fit(&x, &y, tinygbdt::GbdtConfig::default(), 7);
+    c.bench_function("gbdt_predict", |b| {
+        b.iter(|| model.predict(black_box(&x[7])))
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = benches
+}
+criterion_main!(micro);

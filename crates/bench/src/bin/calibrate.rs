@@ -1,0 +1,98 @@
+//! Calibration probe: measures each evaluation project's improvement space
+//! `D(M_d)` (relative deviance of the native optimizer's default plans) and
+//! the diversity of the candidate sets — the quantities the project
+//! profiles are tuned against (paper targets: P1 ≈ 25 %, P2 ≈ 43 %,
+//! P3 ≈ 20 %, P4 ≈ 23 %, P5 ≈ 40 %).
+
+use loam_bench::{fmt_row, scaled_eval_profile, Scale, Table};
+use loam_core::explorer::PlanExplorer;
+use loam_core::theory::deviance::{best_achievable_deviance, deviance_of_choice};
+use mcsim_catalog::ProjectId;
+use mcsim_exec::Flighting;
+use mcsim_optimizer::NativeOptimizer;
+use mcsim_plan::PlanTree;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = args
+        .get(1)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Small);
+    let n_queries: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let rounds: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let mut table = Table::new([
+        "project", "queries", "avg cands", "avg cost (native)", "D(Md) rel", "D(Mb) rel",
+        "paper D(Md)",
+    ]);
+    let paper = [0.25, 0.43, 0.20, 0.23, 0.40];
+
+    for n in 1..=5 {
+        let prof = scaled_eval_profile(n, scale);
+        let project = prof.generate(ProjectId(n as u32));
+        let optimizer = NativeOptimizer::new(&project.catalog);
+        let explorer = PlanExplorer::default();
+        let mut flighting = Flighting::new(7 + n as u64, project.profile.env_noise_sigma);
+
+        let queries: Vec<_> = project.workload_for_days(0, 10).into_iter().take(n_queries).collect();
+        let mut dev_sum = 0.0;
+        let mut devb_sum = 0.0;
+        let mut oracle_sum = 0.0;
+        let mut native_sum = 0.0;
+        let mut cand_count = 0usize;
+        for q in &queries {
+            let set = explorer.explore(&optimizer, q);
+            cand_count += set.len();
+            let plans: Vec<&PlanTree> = set.candidates.iter().map(|c| &c.plan).collect();
+            let costs = flighting.replay_synchronized(&plans, &project.catalog, rounds);
+            let d = deviance_of_choice(&costs, set.default_idx);
+            let db = best_achievable_deviance(&costs);
+            dev_sum += d.expected;
+            devb_sum += db.expected;
+            oracle_sum += d.oracle_cost;
+            native_sum += d.expected + d.oracle_cost;
+        }
+        // Per-knob win analysis: which knob produced the per-round best plan.
+        let mut knob_wins: std::collections::HashMap<String, usize> = Default::default();
+        for q in queries.iter().take(20) {
+            let set = explorer.explore(&optimizer, q);
+            let plans: Vec<&PlanTree> = set.candidates.iter().map(|c| &c.plan).collect();
+            let costs = flighting.replay_synchronized(&plans, &project.catalog, rounds);
+            let means: Vec<f64> = (0..plans.len())
+                .map(|i| costs.iter().map(|r| r[i]).sum::<f64>() / rounds as f64)
+                .collect();
+            let best = means
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            if means[best] < means[set.default_idx] * 0.95 {
+                let k = &set.candidates[best].knobs;
+                let label = if k.is_default() {
+                    "default".to_string()
+                } else if k.card_scale != 1.0 {
+                    format!("card={}", k.card_scale)
+                } else {
+                    let d = mcsim_optimizer::OptimizerFlags::default().as_array();
+                    let a = k.flags.as_array();
+                    let idx = (0..6).find(|&i| a[i] != d[i]).unwrap();
+                    ["merge", "bcast", "shufrm", "spool", "pushdn", "sortagg"][idx].to_string()
+                };
+                *knob_wins.entry(label).or_default() += 1;
+            }
+        }
+        eprintln!("P{n} knob wins: {:?}", knob_wins);
+        let nq = queries.len() as f64;
+        table.row([
+            format!("P{n}"),
+            format!("{}", queries.len()),
+            format!("{:.1}", cand_count as f64 / nq),
+            fmt_row(native_sum / nq),
+            format!("{:.3}", dev_sum / oracle_sum),
+            format!("{:.3}", devb_sum / oracle_sum),
+            format!("{:.2}", paper[n - 1]),
+        ]);
+    }
+    println!("{}", table.render());
+}

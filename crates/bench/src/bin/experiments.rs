@@ -1,0 +1,128 @@
+//! The experiment harness: regenerates every table and figure of the LOAM
+//! paper's evaluation.
+//!
+//! ```text
+//! experiments <id|all> [--scale small|medium|full]
+//!
+//!   fig1   cost variance of recurring queries
+//!   fig5   cost vs machine load
+//!   tab1   evaluation-project statistics
+//!   fig6   end-to-end comparison (LOAM vs baselines vs MaxCompute)
+//!   fig7   per-query improvements/regressions
+//!   fig8   performance vs training-set size
+//!   fig9   training time / model size / inference time
+//!   fig10  cost-inference strategies (LOAM vs CE/CB/NL)
+//!   fig11  adaptive-training ablation (LOAM vs LOAM-NA)
+//!   fig12  Ranker vs Random
+//!   fig15  log-normal cost distributions
+//!   fig16  Ranker vs number of training projects
+//!   sec73  population-wide benefit estimate
+//!   thm1   Theorem 1 ordering checks
+//! ```
+
+use loam_bench::exps;
+use loam_bench::exps::common::{run_all_projects, ProjectRun};
+use loam_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let id = args.get(1).map(String::as_str).unwrap_or("all");
+    let scale = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Small);
+
+    let started = std::time::Instant::now();
+    eprintln!("running `{id}` at {scale:?} scale");
+
+    // Experiments that do not need the five evaluation-project runs.
+    match id {
+        "fig1" => return exps::fig1::run(scale),
+        "fig5" => return exps::fig5::run(scale),
+        "fig12" => return exps::fig12::run(scale),
+        "fig15" => return exps::fig15::run(scale),
+        "fig16" => return exps::fig16::run(scale),
+        "sec73" => return exps::sec73::run(scale),
+        "thm1" => return exps::thm1::run(scale),
+        _ => {}
+    }
+
+    // Everything else shares the prepared/trained/evaluated project context.
+    eprintln!("preparing the five evaluation projects (history, training, replay)...");
+    let runs: Vec<ProjectRun> = run_all_projects(scale);
+    eprintln!(
+        "context ready in {:.0}s; running experiments",
+        started.elapsed().as_secs_f64()
+    );
+
+    let with_context = |id: &str, runs: &[ProjectRun]| match id {
+        "tab1" => exps::tab1::print(runs),
+        "fig6" | "fig9" => {
+            let rows: Vec<_> = runs.iter().map(exps::fig6::evaluate_run).collect();
+            if id == "fig6" {
+                exps::fig6::print(&rows);
+            } else {
+                exps::fig9::print(runs, &rows);
+            }
+        }
+        "fig7" => exps::fig7::print(runs),
+        "fig8" => exps::fig8::print(runs),
+        "fig10" => {
+            let rows: Vec<_> = runs.iter().map(exps::fig10::evaluate_run).collect();
+            exps::fig10::print(&rows);
+        }
+        "fig11" => {
+            let rows: Vec<_> = runs.iter().map(exps::fig11::evaluate_run).collect();
+            exps::fig11::print(&rows);
+        }
+        other => eprintln!("unknown experiment id `{other}`"),
+    };
+
+    if id == "all" {
+        // Context-free experiments first.
+        for free in ["fig1", "fig5", "fig15", "thm1", "fig12", "fig16"] {
+            println!("\n════════════════════════════════════════════════════════════");
+            match free {
+                "fig1" => exps::fig1::run(scale),
+                "fig5" => exps::fig5::run(scale),
+                "fig15" => exps::fig15::run(scale),
+                "thm1" => exps::thm1::run(scale),
+                "fig12" => exps::fig12::run(scale),
+                "fig16" => exps::fig16::run(scale),
+                _ => unreachable!(),
+            }
+        }
+        // Shared-context experiments: compute Figure 6 rows once.
+        println!("\n════════════════════════════════════════════════════════════");
+        exps::tab1::print(&runs);
+        let rows: Vec<_> = runs.iter().map(exps::fig6::evaluate_run).collect();
+        println!("\n════════════════════════════════════════════════════════════");
+        exps::fig6::print(&rows);
+        println!("\n════════════════════════════════════════════════════════════");
+        exps::fig7::print(&runs);
+        println!("\n════════════════════════════════════════════════════════════");
+        exps::fig9::print(&runs, &rows);
+        println!("\n════════════════════════════════════════════════════════════");
+        let rows10: Vec<_> = runs.iter().map(exps::fig10::evaluate_run).collect();
+        exps::fig10::print(&rows10);
+        println!("\n════════════════════════════════════════════════════════════");
+        let rows11: Vec<_> = runs.iter().map(exps::fig11::evaluate_run).collect();
+        exps::fig11::print(&rows11);
+        println!("\n════════════════════════════════════════════════════════════");
+        exps::fig8::print(&runs);
+        // Section 7.3 re-stated with the measured Figure 6 gains (the
+        // paper's own estimation procedure).
+        println!("\n════════════════════════════════════════════════════════════");
+        let gains: Vec<f64> = rows
+            .iter()
+            .map(|r| 1.0 - r.loam.avg_cost / r.native.avg_cost)
+            .collect();
+        exps::sec73::run_with_gains(scale, &gains);
+    } else {
+        with_context(id, &runs);
+    }
+
+    eprintln!("\ntotal wall time: {:.0}s", started.elapsed().as_secs_f64());
+}

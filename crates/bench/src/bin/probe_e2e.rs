@@ -1,0 +1,161 @@
+//! End-to-end probe on one project: trains LOAM (+ the LOAM-NA ablation)
+//! and compares against MaxCompute and the best-achievable model. Used
+//! during development to validate the Figure 6/11 shapes before running the
+//! full harness.
+
+use loam_bench::{scaled_eval_profile, scaled_pipeline_config, Scale};
+use loam_core::inference::EnvStrategy;
+use loam_core::pipeline::{
+    evaluate_best_achievable, evaluate_candidates, evaluate_model, evaluate_native,
+    prepare_project, train_loam,
+};
+use loam_core::predictor::train::{train, TrainConfig};
+use loam_core::AdaptiveCostPredictor;
+use mcsim_catalog::ProjectId;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let project_n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let scale = args
+        .get(2)
+        .and_then(|s| Scale::parse(s))
+        .unwrap_or(Scale::Small);
+
+    let profile = scaled_eval_profile(project_n, scale);
+    let cfg = scaled_pipeline_config(scale);
+    eprintln!("preparing project {project_n} ({} days history)...", cfg.train_days);
+    let t0 = std::time::Instant::now();
+    let prepared = prepare_project(&profile, ProjectId(project_n as u32), &cfg);
+    eprintln!(
+        "prepared: {} train samples, {} test queries, {} DA candidates ({:.1}s)",
+        prepared.train_samples.len(),
+        prepared.test_queries.len(),
+        prepared.da_candidates.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let t1 = std::time::Instant::now();
+    let loam = train_loam(&prepared, &cfg);
+    eprintln!("LOAM trained ({:.1}s)", t1.elapsed().as_secs_f64());
+
+    // LOAM-NA: no adversarial domain adaptation.
+    let mut na = AdaptiveCostPredictor::new(cfg.seed ^ 0x10a0, true);
+    let na_cfg = TrainConfig {
+        adaptive: false,
+        ..cfg.train_cfg
+    };
+    train(&mut na, &prepared.train_samples, &[], prepared.mean_env, &na_cfg);
+
+    let t2 = std::time::Instant::now();
+    let evaluated = evaluate_candidates(&prepared, &cfg);
+    eprintln!("evaluated {} queries ({:.1}s)", evaluated.len(), t2.elapsed().as_secs_f64());
+
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    let native = evaluate_native(&evaluated);
+    let best = evaluate_best_achievable(&evaluated);
+    let loam_eval = evaluate_model(&loam, &strategy, &evaluated);
+    let na_eval = evaluate_model(&na, &strategy, &evaluated);
+
+    println!("\nProject {project_n} — avg E2E CPU cost over {} test queries:", evaluated.len());
+    for m in [&native, &na_eval, &loam_eval, &best] {
+        println!(
+            "  {:<16} {:>12.1}  (dev rel {:.3})",
+            m.name, m.avg_cost, m.deviance.relative
+        );
+    }
+    let gain = 1.0 - loam_eval.avg_cost / native.avg_cost;
+    println!("LOAM gain over MaxCompute: {:.1}%", gain * 100.0);
+
+    // Worst regressions of the DA model: which candidates blew up?
+    {
+        let mut blowups: Vec<(f64, usize, usize)> = Vec::new(); // ratio, query idx, choice
+        for (qi, eq) in evaluated.iter().enumerate() {
+            let refs: Vec<&mcsim_plan::PlanTree> = eq.plans.iter().collect();
+            let (choice, _) = loam_core::inference::select_plan(&loam, &refs, &strategy);
+            let ratio = eq.mean_cost(choice) / eq.default_cost();
+            blowups.push((ratio, qi, choice));
+        }
+        blowups.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        println!("\nworst LOAM picks (true_cost/default):");
+        for &(ratio, qi, choice) in blowups.iter().take(5) {
+            let eq = &evaluated[qi];
+            let ops: Vec<&str> = eq.plans[choice]
+                .preorder()
+                .iter()
+                .map(|&id| eq.plans[choice].op(id).op_type().mnemonic())
+                .collect();
+            println!(
+                "  q{qi}: ratio {:.1} (default {:.0}, chosen {:.0}) plan ops: {}",
+                ratio,
+                eq.default_cost(),
+                eq.mean_cost(choice),
+                ops.join(",")
+            );
+        }
+    }
+
+    // Ranking diagnostics: how well does each model order candidates?
+    for (name, model) in [("LOAM", &loam), ("LOAM-NA", &na)] {
+        let mut conc = 0usize;
+        let mut tot = 0usize;
+        let mut chose_default = 0usize;
+        let mut chose_better = 0usize;
+        let mut chose_worse = 0usize;
+        let mut rel_err = 0.0;
+        let mut n_pred = 0usize;
+        for eq in &evaluated {
+            let refs: Vec<&mcsim_plan::PlanTree> = eq.plans.iter().collect();
+            let (choice, preds) = loam_core::inference::select_plan(model, &refs, &strategy);
+            let truth: Vec<f64> = (0..eq.plans.len()).map(|i| eq.mean_cost(i)).collect();
+            for i in 0..preds.len() {
+                rel_err += ((preds[i] / truth[i]).ln()).abs();
+                n_pred += 1;
+                for j in i + 1..preds.len() {
+                    if truth[i] != truth[j] {
+                        tot += 1;
+                        if (preds[i] - preds[j]) * (truth[i] - truth[j]) > 0.0 {
+                            conc += 1;
+                        }
+                    }
+                }
+            }
+            let def = eq.default_cost();
+            let chosen = eq.mean_cost(choice);
+            if choice == eq.default_idx {
+                chose_default += 1;
+            } else if chosen < def * 0.98 {
+                chose_better += 1;
+            } else if chosen > def * 1.02 {
+                chose_worse += 1;
+            }
+        }
+        // Within-set spread: does the model even *differ* across candidates?
+        let mut pred_spread = 0.0;
+        let mut true_spread = 0.0;
+        for eq in &evaluated {
+            let refs: Vec<&mcsim_plan::PlanTree> = eq.plans.iter().collect();
+            let (_, preds) = loam_core::inference::select_plan(model, &refs, &strategy);
+            let truth: Vec<f64> = (0..eq.plans.len()).map(|i| eq.mean_cost(i)).collect();
+            let spread = |v: &[f64]| {
+                let ln: Vec<f64> = v.iter().map(|x| x.max(1e-9).ln()).collect();
+                let m = ln.iter().sum::<f64>() / ln.len() as f64;
+                (ln.iter().map(|x| (x - m).powi(2)).sum::<f64>() / ln.len() as f64).sqrt()
+            };
+            pred_spread += spread(&preds);
+            true_spread += spread(&truth);
+        }
+        println!(
+            "{name}: within-set ln-spread pred {:.3} vs true {:.3}",
+            pred_spread / evaluated.len() as f64,
+            true_spread / evaluated.len() as f64
+        );
+        println!(
+            "{name}: pairwise concordance {:.2}, mean |ln(pred/true)| {:.2}, picks: default {} / better {} / worse {}",
+            conc as f64 / tot.max(1) as f64,
+            rel_err / n_pred.max(1) as f64,
+            chose_default,
+            chose_better,
+            chose_worse
+        );
+    }
+}

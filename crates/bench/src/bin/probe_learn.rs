@@ -1,0 +1,110 @@
+//! Learnability probe: can the TCN + featurization rank candidate plans at
+//! all, when supervised *directly* on candidate plans with noise-free
+//! intrinsic costs? This isolates architecture/feature capacity from the
+//! default-plans-only supervision gap.
+
+use loam_bench::{scaled_eval_profile, Scale};
+use loam_core::explorer::PlanExplorer;
+use loam_core::featurize::EnvSource;
+use loam_core::predictor::train::{train, TrainConfig, TrainSample};
+use loam_core::AdaptiveCostPredictor;
+use mcsim_catalog::{EnvMetrics, ProjectId};
+use mcsim_exec::{Cluster, ClusterConfig, Executor};
+use mcsim_optimizer::NativeOptimizer;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let project_n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let n_train: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+    let epochs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let profile = scaled_eval_profile(project_n, Scale::Medium);
+    let project = profile.generate(ProjectId(project_n as u32));
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let explorer = PlanExplorer::default();
+    let executor = Executor::new(1, Cluster::new(1, ClusterConfig::default()), 0.0);
+    let env = EnvMetrics::new(0.5, 0.04, 8.0, 0.55);
+
+    // Candidate plans with intrinsic-cost labels (no env, no noise).
+    let queries = project.workload_for_days(0, 20);
+    let mut samples = Vec::new();
+    let mut held_out: Vec<Vec<(mcsim_plan::PlanTree, f64)>> = Vec::new();
+    for (i, q) in queries.iter().enumerate().take(n_train + 100) {
+        let set = explorer.explore(&optimizer, q);
+        let labeled: Vec<(mcsim_plan::PlanTree, f64)> = set
+            .candidates
+            .into_iter()
+            .map(|c| {
+                let cost = executor.intrinsic_cost(&c.plan, &project.catalog);
+                (c.plan, cost)
+            })
+            .collect();
+        if i < n_train {
+            for (plan, cost) in labeled {
+                samples.push(TrainSample {
+                    plan,
+                    stage_envs: vec![env],
+                    cost,
+                });
+            }
+        } else if labeled.len() >= 2 {
+            held_out.push(labeled);
+        }
+    }
+    eprintln!(
+        "training on {} candidate plans from {} queries; {} held-out sets",
+        samples.len(),
+        n_train,
+        held_out.len()
+    );
+
+    let mut model = AdaptiveCostPredictor::new(7, true);
+    let cfg = TrainConfig {
+        epochs,
+        adaptive: false,
+        ..TrainConfig::default()
+    };
+    let report = train(&mut model, &samples, &[], env, &cfg);
+    eprintln!(
+        "final train loss {:.4} ({:.0}s)",
+        report.cost_loss.last().unwrap(),
+        report.seconds
+    );
+
+    // Within-set concordance on held-out queries.
+    let mut conc = 0usize;
+    let mut tot = 0usize;
+    let mut top1 = 0usize;
+    for set in &held_out {
+        let preds: Vec<f64> = set
+            .iter()
+            .map(|(p, _)| model.predict(p, EnvSource::Uniform(env)))
+            .collect();
+        let truths: Vec<f64> = set.iter().map(|(_, c)| *c).collect();
+        for i in 0..preds.len() {
+            for j in i + 1..preds.len() {
+                if truths[i] != truths[j] {
+                    tot += 1;
+                    if (preds[i] - preds[j]) * (truths[i] - truths[j]) > 0.0 {
+                        conc += 1;
+                    }
+                }
+            }
+        }
+        let best_pred = (0..preds.len())
+            .min_by(|&a, &b| preds[a].partial_cmp(&preds[b]).unwrap())
+            .unwrap();
+        let best_true = (0..truths.len())
+            .min_by(|&a, &b| truths[a].partial_cmp(&truths[b]).unwrap())
+            .unwrap();
+        if best_pred == best_true {
+            top1 += 1;
+        }
+    }
+    println!(
+        "held-out within-set concordance: {:.3}; top-1 accuracy {:.2} over {} sets",
+        conc as f64 / tot.max(1) as f64,
+        top1 as f64 / held_out.len().max(1) as f64,
+        held_out.len()
+    );
+}

@@ -1,0 +1,73 @@
+//! Shared experiment context: prepared projects, trained models, evaluated
+//! candidate sets — computed once and reused by every end-to-end experiment.
+
+use crate::scale::{scaled_eval_profile, scaled_pipeline_config, Scale};
+use loam_core::inference::EnvStrategy;
+use loam_core::pipeline::{
+    evaluate_candidates, prepare_project, train_loam, EvaluatedQuery, PipelineConfig,
+    PreparedProject,
+};
+use loam_core::AdaptiveCostPredictor;
+use mcsim_catalog::ProjectId;
+
+/// One fully-evaluated project: history, trained LOAM, replayed candidates.
+pub struct ProjectRun {
+    /// 1-based evaluation-project number.
+    pub n: usize,
+    /// Pipeline configuration used.
+    pub cfg: PipelineConfig,
+    /// Prepared project (history, training data, test queries).
+    pub prepared: PreparedProject,
+    /// Flighting-replayed candidate sets for every test query.
+    pub evaluated: Vec<EvaluatedQuery>,
+    /// The trained adaptive predictor.
+    pub loam: AdaptiveCostPredictor,
+    /// Wall-clock seconds spent training LOAM.
+    pub loam_train_secs: f64,
+    /// LOAM's inference-time environment strategy (`e_r`).
+    pub strategy: EnvStrategy,
+}
+
+/// Prepares, trains, and evaluates one evaluation project.
+pub fn run_project(n: usize, scale: Scale) -> ProjectRun {
+    let profile = scaled_eval_profile(n, scale);
+    let cfg = scaled_pipeline_config(scale);
+    let prepared = prepare_project(&profile, ProjectId(n as u32), &cfg);
+    let t = std::time::Instant::now();
+    let loam = train_loam(&prepared, &cfg);
+    let loam_train_secs = t.elapsed().as_secs_f64();
+    let evaluated = evaluate_candidates(&prepared, &cfg);
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    ProjectRun {
+        n,
+        cfg,
+        prepared,
+        evaluated,
+        loam,
+        loam_train_secs,
+        strategy,
+    }
+}
+
+/// Runs all five evaluation projects, in parallel across threads.
+pub fn run_all_projects(scale: Scale) -> Vec<ProjectRun> {
+    let mut out: Vec<Option<ProjectRun>> = (0..5).map(|_| None).collect();
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for n in 1..=5 {
+            handles.push(s.spawn(move |_| run_project(n, scale)));
+        }
+        for h in handles {
+            let run = h.join().expect("project run panicked");
+            let slot = run.n - 1;
+            out[slot] = Some(run);
+        }
+    })
+    .expect("scope");
+    out.into_iter().map(|r| r.expect("all projects ran")).collect()
+}
+
+/// Percentage gain of `model_cost` relative to `baseline_cost`.
+pub fn gain_pct(baseline_cost: f64, model_cost: f64) -> f64 {
+    100.0 * (1.0 - model_cost / baseline_cost)
+}

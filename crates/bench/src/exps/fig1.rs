@@ -1,0 +1,59 @@
+//! Figure 1: relative standard deviation of CPU costs of recurring queries
+//! over one month — "an identical query can exhibit up to 50 % cost
+//! fluctuation".
+
+use crate::report::Table;
+use crate::scale::{scaled_eval_profile, Scale};
+use mcsim_catalog::ProjectId;
+use mcsim_exec::{build_history, HistoryOptions};
+
+/// Runs the experiment and prints the bar-plot series.
+pub fn run(scale: Scale) {
+    let mut profile = scaled_eval_profile(1, scale);
+    // A month of a compact recurring workload.
+    profile.n_query_day0 = profile.n_query_day0.min(40.0);
+    let project = profile.generate(ProjectId(1));
+    let repo = build_history(
+        &project,
+        &HistoryOptions {
+            days: 30,
+            max_queries: 1200,
+            seed: 0xf1f1,
+            ..HistoryOptions::default()
+        },
+    );
+
+    let groups = repo.recurring_groups(8);
+    let mut rsds: Vec<(usize, usize, f64)> = groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let costs: Vec<f64> = g.iter().map(|r| r.cpu_cost).collect();
+            let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+            let var = costs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / costs.len() as f64;
+            (i, g.len(), var.sqrt() / mean)
+        })
+        .collect();
+    rsds.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+
+    println!("Figure 1 — relative std-dev of CPU cost, recurring queries over 30 days");
+    println!("(paper: identical queries fluctuate by up to ~50 %)\n");
+    let mut t = Table::new(["recurring query", "executions", "relative std-dev"]);
+    for (rank, &(i, n, rsd)) in rsds.iter().take(12).enumerate() {
+        let _ = i;
+        t.row([
+            format!("Q{}", rank + 1),
+            format!("{n}"),
+            format!("{:.1}%", rsd * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    let max = rsds.first().map(|r| r.2).unwrap_or(0.0);
+    let mean: f64 = rsds.iter().map(|r| r.2).sum::<f64>() / rsds.len().max(1) as f64;
+    println!(
+        "recurring groups: {}; max RSD {:.1}% (paper: up to ~50%), mean RSD {:.1}%",
+        rsds.len(),
+        max * 100.0,
+        mean * 100.0
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 11 (Section 7.2.3): effects of adaptive training — LOAM vs. the
+//! LOAM-NA ablation (no domain classifier, no gradient reversal) vs.
+//! MaxCompute.
+
+use crate::exps::common::ProjectRun;
+use crate::report::Table;
+use loam_core::pipeline::{evaluate_model, evaluate_native};
+use loam_core::predictor::train::{train, TrainConfig};
+use loam_core::AdaptiveCostPredictor;
+
+/// Average CPU costs of the three systems on one project.
+pub struct Fig11Row {
+    /// Project number.
+    pub n: usize,
+    /// MaxCompute average cost.
+    pub native: f64,
+    /// LOAM-NA (no adaptive training) average cost.
+    pub na: f64,
+    /// LOAM average cost.
+    pub loam: f64,
+}
+
+/// Evaluates the ablation for one project run.
+pub fn evaluate_run(run: &ProjectRun) -> Fig11Row {
+    let mut na = AdaptiveCostPredictor::new(run.cfg.seed ^ 0x10a0, true);
+    let na_cfg = TrainConfig {
+        adaptive: false,
+        ..run.cfg.train_cfg
+    };
+    // LOAM-NA trains purely on the cost loss: no candidate plans, no GRL.
+    train(
+        &mut na,
+        &run.prepared.train_samples,
+        &[],
+        run.prepared.mean_env,
+        &na_cfg,
+    );
+    Fig11Row {
+        n: run.n,
+        native: evaluate_native(&run.evaluated).avg_cost,
+        na: evaluate_model(&na, &run.strategy, &run.evaluated).avg_cost,
+        loam: evaluate_model(&run.loam, &run.strategy, &run.evaluated).avg_cost,
+    }
+}
+
+/// Prints the ablation table.
+pub fn print(rows: &[Fig11Row]) {
+    println!("Figure 11 — effects of adaptive training (average CPU cost)");
+    println!("(paper: LOAM-NA is markedly worse than LOAM on P1/P2/P5, often ≤ MaxCompute)\n");
+    let mut t = Table::new(["method", "P1", "P2", "P3", "P4", "P5"]);
+    let mut native = vec!["MaxCompute".to_string()];
+    let mut na = vec!["LOAM-NA".to_string()];
+    let mut loam = vec!["LOAM".to_string()];
+    for r in rows {
+        native.push(format!("{:.0}", r.native));
+        na.push(format!("{:.0}", r.na));
+        loam.push(format!("{:.0}", r.loam));
+    }
+    for row in [native, na, loam] {
+        t.row(row);
+    }
+    println!("{}", t.render());
+}

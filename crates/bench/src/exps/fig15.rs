@@ -1,0 +1,83 @@
+//! Figure 15 (Appendix E.1): cost distributions of recurring query plans —
+//! log-normal histogram fit, Q-Q agreement, and Kolmogorov–Smirnov tests
+//! (paper: average p-value ≈ 0.6).
+
+use crate::report::Table;
+use crate::scale::{scaled_eval_profile, Scale};
+use loam_core::theory::lognormal::{ks_test, qq_points, LogNormal};
+use mcsim_catalog::ProjectId;
+use mcsim_exec::Flighting;
+use mcsim_optimizer::{Knobs, NativeOptimizer};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) {
+    let profile = scaled_eval_profile(1, scale);
+    let project = profile.generate(ProjectId(1));
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let queries: Vec<_> = project.workload_for_day(0).into_iter().take(20).collect();
+
+    println!("Figure 15 — cost distributions of recurring plans vs. fitted log-normals\n");
+
+    let mut p_values = Vec::new();
+    let mut representative: Option<(Vec<f64>, LogNormal)> = None;
+    for (i, q) in queries.iter().enumerate() {
+        let plan = optimizer.optimize(q, &Knobs::default());
+        let mut flighting = Flighting::new(0x515 + i as u64, project.profile.env_noise_sigma);
+        let costs: Vec<f64> = flighting
+            .replay(&plan, &project.catalog, 150)
+            .into_iter()
+            .map(|o| o.cpu_cost)
+            .collect();
+        let fit = LogNormal::fit(&costs);
+        let ks = ks_test(&costs, &fit);
+        p_values.push(ks.p_value);
+        if representative.is_none() {
+            representative = Some((costs, fit));
+        }
+    }
+
+    // (a) histogram of the representative plan with the fitted density.
+    let (costs, fit) = representative.expect("at least one plan");
+    let min = costs.iter().cloned().fold(f64::MAX, f64::min);
+    let max = costs.iter().cloned().fold(f64::MIN, f64::max);
+    let bins = 10;
+    let width = (max - min) / bins as f64;
+    println!("(a) cost histogram of one recurring plan vs fitted log-normal density");
+    let mut t = Table::new(["bin", "observed", "fitted", "bar"]);
+    for b in 0..bins {
+        let lo = min + b as f64 * width;
+        let hi = lo + width;
+        let observed = costs.iter().filter(|&&c| c >= lo && c < hi).count();
+        let expected = ((fit.cdf(hi) - fit.cdf(lo)) * costs.len() as f64).round() as usize;
+        t.row([
+            format!("{:.0}-{:.0}", lo, hi),
+            format!("{observed}"),
+            format!("{expected}"),
+            "#".repeat(observed / 2),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // (b) Q-Q agreement.
+    let qq = qq_points(&costs, &fit);
+    let corr = {
+        let n = qq.len() as f64;
+        let mx = qq.iter().map(|p| p.0).sum::<f64>() / n;
+        let my = qq.iter().map(|p| p.1).sum::<f64>() / n;
+        let cov: f64 = qq.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let vx: f64 = qq.iter().map(|p| (p.0 - mx).powi(2)).sum();
+        let vy: f64 = qq.iter().map(|p| (p.1 - my).powi(2)).sum();
+        cov / (vx * vy).sqrt().max(1e-12)
+    };
+    println!("(b) Q-Q correlation between theoretical and empirical quantiles: {:.4}\n", corr);
+
+    let avg_p = p_values.iter().sum::<f64>() / p_values.len().max(1) as f64;
+    let reject = p_values.iter().filter(|&&p| p < 0.05).count();
+    println!(
+        "KS test over {} recurring plans: average p-value {:.2} (paper: ≈0.6); {} of {} rejected at 5%",
+        p_values.len(),
+        avg_p,
+        reject,
+        p_values.len()
+    );
+}

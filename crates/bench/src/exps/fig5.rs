@@ -1,0 +1,77 @@
+//! Figure 5: CPU cost of a recurring query against machine load
+//! (CPU_IDLE and LOAD5) — "a discernible, roughly monotonic influence …
+//! that can be coarsely approximated as linear".
+
+use crate::report::Table;
+use crate::scale::{scaled_eval_profile, Scale};
+use mcsim_catalog::ProjectId;
+use mcsim_exec::{Cluster, ClusterConfig, Executor};
+use mcsim_optimizer::{Knobs, NativeOptimizer};
+
+/// Runs the experiment: sweeps the cluster's baseline busy fraction and
+/// reports mean cost vs. the observed load metrics.
+pub fn run(scale: Scale) {
+    let profile = scaled_eval_profile(1, scale);
+    let project = profile.generate(ProjectId(1));
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let query = &project.workload_for_day(0)[0];
+    let plan = optimizer.optimize(query, &Knobs::default());
+
+    println!("Figure 5 — CPU cost of a recurring query vs. machine load\n");
+    let mut t = Table::new(["baseline busy", "CPU_IDLE", "LOAD5", "mean CPU cost"]);
+    let mut series: Vec<(f64, f64, f64)> = Vec::new();
+    for step in 0..8 {
+        let busy = 0.12 + 0.1 * step as f64;
+        let cluster = Cluster::new(42, ClusterConfig {
+            base_busy: busy,
+            diurnal_amplitude: 0.0,
+            ..ClusterConfig::default()
+        });
+        let mut exec = Executor::new(42, cluster, 0.08);
+        exec.cluster.advance(80);
+        let mut cost_sum = 0.0;
+        let mut idle_sum = 0.0;
+        let mut load_sum = 0.0;
+        let runs = 12;
+        for _ in 0..runs {
+            exec.cluster.advance(10);
+            let out = exec.execute(&plan, &project.catalog);
+            cost_sum += out.cpu_cost;
+            let env = mcsim_catalog::EnvMetrics::mean(out.stage_envs.iter());
+            idle_sum += env.cpu_idle;
+            load_sum += env.load5;
+        }
+        let (cost, idle, load5) = (
+            cost_sum / runs as f64,
+            idle_sum / runs as f64,
+            load_sum / runs as f64,
+        );
+        t.row([
+            format!("{:.2}", busy),
+            format!("{:.2}", idle),
+            format!("{:.1}", load5),
+            format!("{:.0}", cost),
+        ]);
+        series.push((idle, load5, cost));
+    }
+    println!("{}", t.render());
+
+    // Monotonicity summary: correlation of cost with (1 - idle) and load5.
+    let corr = |xs: &[f64], ys: &[f64]| {
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        cov / (vx * vy).sqrt().max(1e-12)
+    };
+    let busy_axis: Vec<f64> = series.iter().map(|s| 1.0 - s.0).collect();
+    let load_axis: Vec<f64> = series.iter().map(|s| s.1).collect();
+    let costs: Vec<f64> = series.iter().map(|s| s.2).collect();
+    println!(
+        "correlation(cost, 1−CPU_IDLE) = {:.3}; correlation(cost, LOAD5) = {:.3} (paper: strong, ≈linear)",
+        corr(&busy_axis, &costs),
+        corr(&load_axis, &costs)
+    );
+}

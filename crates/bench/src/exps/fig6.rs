@@ -1,0 +1,97 @@
+//! Figure 6 / Table 1: end-to-end average CPU cost of learned optimizers
+//! vs. MaxCompute's native optimizer on the five evaluation projects, plus
+//! the best-achievable model M_b (the dashed line).
+
+use crate::exps::common::{gain_pct, ProjectRun};
+use crate::report::Table;
+use loam_core::pipeline::{
+    evaluate_best_achievable, evaluate_model, evaluate_native, ModelEvaluation,
+};
+use loam_core::predictor::baselines::{GcnPredictor, TransformerPredictor, XgbPredictor};
+use loam_core::CostModel;
+
+/// All baseline evaluations for one project run.
+pub struct Fig6Row {
+    /// Project number.
+    pub n: usize,
+    /// MaxCompute (default plans).
+    pub native: ModelEvaluation,
+    /// LOAM.
+    pub loam: ModelEvaluation,
+    /// Transformer baseline.
+    pub transformer: ModelEvaluation,
+    /// GCN baseline.
+    pub gcn: ModelEvaluation,
+    /// XGBoost baseline.
+    pub xgb: ModelEvaluation,
+    /// Best-achievable model M_b.
+    pub best: ModelEvaluation,
+    /// Baseline training times (seconds): transformer, gcn, xgb.
+    pub baseline_train_secs: [f64; 3],
+    /// Baseline model sizes (bytes): transformer, gcn, xgb.
+    pub baseline_sizes: [usize; 3],
+}
+
+/// Trains the baselines and evaluates every model on a project run.
+pub fn evaluate_run(run: &ProjectRun) -> Fig6Row {
+    let samples = &run.prepared.train_samples;
+    let t0 = std::time::Instant::now();
+    let transformer = TransformerPredictor::fit(samples, &run.cfg.train_cfg);
+    let t_tr = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let gcn = GcnPredictor::fit(samples, &run.cfg.train_cfg);
+    let t_gcn = t1.elapsed().as_secs_f64();
+    let t2 = std::time::Instant::now();
+    let xgb = XgbPredictor::fit(samples, run.cfg.seed);
+    let t_xgb = t2.elapsed().as_secs_f64();
+
+    Fig6Row {
+        n: run.n,
+        native: evaluate_native(&run.evaluated),
+        loam: evaluate_model(&run.loam, &run.strategy, &run.evaluated),
+        transformer: evaluate_model(&transformer, &run.strategy, &run.evaluated),
+        gcn: evaluate_model(&gcn, &run.strategy, &run.evaluated),
+        xgb: evaluate_model(&xgb, &run.strategy, &run.evaluated),
+        best: evaluate_best_achievable(&run.evaluated),
+        baseline_train_secs: [t_tr, t_gcn, t_xgb],
+        baseline_sizes: [transformer.size_bytes(), gcn.size_bytes(), xgb.size_bytes()],
+    }
+}
+
+/// Prints the Figure 6 table from per-project rows.
+pub fn print(rows: &[Fig6Row]) {
+    println!("Figure 6 — average E2E CPU cost of selected plans per project");
+    println!("(paper: LOAM gains ≈10%/23%/30% on P1/P2/P5, ≈flat on P3/P4)\n");
+    let mut t = Table::new([
+        "project",
+        "MaxCompute",
+        "Transformer",
+        "GCN",
+        "XGBoost",
+        "LOAM",
+        "best-achievable",
+        "LOAM gain",
+    ]);
+    for r in rows {
+        t.row([
+            format!("P{}", r.n),
+            format!("{:.0}", r.native.avg_cost),
+            format!("{:.0}", r.transformer.avg_cost),
+            format!("{:.0}", r.gcn.avg_cost),
+            format!("{:.0}", r.xgb.avg_cost),
+            format!("{:.0}", r.loam.avg_cost),
+            format!("{:.0}", r.best.avg_cost),
+            format!("{:+.1}%", gain_pct(r.native.avg_cost, r.loam.avg_cost)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("improvement space D(M_d) (relative deviance of default plans) per project:");
+    for r in rows {
+        println!(
+            "  P{}: D(M_d) = {:.1}%, D(M_b) = {:.1}% of oracle cost",
+            r.n,
+            r.native.deviance.relative * 100.0,
+            r.best.deviance.relative * 100.0
+        );
+    }
+}

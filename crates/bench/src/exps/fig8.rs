@@ -1,0 +1,54 @@
+//! Figure 8: LOAM's end-to-end performance as a function of training-set
+//! size — gains grow with data, then saturate; data-hungry projects need
+//! more queries to match MaxCompute.
+
+use crate::exps::common::ProjectRun;
+use crate::report::Table;
+use loam_core::pipeline::{evaluate_best_achievable, evaluate_model, evaluate_native};
+use loam_core::predictor::train::train;
+use loam_core::AdaptiveCostPredictor;
+
+/// Fractions of the available training set to sweep (the paper sweeps
+/// 1k → MAX in finer steps; three points bound the curve at harness scale).
+pub const FRACTIONS: [f64; 2] = [0.3, 1.0];
+
+/// Runs the sweep for one project and prints its series.
+pub fn print_project(run: &ProjectRun) {
+    let total = run.prepared.train_samples.len();
+    let native = evaluate_native(&run.evaluated);
+    let best = evaluate_best_achievable(&run.evaluated);
+
+    let mut t = Table::new(["train queries", "LOAM avg cost", "vs MaxCompute"]);
+    for &f in &FRACTIONS {
+        let k = ((total as f64 * f) as usize).max(20).min(total);
+        let subset = &run.prepared.train_samples[..k];
+        let mut model = AdaptiveCostPredictor::new(run.cfg.seed ^ 0x10a0, true);
+        train(
+            &mut model,
+            subset,
+            &run.prepared.da_candidates,
+            run.prepared.mean_env,
+            &run.cfg.train_cfg,
+        );
+        let eval = evaluate_model(&model, &run.strategy, &run.evaluated);
+        t.row([
+            format!("{k}"),
+            format!("{:.0}", eval.avg_cost),
+            format!("{:+.1}%", 100.0 * (1.0 - eval.avg_cost / native.avg_cost)),
+        ]);
+    }
+    println!(
+        "Project {} (MaxCompute {:.0}, best-achievable {:.0}):",
+        run.n, native.avg_cost, best.avg_cost
+    );
+    println!("{}", t.render());
+}
+
+/// Runs the sweep for all projects.
+pub fn print(runs: &[ProjectRun]) {
+    println!("Figure 8 — LOAM performance vs. training-data size");
+    println!("(paper: gains grow then saturate on P1/P2/P5; P1 needs the most data)\n");
+    for run in runs {
+        print_project(run);
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 9: extra cost of learned optimizers — (a) training time,
+//! (b) model footprint, (c) average per-query inference time.
+
+use crate::exps::common::ProjectRun;
+use crate::exps::fig6::Fig6Row;
+use crate::report::Table;
+
+/// Prints all three sub-tables from the Figure 6 evaluation rows.
+pub fn print(runs: &[ProjectRun], rows: &[Fig6Row]) {
+    println!("Figure 9 — deployment overhead of the learned optimizers\n");
+
+    println!("(a) training time (s)");
+    let mut t = Table::new(["method", "P1", "P2", "P3", "P4", "P5"]);
+    let mut loam_row = vec!["LOAM".to_string()];
+    let mut tr_row = vec!["Transformer".to_string()];
+    let mut gcn_row = vec!["GCN".to_string()];
+    let mut xgb_row = vec!["XGBoost".to_string()];
+    for (run, row) in runs.iter().zip(rows) {
+        loam_row.push(format!("{:.1}", run.loam_train_secs));
+        tr_row.push(format!("{:.1}", row.baseline_train_secs[0]));
+        gcn_row.push(format!("{:.1}", row.baseline_train_secs[1]));
+        xgb_row.push(format!("{:.2}", row.baseline_train_secs[2]));
+    }
+    for r in [loam_row, tr_row, gcn_row, xgb_row] {
+        t.row(r);
+    }
+    println!("{}", t.render());
+
+    println!("(b) model footprint (KB)");
+    let mut t = Table::new(["method", "P1", "P2", "P3", "P4", "P5"]);
+    let mut loam_row = vec!["LOAM".to_string()];
+    let mut tr_row = vec!["Transformer".to_string()];
+    let mut gcn_row = vec!["GCN".to_string()];
+    let mut xgb_row = vec!["XGBoost".to_string()];
+    for (run, row) in runs.iter().zip(rows) {
+        loam_row.push(format!("{}", run.loam.size_bytes() / 1024));
+        tr_row.push(format!("{}", row.baseline_sizes[0] / 1024));
+        gcn_row.push(format!("{}", row.baseline_sizes[1] / 1024));
+        xgb_row.push(format!("{}", row.baseline_sizes[2] / 1024));
+    }
+    for r in [loam_row, tr_row, gcn_row, xgb_row] {
+        t.row(r);
+    }
+    println!("{}", t.render());
+
+    println!("(c) average inference time per query (ms, over the candidate set)");
+    let mut t = Table::new(["method", "P1", "P2", "P3", "P4", "P5"]);
+    let mut loam_row = vec!["LOAM".to_string()];
+    let mut tr_row = vec!["Transformer".to_string()];
+    let mut gcn_row = vec!["GCN".to_string()];
+    let mut xgb_row = vec!["XGBoost".to_string()];
+    for row in rows {
+        loam_row.push(format!("{:.2}", row.loam.inference_seconds * 1e3));
+        tr_row.push(format!("{:.2}", row.transformer.inference_seconds * 1e3));
+        gcn_row.push(format!("{:.2}", row.gcn.inference_seconds * 1e3));
+        xgb_row.push(format!("{:.2}", row.xgb.inference_seconds * 1e3));
+    }
+    for r in [loam_row, tr_row, gcn_row, xgb_row] {
+        t.row(r);
+    }
+    println!("{}", t.render());
+    println!("(paper: <1 h training, ~20 MB footprint, 0.1–0.5 s inference at production scale)");
+}

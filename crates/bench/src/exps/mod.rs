@@ -1,0 +1,18 @@
+//! One module per reproduced table/figure, plus shared context helpers.
+
+pub mod common;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig15;
+pub mod fig16;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod population;
+pub mod sec73;
+pub mod tab1;
+pub mod thm1;

@@ -1,0 +1,35 @@
+//! Table 1: statistics of the projects used in the experiments.
+
+use crate::exps::common::ProjectRun;
+use crate::report::Table;
+
+/// Prints Table 1 from prepared project runs.
+pub fn print(runs: &[ProjectRun]) {
+    println!("Table 1 — statistics of the evaluation projects (at harness scale)");
+    println!("(paper full-scale: 253/125/348/209/229 tables, 10k/10k/10k/4.2k/8.7k train queries)\n");
+    let mut t = Table::new([
+        "dataset",
+        "# tables",
+        "# columns",
+        "# train queries",
+        "# test queries",
+        "avg CPU cost",
+    ]);
+    for r in runs {
+        let avg_cost: f64 = r
+            .evaluated
+            .iter()
+            .map(|e| e.default_cost())
+            .sum::<f64>()
+            / r.evaluated.len().max(1) as f64;
+        t.row([
+            format!("Project {}", r.n),
+            format!("{}", r.prepared.project.catalog.table_count()),
+            format!("{}", r.prepared.project.catalog.column_count()),
+            format!("{}", r.prepared.train_samples.len()),
+            format!("{}", r.evaluated.len()),
+            format!("{:.0}", avg_cost),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,125 @@
+//! Experiment scaling.
+//!
+//! The paper's evaluation runs on production volumes (10,000 training
+//! queries per project, a 10,000-machine cluster). The harness reproduces
+//! every experiment at a configurable scale: `Small` finishes a full run in
+//! minutes on a laptop; `Full` approaches the paper's volumes.
+
+use loam_core::pipeline::PipelineConfig;
+use loam_core::TrainConfig;
+use mcsim_catalog::ProjectProfile;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop scale: ~600 training queries per project.
+    Small,
+    /// Intermediate scale: ~2,500 training queries.
+    Medium,
+    /// Paper scale: up to 10,000 training queries.
+    Full,
+}
+
+impl Scale {
+    /// Parses `small`/`medium`/`full`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
+    /// Fraction of the paper's training volume.
+    pub fn fraction(self) -> f64 {
+        match self {
+            Scale::Small => 0.09,
+            Scale::Medium => 0.25,
+            Scale::Full => 1.0,
+        }
+    }
+}
+
+/// The evaluation-project profile scaled for the harness: schema size and
+/// workload volume shrink together so training density per table stays
+/// realistic.
+pub fn scaled_eval_profile(n: usize, scale: Scale) -> ProjectProfile {
+    let mut prof = ProjectProfile::evaluation_project(n).expect("evaluation project 1..=5");
+    let f = scale.fraction();
+    if f < 1.0 {
+        // The schema shrink is FIXED for every sub-full scale so that the
+        // project *instance* (tables, templates, improvement space) is
+        // identical between small and medium — only the data volume (query
+        // rate, training cap) scales. Otherwise changing the scale would
+        // silently change the experiment subject.
+        let shrink = 0.245;
+        prof.n_tables = ((prof.n_tables as f64 * shrink) as usize).max(15);
+        prof.n_temp_tables = (prof.n_temp_tables / 2).max(2);
+        prof.n_columns = ((prof.n_columns as f64 * shrink) as usize).max(100);
+        prof.n_templates = ((prof.n_templates as f64 * shrink) as usize).max(12);
+        prof.n_query_day0 = (prof.n_query_day0 * f).max(8.0);
+    }
+    prof
+}
+
+/// Pipeline configuration matched to a scale.
+pub fn scaled_pipeline_config(scale: Scale) -> PipelineConfig {
+    let f = scale.fraction();
+    PipelineConfig {
+        train_days: 25,
+        test_days: 5,
+        max_train: ((10_000.0 * f) as usize).max(300),
+        max_test: ((200.0 * f.max(0.3)) as usize).max(40),
+        eval_rounds: match scale {
+            Scale::Small => 4,
+            Scale::Medium => 4,
+            Scale::Full => 5,
+        },
+        da_queries: match scale {
+            Scale::Small => 30,
+            Scale::Medium => 60,
+            Scale::Full => 120,
+        },
+        train_cfg: TrainConfig {
+            epochs: match scale {
+                Scale::Small => 24,
+                Scale::Medium => 20,
+                Scale::Full => 15,
+            },
+            ..TrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("full"), Some(Scale::Full));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn small_scale_shrinks_volumes() {
+        let small = scaled_eval_profile(1, Scale::Small);
+        let full = scaled_eval_profile(1, Scale::Full);
+        assert!(small.n_query_day0 < full.n_query_day0);
+        assert!(small.n_tables < full.n_tables);
+        // Improvement-space knobs are preserved.
+        assert_eq!(small.misestimation, full.misestimation);
+    }
+
+    #[test]
+    fn configs_scale_consistently() {
+        let s = scaled_pipeline_config(Scale::Small);
+        let f = scaled_pipeline_config(Scale::Full);
+        assert!(s.max_train < f.max_train);
+        assert_eq!(s.train_days, 25);
+        assert_eq!(f.test_days, 5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Execution-environment metrics.
+//!
+//! LOAM models machine load with four standard metrics (Appendix B.2):
+//! CPU_IDLE, IO_WAIT, LOAD5, MEM_USAGE. The first two and the last are
+//! percentages in `[0, 1]`; LOAD5 is an unbounded load average that LOAM
+//! log-normalizes before feeding it to the model.
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bound used when log-normalizing LOAD5 (a load average of 64 on the
+/// simulator's homogeneous machines is saturation).
+pub const LOAD5_MAX: f64 = 64.0;
+
+/// A snapshot (or average) of the four machine-load metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnvMetrics {
+    /// Fraction of time the CPU is idle, in `[0, 1]`.
+    pub cpu_idle: f64,
+    /// Fraction of CPU time spent waiting on I/O, in `[0, 1]`.
+    pub io_wait: f64,
+    /// 5-minute load average (unbounded, typically `0..64`).
+    pub load5: f64,
+    /// Fraction of memory in use, in `[0, 1]`.
+    pub mem_usage: f64,
+}
+
+impl EnvMetrics {
+    /// Creates a snapshot, clamping percentage metrics into `[0, 1]` and
+    /// LOAD5 to be non-negative.
+    pub fn new(cpu_idle: f64, io_wait: f64, load5: f64, mem_usage: f64) -> Self {
+        EnvMetrics {
+            cpu_idle: cpu_idle.clamp(0.0, 1.0),
+            io_wait: io_wait.clamp(0.0, 1.0),
+            load5: load5.max(0.0),
+            mem_usage: mem_usage.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The 4-dimensional normalized feature vector used in plan encodings:
+    /// `[cpu_idle, io_wait, lognorm(load5), mem_usage]`, all in `[0, 1]`.
+    ///
+    /// LOAD5 is log-normalized ("the metric LOAD5 is log-normalized, while
+    /// other metrics are already bounded and used directly" — Section 4).
+    pub fn features(&self) -> [f64; 4] {
+        [
+            self.cpu_idle,
+            self.io_wait,
+            lognorm_load5(self.load5),
+            self.mem_usage,
+        ]
+    }
+
+    /// Reconstructs metrics from a normalized feature vector (inverse of
+    /// [`EnvMetrics::features`]); used by inference strategies that set
+    /// features directly.
+    pub fn from_features(f: [f64; 4]) -> Self {
+        EnvMetrics::new(f[0], f[1], inv_lognorm_load5(f[2]), f[3])
+    }
+
+    /// Element-wise average of several snapshots (stage-level averaging over
+    /// machines and over the execution window).
+    pub fn mean<'a, I: IntoIterator<Item = &'a EnvMetrics>>(iter: I) -> EnvMetrics {
+        let mut acc = EnvMetrics::default();
+        let mut n = 0usize;
+        for m in iter {
+            acc.cpu_idle += m.cpu_idle;
+            acc.io_wait += m.io_wait;
+            acc.load5 += m.load5;
+            acc.mem_usage += m.mem_usage;
+            n += 1;
+        }
+        if n == 0 {
+            return EnvMetrics::default();
+        }
+        let nf = n as f64;
+        EnvMetrics {
+            cpu_idle: acc.cpu_idle / nf,
+            io_wait: acc.io_wait / nf,
+            load5: acc.load5 / nf,
+            mem_usage: acc.mem_usage / nf,
+        }
+    }
+}
+
+/// Log-min-max normalization of LOAD5 into `[0, 1]`.
+pub fn lognorm_load5(load5: f64) -> f64 {
+    ((1.0 + load5.max(0.0)).ln() / (1.0 + LOAD5_MAX).ln()).clamp(0.0, 1.0)
+}
+
+/// Inverse of [`lognorm_load5`].
+pub fn inv_lognorm_load5(x: f64) -> f64 {
+    ((1.0 + LOAD5_MAX).ln() * x.clamp(0.0, 1.0)).exp() - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_are_normalized() {
+        let e = EnvMetrics::new(0.7, 0.05, 8.0, 0.45);
+        let f = e.features();
+        assert!(f.iter().all(|&x| (0.0..=1.0).contains(&x)), "{f:?}");
+    }
+
+    #[test]
+    fn load5_normalization_round_trips() {
+        for &l in &[0.0, 0.5, 1.0, 4.0, 16.0, 64.0] {
+            let x = lognorm_load5(l);
+            let back = inv_lognorm_load5(x);
+            assert!((back - l).abs() < 1e-6, "l={l} back={back}");
+        }
+    }
+
+    #[test]
+    fn from_features_round_trips() {
+        let e = EnvMetrics::new(0.55, 0.02, 3.0, 0.6);
+        let back = EnvMetrics::from_features(e.features());
+        assert!((back.cpu_idle - e.cpu_idle).abs() < 1e-9);
+        assert!((back.load5 - e.load5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constructor_clamps() {
+        let e = EnvMetrics::new(1.5, -0.2, -3.0, 2.0);
+        assert_eq!(e.cpu_idle, 1.0);
+        assert_eq!(e.io_wait, 0.0);
+        assert_eq!(e.load5, 0.0);
+        assert_eq!(e.mem_usage, 1.0);
+    }
+
+    #[test]
+    fn mean_of_snapshots() {
+        let a = EnvMetrics::new(0.2, 0.0, 2.0, 0.4);
+        let b = EnvMetrics::new(0.8, 0.1, 6.0, 0.6);
+        let m = EnvMetrics::mean([&a, &b]);
+        assert!((m.cpu_idle - 0.5).abs() < 1e-12);
+        assert!((m.load5 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_default() {
+        let m = EnvMetrics::mean(std::iter::empty());
+        assert_eq!(m, EnvMetrics::default());
+    }
+}

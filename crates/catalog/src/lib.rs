@@ -1,0 +1,129 @@
+//! # mcsim-catalog
+//!
+//! Projects, tables, columns, synthetic data distributions, template-based
+//! workloads, and the historical query repository for the MaxCompute
+//! simulator.
+//!
+//! Projects are the primary organizational units in MaxCompute (Section 2.1
+//! of the LOAM paper): user-created database instances with their own tables,
+//! workload characteristics, and a per-project historical query repository.
+//! This crate synthesizes all of that from seeded per-project profiles, so
+//! that every experiment in the reproduction is deterministic.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcsim_catalog::{ProjectProfile, ProjectId};
+//!
+//! let profile = ProjectProfile::evaluation_project(1).expect("project 1 exists");
+//! let project = profile.generate(ProjectId(1));
+//! assert!(project.catalog.table_count() > 0);
+//! let day0 = project.workload_for_day(0);
+//! assert!(!day0.is_empty());
+//! ```
+
+pub mod column;
+pub mod env;
+pub mod generator;
+pub mod project;
+pub mod repository;
+pub mod selectivity;
+pub mod stats;
+pub mod table;
+pub mod workload;
+pub mod workmodel;
+
+pub use column::{ColumnDistribution, ColumnMeta};
+pub use env::EnvMetrics;
+pub use generator::{Project, ProjectProfile};
+pub use project::ProjectId;
+pub use repository::{ExecutionRecord, QueryRepository};
+pub use selectivity::CardinalityModel;
+pub use stats::{summarize, summarize_project, WorkloadStats};
+pub use table::TableMeta;
+pub use workload::{JoinEdge, QuerySpec, QueryTemplate, TableRef};
+
+use std::collections::BTreeMap;
+
+/// The schema catalog of one project: its tables and columns with
+/// ground-truth data statistics (which the *native* optimizer is not allowed
+/// to see — it only gets stale row counts, per Challenge 2).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<mcsim_plan::TableId, TableMeta>,
+    columns: BTreeMap<mcsim_plan::ColumnId, ColumnMeta>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table and its columns.
+    pub fn add_table(&mut self, table: TableMeta, columns: Vec<ColumnMeta>) {
+        for c in columns {
+            debug_assert_eq!(c.table, table.id);
+            self.columns.insert(c.id, c);
+        }
+        self.tables.insert(table.id, table);
+    }
+
+    /// Looks up a table's metadata.
+    pub fn table(&self, id: mcsim_plan::TableId) -> Option<&TableMeta> {
+        self.tables.get(&id)
+    }
+
+    /// Looks up a column's metadata.
+    pub fn column(&self, id: mcsim_plan::ColumnId) -> Option<&ColumnMeta> {
+        self.columns.get(&id)
+    }
+
+    /// Number of registered tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Number of registered columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Iterates over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &TableMeta> {
+        self.tables.values()
+    }
+
+    /// Iterates over all columns.
+    pub fn columns(&self) -> impl Iterator<Item = &ColumnMeta> {
+        self.columns.values()
+    }
+
+    /// Mutable access to a table (used by the generator to register
+    /// temporary-table churn).
+    pub fn table_mut(&mut self, id: mcsim_plan::TableId) -> Option<&mut TableMeta> {
+        self.tables.get_mut(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnDistribution;
+
+    #[test]
+    fn add_and_lookup_round_trip() {
+        let mut cat = Catalog::new();
+        let t = TableMeta::new(5, ProjectId(0), 1000, 4, vec![10, 11], 0, None);
+        let cols = vec![
+            ColumnMeta::new(10, 5, 100, ColumnDistribution::Uniform),
+            ColumnMeta::new(11, 5, 50, ColumnDistribution::Zipf { s: 1.1 }),
+        ];
+        cat.add_table(t, cols);
+        assert_eq!(cat.table_count(), 1);
+        assert_eq!(cat.column_count(), 2);
+        assert_eq!(cat.table(5).unwrap().rows, 1000);
+        assert_eq!(cat.column(11).unwrap().ndv, 50);
+        assert!(cat.table(99).is_none());
+    }
+}

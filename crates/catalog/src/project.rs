@@ -1,0 +1,33 @@
+//! Project identity.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a project (a user-created database instance).
+///
+/// MaxCompute hosts over 100,000 projects; the simulator identifies them by
+/// a dense index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ProjectId(pub u32);
+
+impl std::fmt::Display for ProjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "project-{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(ProjectId(7).to_string(), "project-7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ProjectId(1) < ProjectId(2));
+    }
+}

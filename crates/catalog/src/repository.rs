@@ -1,0 +1,229 @@
+//! The historical query repository.
+//!
+//! Upon query completion, MaxCompute logs the SQL statement, physical plan,
+//! execution environment, end-to-end cost, and latency into a per-project
+//! historical query repository (Section 2.1, step 4). LOAM trains entirely
+//! from this repository — "as a key feature of data warehouses, MaxCompute
+//! preserves extensive historical data for long-term analysis".
+
+use crate::env::EnvMetrics;
+use crate::project::ProjectId;
+use mcsim_plan::{PlanSignature, PlanTree};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One logged query execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionRecord {
+    /// Query id within the project's history.
+    pub query_id: u64,
+    /// Template the query came from (for recurring-query analyses).
+    pub template: u32,
+    /// Owning project.
+    pub project: ProjectId,
+    /// Submission day.
+    pub day: i64,
+    /// The executed physical plan.
+    pub plan: PlanTree,
+    /// Structural fingerprint of the plan.
+    pub signature: PlanSignature,
+    /// Per-stage environment metrics, averaged over the stage's execution
+    /// window and its allocated machines (indexed like
+    /// [`mcsim_plan::stage::StageGraph::stages`]).
+    pub stage_envs: Vec<EnvMetrics>,
+    /// End-to-end CPU cost (the metric LOAM predicts).
+    pub cpu_cost: f64,
+    /// End-to-end latency (noisier; logged but not modeled).
+    pub latency: f64,
+    /// True if this was the native optimizer's default plan (as opposed to a
+    /// knob-steered candidate executed by LOAM).
+    pub is_default: bool,
+}
+
+/// A per-project log of executed queries.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryRepository {
+    records: Vec<ExecutionRecord>,
+}
+
+impl QueryRepository {
+    /// Creates an empty repository.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: ExecutionRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of logged executions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ExecutionRecord] {
+        &self.records
+    }
+
+    /// Records submitted in `[from, to)`.
+    pub fn by_day_range(&self, from: i64, to: i64) -> Vec<&ExecutionRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.day >= from && r.day < to)
+            .collect()
+    }
+
+    /// Deduplicated records: for each distinct plan signature keep the most
+    /// recent execution ("we collect deduplicated queries over 30 consecutive
+    /// days", Section 7.1).
+    pub fn deduplicated(&self) -> Vec<&ExecutionRecord> {
+        let mut latest: HashMap<PlanSignature, &ExecutionRecord> = HashMap::new();
+        for r in &self.records {
+            latest
+                .entry(r.signature)
+                .and_modify(|cur| {
+                    if r.day > cur.day {
+                        *cur = r;
+                    }
+                })
+                .or_insert(r);
+        }
+        let mut out: Vec<&ExecutionRecord> = latest.into_values().collect();
+        out.sort_by_key(|r| (r.day, r.query_id));
+        out
+    }
+
+    /// Groups executions of *recurring* plans: signatures observed at least
+    /// `min_runs` times (used for the cost-variance analyses of Figures 1
+    /// and 15).
+    pub fn recurring_groups(&self, min_runs: usize) -> Vec<Vec<&ExecutionRecord>> {
+        let mut groups: HashMap<PlanSignature, Vec<&ExecutionRecord>> = HashMap::new();
+        for r in &self.records {
+            groups.entry(r.signature).or_default().push(r);
+        }
+        let mut out: Vec<Vec<&ExecutionRecord>> = groups
+            .into_values()
+            .filter(|g| g.len() >= min_runs)
+            .collect();
+        out.sort_by_key(|g| std::cmp::Reverse(g.len()));
+        out
+    }
+
+    /// Splits deduplicated records into (train, test) by day: the first
+    /// `train_days` of the observed range train, the rest test (Section 7.1:
+    /// 25 training days, 5 test days).
+    pub fn train_test_split(&self, train_days: i64) -> (Vec<&ExecutionRecord>, Vec<&ExecutionRecord>) {
+        let dedup = self.deduplicated();
+        let min_day = dedup.iter().map(|r| r.day).min().unwrap_or(0);
+        let cutoff = min_day + train_days;
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for r in dedup {
+            if r.day < cutoff {
+                train.push(r);
+            } else {
+                test.push(r);
+            }
+        }
+        (train, test)
+    }
+
+    /// The element-wise mean of all logged per-stage environment metrics —
+    /// LOAM's representative environment instance `e_r` is derived from
+    /// exactly this empirical mean (Section 5).
+    pub fn mean_stage_env(&self) -> EnvMetrics {
+        EnvMetrics::mean(self.records.iter().flat_map(|r| r.stage_envs.iter()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_plan::Operator;
+
+    fn record(day: i64, table: u32, cost: f64) -> ExecutionRecord {
+        let mut plan = PlanTree::new();
+        let s = plan.leaf(Operator::table_scan(table, 1, 1, vec![0]));
+        plan.set_root(s);
+        let signature = PlanSignature::of(&plan);
+        ExecutionRecord {
+            query_id: day as u64,
+            template: 0,
+            project: ProjectId(0),
+            day,
+            plan,
+            signature,
+            stage_envs: vec![EnvMetrics::new(0.5, 0.05, 4.0, 0.5)],
+            cpu_cost: cost,
+            latency: cost * 1.3,
+            is_default: true,
+        }
+    }
+
+    #[test]
+    fn day_range_filters() {
+        let mut repo = QueryRepository::new();
+        for d in 0..10 {
+            repo.push(record(d, d as u32, 100.0));
+        }
+        assert_eq!(repo.by_day_range(2, 5).len(), 3);
+        assert_eq!(repo.len(), 10);
+    }
+
+    #[test]
+    fn dedup_keeps_latest_per_signature() {
+        let mut repo = QueryRepository::new();
+        repo.push(record(1, 7, 100.0)); // same plan twice
+        repo.push(record(5, 7, 120.0));
+        repo.push(record(2, 8, 50.0));
+        let d = repo.deduplicated();
+        assert_eq!(d.len(), 2);
+        let kept = d.iter().find(|r| r.signature == record(1, 7, 0.0).signature);
+        assert_eq!(kept.unwrap().day, 5);
+    }
+
+    #[test]
+    fn recurring_groups_filter_by_min_runs() {
+        let mut repo = QueryRepository::new();
+        for d in 0..5 {
+            repo.push(record(d, 1, 100.0 + d as f64));
+        }
+        repo.push(record(0, 2, 10.0));
+        let groups = repo.recurring_groups(3);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 5);
+    }
+
+    #[test]
+    fn split_respects_day_cutoff() {
+        let mut repo = QueryRepository::new();
+        for d in 0..30 {
+            repo.push(record(d, d as u32, 10.0));
+        }
+        let (train, test) = repo.train_test_split(25);
+        assert_eq!(train.len(), 25);
+        assert_eq!(test.len(), 5);
+        assert!(train.iter().all(|r| r.day < 25));
+        assert!(test.iter().all(|r| r.day >= 25));
+    }
+
+    #[test]
+    fn mean_stage_env_averages() {
+        let mut repo = QueryRepository::new();
+        let mut r1 = record(0, 0, 1.0);
+        r1.stage_envs = vec![EnvMetrics::new(0.2, 0.0, 2.0, 0.4)];
+        let mut r2 = record(1, 1, 1.0);
+        r2.stage_envs = vec![EnvMetrics::new(0.8, 0.1, 6.0, 0.6)];
+        repo.push(r1);
+        repo.push(r2);
+        let m = repo.mean_stage_env();
+        assert!((m.cpu_idle - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,421 @@
+//! Ground-truth cardinality propagation through physical plans.
+//!
+//! The execution simulator's "physics" needs the *true* number of rows
+//! flowing through every operator. This module computes it from the
+//! catalog's exact column distributions. Neither the native optimizer
+//! (Challenge 2: statistics are missing) nor LOAM (statistics-free by
+//! design) is allowed to call into this — only `mcsim-exec` does.
+
+use crate::column::ColumnMeta;
+use crate::Catalog;
+use mcsim_plan::expr::{CmpFn, Literal, Predicate};
+use mcsim_plan::op::{AggAlgo, JoinKind, Operator};
+use mcsim_plan::tree::PlanTree;
+use mcsim_plan::ColumnId;
+use serde::{Deserialize, Serialize};
+
+/// Per-node cardinality annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeCard {
+    /// Rows flowing *into* the operator (sum over children; for scans, rows
+    /// physically read after partition pruning).
+    pub input_rows: f64,
+    /// Rows flowing out of the operator.
+    pub output_rows: f64,
+    /// Output tuple width in columns (coarse; drives shuffle volume).
+    pub width: f64,
+}
+
+/// Ground-truth cardinality model over a catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct CardinalityModel<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> CardinalityModel<'a> {
+    /// Creates a model reading true statistics from `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        CardinalityModel { catalog }
+    }
+
+    /// True selectivity of `pred` (fraction of rows satisfying it),
+    /// assuming independence between conjuncts.
+    pub fn selectivity(&self, pred: &Predicate) -> f64 {
+        match pred {
+            Predicate::True => 1.0,
+            Predicate::Not(p) => (1.0 - self.selectivity(p)).clamp(0.0, 1.0),
+            Predicate::And(a, b) => self.selectivity(a) * self.selectivity(b),
+            Predicate::Or(a, b) => {
+                let (sa, sb) = (self.selectivity(a), self.selectivity(b));
+                (sa + sb - sa * sb).clamp(0.0, 1.0)
+            }
+            Predicate::Cmp {
+                op,
+                column,
+                value,
+                value2,
+            } => self.cmp_selectivity(*op, *column, value, value2.as_ref()),
+        }
+    }
+
+    fn cmp_selectivity(
+        &self,
+        op: CmpFn,
+        column: ColumnId,
+        value: &Literal,
+        value2: Option<&Literal>,
+    ) -> f64 {
+        let Some(col) = self.catalog.column(column) else {
+            return 0.1; // unknown column: conservative default
+        };
+        let ndv = col.ndv as f64;
+        let v = value.as_f64();
+        match op {
+            // Equality uses the skewed per-value mass.
+            CmpFn::Eq => col.eq_selectivity(v.max(0.0) as u64),
+            CmpFn::Ne => (1.0 - col.eq_selectivity(v.max(0.0) as u64)).clamp(0.0, 1.0),
+            // Range predicates interpret ranks as the value order and use
+            // uniform mass over that order (skew applies to equality only).
+            CmpFn::Lt => (v / ndv).clamp(0.0, 1.0),
+            CmpFn::Le => ((v + 1.0) / ndv).clamp(0.0, 1.0),
+            CmpFn::Gt => (1.0 - (v + 1.0) / ndv).clamp(0.0, 1.0),
+            CmpFn::Ge => (1.0 - v / ndv).clamp(0.0, 1.0),
+            CmpFn::Between => {
+                let hi = value2.map(|x| x.as_f64()).unwrap_or(v);
+                ((hi - v + 1.0) / ndv).clamp(0.0, 1.0)
+            }
+            CmpFn::Like => 0.05,
+            CmpFn::In => (v.max(1.0) / ndv).clamp(0.0, 1.0),
+            CmpFn::IsNull => 0.02,
+        }
+    }
+
+    /// Effective NDV of `column` among `rows` remaining rows: the base NDV
+    /// capped by the row count (you cannot have more distinct values than
+    /// rows).
+    pub fn effective_ndv(&self, column: ColumnId, rows: f64) -> f64 {
+        let base = self
+            .catalog
+            .column(column)
+            .map(|c: &ColumnMeta| c.ndv as f64)
+            .unwrap_or(1000.0);
+        base.min(rows.max(1.0))
+    }
+
+    /// Annotates every node of `plan` with true input/output cardinalities,
+    /// indexed by `NodeId`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has no root.
+    pub fn annotate(&self, plan: &PlanTree) -> Vec<NodeCard> {
+        let mut cards = vec![NodeCard::default(); plan.len()];
+        for id in plan.postorder() {
+            let node = plan.node(id);
+            let child_cards: Vec<NodeCard> =
+                node.children().map(|c| cards[c]).collect();
+            cards[id] = self.node_card(&node.op, &child_cards);
+        }
+        cards
+    }
+
+    fn node_card(&self, op: &Operator, children: &[NodeCard]) -> NodeCard {
+        let in_rows: f64 = children.iter().map(|c| c.output_rows).sum();
+        let in_width: f64 = children
+            .iter()
+            .map(|c| c.width)
+            .fold(0.0, f64::max)
+            .max(1.0);
+        match op {
+            Operator::TableScan {
+                table,
+                partitions_accessed,
+                partitions_total,
+                columns,
+                predicate,
+            } => {
+                let t = self.catalog.table(*table);
+                let rows = t.map(|t| t.rows as f64).unwrap_or(1000.0);
+                let frac_parts =
+                    *partitions_accessed as f64 / (*partitions_total).max(1) as f64;
+                let read = rows * frac_parts;
+                // The pushed-down predicate filters the rows actually read.
+                let out = read * self.selectivity(predicate);
+                NodeCard {
+                    input_rows: read,
+                    output_rows: out.max(0.0),
+                    width: columns.len().max(1) as f64,
+                }
+            }
+            Operator::Filter { predicate } => NodeCard {
+                input_rows: in_rows,
+                output_rows: in_rows * self.selectivity(predicate),
+                width: in_width,
+            },
+            Operator::Calc { predicate, columns } => NodeCard {
+                input_rows: in_rows,
+                output_rows: in_rows * self.selectivity(predicate),
+                width: columns.len().max(1) as f64,
+            },
+            Operator::Project { columns } => NodeCard {
+                input_rows: in_rows,
+                output_rows: in_rows,
+                width: columns.len().max(1) as f64,
+            },
+            Operator::Join {
+                kind,
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                let l = children.first().copied().unwrap_or_default();
+                let r = children.get(1).copied().unwrap_or_default();
+                let out = self.join_output(*kind, &l, &r, left_keys, right_keys);
+                NodeCard {
+                    input_rows: l.output_rows + r.output_rows,
+                    output_rows: out,
+                    width: l.width + r.width,
+                }
+            }
+            Operator::Aggregate {
+                group_by, algo: _, ..
+            } => {
+                let groups = if group_by.is_empty() {
+                    1.0
+                } else {
+                    let prod: f64 = group_by
+                        .iter()
+                        .map(|&c| self.effective_ndv(c, in_rows))
+                        .product();
+                    prod.min(in_rows.max(1.0))
+                };
+                let _ = AggAlgo::Hash; // algorithm does not change cardinality
+                NodeCard {
+                    input_rows: in_rows,
+                    output_rows: groups,
+                    width: in_width,
+                }
+            }
+            Operator::Sort { .. } | Operator::Exchange { .. } | Operator::Spool { .. } => {
+                NodeCard {
+                    input_rows: in_rows,
+                    output_rows: in_rows,
+                    width: in_width,
+                }
+            }
+            Operator::TopN { n, .. } | Operator::Limit { n } => NodeCard {
+                input_rows: in_rows,
+                output_rows: in_rows.min(*n as f64),
+                width: in_width,
+            },
+            Operator::Union => NodeCard {
+                input_rows: in_rows,
+                output_rows: in_rows,
+                width: in_width,
+            },
+            Operator::Sink => NodeCard {
+                input_rows: in_rows,
+                output_rows: in_rows,
+                width: in_width,
+            },
+        }
+    }
+
+    fn join_output(
+        &self,
+        kind: JoinKind,
+        l: &NodeCard,
+        r: &NodeCard,
+        left_keys: &[ColumnId],
+        right_keys: &[ColumnId],
+    ) -> f64 {
+        // Classic containment estimate over (possibly composite) keys.
+        let ndv_l: f64 = left_keys
+            .iter()
+            .map(|&c| self.effective_ndv(c, l.output_rows))
+            .product::<f64>()
+            .min(l.output_rows.max(1.0));
+        let ndv_r: f64 = right_keys
+            .iter()
+            .map(|&c| self.effective_ndv(c, r.output_rows))
+            .product::<f64>()
+            .min(r.output_rows.max(1.0));
+        let inner = l.output_rows * r.output_rows / ndv_l.max(ndv_r).max(1.0);
+        match kind {
+            JoinKind::Inner => inner,
+            JoinKind::LeftOuter => inner.max(l.output_rows),
+            JoinKind::RightOuter => inner.max(r.output_rows),
+            JoinKind::FullOuter => inner.max(l.output_rows).max(r.output_rows),
+            JoinKind::Semi => l.output_rows.min(inner),
+            JoinKind::Anti => (l.output_rows - l.output_rows.min(inner)).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnDistribution;
+    use crate::project::ProjectId;
+    use crate::table::TableMeta;
+    use mcsim_plan::op::{ExchangeKind, JoinAlgo};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        // Fact table: 1M rows, fk (col 1) into dim with 10k values.
+        cat.add_table(
+            TableMeta::new(0, ProjectId(0), 1_000_000, 10, vec![0, 1, 2], 0, None),
+            vec![
+                ColumnMeta::new(0, 0, 1_000_000, ColumnDistribution::Uniform),
+                ColumnMeta::new(1, 0, 10_000, ColumnDistribution::Uniform),
+                ColumnMeta::new(2, 0, 100, ColumnDistribution::Uniform),
+            ],
+        );
+        // Dim table: 10k rows, pk col 10.
+        cat.add_table(
+            TableMeta::new(1, ProjectId(0), 10_000, 1, vec![10, 11], 0, None),
+            vec![
+                ColumnMeta::new(10, 1, 10_000, ColumnDistribution::Uniform),
+                ColumnMeta::new(11, 1, 50, ColumnDistribution::Uniform),
+            ],
+        );
+        cat
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        let p = Predicate::cmp(CmpFn::Eq, 2, Literal::Int(5));
+        assert!((m.selectivity(&p) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjunction_multiplies() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        let p = Predicate::cmp(CmpFn::Eq, 2, Literal::Int(5))
+            .and(Predicate::cmp(CmpFn::Eq, 11, Literal::Int(3)));
+        assert!((m.selectivity(&p) - 0.01 * 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_stays_in_unit_interval() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        for op in CmpFn::all() {
+            let p = Predicate::Cmp {
+                op,
+                column: 2,
+                value: Literal::Int(50),
+                value2: Some(Literal::Int(80)),
+            };
+            let s = m.selectivity(&p);
+            assert!((0.0..=1.0).contains(&s), "{op:?} gave {s}");
+        }
+    }
+
+    #[test]
+    fn fk_join_output_equals_filtered_fact_side() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        let mut t = PlanTree::new();
+        let f = t.leaf(Operator::table_scan(0, 10, 10, vec![0, 1]));
+        let d = t.leaf(Operator::table_scan(1, 1, 1, vec![10]));
+        let j = t.binary(
+            Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![1], vec![10]),
+            f,
+            d,
+        );
+        t.set_root(j);
+        let cards = m.annotate(&t);
+        // |F ⋈ D| = 1M * 10k / max(10k, 10k) = 1M.
+        assert!((cards[j].output_rows - 1_000_000.0).abs() / 1_000_000.0 < 0.01);
+        assert_eq!(cards[f].input_rows, 1_000_000.0);
+    }
+
+    #[test]
+    fn partition_pruning_reduces_read_rows() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        let mut t = PlanTree::new();
+        let s = t.leaf(Operator::table_scan(0, 2, 10, vec![0]));
+        t.set_root(s);
+        let cards = m.annotate(&t);
+        assert!((cards[s].input_rows - 200_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn aggregate_groups_capped_by_input() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        let mut t = PlanTree::new();
+        let s = t.leaf(Operator::table_scan(1, 1, 1, vec![10, 11]));
+        let a = t.unary(
+            Operator::Aggregate {
+                algo: AggAlgo::Hash,
+                funcs: vec![mcsim_plan::op::AggFunc::Count],
+                agg_columns: vec![10],
+                group_by: vec![11],
+            },
+            s,
+        );
+        t.set_root(a);
+        let cards = m.annotate(&t);
+        assert!((cards[a].output_rows - 50.0).abs() < 1e-6);
+        // Scalar aggregate produces one row.
+        let mut t2 = PlanTree::new();
+        let s2 = t2.leaf(Operator::table_scan(1, 1, 1, vec![10]));
+        let a2 = t2.unary(
+            Operator::Aggregate {
+                algo: AggAlgo::Hash,
+                funcs: vec![mcsim_plan::op::AggFunc::Count],
+                agg_columns: vec![10],
+                group_by: vec![],
+            },
+            s2,
+        );
+        t2.set_root(a2);
+        assert_eq!(m.annotate(&t2)[a2].output_rows, 1.0);
+    }
+
+    #[test]
+    fn limit_caps_output() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        let mut t = PlanTree::new();
+        let s = t.leaf(Operator::table_scan(0, 10, 10, vec![0]));
+        let l = t.unary(Operator::Limit { n: 7 }, s);
+        t.set_root(l);
+        assert_eq!(m.annotate(&t)[l].output_rows, 7.0);
+    }
+
+    #[test]
+    fn exchange_passes_rows_through() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        let mut t = PlanTree::new();
+        let s = t.leaf(Operator::table_scan(1, 1, 1, vec![10]));
+        let e = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![10]), s);
+        t.set_root(e);
+        let cards = m.annotate(&t);
+        assert_eq!(cards[e].output_rows, cards[s].output_rows);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left_side() {
+        let cat = catalog();
+        let m = CardinalityModel::new(&cat);
+        let build = |kind: JoinKind| {
+            let mut t = PlanTree::new();
+            let f = t.leaf(Operator::table_scan(0, 10, 10, vec![0, 1]));
+            let d = t.leaf(Operator::table_scan(1, 1, 1, vec![10]));
+            let j = t.binary(Operator::join(kind, JoinAlgo::Hash, vec![1], vec![10]), f, d);
+            t.set_root(j);
+            m.annotate(&t)[j].output_rows
+        };
+        let semi = build(JoinKind::Semi);
+        let anti = build(JoinKind::Anti);
+        assert!((semi + anti - 1_000_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Table metadata.
+
+use crate::project::ProjectId;
+use mcsim_plan::{ColumnId, TableId};
+use serde::{Deserialize, Serialize};
+
+/// Metadata of one (partitioned) table.
+///
+/// `rows` is the ground truth used by the execution physics; `stale_rows` is
+/// what the native optimizer's coarse, metadata-driven cost model sees —
+/// "cost estimation must fall back to coarse, metadata-driven approximations
+/// such as historical table row counts" (Section 2.1). The two diverge by a
+/// per-table misestimation factor drawn from the project profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Global table identifier.
+    pub id: TableId,
+    /// Owning project.
+    pub project: ProjectId,
+    /// True current row count.
+    pub rows: u64,
+    /// Number of physical partitions.
+    pub partitions: u32,
+    /// Columns of this table (global ids).
+    pub columns: Vec<ColumnId>,
+    /// Day the table was created (simulation day index).
+    pub created_day: i64,
+    /// Day the table was (or will be) deleted, if it is a temporary table.
+    pub deleted_day: Option<i64>,
+    /// The row count the native optimizer believes (stale metadata
+    /// snapshot at day 0).
+    pub stale_rows: u64,
+    /// Half-width (log10) of the stale-estimate error; the snapshot is
+    /// re-drawn every few days as stats collection lags data modification,
+    /// so the optimizer's belief *drifts over time* (see
+    /// [`TableMeta::stale_rows_on`]).
+    pub stale_drift: f64,
+}
+
+impl TableMeta {
+    /// Creates a table whose stale estimate initially equals the truth.
+    pub fn new(
+        id: TableId,
+        project: ProjectId,
+        rows: u64,
+        partitions: u32,
+        columns: Vec<ColumnId>,
+        created_day: i64,
+        deleted_day: Option<i64>,
+    ) -> Self {
+        TableMeta {
+            id,
+            project,
+            rows,
+            partitions: partitions.max(1),
+            columns,
+            created_day,
+            deleted_day,
+            stale_rows: rows,
+            stale_drift: 0.0,
+        }
+    }
+
+    /// The stale row count the optimizer believes on `day`.
+    ///
+    /// Statistics snapshots refresh (with error) every ~3 days, staggered by
+    /// table; between refreshes the belief is constant. The error magnitude
+    /// is `stale_drift` decades, the same knob as the day-0 snapshot.
+    pub fn stale_rows_on(&self, day: i64) -> u64 {
+        if self.stale_drift <= 0.0 {
+            return self.stale_rows;
+        }
+        // Epoch index staggered per table.
+        let epoch = (day + (self.id as i64 % 3)).div_euclid(3);
+        if epoch == 0 {
+            return self.stale_rows;
+        }
+        let h = mcsim_plan::signature::fnv1a_seeded(
+            0x57a1e ^ self.id as u64,
+            &epoch.to_le_bytes(),
+        );
+        // Uniform in [-1, 1] from the hash.
+        let u = (h % 2_000_001) as f64 / 1_000_000.0 - 1.0;
+        let err = u * self.stale_drift;
+        ((self.rows as f64) * 10f64.powf(err)).max(1.0) as u64
+    }
+
+    /// Lifespan in days (`i64::MAX` horizon tables report a large number).
+    pub fn lifespan(&self) -> i64 {
+        self.deleted_day.unwrap_or(i64::MAX / 2) - self.created_day
+    }
+
+    /// True if the table exists on `day`.
+    pub fn is_live(&self, day: i64) -> bool {
+        day >= self.created_day && self.deleted_day.map(|d| day < d).unwrap_or(true)
+    }
+
+    /// True if this is a long-lived table per Filter rule R3 (lifespan
+    /// exceeding `n` days).
+    pub fn is_long_lived(&self, n: i64) -> bool {
+        self.lifespan() > n
+    }
+
+    /// Average rows per partition.
+    pub fn rows_per_partition(&self) -> f64 {
+        self.rows as f64 / self.partitions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifespan_and_liveness() {
+        let t = TableMeta::new(0, ProjectId(0), 100, 2, vec![], 10, Some(15));
+        assert_eq!(t.lifespan(), 5);
+        assert!(!t.is_live(9));
+        assert!(t.is_live(10));
+        assert!(t.is_live(14));
+        assert!(!t.is_live(15));
+        assert!(!t.is_long_lived(30));
+    }
+
+    #[test]
+    fn permanent_tables_are_long_lived() {
+        let t = TableMeta::new(0, ProjectId(0), 100, 2, vec![], 0, None);
+        assert!(t.is_long_lived(30));
+        assert!(t.is_live(1_000_000));
+    }
+
+    #[test]
+    fn partitions_are_at_least_one() {
+        let t = TableMeta::new(0, ProjectId(0), 100, 0, vec![], 0, None);
+        assert_eq!(t.partitions, 1);
+        assert_eq!(t.rows_per_partition(), 100.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Query specifications and parameterized templates.
+//!
+//! Production workloads are "pervasively driven by parameterized,
+//! template-based queries whose parameters vary across runs" (Section 4).
+//! A [`QueryTemplate`] captures the stable join topology and filter slots; a
+//! [`QuerySpec`] is one concrete instantiation with literal parameters, ready
+//! for the optimizer.
+
+use crate::project::ProjectId;
+use mcsim_plan::expr::{CmpFn, Literal, Predicate};
+use mcsim_plan::op::{AggFunc, JoinKind};
+use mcsim_plan::{ColumnId, TableId};
+use serde::{Deserialize, Serialize};
+
+/// A reference to one table in a query, with its (already-parameterized)
+/// filter predicate and the columns the query touches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableRef {
+    /// The referenced table.
+    pub table: TableId,
+    /// Filter applied to this table's rows (may be [`Predicate::True`]).
+    pub predicate: Predicate,
+    /// Columns of this table accessed anywhere in the query.
+    pub columns: Vec<ColumnId>,
+}
+
+/// An equi-join edge between two tables of a [`QuerySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinEdge {
+    /// Index into [`QuerySpec::tables`] of the left side.
+    pub left: usize,
+    /// Index into [`QuerySpec::tables`] of the right side.
+    pub right: usize,
+    /// Join key column on the left table.
+    pub left_col: ColumnId,
+    /// Join key column on the right table.
+    pub right_col: ColumnId,
+    /// Logical join form.
+    pub kind: JoinKind,
+}
+
+/// A fully-parameterized logical query, the optimizer's input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Unique id within the project's history.
+    pub id: u64,
+    /// Template this query was instantiated from.
+    pub template: u32,
+    /// Owning project.
+    pub project: ProjectId,
+    /// Simulation day the query was submitted.
+    pub day: i64,
+    /// Referenced tables (index order matters for [`JoinEdge`]s).
+    pub tables: Vec<TableRef>,
+    /// Join edges; together with `tables` they form a connected join graph.
+    pub joins: Vec<JoinEdge>,
+    /// Group-by columns (empty = no grouping).
+    pub group_by: Vec<ColumnId>,
+    /// Aggregations `(function, column)` (empty = plain select).
+    pub aggs: Vec<(AggFunc, ColumnId)>,
+    /// Optional row limit on the final result.
+    pub limit: Option<u64>,
+}
+
+impl QuerySpec {
+    /// Number of joined tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the join graph connects all tables (queries must not be
+    /// cross products).
+    pub fn is_connected(&self) -> bool {
+        let n = self.tables.len();
+        if n <= 1 {
+            return true;
+        }
+        let mut reach = vec![false; n];
+        reach[0] = true;
+        // Fixed-point reachability over undirected edges.
+        loop {
+            let mut changed = false;
+            for e in &self.joins {
+                if reach[e.left] != reach[e.right] {
+                    reach[e.left] = true;
+                    reach[e.right] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        reach.iter().all(|&r| r)
+    }
+
+    /// All tables referenced.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.tables.iter().map(|t| t.table).collect()
+    }
+
+    /// True if this query aggregates.
+    pub fn has_aggregation(&self) -> bool {
+        !self.aggs.is_empty() || !self.group_by.is_empty()
+    }
+}
+
+/// A filter slot in a template: a column compared against a parameter that
+/// varies per instantiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterSlot {
+    /// Index into the template's table list.
+    pub table_idx: usize,
+    /// Filtered column.
+    pub column: ColumnId,
+    /// Comparison used (`Eq` or `Between` in generated workloads).
+    pub cmp: CmpFn,
+    /// For `Between`: fraction of the value domain covered, in `(0, 1]`.
+    pub range_fraction: f64,
+}
+
+/// A parameterized query template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTemplate {
+    /// Template identifier within the project.
+    pub id: u32,
+    /// Tables joined by the template.
+    pub tables: Vec<TableId>,
+    /// Join topology over `tables` (indices refer to `tables`).
+    pub joins: Vec<JoinEdge>,
+    /// Parameterized filter slots.
+    pub filters: Vec<FilterSlot>,
+    /// Columns each table contributes to the output (projection lists,
+    /// parallel to `tables`).
+    pub projections: Vec<Vec<ColumnId>>,
+    /// Group-by columns, if the template aggregates.
+    pub group_by: Vec<ColumnId>,
+    /// Aggregations `(function, column)`.
+    pub aggs: Vec<(AggFunc, ColumnId)>,
+    /// Optional limit.
+    pub limit: Option<u64>,
+    /// Relative popularity weight (recurring templates dominate workloads).
+    pub weight: f64,
+}
+
+impl QueryTemplate {
+    /// Instantiates the template with concrete filter parameters.
+    ///
+    /// `params` supplies, per filter slot, the chosen value rank (for `Eq`)
+    /// or range start rank (for `Between`). Extra params are ignored;
+    /// missing params default to rank 0.
+    pub fn instantiate(
+        &self,
+        query_id: u64,
+        project: ProjectId,
+        day: i64,
+        params: &[u64],
+        column_ndv: impl Fn(ColumnId) -> u64,
+    ) -> QuerySpec {
+        let mut predicates: Vec<Predicate> = vec![Predicate::True; self.tables.len()];
+        for (i, slot) in self.filters.iter().enumerate() {
+            let p = params.get(i).copied().unwrap_or(0);
+            let ndv = column_ndv(slot.column).max(1);
+            let pred = match slot.cmp {
+                CmpFn::Between => {
+                    let width = ((ndv as f64 * slot.range_fraction).ceil() as u64).max(1);
+                    let lo = p.min(ndv.saturating_sub(1));
+                    let hi = (lo + width - 1).min(ndv - 1);
+                    Predicate::between(slot.column, Literal::Int(lo as i64), Literal::Int(hi as i64))
+                }
+                cmp => Predicate::cmp(cmp, slot.column, Literal::Int((p % ndv) as i64)),
+            };
+            let existing = std::mem::take(&mut predicates[slot.table_idx]);
+            predicates[slot.table_idx] = existing.and(pred);
+        }
+
+        let tables = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, &table)| {
+                // Accessed columns: projections + join keys + filter columns.
+                let mut columns = self.projections[i].clone();
+                for e in &self.joins {
+                    if e.left == i {
+                        columns.push(e.left_col);
+                    }
+                    if e.right == i {
+                        columns.push(e.right_col);
+                    }
+                }
+                columns.extend(predicates[i].columns());
+                columns.sort_unstable();
+                columns.dedup();
+                TableRef {
+                    table,
+                    predicate: predicates[i].clone(),
+                    columns,
+                }
+            })
+            .collect();
+
+        QuerySpec {
+            id: query_id,
+            template: self.id,
+            project,
+            day,
+            tables,
+            joins: self.joins.clone(),
+            group_by: self.group_by.clone(),
+            aggs: self.aggs.clone(),
+            limit: self.limit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn template() -> QueryTemplate {
+        QueryTemplate {
+            id: 3,
+            tables: vec![100, 101],
+            joins: vec![JoinEdge {
+                left: 0,
+                right: 1,
+                left_col: 1000,
+                right_col: 1010,
+                kind: JoinKind::Inner,
+            }],
+            filters: vec![
+                FilterSlot {
+                    table_idx: 0,
+                    column: 1001,
+                    cmp: CmpFn::Eq,
+                    range_fraction: 0.0,
+                },
+                FilterSlot {
+                    table_idx: 1,
+                    column: 1011,
+                    cmp: CmpFn::Between,
+                    range_fraction: 0.1,
+                },
+            ],
+            projections: vec![vec![1002], vec![1012]],
+            group_by: vec![],
+            aggs: vec![(AggFunc::Sum, 1002)],
+            limit: None,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn instantiate_fills_parameters() {
+        let t = template();
+        let q = t.instantiate(7, ProjectId(1), 5, &[3, 10], |_| 100);
+        assert_eq!(q.id, 7);
+        assert_eq!(q.template, 3);
+        assert_eq!(q.tables.len(), 2);
+        assert!(q.tables[0].predicate.to_string().contains("= 3"));
+        assert!(q.tables[0].columns.contains(&1000)); // join key
+        assert!(q.tables[0].columns.contains(&1001)); // filter col
+        assert!(q.tables[0].columns.contains(&1002)); // projection
+        assert!(q.is_connected());
+    }
+
+    #[test]
+    fn eq_params_wrap_around_ndv() {
+        let t = template();
+        let q = t.instantiate(0, ProjectId(0), 0, &[105, 0], |_| 100);
+        assert!(q.tables[0].predicate.to_string().contains("= 5"));
+    }
+
+    #[test]
+    fn between_clamps_to_domain() {
+        let t = template();
+        let q = t.instantiate(0, ProjectId(0), 0, &[0, 95], |_| 100);
+        let s = q.tables[1].predicate.to_string();
+        assert!(s.contains("BETWEEN 95 AND 99"), "{s}");
+    }
+
+    #[test]
+    fn disconnected_join_graph_detected() {
+        let mut t = template();
+        t.joins.clear();
+        let q = t.instantiate(0, ProjectId(0), 0, &[0, 0], |_| 100);
+        assert!(!q.is_connected());
+    }
+
+    #[test]
+    fn single_table_is_connected() {
+        let q = QuerySpec {
+            id: 0,
+            template: 0,
+            project: ProjectId(0),
+            day: 0,
+            tables: vec![TableRef {
+                table: 1,
+                predicate: Predicate::True,
+                columns: vec![],
+            }],
+            joins: vec![],
+            group_by: vec![],
+            aggs: vec![],
+            limit: None,
+        };
+        assert!(q.is_connected());
+        assert!(!q.has_aggregation());
+    }
+}

@@ -1,0 +1,358 @@
+//! Shared operator work model.
+//!
+//! Both the native optimizer's coarse cost model and the execution
+//! simulator's ground-truth physics use the *same functional form* for
+//! per-operator work — they differ only in the cardinalities they plug in
+//! (stale metadata + default selectivities vs. exact propagation) and in the
+//! environment/noise terms the executor adds on top. Keeping the form in one
+//! place guarantees the native optimizer is a *plausible* optimizer: wrong
+//! only because its inputs are wrong (Challenge 2), not because it uses
+//! different physics.
+
+use crate::selectivity::NodeCard;
+use mcsim_plan::op::{AggAlgo, JoinAlgo, Operator};
+use serde::{Deserialize, Serialize};
+
+/// Tunable constants of the work model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkParams {
+    /// Rows per instance above which a hash table spills to disk.
+    pub spill_threshold: f64,
+    /// Multiplier applied to spilled hash operations.
+    pub spill_penalty: f64,
+    /// Multiplier applied to the probe side of a join whose shuffle was
+    /// removed without key alignment (skewed direct read).
+    pub skew_penalty: f64,
+    /// Work units per row for scanning (base).
+    pub scan_row: f64,
+    /// Additional scan work per row per accessed column.
+    pub scan_col: f64,
+    /// Work units converting to final CPU-cost units.
+    pub work_to_cost: f64,
+}
+
+impl Default for WorkParams {
+    fn default() -> Self {
+        WorkParams {
+            spill_threshold: 4.0e6,
+            spill_penalty: 3.0,
+            skew_penalty: 1.35,
+            scan_row: 0.3,
+            scan_col: 0.03,
+            work_to_cost: 1.0e-3,
+        }
+    }
+}
+
+/// Caller-supplied adjustments the plain plan structure cannot express.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkContext {
+    /// `true` if a join's inputs are mis-partitioned because an exchange was
+    /// aggressively removed (ground truth known only to the executor; the
+    /// coarse model optimistically assumes `false`).
+    pub skewed_inputs: bool,
+}
+
+fn lg(x: f64) -> f64 {
+    x.max(2.0).log2()
+}
+
+/// Work of one operator given its cardinality annotation and its children's.
+///
+/// `card` is the operator's own annotation; `children` the annotations of its
+/// children in order (left, right). Work units are converted to CPU cost by
+/// [`WorkParams::work_to_cost`] at the plan level.
+pub fn operator_work(
+    op: &Operator,
+    card: &NodeCard,
+    children: &[NodeCard],
+    ctx: WorkContext,
+    p: &WorkParams,
+) -> f64 {
+    let out = card.output_rows.max(0.0);
+    let input: f64 = children.iter().map(|c| c.output_rows).sum();
+    match op {
+        Operator::TableScan { columns, .. } => {
+            card.input_rows * (p.scan_row + p.scan_col * columns.len() as f64)
+        }
+        Operator::Filter { predicate } => {
+            input * 0.1 * predicate.comparison_count().max(1) as f64
+        }
+        Operator::Calc { predicate, columns } => {
+            input
+                * (0.1 * predicate.comparison_count().max(1) as f64
+                    + 0.02 * columns.len() as f64)
+        }
+        Operator::Project { columns } => input * 0.02 * columns.len() as f64,
+        Operator::Join { algo, .. } => {
+            let probe = children.first().map(|c| c.output_rows).unwrap_or(0.0);
+            let build = children.get(1).map(|c| c.output_rows).unwrap_or(0.0);
+            let skew = if ctx.skewed_inputs { p.skew_penalty } else { 1.0 };
+            match algo {
+                JoinAlgo::Hash => {
+                    let spill = if build > p.spill_threshold {
+                        p.spill_penalty
+                    } else {
+                        1.0
+                    };
+                    (1.2 * build + 1.0 * probe) * spill * skew + 0.3 * out
+                }
+                JoinAlgo::Merge => {
+                    0.05 * (probe * lg(probe) + build * lg(build))
+                        + 0.7 * (probe + build) * skew
+                        + 0.3 * out
+                }
+                JoinAlgo::Broadcast => {
+                    // Replicating the build side to every instance of the
+                    // probe side; parallelism grows with probe volume.
+                    let fanout = (probe / 1.0e6).clamp(1.0, 256.0);
+                    build * fanout + 1.0 * probe + 0.3 * out
+                }
+                JoinAlgo::NestedLoop => 1.0e-3 * probe * build + 0.3 * out,
+            }
+        }
+        Operator::Aggregate { algo, funcs, .. } => {
+            let per_func = 0.2 * funcs.len().max(1) as f64;
+            match algo {
+                AggAlgo::Hash => {
+                    let spill = if out > p.spill_threshold {
+                        p.spill_penalty
+                    } else {
+                        1.0
+                    };
+                    (1.0 + per_func) * input * spill + 0.5 * out
+                }
+                AggAlgo::Sort => 0.05 * input * lg(input) + (0.8 + per_func) * input,
+            }
+        }
+        Operator::Sort { .. } => 0.05 * input * lg(input),
+        Operator::TopN { .. } => 0.3 * input,
+        Operator::Exchange { kind, .. } => {
+            let width_factor = 0.06 + 0.005 * card.width;
+            match kind {
+                mcsim_plan::op::ExchangeKind::Broadcast => {
+                    let fanout = (input / 1.0e6).clamp(1.0, 256.0);
+                    input * fanout * width_factor
+                }
+                _ => input * width_factor,
+            }
+        }
+        Operator::Spool { .. } => 0.25 * input,
+        Operator::Union => 0.05 * input,
+        Operator::Limit { .. } => 0.0,
+        Operator::Sink => 0.05 * input,
+    }
+}
+
+/// Total work of a plan given per-node cardinalities and per-node contexts
+/// (use `Default::default()` contexts for the coarse, optimistic view).
+pub fn plan_work(
+    plan: &mcsim_plan::PlanTree,
+    cards: &[NodeCard],
+    ctx_of: impl Fn(mcsim_plan::NodeId) -> WorkContext,
+    p: &WorkParams,
+) -> f64 {
+    plan.postorder()
+        .into_iter()
+        .map(|id| {
+            let n = plan.node(id);
+            let children: Vec<NodeCard> = n.children().map(|c| cards[c]).collect();
+            operator_work(&n.op, &cards[id], &children, ctx_of(id), p)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_plan::op::{JoinKind, Operator};
+    use mcsim_plan::PlanTree;
+
+    fn card(rows: f64) -> NodeCard {
+        NodeCard {
+            input_rows: rows,
+            output_rows: rows,
+            width: 2.0,
+        }
+    }
+
+    #[test]
+    fn hash_join_spill_penalty_kicks_in() {
+        let p = WorkParams::default();
+        let join = Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]);
+        let small = operator_work(
+            &join,
+            &card(1000.0),
+            &[card(1.0e6), card(1.0e6)],
+            WorkContext::default(),
+            &p,
+        );
+        let big = operator_work(
+            &join,
+            &card(1000.0),
+            &[card(1.0e6), card(1.0e7)],
+            WorkContext::default(),
+            &p,
+        );
+        // 10x build rows but >10x work because of the spill multiplier.
+        assert!(big > small * 5.0);
+    }
+
+    #[test]
+    fn merge_join_beats_spilled_hash_join_on_huge_builds() {
+        let p = WorkParams::default();
+        let rows = 2.0e7;
+        let hash = operator_work(
+            &Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]),
+            &card(rows),
+            &[card(rows), card(rows)],
+            WorkContext::default(),
+            &p,
+        );
+        let merge = operator_work(
+            &Operator::join(JoinKind::Inner, JoinAlgo::Merge, vec![0], vec![1]),
+            &card(rows),
+            &[card(rows), card(rows)],
+            WorkContext::default(),
+            &p,
+        );
+        assert!(merge < hash, "merge {merge} should beat spilled hash {hash}");
+    }
+
+    #[test]
+    fn hash_join_beats_merge_when_build_fits() {
+        let p = WorkParams::default();
+        let hash = operator_work(
+            &Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]),
+            &card(1.0e5),
+            &[card(1.0e6), card(1.0e5)],
+            WorkContext::default(),
+            &p,
+        );
+        let merge = operator_work(
+            &Operator::join(JoinKind::Inner, JoinAlgo::Merge, vec![0], vec![1]),
+            &card(1.0e5),
+            &[card(1.0e6), card(1.0e5)],
+            WorkContext::default(),
+            &p,
+        );
+        assert!(hash < merge);
+    }
+
+    #[test]
+    fn broadcast_wins_with_tiny_build_large_probe() {
+        let p = WorkParams::default();
+        let probe = 5.0e7;
+        let build = 1.0e3;
+        let bc = operator_work(
+            &Operator::join(JoinKind::Inner, JoinAlgo::Broadcast, vec![0], vec![1]),
+            &card(probe),
+            &[card(probe), card(build)],
+            WorkContext::default(),
+            &p,
+        );
+        // Compare against hash join *plus* the exchange the probe side would
+        // need (broadcast avoids shuffling the huge probe side).
+        let hj = operator_work(
+            &Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]),
+            &card(probe),
+            &[card(probe), card(build)],
+            WorkContext::default(),
+            &p,
+        );
+        let ex = operator_work(
+            &Operator::exchange(mcsim_plan::op::ExchangeKind::HashPartition, vec![0]),
+            &card(probe),
+            &[card(probe)],
+            WorkContext::default(),
+            &p,
+        );
+        assert!(bc < hj + ex);
+    }
+
+    #[test]
+    fn skew_penalty_applies_to_joins() {
+        let p = WorkParams::default();
+        let join = Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]);
+        let clean = operator_work(
+            &join,
+            &card(1.0e4),
+            &[card(1.0e6), card(1.0e4)],
+            WorkContext { skewed_inputs: false },
+            &p,
+        );
+        let skewed = operator_work(
+            &join,
+            &card(1.0e4),
+            &[card(1.0e6), card(1.0e4)],
+            WorkContext { skewed_inputs: true },
+            &p,
+        );
+        assert!(skewed > clean * 1.3);
+    }
+
+    #[test]
+    fn plan_work_sums_over_nodes() {
+        let p = WorkParams::default();
+        let mut t = PlanTree::new();
+        let s = t.leaf(Operator::table_scan(0, 1, 1, vec![0, 1]));
+        let k = t.unary(Operator::Sink, s);
+        t.set_root(k);
+        let cards = vec![
+            NodeCard {
+                input_rows: 1000.0,
+                output_rows: 1000.0,
+                width: 2.0,
+            },
+            NodeCard {
+                input_rows: 1000.0,
+                output_rows: 1000.0,
+                width: 2.0,
+            },
+        ];
+        let total = plan_work(&t, &cards, |_| WorkContext::default(), &p);
+        let scan = 1000.0 * (p.scan_row + p.scan_col * 2.0);
+        let sink = 0.05 * 1000.0;
+        assert!((total - (scan + sink)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sort_aggregate_beats_spilled_hash_aggregate() {
+        let p = WorkParams::default();
+        let input = 3.0e7;
+        let groups = 1.0e7; // way past the spill threshold
+        let hash = operator_work(
+            &Operator::Aggregate {
+                algo: AggAlgo::Hash,
+                funcs: vec![mcsim_plan::op::AggFunc::Sum],
+                agg_columns: vec![0],
+                group_by: vec![1],
+            },
+            &NodeCard {
+                input_rows: input,
+                output_rows: groups,
+                width: 2.0,
+            },
+            &[card(input)],
+            WorkContext::default(),
+            &p,
+        );
+        let sort = operator_work(
+            &Operator::Aggregate {
+                algo: AggAlgo::Sort,
+                funcs: vec![mcsim_plan::op::AggFunc::Sum],
+                agg_columns: vec![0],
+                group_by: vec![1],
+            },
+            &NodeCard {
+                input_rows: input,
+                output_rows: groups,
+                width: 2.0,
+            },
+            &[card(input)],
+            WorkContext::default(),
+            &p,
+        );
+        assert!(sort < hash);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests on workload generation: determinism, structural sanity of
+//! query specs, and the statistical knobs that drive the evaluation.
+
+use mcsim_catalog::{ProjectId, ProjectProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn workloads_are_deterministic_per_seed(seed in 0u64..5000, day in 0i64..20) {
+        let a = ProjectProfile::random(seed).generate(ProjectId(0));
+        let b = ProjectProfile::random(seed).generate(ProjectId(0));
+        let wa = a.workload_for_day(day);
+        let wb = b.workload_for_day(day);
+        prop_assert_eq!(wa.len(), wb.len());
+        if !wa.is_empty() {
+            prop_assert_eq!(&wa[0], &wb[0]);
+            prop_assert_eq!(wa.last().unwrap(), wb.last().unwrap());
+        }
+    }
+
+    #[test]
+    fn query_specs_are_structurally_sound(seed in 0u64..5000) {
+        let p = ProjectProfile::random(seed).generate(ProjectId(1));
+        for q in p.workload_for_day(0).iter().take(8) {
+            prop_assert!(q.is_connected());
+            prop_assert!(q.table_count() >= 1 && q.table_count() <= 6);
+            // Join edges reference valid table indices.
+            for e in &q.joins {
+                prop_assert!(e.left < q.tables.len());
+                prop_assert!(e.right < q.tables.len());
+                prop_assert!(e.left != e.right);
+            }
+            // Accessed columns belong to their table.
+            for t in &q.tables {
+                for &c in &t.columns {
+                    let owner = p.catalog.column(c).map(|m| m.table);
+                    prop_assert_eq!(owner, Some(t.table));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stale_rows_drift_is_bounded_by_misestimation(seed in 0u64..2000, day in 0i64..60) {
+        let profile = ProjectProfile::random(seed);
+        let p = profile.generate(ProjectId(2));
+        for t in p.catalog.tables().take(10) {
+            let stale = t.stale_rows_on(day) as f64;
+            let truth = t.rows as f64;
+            let max_factor = 10f64.powf(profile.misestimation + 1e-9);
+            prop_assert!(
+                stale <= truth * max_factor * 1.001 && stale >= truth / max_factor / 1.001,
+                "table {} day {day}: stale {stale} truth {truth} factor {max_factor}",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn stale_snapshots_are_piecewise_constant(seed in 0u64..1000) {
+        let p = ProjectProfile::random(seed).generate(ProjectId(3));
+        let t = p.catalog.tables().next().expect("at least one table");
+        // Within a refresh epoch the belief must not change day to day.
+        let mut changes = 0;
+        let mut prev = t.stale_rows_on(0);
+        for day in 1..30 {
+            let cur = t.stale_rows_on(day);
+            if cur != prev {
+                changes += 1;
+            }
+            prev = cur;
+        }
+        // Refresh every ~3 days ⇒ at most ~10 changes over 30 days.
+        prop_assert!(changes <= 11, "too many changes: {changes}");
+    }
+}
+
+#[test]
+fn evaluation_projects_have_expected_improvement_ordering_knobs() {
+    // Profiles are ordered by the misestimation/filter-strength knobs that
+    // drive improvement space: P2 and P5 are the high-gain projects.
+    let profiles: Vec<_> = (1..=5)
+        .map(|n| ProjectProfile::evaluation_project(n).unwrap())
+        .collect();
+    assert!(profiles[1].misestimation > profiles[2].misestimation); // P2 > P3
+    assert!(profiles[4].misestimation > profiles[3].misestimation); // P5 > P4
+    assert!(profiles[1].filter_strength > profiles[2].filter_strength);
+    assert!(profiles[4].filter_strength > profiles[2].filter_strength);
+}
+
+#[test]
+fn temp_tables_have_short_lifespans() {
+    let prof = ProjectProfile::evaluation_project(1).unwrap();
+    let p = prof.generate(ProjectId(9));
+    let short = p.catalog.tables().filter(|t| !t.is_long_lived(30)).count();
+    assert!(short >= prof.n_temp_tables / 2, "temp tables exist: {short}");
+    let long = p.catalog.tables().filter(|t| t.is_long_lived(30)).count();
+    assert!(long >= prof.n_tables / 2, "permanent tables dominate: {long}");
+}

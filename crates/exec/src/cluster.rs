@@ -1,0 +1,240 @@
+//! The shared multi-tenant cluster and its Fuxi-like allocator.
+//!
+//! MaxCompute allocates resources "from cluster-wide pools averaging over
+//! 5,000 machines with varying loads" (Challenge 1). The simulator keeps a
+//! smaller pool (configurable) whose machines evolve under a diurnal
+//! multi-tenant baseline; the allocator prefers idle machines for load
+//! balancing — the very bias that makes cluster-wide environment averages a
+//! poor predictor of the environment a query actually experiences
+//! (Section 7.2.5, analysis of LOAM-CE/CB).
+
+use crate::machine::{std_normal, LoadDynamics, Machine};
+use mcsim_catalog::EnvMetrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Ticks per simulated day (20-second sampling ⇒ 4,320 ticks/day).
+pub const TICKS_PER_DAY: u64 = 4_320;
+
+/// Cluster configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    /// Number of machines in the pool.
+    pub n_machines: usize,
+    /// Mean multi-tenant busy fraction.
+    pub base_busy: f64,
+    /// Amplitude of the diurnal load cycle.
+    pub diurnal_amplitude: f64,
+    /// Per-machine load dynamics.
+    pub dynamics: LoadDynamics,
+    /// How many cluster-mean snapshots to retain (for the LOAM-CE baseline,
+    /// which fits a distribution over the past 24 hours).
+    pub history_len: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_machines: 200,
+            base_busy: 0.45,
+            diurnal_amplitude: 0.18,
+            dynamics: LoadDynamics::default(),
+            history_len: TICKS_PER_DAY as usize,
+        }
+    }
+}
+
+/// The simulated cluster.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    machines: Vec<Machine>,
+    config: ClusterConfig,
+    rng: StdRng,
+    tick: u64,
+    history: VecDeque<EnvMetrics>,
+}
+
+impl Cluster {
+    /// Creates a cluster with seeded initial loads.
+    pub fn new(seed: u64, config: ClusterConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let machines = (0..config.n_machines)
+            .map(|i| Machine::new(i as u32, config.base_busy, &mut rng))
+            .collect();
+        Cluster {
+            machines,
+            config,
+            rng,
+            tick: 0,
+            history: VecDeque::new(),
+        }
+    }
+
+    /// Current tick (each tick is 20 simulated seconds).
+    pub fn tick_count(&self) -> u64 {
+        self.tick
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True if the pool is empty (never, for valid configs).
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The diurnal multi-tenant baseline busy fraction at the current tick.
+    pub fn baseline_busy(&self) -> f64 {
+        let phase = 2.0 * std::f64::consts::PI * (self.tick % TICKS_PER_DAY) as f64
+            / TICKS_PER_DAY as f64;
+        (self.config.base_busy + self.config.diurnal_amplitude * phase.sin()).clamp(0.02, 0.95)
+    }
+
+    /// Advances the whole cluster by one 20-second tick.
+    pub fn step(&mut self) {
+        let baseline = self.baseline_busy();
+        // Slight per-tick jitter in the shared baseline models tenant churn.
+        let jitter = 0.02 * std_normal(&mut self.rng);
+        for m in &mut self.machines {
+            m.tick((baseline + jitter).clamp(0.02, 0.95), &self.config.dynamics, &mut self.rng);
+        }
+        let mean = self.cluster_mean();
+        self.history.push_back(mean);
+        while self.history.len() > self.config.history_len {
+            self.history.pop_front();
+        }
+        self.tick += 1;
+    }
+
+    /// Advances `n` ticks.
+    pub fn advance(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// The cluster-wide average environment right now (what the LOAM-CB
+    /// inference variant reads at optimization time).
+    pub fn cluster_mean(&self) -> EnvMetrics {
+        EnvMetrics::mean(self.machines.iter().map(|m| &m.load))
+    }
+
+    /// Mean of the retained cluster-wide history (what LOAM-CE's fitted
+    /// distribution reduces to in expectation).
+    pub fn history_mean(&self) -> EnvMetrics {
+        if self.history.is_empty() {
+            self.cluster_mean()
+        } else {
+            EnvMetrics::mean(self.history.iter())
+        }
+    }
+
+    /// Fuxi-like allocation: pick the `n` most idle machines, and register
+    /// the placed work so their load rises while the stage runs.
+    pub fn allocate(&mut self, n: usize, work_intensity: f64) -> Vec<usize> {
+        let n = n.clamp(1, self.machines.len());
+        let mut idx: Vec<usize> = (0..self.machines.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.machines[b]
+                .load
+                .cpu_idle
+                .partial_cmp(&self.machines[a].load.cpu_idle)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let chosen: Vec<usize> = idx.into_iter().take(n).collect();
+        for &i in &chosen {
+            self.machines[i].assigned_busy =
+                (self.machines[i].assigned_busy + work_intensity).min(0.9);
+        }
+        chosen
+    }
+
+    /// The average load over a set of machines right now.
+    pub fn mean_load_of(&self, machines: &[usize]) -> EnvMetrics {
+        EnvMetrics::mean(machines.iter().map(|&i| &self.machines[i].load))
+    }
+
+    /// Direct read access to one machine (tests, diagnostics).
+    pub fn machine(&self, i: usize) -> &Machine {
+        &self.machines[i]
+    }
+
+    /// A seeded, decorrelated RNG derived from the cluster's (for
+    /// per-execution noise that must not disturb the load processes).
+    pub fn fork_rng(&mut self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.rng.gen::<u64>() ^ salt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_prefers_idle_machines() {
+        let mut c = Cluster::new(5, ClusterConfig::default());
+        c.advance(50);
+        let chosen = c.allocate(10, 0.0);
+        let chosen_idle = c.mean_load_of(&chosen).cpu_idle;
+        let overall_idle = c.cluster_mean().cpu_idle;
+        assert!(
+            chosen_idle > overall_idle,
+            "allocator should prefer idle machines: {chosen_idle} vs {overall_idle}"
+        );
+    }
+
+    #[test]
+    fn allocation_registers_load() {
+        let mut c = Cluster::new(6, ClusterConfig::default());
+        c.advance(10);
+        let chosen = c.allocate(5, 0.5);
+        let before = c.mean_load_of(&chosen).cpu_idle;
+        c.advance(5);
+        let after = c.mean_load_of(&chosen).cpu_idle;
+        assert!(after < before, "placed work should raise busy: {before}->{after}");
+    }
+
+    #[test]
+    fn diurnal_baseline_oscillates() {
+        let mut c = Cluster::new(7, ClusterConfig::default());
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for _ in 0..(TICKS_PER_DAY / 50) {
+            c.advance(50);
+            let b = c.baseline_busy();
+            lo = lo.min(b);
+            hi = hi.max(b);
+        }
+        assert!(hi - lo > 0.2, "diurnal swing too small: {lo}..{hi}");
+    }
+
+    #[test]
+    fn history_tracks_cluster_means() {
+        let mut c = Cluster::new(8, ClusterConfig::default());
+        c.advance(100);
+        let hm = c.history_mean();
+        assert!(hm.cpu_idle > 0.0 && hm.cpu_idle < 1.0);
+    }
+
+    #[test]
+    fn allocation_is_clamped_to_pool_size() {
+        let mut c = Cluster::new(9, ClusterConfig {
+            n_machines: 4,
+            ..ClusterConfig::default()
+        });
+        let chosen = c.allocate(100, 0.1);
+        assert_eq!(chosen.len(), 4);
+    }
+
+    #[test]
+    fn clusters_with_same_seed_evolve_identically() {
+        let mut a = Cluster::new(11, ClusterConfig::default());
+        let mut b = Cluster::new(11, ClusterConfig::default());
+        a.advance(25);
+        b.advance(25);
+        assert_eq!(a.cluster_mean(), b.cluster_mean());
+    }
+}

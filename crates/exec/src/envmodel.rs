@@ -1,0 +1,88 @@
+//! Environment → cost coupling.
+//!
+//! The paper's Figure 5 shows a "discernible, roughly monotonic influence
+//! \[of environmental features\] on plan costs that can be coarsely
+//! approximated as linear". The simulator's ground truth is exactly that: an
+//! affine multiplier over the four normalized load features.
+
+use mcsim_catalog::env::lognorm_load5;
+use mcsim_catalog::EnvMetrics;
+
+/// Coefficients of the affine environment multiplier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvModel {
+    /// Weight on (1 − CPU_IDLE): contention for cycles.
+    pub busy: f64,
+    /// Weight on IO_WAIT: stalled reads.
+    pub io: f64,
+    /// Weight on log-normalized LOAD5: scheduler queueing.
+    pub load5: f64,
+    /// Weight on MEM_USAGE: cache pressure / spill likelihood.
+    pub mem: f64,
+}
+
+impl Default for EnvModel {
+    fn default() -> Self {
+        EnvModel {
+            busy: 1.1,
+            io: 2.5,
+            load5: 0.6,
+            mem: 0.4,
+        }
+    }
+}
+
+impl EnvModel {
+    /// The cost multiplier experienced under `env` (≥ 1).
+    pub fn multiplier(&self, env: &EnvMetrics) -> f64 {
+        1.0 + self.busy * (1.0 - env.cpu_idle)
+            + self.io * env.io_wait
+            + self.load5 * lognorm_load5(env.load5)
+            + self.mem * env.mem_usage
+    }
+
+    /// The multiplier for a stage containing a spool: materialized
+    /// intermediates dampen sensitivity to contention (a modest 7 %
+    /// reduction of the excess — spooling is not free performance, it
+    /// mostly buys re-execution robustness).
+    pub fn spooled_multiplier(&self, env: &EnvMetrics) -> f64 {
+        1.0 + 0.93 * (self.multiplier(env) - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_machine_has_small_multiplier() {
+        let m = EnvModel::default();
+        let idle = EnvMetrics::new(0.98, 0.0, 0.1, 0.1);
+        let busy = EnvMetrics::new(0.1, 0.2, 30.0, 0.9);
+        assert!(m.multiplier(&idle) < 1.2);
+        assert!(m.multiplier(&busy) > 2.0);
+    }
+
+    #[test]
+    fn multiplier_is_monotone_in_busy_fraction() {
+        let m = EnvModel::default();
+        let mut prev = 0.0;
+        for i in 0..10 {
+            let idle = 1.0 - i as f64 / 10.0;
+            let mult = m.multiplier(&EnvMetrics::new(idle, 0.05, 4.0, 0.5));
+            assert!(mult > prev);
+            prev = mult;
+        }
+    }
+
+    #[test]
+    fn spool_dampens_excess() {
+        let m = EnvModel::default();
+        let busy = EnvMetrics::new(0.2, 0.1, 20.0, 0.8);
+        let full = m.multiplier(&busy);
+        let spooled = m.spooled_multiplier(&busy);
+        assert!(spooled < full);
+        assert!(spooled > 1.0);
+        assert!((spooled - 1.0 - 0.93 * (full - 1.0)).abs() < 1e-12);
+    }
+}

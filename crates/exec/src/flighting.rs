@@ -1,0 +1,179 @@
+//! The flighting environment: replaying plans for unbiased measurement.
+//!
+//! MaxCompute's flighting environment "can replay user query plans without
+//! compromising privacy or disrupting the normal service of the user's
+//! project" (Section 3). The simulator's version clones the executor so
+//! replays never disturb the production cluster state, and offers a
+//! *synchronized* mode that executes a whole candidate set under the same
+//! environment instance — the `C_e(P_i)` samples needed to estimate the
+//! deviance quantities of Section 5 and Appendix E.1.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::execute::{ExecutionOutcome, Executor};
+use mcsim_catalog::Catalog;
+use mcsim_plan::{PlanSignature, PlanTree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A flighting environment with its own isolated cluster.
+#[derive(Debug, Clone)]
+pub struct Flighting {
+    executor: Executor,
+    rng: StdRng,
+}
+
+impl Flighting {
+    /// Creates a flighting environment.
+    pub fn new(seed: u64, noise_sigma: f64) -> Self {
+        let cluster = Cluster::new(seed ^ 0xf11c, ClusterConfig::default());
+        let mut executor = Executor::new(seed ^ 0xf22c, cluster, noise_sigma);
+        // Warm the cluster so history buffers and loads are realistic.
+        executor.cluster.advance(120);
+        Flighting {
+            executor,
+            rng: StdRng::seed_from_u64(seed ^ 0xf33c),
+        }
+    }
+
+    /// Creates a flighting environment with a custom cluster configuration.
+    pub fn with_cluster(seed: u64, noise_sigma: f64, config: ClusterConfig) -> Self {
+        let cluster = Cluster::new(seed ^ 0xf11c, config);
+        let mut executor = Executor::new(seed ^ 0xf22c, cluster, noise_sigma);
+        executor.cluster.advance(120);
+        Flighting {
+            executor,
+            rng: StdRng::seed_from_u64(seed ^ 0xf33c),
+        }
+    }
+
+    /// Access to the underlying executor (read-only diagnostics).
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+
+    /// Replays `plan` `rounds` times under independently evolving
+    /// environments, returning each outcome. The shared cluster advances a
+    /// random interval between rounds so environments decorrelate.
+    pub fn replay(
+        &mut self,
+        plan: &PlanTree,
+        catalog: &Catalog,
+        rounds: usize,
+    ) -> Vec<ExecutionOutcome> {
+        (0..rounds)
+            .map(|_| {
+                self.executor.cluster.advance(self.rng.gen_range(5..60));
+                self.executor.execute(plan, catalog)
+            })
+            .collect()
+    }
+
+    /// Replays every plan of a candidate set under the *same* sequence of
+    /// environment instances: for each round the cluster state is snapshotted
+    /// and every plan executes from that snapshot, with a per-(round, plan)
+    /// deterministic noise seed. Returns `costs[round][plan]`.
+    pub fn replay_synchronized(
+        &mut self,
+        plans: &[&PlanTree],
+        catalog: &Catalog,
+        rounds: usize,
+    ) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            self.executor.cluster.advance(self.rng.gen_range(10..80));
+            let round_seed: u64 = self.rng.gen();
+            let row: Vec<f64> = plans
+                .iter()
+                .map(|plan| {
+                    // Same environment (cloned executor), per-plan noise
+                    // deterministic in (round, plan).
+                    let mut snapshot = self.executor.clone();
+                    let seed = round_seed ^ PlanSignature::of(plan).0.rotate_left(17);
+                    snapshot
+                        .execute_with_noise_seed(plan, catalog, seed)
+                        .cpu_cost
+                })
+                .collect();
+            let _ = round;
+            out.push(row);
+        }
+        out
+    }
+
+    /// Average cost of `plan` over `rounds` replays (convenience for
+    /// evaluation: "each candidate plan is executed multiple times, and the
+    /// average cost is used", Section 7.1).
+    pub fn average_cost(&mut self, plan: &PlanTree, catalog: &Catalog, rounds: usize) -> f64 {
+        let outs = self.replay(plan, catalog, rounds);
+        outs.iter().map(|o| o.cpu_cost).sum::<f64>() / rounds.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_catalog::{ProjectId, ProjectProfile};
+    use mcsim_optimizer::{Knobs, NativeOptimizer};
+
+    fn setup() -> (mcsim_catalog::Project, Flighting) {
+        let mut prof = ProjectProfile::evaluation_project(1).unwrap();
+        prof.n_tables = 20;
+        prof.n_temp_tables = 2;
+        prof.n_columns = 160;
+        prof.n_templates = 10;
+        (prof.generate(ProjectId(1)), Flighting::new(5, 0.2))
+    }
+
+    #[test]
+    fn replay_returns_requested_rounds() {
+        let (p, mut fl) = setup();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let plan = opt.optimize(&p.workload_for_day(0)[0], &Knobs::default());
+        let outs = fl.replay(&plan, &p.catalog, 7);
+        assert_eq!(outs.len(), 7);
+        // Environments vary between rounds.
+        let costs: Vec<f64> = outs.iter().map(|o| o.cpu_cost).collect();
+        let all_same = costs.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_same);
+    }
+
+    #[test]
+    fn synchronized_replay_shares_environment_within_round() {
+        let (p, mut fl) = setup();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let q = &p.workload_for_day(0)[0];
+        let plan = opt.optimize(q, &Knobs::default());
+        // Same plan listed twice must yield the exact same cost each round
+        // (same environment snapshot + same deterministic noise seed).
+        let costs = fl.replay_synchronized(&[&plan, &plan], &p.catalog, 5);
+        for row in &costs {
+            assert_eq!(row[0], row[1]);
+        }
+    }
+
+    #[test]
+    fn replays_do_not_disturb_each_other_across_plans() {
+        let (p, mut fl) = setup();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let queries = p.workload_for_day(0);
+        let plan_a = opt.optimize(&queries[0], &Knobs::default());
+        let plan_b = opt.optimize(&queries[1], &Knobs::default());
+        let rows = fl.replay_synchronized(&[&plan_a, &plan_b], &p.catalog, 3);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.len() == 2));
+        assert!(rows.iter().flatten().all(|&c| c > 0.0));
+    }
+
+    #[test]
+    fn average_cost_is_between_min_and_max() {
+        let (p, mut fl) = setup();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let plan = opt.optimize(&p.workload_for_day(0)[0], &Knobs::default());
+        let mut fl2 = fl.clone();
+        let avg = fl.average_cost(&plan, &p.catalog, 9);
+        let outs = fl2.replay(&plan, &p.catalog, 9);
+        let min = outs.iter().map(|o| o.cpu_cost).fold(f64::MAX, f64::min);
+        let max = outs.iter().map(|o| o.cpu_cost).fold(f64::MIN, f64::max);
+        assert!(avg >= min && avg <= max);
+    }
+}

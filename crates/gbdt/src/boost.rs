@@ -1,0 +1,215 @@
+//! Gradient boosting with second-order (Newton) updates and shrinkage.
+
+use crate::tree::{Tree, TreeParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Boosting hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbdtConfig {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Learning rate (shrinkage) η.
+    pub learning_rate: f64,
+    /// Row subsampling fraction per round.
+    pub subsample: f64,
+    /// Per-tree growth parameters.
+    pub tree: TreeParams,
+}
+
+impl Default for GbdtConfig {
+    fn default() -> Self {
+        GbdtConfig {
+            n_trees: 60,
+            learning_rate: 0.15,
+            subsample: 0.9,
+            tree: TreeParams::default(),
+        }
+    }
+}
+
+/// A boosted ensemble of regression trees (squared-error objective).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbdt {
+    base_score: f64,
+    trees: Vec<Tree>,
+    config: GbdtConfig,
+}
+
+impl Gbdt {
+    /// Fits the ensemble to `(x, y)` pairs with a squared-error objective
+    /// (`g = pred − y`, `h = 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` lengths differ or the training set is empty.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], config: GbdtConfig, seed: u64) -> Gbdt {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        assert!(!x.is_empty(), "cannot fit on an empty training set");
+        let n_features = x.iter().map(|r| r.len()).max().unwrap_or(0);
+        // Pad ragged rows so every row has the full width.
+        let x: Vec<Vec<f64>> = x
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.resize(n_features, 0.0);
+                r
+            })
+            .collect();
+
+        let base_score = y.iter().sum::<f64>() / y.len() as f64;
+        let mut pred = vec![base_score; y.len()];
+        let mut trees = Vec::with_capacity(config.n_trees);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        for _ in 0..config.n_trees {
+            let g: Vec<f64> = pred.iter().zip(y).map(|(p, t)| p - t).collect();
+            let h = vec![1.0; y.len()];
+            let rows: Vec<usize> = (0..y.len())
+                .filter(|_| rng.gen_bool(config.subsample.clamp(0.01, 1.0)))
+                .collect();
+            let rows = if rows.is_empty() {
+                (0..y.len()).collect()
+            } else {
+                rows
+            };
+            let tree = Tree::fit(&x, &g, &h, &rows, n_features, &config.tree);
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += config.learning_rate * tree.predict(&x[i]);
+            }
+            trees.push(tree);
+        }
+
+        Gbdt {
+            base_score,
+            trees,
+            config,
+        }
+    }
+
+    /// Predicts for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.base_score
+            + self.config.learning_rate
+                * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+    }
+
+    /// Predicts for a batch.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Read access to the trees (for importance analysis).
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// Total node count (proxy for model size).
+    pub fn node_count(&self) -> usize {
+        self.trees.iter().map(|t| t.node_count()).sum()
+    }
+
+    /// Approximate serialized size in bytes (for Figure 9b accounting):
+    /// each node stores a feature id, threshold, and two child indices.
+    pub fn approx_size_bytes(&self) -> usize {
+        self.node_count() * 24 + 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_friedman(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..5).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| {
+                10.0 * (std::f64::consts::PI * r[0] * r[1]).sin()
+                    + 20.0 * (r[2] - 0.5).powi(2)
+                    + 10.0 * r[3]
+                    + 5.0 * r[4]
+            })
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn gbdt_fits_friedman_function() {
+        let (x, y) = make_friedman(600, 1);
+        let model = Gbdt::fit(&x, &y, GbdtConfig::default(), 7);
+        let (xt, yt) = make_friedman(200, 2);
+        let preds = model.predict_batch(&xt);
+        let mean = yt.iter().sum::<f64>() / yt.len() as f64;
+        let ss_tot: f64 = yt.iter().map(|v| (v - mean).powi(2)).sum();
+        let ss_res: f64 = preds
+            .iter()
+            .zip(&yt)
+            .map(|(p, t)| (p - t).powi(2))
+            .sum();
+        let r2 = 1.0 - ss_res / ss_tot;
+        assert!(r2 > 0.8, "R² = {r2}");
+    }
+
+    #[test]
+    fn more_trees_reduce_training_error() {
+        let (x, y) = make_friedman(300, 3);
+        let err = |n_trees: usize| {
+            let model = Gbdt::fit(
+                &x,
+                &y,
+                GbdtConfig {
+                    n_trees,
+                    subsample: 1.0,
+                    ..GbdtConfig::default()
+                },
+                1,
+            );
+            x.iter()
+                .zip(&y)
+                .map(|(r, t)| (model.predict(r) - t).powi(2))
+                .sum::<f64>()
+                / x.len() as f64
+        };
+        assert!(err(50) < err(5));
+    }
+
+    #[test]
+    fn constant_target_is_fit_exactly_by_base_score() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![5.0, 5.0, 5.0];
+        let model = Gbdt::fit(&x, &y, GbdtConfig::default(), 1);
+        assert!((model.predict(&[10.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let x = vec![vec![1.0, 2.0], vec![3.0]];
+        let y = vec![0.0, 1.0];
+        let model = Gbdt::fit(&x, &y, GbdtConfig::default(), 1);
+        assert!(model.predict(&[3.0]).is_finite());
+    }
+
+    #[test]
+    fn size_accounting_is_positive() {
+        let (x, y) = make_friedman(100, 4);
+        let model = Gbdt::fit(&x, &y, GbdtConfig::default(), 1);
+        assert!(model.node_count() > model.tree_count());
+        assert!(model.approx_size_bytes() > 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_set_panics() {
+        let _ = Gbdt::fit(&[], &[], GbdtConfig::default(), 0);
+    }
+}

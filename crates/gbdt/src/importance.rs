@@ -1,0 +1,81 @@
+//! Gain-based feature importance for boosted ensembles.
+//!
+//! Used to inspect what the project Ranker actually keys on (the paper's
+//! motivating examples — nested joins with unusually high cost — should
+//! surface as high-importance pattern and cost features).
+
+use crate::boost::Gbdt;
+use crate::tree::{Tree, TreeNode};
+
+/// Split-count importance per feature: how often each feature is used as a
+/// split across the ensemble, normalized to sum to 1.
+pub fn split_importance(model: &Gbdt, n_features: usize) -> Vec<f64> {
+    let mut counts = vec![0.0f64; n_features];
+    for tree in model.trees() {
+        accumulate(tree, &mut counts);
+    }
+    let total: f64 = counts.iter().sum();
+    if total > 0.0 {
+        for c in &mut counts {
+            *c /= total;
+        }
+    }
+    counts
+}
+
+fn accumulate(tree: &Tree, counts: &mut [f64]) {
+    for node in tree.nodes() {
+        if let TreeNode::Split { feature, .. } = node {
+            if *feature < counts.len() {
+                counts[*feature] += 1.0;
+            }
+        }
+    }
+}
+
+/// The `k` most-used features, as (feature index, importance), descending.
+pub fn top_features(model: &Gbdt, n_features: usize, k: usize) -> Vec<(usize, f64)> {
+    let imp = split_importance(model, n_features);
+    let mut idx: Vec<usize> = (0..n_features).collect();
+    idx.sort_by(|&a, &b| imp[b].partial_cmp(&imp[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.into_iter().take(k).map(|i| (i, imp[i])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boost::GbdtConfig;
+
+    #[test]
+    fn informative_feature_dominates_importance() {
+        // y depends only on feature 1; features 0 and 2 are noise.
+        let x: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                vec![
+                    (i % 13) as f64,
+                    (i % 7) as f64,
+                    ((i * 31) % 11) as f64,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 10.0 * r[1]).collect();
+        let model = Gbdt::fit(&x, &y, GbdtConfig::default(), 1);
+        let imp = split_importance(&model, 3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(
+            imp[1] > imp[0] && imp[1] > imp[2],
+            "feature 1 should dominate: {imp:?}"
+        );
+        let top = top_features(&model, 3, 1);
+        assert_eq!(top[0].0, 1);
+    }
+
+    #[test]
+    fn constant_model_has_zero_importance() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![3.0, 3.0];
+        let model = Gbdt::fit(&x, &y, GbdtConfig::default(), 1);
+        let imp = split_importance(&model, 1);
+        assert_eq!(imp, vec![0.0]);
+    }
+}

@@ -1,0 +1,28 @@
+//! # tinygbdt
+//!
+//! Gradient-boosted regression trees with XGBoost-style second-order split
+//! gain, L2-regularized leaf weights, shrinkage, and row subsampling.
+//!
+//! Used by the LOAM reproduction in two places: the **XGBoost baseline**
+//! cost model of Section 7.1 (after PerfGuard) and the lightweight
+//! **Ranker** of the project selector (Section 6).
+//!
+//! ## Example
+//!
+//! ```
+//! use tinygbdt::{Gbdt, GbdtConfig};
+//!
+//! let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+//! let y: Vec<f64> = x.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+//! let model = Gbdt::fit(&x, &y, GbdtConfig::default(), 42);
+//! let pred = model.predict(&[50.0]);
+//! assert!((pred - 101.0).abs() < 10.0);
+//! ```
+
+pub mod boost;
+pub mod importance;
+pub mod tree;
+
+pub use boost::{Gbdt, GbdtConfig};
+pub use importance::{split_importance, top_features};
+pub use tree::{Tree, TreeNode, TreeParams};

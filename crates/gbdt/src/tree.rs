@@ -1,0 +1,266 @@
+//! Single regression trees grown by exact greedy split search on
+//! first/second-order gradients (the XGBoost split criterion).
+
+use serde::{Deserialize, Serialize};
+
+/// One node of a regression tree (indices into the arena).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// Internal split: `x[feature] < threshold` goes left, else right.
+    Split {
+        /// Feature index.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Left child index.
+        left: usize,
+        /// Right child index.
+        right: usize,
+    },
+    /// Leaf with an output value.
+    Leaf {
+        /// Leaf weight.
+        value: f64,
+    },
+}
+
+/// A regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<TreeNode>,
+}
+
+/// Growth hyperparameters for one tree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// L2 regularization λ on leaf weights.
+    pub lambda: f64,
+    /// Minimum gain γ to accept a split.
+    pub gamma: f64,
+    /// Minimum sum of hessians per child.
+    pub min_child_weight: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 4,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
+    }
+}
+
+impl Tree {
+    /// Grows a tree on gradients `g` and hessians `h` for the rows of `x`
+    /// listed in `rows` (features addressed via `x[row][feature]`).
+    pub fn fit(
+        x: &[Vec<f64>],
+        g: &[f64],
+        h: &[f64],
+        rows: &[usize],
+        n_features: usize,
+        params: &TreeParams,
+    ) -> Tree {
+        let mut nodes = Vec::new();
+        build(
+            x,
+            g,
+            h,
+            rows.to_vec(),
+            n_features,
+            params,
+            0,
+            &mut nodes,
+        );
+        Tree { nodes }
+    }
+
+    /// Predicts the leaf value for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                TreeNode::Leaf { value } => return *value,
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let v = row.get(*feature).copied().unwrap_or(0.0);
+                    i = if v < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (for model-size accounting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to the node arena (for importance analysis).
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+}
+
+/// Recursively grows a subtree; returns its root index in `nodes`.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    x: &[Vec<f64>],
+    g: &[f64],
+    h: &[f64],
+    rows: Vec<usize>,
+    n_features: usize,
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    let g_sum: f64 = rows.iter().map(|&r| g[r]).sum();
+    let h_sum: f64 = rows.iter().map(|&r| h[r]).sum();
+
+    let make_leaf = |nodes: &mut Vec<TreeNode>| {
+        let value = -g_sum / (h_sum + params.lambda);
+        nodes.push(TreeNode::Leaf { value });
+        nodes.len() - 1
+    };
+
+    if depth >= params.max_depth || rows.len() < 2 {
+        return make_leaf(nodes);
+    }
+
+    // Exact greedy split search.
+    let parent_score = g_sum * g_sum / (h_sum + params.lambda);
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+    let mut sorted = rows.clone();
+    for f in 0..n_features {
+        sorted.sort_by(|&a, &b| {
+            x[a][f]
+                .partial_cmp(&x[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut gl = 0.0;
+        let mut hl = 0.0;
+        for w in 0..sorted.len() - 1 {
+            let r = sorted[w];
+            gl += g[r];
+            hl += h[r];
+            // Only split between distinct feature values.
+            if x[sorted[w]][f] == x[sorted[w + 1]][f] {
+                continue;
+            }
+            let gr = g_sum - gl;
+            let hr = h_sum - hl;
+            if hl < params.min_child_weight || hr < params.min_child_weight {
+                continue;
+            }
+            let gain = gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
+                - parent_score;
+            if gain > params.gamma && best.map(|(bg, _, _)| gain > bg).unwrap_or(true) {
+                let threshold = 0.5 * (x[sorted[w]][f] + x[sorted[w + 1]][f]);
+                best = Some((gain, f, threshold));
+            }
+        }
+    }
+
+    let Some((_, feature, threshold)) = best else {
+        return make_leaf(nodes);
+    };
+
+    let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+        rows.into_iter().partition(|&r| x[r][feature] < threshold);
+
+    // Reserve the split node slot, then build children.
+    let idx = nodes.len();
+    nodes.push(TreeNode::Leaf { value: 0.0 }); // placeholder
+    let left = build(x, g, h, left_rows, n_features, params, depth + 1, nodes);
+    let right = build(x, g, h, right_rows, n_features, params, depth + 1, nodes);
+    nodes[idx] = TreeNode::Split {
+        feature,
+        threshold,
+        left,
+        right,
+    };
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tree_fits_a_step_function() {
+        // y = 1 if x0 > 0.5 else -1; squared loss ⇒ g = pred - y = -y at
+        // pred 0, h = 1.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.5 { 1.0 } else { -1.0 }).collect();
+        let g: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let h = vec![1.0; 100];
+        let rows: Vec<usize> = (0..100).collect();
+        let t = Tree::fit(&x, &g, &h, &rows, 1, &TreeParams::default());
+        assert!(t.predict(&[0.2]) < -0.8);
+        assert!(t.predict(&[0.9]) > 0.8);
+    }
+
+    #[test]
+    fn depth_zero_returns_single_leaf_mean() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let g = vec![-2.0, -4.0]; // pulls toward +3 with lambda=0
+        let h = vec![1.0, 1.0];
+        let params = TreeParams {
+            max_depth: 0,
+            lambda: 0.0,
+            ..TreeParams::default()
+        };
+        let t = Tree::fit(&x, &g, &h, &[0, 1], 1, &params);
+        assert_eq!(t.node_count(), 1);
+        assert!((t.predict(&[0.5]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_shrinks_leaf_values() {
+        let x = vec![vec![0.0]];
+        let g = vec![-1.0];
+        let h = vec![1.0];
+        let t0 = Tree::fit(&x, &g, &h, &[0], 1, &TreeParams {
+            max_depth: 0,
+            lambda: 0.0,
+            ..TreeParams::default()
+        });
+        let t1 = Tree::fit(&x, &g, &h, &[0], 1, &TreeParams {
+            max_depth: 0,
+            lambda: 9.0,
+            ..TreeParams::default()
+        });
+        assert!((t0.predict(&[0.0]) - 1.0).abs() < 1e-12);
+        assert!((t1.predict(&[0.0]) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_split_on_constant_features() {
+        let x = vec![vec![1.0]; 10];
+        let g: Vec<f64> = (0..10).map(|i| i as f64 - 4.5).collect();
+        let h = vec![1.0; 10];
+        let rows: Vec<usize> = (0..10).collect();
+        let t = Tree::fit(&x, &g, &h, &rows, 1, &TreeParams::default());
+        assert_eq!(t.node_count(), 1, "constant feature must not split");
+    }
+
+    #[test]
+    fn missing_features_predict_through_default_path() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 10.0 { 1.0 } else { 0.0 }).collect();
+        let g: Vec<f64> = y.iter().map(|&v| -v).collect();
+        let h = vec![1.0; 20];
+        let rows: Vec<usize> = (0..20).collect();
+        let t = Tree::fit(&x, &g, &h, &rows, 1, &TreeParams::default());
+        // Short row: treated as 0.0.
+        let p = t.predict(&[]);
+        assert!(p.is_finite());
+    }
+}

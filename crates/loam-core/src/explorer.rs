@@ -1,0 +1,247 @@
+//! The plan explorer (Section 3).
+//!
+//! Steers MaxCompute's native optimizer with knobs — toggling the six
+//! expert-selected flags (Bao-style) and scaling estimated cardinalities for
+//! subqueries with ≥ 3 inputs (Lero-style) — to generate a diverse candidate
+//! set. Candidates are deduplicated structurally, ranked by the native
+//! optimizer's rough cost estimate, and the top-k (always including the
+//! default plan) are retained (Section 7.1 uses k = 5).
+
+use mcsim_catalog::QuerySpec;
+use mcsim_optimizer::{Knobs, NativeOptimizer, OptimizerFlags};
+use mcsim_plan::{PlanSignature, PlanTree};
+use serde::{Deserialize, Serialize};
+
+/// Explorer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplorerConfig {
+    /// Keep at most this many candidates (including the default plan).
+    pub top_k: usize,
+    /// Cardinality-scaling factors to try (in addition to 1.0).
+    pub card_scales: Vec<f64>,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            top_k: 5,
+            card_scales: vec![0.25, 4.0],
+        }
+    }
+}
+
+/// A generated candidate plan with its provenance.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The physical plan.
+    pub plan: PlanTree,
+    /// The knobs that produced it.
+    pub knobs: Knobs,
+    /// Native rough cost estimate used for top-k pre-selection.
+    pub rough_cost: f64,
+}
+
+/// The candidate set for one query.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Retained candidates; `candidates[default_idx]` is the default plan.
+    pub candidates: Vec<Candidate>,
+    /// Index of the default plan within `candidates`.
+    pub default_idx: usize,
+}
+
+impl CandidateSet {
+    /// Number of retained candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// True if only the default plan survived.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Borrow the plans.
+    pub fn plans(&self) -> Vec<&PlanTree> {
+        self.candidates.iter().map(|c| &c.plan).collect()
+    }
+}
+
+/// The plan explorer.
+#[derive(Debug, Clone)]
+pub struct PlanExplorer {
+    config: ExplorerConfig,
+}
+
+impl Default for PlanExplorer {
+    fn default() -> Self {
+        PlanExplorer::new(ExplorerConfig::default())
+    }
+}
+
+impl PlanExplorer {
+    /// Creates an explorer.
+    pub fn new(config: ExplorerConfig) -> Self {
+        PlanExplorer { config }
+    }
+
+    /// All knob settings the explorer tries: the default, every single-flag
+    /// toggle, and each cardinality scale.
+    pub fn knob_space(&self) -> Vec<Knobs> {
+        let mut out = vec![Knobs::default()];
+        for i in 0..OptimizerFlags::COUNT {
+            out.push(Knobs {
+                flags: OptimizerFlags::default().toggled(i),
+                card_scale: 1.0,
+            });
+        }
+        for &s in &self.config.card_scales {
+            out.push(Knobs {
+                flags: OptimizerFlags::default(),
+                card_scale: s,
+            });
+        }
+        out
+    }
+
+    /// Generates the candidate set for `query`.
+    pub fn explore(&self, optimizer: &NativeOptimizer<'_>, query: &QuerySpec) -> CandidateSet {
+        let mut seen = std::collections::HashSet::new();
+        let mut all: Vec<Candidate> = Vec::new();
+        let mut default_sig = None;
+
+        for knobs in self.knob_space() {
+            let plan = optimizer.optimize(query, &knobs);
+            let sig = PlanSignature::of(&plan);
+            let is_default = knobs.is_default();
+            if is_default {
+                default_sig = Some(sig);
+            }
+            if seen.insert(sig) {
+                let rough_cost = optimizer.rough_cost(&plan, &knobs);
+                all.push(Candidate {
+                    plan,
+                    knobs,
+                    rough_cost,
+                });
+            }
+        }
+
+        let default_sig = default_sig.expect("default knobs are always explored");
+        // Rank by rough cost, keep top-k, force-include the default plan.
+        all.sort_by(|a, b| {
+            a.rough_cost
+                .partial_cmp(&b.rough_cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut kept: Vec<Candidate> = Vec::with_capacity(self.config.top_k);
+        let mut default_included = false;
+        for c in all {
+            let is_default = PlanSignature::of(&c.plan) == default_sig;
+            if kept.len() < self.config.top_k {
+                default_included |= is_default;
+                kept.push(c);
+            } else if is_default && !default_included {
+                let last = kept.len() - 1;
+                kept[last] = c;
+                default_included = true;
+            }
+        }
+        let default_idx = kept
+            .iter()
+            .position(|c| PlanSignature::of(&c.plan) == default_sig)
+            .expect("default plan retained");
+
+        CandidateSet {
+            candidates: kept,
+            default_idx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_catalog::{ProjectId, ProjectProfile};
+
+    fn project() -> mcsim_catalog::Project {
+        let mut prof = ProjectProfile::evaluation_project(2).unwrap();
+        prof.n_tables = 25;
+        prof.n_temp_tables = 3;
+        prof.n_columns = 180;
+        prof.n_templates = 15;
+        prof.generate(ProjectId(2))
+    }
+
+    #[test]
+    fn knob_space_covers_flags_and_scales() {
+        let e = PlanExplorer::default();
+        let space = e.knob_space();
+        // 1 default + 6 toggles + 2 scales.
+        assert_eq!(space.len(), 9);
+        assert!(space[0].is_default());
+    }
+
+    #[test]
+    fn candidate_sets_contain_the_default_plan() {
+        let p = project();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let e = PlanExplorer::default();
+        for q in p.workload_for_day(0).iter().take(20) {
+            let set = e.explore(&opt, q);
+            assert!(!set.is_empty());
+            assert!(set.len() <= 5);
+            let def = &set.candidates[set.default_idx];
+            assert!(def.knobs.is_default() || {
+                // The default plan may also be produced by a non-default
+                // knob; its signature is what matters.
+                let dplan = opt.optimize(q, &Knobs::default());
+                PlanSignature::of(&def.plan) == PlanSignature::of(&dplan)
+            });
+        }
+    }
+
+    #[test]
+    fn candidates_are_structurally_distinct() {
+        let p = project();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let e = PlanExplorer::default();
+        for q in p.workload_for_day(1).iter().take(20) {
+            let set = e.explore(&opt, q);
+            let sigs: std::collections::HashSet<_> = set
+                .candidates
+                .iter()
+                .map(|c| PlanSignature::of(&c.plan))
+                .collect();
+            assert_eq!(sigs.len(), set.len(), "candidates must be deduplicated");
+        }
+    }
+
+    #[test]
+    fn explorer_finds_multiple_candidates_for_join_queries() {
+        let p = project();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let e = PlanExplorer::default();
+        let mut multi = 0;
+        let queries = p.workload_for_day(2);
+        for q in queries.iter().filter(|q| q.table_count() >= 2).take(30) {
+            if e.explore(&opt, q).len() >= 2 {
+                multi += 1;
+            }
+        }
+        assert!(multi >= 15, "join queries should have plan diversity: {multi}");
+    }
+
+    #[test]
+    fn all_candidates_are_valid_plans() {
+        let p = project();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let e = PlanExplorer::default();
+        for q in p.workload_for_day(3).iter().take(10) {
+            for c in e.explore(&opt, q).candidates {
+                assert!(c.plan.validate().is_ok());
+                assert!(c.rough_cost > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Plan cost inference under invisible environments (Section 5).
+//!
+//! At optimization time the execution environment of an online query is
+//! unknown. LOAM sets every environmental feature to its empirical mean over
+//! historical *per-stage, machine-level* observations (the representative
+//! instance `e_r`), which Section 7.2.5 shows beats the cluster-wide
+//! alternatives. The ablation variants evaluated there are all here:
+//!
+//! * **LOAM** — [`EnvStrategy::MeanHistorical`]: mean of logged stage envs.
+//! * **LOAM-CE** — [`EnvStrategy::ClusterExpected`]: expectation of a
+//!   distribution fitted to cluster-wide metrics over the past 24 h.
+//! * **LOAM-CB** — [`EnvStrategy::ClusterCurrent`]: the cluster-wide
+//!   snapshot at the moment of optimization.
+//! * **LOAM-NL** — [`EnvStrategy::NoEnv`]: no environment features at all
+//!   (must be paired with a predictor trained with `use_env = false`).
+
+use crate::featurize::EnvSource;
+use crate::predictor::baselines::CostModel;
+use mcsim_catalog::{EnvMetrics, QueryRepository};
+use mcsim_exec::Cluster;
+use mcsim_plan::PlanTree;
+use serde::{Deserialize, Serialize};
+
+/// How the environment block is instantiated at inference time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EnvStrategy {
+    /// Representative instance `e_r`: empirical mean of historical
+    /// machine-level stage environments (LOAM's choice).
+    MeanHistorical(EnvMetrics),
+    /// Expected cluster-wide environment over the trailing window (LOAM-CE).
+    ClusterExpected(EnvMetrics),
+    /// Instantaneous cluster-wide environment (LOAM-CB).
+    ClusterCurrent(EnvMetrics),
+    /// No environment features (LOAM-NL).
+    NoEnv,
+}
+
+impl EnvStrategy {
+    /// Builds LOAM's strategy from a historical repository.
+    pub fn mean_historical(repo: &QueryRepository) -> EnvStrategy {
+        EnvStrategy::MeanHistorical(repo.mean_stage_env())
+    }
+
+    /// Builds LOAM-CE from the cluster's retained history.
+    pub fn cluster_expected(cluster: &Cluster) -> EnvStrategy {
+        EnvStrategy::ClusterExpected(cluster.history_mean())
+    }
+
+    /// Builds LOAM-CB from the cluster's current snapshot.
+    pub fn cluster_current(cluster: &Cluster) -> EnvStrategy {
+        EnvStrategy::ClusterCurrent(cluster.cluster_mean())
+    }
+
+    /// The [`EnvSource`] to featurize candidate plans with.
+    pub fn env_source(&self) -> EnvSource<'static> {
+        match self {
+            EnvStrategy::MeanHistorical(e)
+            | EnvStrategy::ClusterExpected(e)
+            | EnvStrategy::ClusterCurrent(e) => EnvSource::Uniform(*e),
+            EnvStrategy::NoEnv => EnvSource::None,
+        }
+    }
+
+    /// Display name matching the paper's variant labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EnvStrategy::MeanHistorical(_) => "LOAM",
+            EnvStrategy::ClusterExpected(_) => "LOAM-CE",
+            EnvStrategy::ClusterCurrent(_) => "LOAM-CB",
+            EnvStrategy::NoEnv => "LOAM-NL",
+        }
+    }
+}
+
+/// Default confidence margin used by the guarded selection: a steered plan
+/// must be predicted at least this much cheaper than the default plan to be
+/// chosen over it.
+pub const DEFAULT_MARGIN: f64 = 0.4;
+
+/// Selects the candidate plan with the lowest estimated cost under the
+/// given environment strategy. Returns `(index, predicted_costs)`.
+pub fn select_plan<M: CostModel + ?Sized>(
+    model: &M,
+    plans: &[&PlanTree],
+    strategy: &EnvStrategy,
+) -> (usize, Vec<f64>) {
+    assert!(!plans.is_empty(), "candidate set must be non-empty");
+    let costs: Vec<f64> = plans
+        .iter()
+        .map(|p| model.predict(p, strategy.env_source()))
+        .collect();
+    let best = costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    (best, costs)
+}
+
+/// Guarded selection: picks the estimated-cheapest candidate, but falls back
+/// to the default plan unless the winner is predicted at least `margin`
+/// cheaper than the default. Production steering is asymmetric — a missed
+/// improvement costs little, a confident-but-wrong switch is a regression a
+/// multi-tenant system cannot afford — so deviations from the native
+/// optimizer require a confidence margin.
+pub fn select_plan_guarded<M: CostModel + ?Sized>(
+    model: &M,
+    plans: &[&PlanTree],
+    strategy: &EnvStrategy,
+    default_idx: usize,
+    margin: f64,
+) -> (usize, Vec<f64>) {
+    let (best, costs) = select_plan(model, plans, strategy);
+    if best != default_idx && costs[best] > costs[default_idx] * (1.0 - margin) {
+        (default_idx, costs)
+    } else {
+        (best, costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_plan::Operator;
+
+    /// A fake model that charges per node and per unit of busy fraction.
+    struct FakeModel;
+    impl CostModel for FakeModel {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn predict(&self, plan: &PlanTree, env: EnvSource<'_>) -> f64 {
+            let env_term = match env {
+                EnvSource::Uniform(e) => 1.0 + (1.0 - e.cpu_idle),
+                _ => 1.0,
+            };
+            plan.len() as f64 * env_term
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    fn chain(n: usize) -> PlanTree {
+        let mut t = PlanTree::new();
+        let mut cur = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        for _ in 0..n {
+            cur = t.unary(Operator::Limit { n: 1 }, cur);
+        }
+        t.set_root(cur);
+        t
+    }
+
+    #[test]
+    fn select_plan_picks_minimum() {
+        let a = chain(5);
+        let b = chain(2);
+        let c = chain(8);
+        let strat = EnvStrategy::MeanHistorical(EnvMetrics::new(0.5, 0.05, 4.0, 0.5));
+        let (idx, costs) = select_plan(&FakeModel, &[&a, &b, &c], &strat);
+        assert_eq!(idx, 1);
+        assert_eq!(costs.len(), 3);
+    }
+
+    #[test]
+    fn strategy_names_match_paper_variants() {
+        let e = EnvMetrics::default();
+        assert_eq!(EnvStrategy::MeanHistorical(e).name(), "LOAM");
+        assert_eq!(EnvStrategy::ClusterExpected(e).name(), "LOAM-CE");
+        assert_eq!(EnvStrategy::ClusterCurrent(e).name(), "LOAM-CB");
+        assert_eq!(EnvStrategy::NoEnv.name(), "LOAM-NL");
+    }
+
+    #[test]
+    fn no_env_strategy_yields_none_source() {
+        assert!(matches!(EnvStrategy::NoEnv.env_source(), EnvSource::None));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_candidate_set_panics() {
+        let strat = EnvStrategy::NoEnv;
+        let _ = select_plan(&FakeModel, &[], &strat);
+    }
+}

@@ -1,0 +1,61 @@
+//! # loam-core
+//!
+//! LOAM: a one-stop learned query optimization framework for distributed,
+//! multi-tenant data warehouses (reproduction of the MaxCompute paper).
+//!
+//! The crate implements the paper's four design principles:
+//!
+//! 1. **Environment-aware plan cost modeling** — per-stage load metrics are
+//!    part of the plan encoding ([`featurize`]); at inference time the
+//!    unobservable environment is replaced by a representative average-case
+//!    instance with a theoretically grounded deviance analysis
+//!    ([`inference`], [`theory`]).
+//! 2. **Statistics-free plan encoding** — operator attributes and
+//!    multi-segment hash encodings instead of histograms/NDVs
+//!    ([`featurize`]).
+//! 3. **Preemptive generalization** — adversarial domain adaptation (GRL)
+//!    aligns default-plan and candidate-plan embeddings during offline
+//!    training, eliminating conventional refinement ([`predictor`]).
+//! 4. **Automatic project selection** — a rule-based filter plus a learned
+//!    GBDT ranker prioritize high-benefit deployments ([`selector`]).
+//!
+//! [`pipeline`] wires everything together against the MaxCompute simulator
+//! crates (`mcsim-*`).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use loam_core::pipeline::{self, PipelineConfig};
+//! use loam_core::inference::EnvStrategy;
+//! use mcsim_catalog::{ProjectId, ProjectProfile};
+//!
+//! let profile = ProjectProfile::evaluation_project(1).unwrap();
+//! let cfg = PipelineConfig::reduced(0.05);
+//! let prepared = pipeline::prepare_project(&profile, ProjectId(1), &cfg);
+//! let predictor = pipeline::train_loam(&prepared, &cfg);
+//! let evaluated = pipeline::evaluate_candidates(&prepared, &cfg);
+//! let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+//! let result = pipeline::evaluate_model(&predictor, &strategy, &evaluated);
+//! println!("LOAM avg CPU cost: {:.0}", result.avg_cost);
+//! ```
+
+pub mod explorer;
+pub mod gate;
+pub mod featurize;
+pub mod inference;
+pub mod persist;
+pub mod pipeline;
+pub mod predictor;
+pub mod selector;
+pub mod theory;
+
+pub use explorer::{Candidate, CandidateSet, ExplorerConfig, PlanExplorer};
+pub use gate::{validate as validate_deployment, GateConfig, GateReport};
+pub use persist::{load_predictor, load_ranker, save_predictor, save_ranker, PersistError};
+pub use featurize::{EnvSource, PlanFeaturizer, FEATURE_DIM};
+pub use inference::{select_plan, EnvStrategy};
+pub use predictor::baselines::{CostModel, GcnPredictor, TransformerPredictor, XgbPredictor};
+pub use predictor::train::{train, TrainConfig, TrainReport, TrainSample};
+pub use predictor::AdaptiveCostPredictor;
+pub use selector::{FilterConfig, FilterReport, Ranker};
+pub use theory::{Deviance, KsTest, LogNormal};

@@ -1,0 +1,188 @@
+//! Model persistence: saving and loading trained predictors and rankers.
+//!
+//! Production LOAM trains per-project predictors offline and ships them to
+//! the optimizer service; this module provides the equivalent serialization
+//! boundary (JSON via serde — human-inspectable and dependency-light).
+
+use crate::predictor::AdaptiveCostPredictor;
+use crate::selector::Ranker;
+use serde::{Deserialize, Serialize};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// Errors from saving/loading models.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Serialization/deserialization failure.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file i/o failed: {e}"),
+            PersistError::Serde(e) => write!(f, "model (de)serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Serde(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// A versioned envelope so future format changes stay detectable.
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope<T> {
+    format_version: u32,
+    kind: String,
+    model: T,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+/// Saves a trained predictor to `path` as versioned JSON.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or serialization failure.
+pub fn save_predictor(model: &AdaptiveCostPredictor, path: &Path) -> Result<(), PersistError> {
+    let env = Envelope {
+        format_version: FORMAT_VERSION,
+        kind: "adaptive-cost-predictor".to_string(),
+        model,
+    };
+    let json = serde_json::to_string(&env)?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Loads a predictor saved by [`save_predictor`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem/serialization failure or a
+/// format-version mismatch.
+pub fn load_predictor(path: &Path) -> Result<AdaptiveCostPredictor, PersistError> {
+    let mut json = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut json)?;
+    let env: Envelope<AdaptiveCostPredictor> = serde_json::from_str(&json)?;
+    if env.format_version != FORMAT_VERSION || env.kind != "adaptive-cost-predictor" {
+        return Err(PersistError::Serde(serde::de::Error::custom(format!(
+            "unsupported model file: kind {} version {}",
+            env.kind, env.format_version
+        ))));
+    }
+    Ok(env.model)
+}
+
+/// Saves a trained project ranker.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or serialization failure.
+pub fn save_ranker(model: &Ranker, path: &Path) -> Result<(), PersistError> {
+    let env = Envelope {
+        format_version: FORMAT_VERSION,
+        kind: "project-ranker".to_string(),
+        model,
+    };
+    std::fs::write(path, serde_json::to_string(&env)?)?;
+    Ok(())
+}
+
+/// Loads a ranker saved by [`save_ranker`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem/serialization failure or a
+/// format mismatch.
+pub fn load_ranker(path: &Path) -> Result<Ranker, PersistError> {
+    let json = std::fs::read_to_string(path)?;
+    let env: Envelope<Ranker> = serde_json::from_str(&json)?;
+    if env.format_version != FORMAT_VERSION || env.kind != "project-ranker" {
+        return Err(PersistError::Serde(serde::de::Error::custom(
+            "unsupported ranker file",
+        )));
+    }
+    Ok(env.model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::EnvSource;
+    use mcsim_plan::{Operator, PlanTree};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("loam-persist-test-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn predictor_round_trips_with_identical_predictions() {
+        let model = AdaptiveCostPredictor::new(5, true);
+        let path = tmp("pred");
+        save_predictor(&model, &path).expect("save");
+        let loaded = load_predictor(&path).expect("load");
+        let mut plan = PlanTree::new();
+        let s = plan.leaf(Operator::table_scan(3, 2, 4, vec![1, 2]));
+        let k = plan.unary(Operator::Sink, s);
+        plan.set_root(k);
+        assert_eq!(
+            model.predict(&plan, EnvSource::None),
+            loaded.predict(&plan, EnvSource::None)
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn ranker_round_trips() {
+        let feats = vec![vec![0.0; crate::selector::RANKER_FEATURE_DIM]; 4];
+        let labels = vec![0.1, 0.2, 0.3, 0.4];
+        let ranker = Ranker::fit(&feats, &labels, 1);
+        let path = tmp("ranker");
+        save_ranker(&ranker, &path).expect("save");
+        let loaded = load_ranker(&path).expect("load");
+        // JSON round-trips f64 to 17 significant digits; allow ulp-level gap.
+        let a = ranker.predict(&feats[0]);
+        let b = loaded.predict(&feats[0]);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn loading_garbage_fails_cleanly() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(load_predictor(&path).is_err());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_predictor(Path::new("/nonexistent/loam-model.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,445 @@
+//! The end-to-end deployment pipeline (Figure 2): history building, model
+//! training, candidate evaluation in the flighting environment, and steered
+//! serving — the machinery behind every end-to-end experiment (Figures
+//! 6–11).
+
+use crate::explorer::{ExplorerConfig, PlanExplorer};
+use crate::inference::{select_plan_guarded, EnvStrategy, DEFAULT_MARGIN};
+use crate::predictor::baselines::CostModel;
+use crate::predictor::train::{train, TrainConfig, TrainSample};
+use crate::predictor::AdaptiveCostPredictor;
+use crate::theory::deviance::{best_achievable_deviance, deviance_of_choice, Deviance};
+use mcsim_catalog::{EnvMetrics, Project, ProjectId, ProjectProfile, QueryRepository, QuerySpec};
+use mcsim_exec::{build_history, Flighting, HistoryOptions};
+use mcsim_optimizer::NativeOptimizer;
+use mcsim_plan::PlanTree;
+use serde::{Deserialize, Serialize};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Days of history used for training (paper: 25).
+    pub train_days: i64,
+    /// Days of history used for testing (paper: 5).
+    pub test_days: i64,
+    /// Cap on training queries (paper: 10,000).
+    pub max_train: usize,
+    /// Cap on test queries.
+    pub max_test: usize,
+    /// Synchronized replay rounds per test query ("each candidate plan is
+    /// executed multiple times, and the average cost is used").
+    pub eval_rounds: usize,
+    /// How many training queries to explore for unlabeled candidate plans
+    /// feeding the domain classifier.
+    pub da_queries: usize,
+    /// Predictor training hyperparameters.
+    pub train_cfg: TrainConfig,
+    /// Plan-explorer configuration.
+    pub explorer: ExplorerConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            train_days: 25,
+            test_days: 5,
+            max_train: 10_000,
+            max_test: 200,
+            eval_rounds: 5,
+            da_queries: 60,
+            train_cfg: TrainConfig::default(),
+            explorer: ExplorerConfig::default(),
+            seed: 0x50a0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A reduced-scale configuration for laptop-speed experiments: volumes
+    /// shrink by `scale` but the structure (25+5 days, top-5 candidates)
+    /// stays faithful.
+    pub fn reduced(scale: f64) -> PipelineConfig {
+        let base = PipelineConfig::default();
+        PipelineConfig {
+            max_train: ((base.max_train as f64 * scale) as usize).max(200),
+            max_test: ((base.max_test as f64 * scale.max(0.25)) as usize).max(30),
+            eval_rounds: 3,
+            da_queries: 40,
+            ..base
+        }
+    }
+}
+
+/// A project with its generated history and training data, ready for model
+/// fitting and evaluation.
+#[derive(Debug, Clone)]
+pub struct PreparedProject {
+    /// The synthesized project.
+    pub project: Project,
+    /// Its historical query repository (default plans, logged envs, costs).
+    pub repo: QueryRepository,
+    /// Labeled training samples extracted from the repository.
+    pub train_samples: Vec<TrainSample>,
+    /// Unlabeled candidate plans for the domain-adaptation objective.
+    pub da_candidates: Vec<PlanTree>,
+    /// Test queries (from the held-out days).
+    pub test_queries: Vec<QuerySpec>,
+    /// Mean historical stage environment (the representative instance e_r).
+    pub mean_env: EnvMetrics,
+}
+
+/// Generates a project, simulates its history, and extracts train/test data.
+pub fn prepare_project(
+    profile: &ProjectProfile,
+    id: ProjectId,
+    cfg: &PipelineConfig,
+) -> PreparedProject {
+    let project = profile.generate(id);
+    let repo = build_history(
+        &project,
+        &HistoryOptions {
+            days: cfg.train_days,
+            max_queries: cfg.max_train,
+            seed: cfg.seed ^ id.0 as u64,
+            ..HistoryOptions::default()
+        },
+    );
+
+    // Every logged execution is a training sample: recurring plans observed
+    // under different environments are what teach the model to disentangle
+    // environmental impact from plan-intrinsic cost (and average out the
+    // execution noise).
+    let train_samples: Vec<TrainSample> = repo
+        .records()
+        .iter()
+        .map(|r| TrainSample {
+            plan: r.plan.clone(),
+            stage_envs: r.stage_envs.clone(),
+            cost: r.cpu_cost,
+        })
+        .collect();
+
+    // Unlabeled candidate plans from a sample of training queries.
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let explorer = PlanExplorer::new(cfg.explorer.clone());
+    let mut da_candidates = Vec::new();
+    let da_sample: Vec<QuerySpec> = project
+        .workload_for_days(0, cfg.train_days.min(5))
+        .into_iter()
+        .take(cfg.da_queries)
+        .collect();
+    for q in &da_sample {
+        let set = explorer.explore(&optimizer, q);
+        for (i, c) in set.candidates.into_iter().enumerate() {
+            if i != set.default_idx {
+                da_candidates.push(c.plan);
+            }
+        }
+    }
+
+    // Test queries from the held-out days, deduplicated by spec identity.
+    let mut test_queries: Vec<QuerySpec> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for day in cfg.train_days..cfg.train_days + cfg.test_days {
+        for q in project.workload_for_day(day) {
+            let key = (q.template, format!("{:?}", q.tables));
+            if seen.insert(key) {
+                test_queries.push(q);
+            }
+            if test_queries.len() >= cfg.max_test {
+                break;
+            }
+        }
+        if test_queries.len() >= cfg.max_test {
+            break;
+        }
+    }
+
+    let mean_env = repo.mean_stage_env();
+    PreparedProject {
+        project,
+        repo,
+        train_samples,
+        da_candidates,
+        test_queries,
+        mean_env,
+    }
+}
+
+/// Trains LOAM's adaptive predictor on a prepared project.
+pub fn train_loam(prepared: &PreparedProject, cfg: &PipelineConfig) -> AdaptiveCostPredictor {
+    let mut predictor = AdaptiveCostPredictor::new(cfg.seed ^ 0x10a0, true);
+    train(
+        &mut predictor,
+        &prepared.train_samples,
+        &prepared.da_candidates,
+        prepared.mean_env,
+        &cfg.train_cfg,
+    );
+    predictor
+}
+
+/// One test query's evaluated candidate set: plans, synchronized replay
+/// costs, and the default-plan index.
+#[derive(Debug, Clone)]
+pub struct EvaluatedQuery {
+    /// The query.
+    pub query_id: u64,
+    /// Candidate plans (index space of `costs` columns).
+    pub plans: Vec<PlanTree>,
+    /// Synchronized replay costs, `costs[round][plan]`.
+    pub costs: Vec<Vec<f64>>,
+    /// Index of the default plan.
+    pub default_idx: usize,
+}
+
+impl EvaluatedQuery {
+    /// Mean observed cost of candidate `idx`.
+    pub fn mean_cost(&self, idx: usize) -> f64 {
+        self.costs.iter().map(|r| r[idx]).sum::<f64>() / self.costs.len().max(1) as f64
+    }
+
+    /// Mean cost of the default plan.
+    pub fn default_cost(&self) -> f64 {
+        self.mean_cost(self.default_idx)
+    }
+
+    /// Mean per-round minimum (the oracle's expected cost).
+    pub fn oracle_cost(&self) -> f64 {
+        self.costs
+            .iter()
+            .map(|r| r.iter().cloned().fold(f64::MAX, f64::min))
+            .sum::<f64>()
+            / self.costs.len().max(1) as f64
+    }
+}
+
+/// Explores and flighting-replays every test query's candidate set.
+pub fn evaluate_candidates(prepared: &PreparedProject, cfg: &PipelineConfig) -> Vec<EvaluatedQuery> {
+    let optimizer = NativeOptimizer::new(&prepared.project.catalog);
+    let explorer = PlanExplorer::new(cfg.explorer.clone());
+    let mut flighting = Flighting::new(
+        cfg.seed ^ 0xf1f1,
+        prepared.project.profile.env_noise_sigma,
+    );
+    prepared
+        .test_queries
+        .iter()
+        .map(|q| {
+            let set = explorer.explore(&optimizer, q);
+            let plans: Vec<PlanTree> = set.candidates.iter().map(|c| c.plan.clone()).collect();
+            let refs: Vec<&PlanTree> = plans.iter().collect();
+            let costs = flighting.replay_synchronized(&refs, &prepared.project.catalog, cfg.eval_rounds);
+            EvaluatedQuery {
+                query_id: q.id,
+                plans,
+                costs,
+                default_idx: set.default_idx,
+            }
+        })
+        .collect()
+}
+
+/// Summary of one model's plan selections over an evaluated workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelEvaluation {
+    /// Display name.
+    pub name: String,
+    /// Average observed cost of the model's chosen plans.
+    pub avg_cost: f64,
+    /// Per-query (default cost, chosen cost) pairs.
+    pub per_query: Vec<(f64, f64)>,
+    /// Mean deviance statistics of the model's choices.
+    pub deviance: Deviance,
+    /// Average model inference time per query, seconds.
+    pub inference_seconds: f64,
+}
+
+/// Evaluates a cost model on pre-replayed candidate sets: the model picks
+/// per query, and its pick is scored against the same synchronized cost
+/// matrices every other model sees.
+pub fn evaluate_model<M: CostModel + ?Sized>(
+    model: &M,
+    strategy: &EnvStrategy,
+    evaluated: &[EvaluatedQuery],
+) -> ModelEvaluation {
+    assert!(!evaluated.is_empty(), "need at least one evaluated query");
+    let mut per_query = Vec::with_capacity(evaluated.len());
+    let mut dev_sum = 0.0;
+    let mut oracle_sum = 0.0;
+    let started = std::time::Instant::now();
+    let mut total_cost = 0.0;
+    for eq in evaluated {
+        let refs: Vec<&PlanTree> = eq.plans.iter().collect();
+        let (choice, _) =
+            select_plan_guarded(model, &refs, strategy, eq.default_idx, DEFAULT_MARGIN);
+        let chosen_cost = eq.mean_cost(choice);
+        total_cost += chosen_cost;
+        per_query.push((eq.default_cost(), chosen_cost));
+        let d = deviance_of_choice(&eq.costs, choice);
+        dev_sum += d.expected;
+        oracle_sum += d.oracle_cost;
+    }
+    let inference_seconds = started.elapsed().as_secs_f64() / evaluated.len() as f64;
+    let n = evaluated.len() as f64;
+    let expected = dev_sum / n;
+    let oracle_cost = oracle_sum / n;
+    ModelEvaluation {
+        name: model.name().to_string(),
+        avg_cost: total_cost / n,
+        per_query,
+        deviance: Deviance {
+            expected,
+            relative: if oracle_cost > 0.0 { expected / oracle_cost } else { 0.0 },
+            oracle_cost,
+        },
+        inference_seconds,
+    }
+}
+
+/// The native optimizer's performance (always picking the default plan).
+pub fn evaluate_native(evaluated: &[EvaluatedQuery]) -> ModelEvaluation {
+    assert!(!evaluated.is_empty());
+    let mut per_query = Vec::with_capacity(evaluated.len());
+    let mut dev_sum = 0.0;
+    let mut oracle_sum = 0.0;
+    let mut total = 0.0;
+    for eq in evaluated {
+        let c = eq.default_cost();
+        total += c;
+        per_query.push((c, c));
+        let d = deviance_of_choice(&eq.costs, eq.default_idx);
+        dev_sum += d.expected;
+        oracle_sum += d.oracle_cost;
+    }
+    let n = evaluated.len() as f64;
+    let expected = dev_sum / n;
+    let oracle_cost = oracle_sum / n;
+    ModelEvaluation {
+        name: "MaxCompute".to_string(),
+        avg_cost: total / n,
+        per_query,
+        deviance: Deviance {
+            expected,
+            relative: if oracle_cost > 0.0 { expected / oracle_cost } else { 0.0 },
+            oracle_cost,
+        },
+        inference_seconds: 0.0,
+    }
+}
+
+/// The best-achievable model M_b (minimum expected cost per query) — the
+/// dashed line of Figures 6 and 8.
+pub fn evaluate_best_achievable(evaluated: &[EvaluatedQuery]) -> ModelEvaluation {
+    assert!(!evaluated.is_empty());
+    let mut per_query = Vec::with_capacity(evaluated.len());
+    let mut dev_sum = 0.0;
+    let mut oracle_sum = 0.0;
+    let mut total = 0.0;
+    for eq in evaluated {
+        let d = best_achievable_deviance(&eq.costs);
+        let choice_cost = d.expected + d.oracle_cost;
+        total += choice_cost;
+        per_query.push((eq.default_cost(), choice_cost));
+        dev_sum += d.expected;
+        oracle_sum += d.oracle_cost;
+    }
+    let n = evaluated.len() as f64;
+    let expected = dev_sum / n;
+    let oracle_cost = oracle_sum / n;
+    ModelEvaluation {
+        name: "Best-achievable".to_string(),
+        avg_cost: total / n,
+        per_query,
+        deviance: Deviance {
+            expected,
+            relative: if oracle_cost > 0.0 { expected / oracle_cost } else { 0.0 },
+            oracle_cost,
+        },
+        inference_seconds: 0.0,
+    }
+}
+
+/// The exact improvement space `D(M_d)` of a project, relative form —
+/// computed from evaluated candidate sets (Appendix E.1's role in
+/// Section 7.1).
+pub fn project_improvement_space(evaluated: &[EvaluatedQuery]) -> f64 {
+    evaluate_native(evaluated).deviance.relative
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_profile() -> ProjectProfile {
+        let mut prof = ProjectProfile::evaluation_project(2).unwrap();
+        prof.n_tables = 18;
+        prof.n_temp_tables = 2;
+        prof.n_columns = 130;
+        prof.n_templates = 10;
+        prof.n_query_day0 = 15.0;
+        prof
+    }
+
+    fn tiny_cfg() -> PipelineConfig {
+        PipelineConfig {
+            train_days: 3,
+            test_days: 2,
+            max_train: 40,
+            max_test: 10,
+            eval_rounds: 3,
+            da_queries: 8,
+            train_cfg: TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn prepare_produces_train_and_test_data() {
+        let prepared = prepare_project(&tiny_profile(), ProjectId(9), &tiny_cfg());
+        assert!(!prepared.train_samples.is_empty());
+        assert!(!prepared.test_queries.is_empty());
+        assert!(!prepared.da_candidates.is_empty());
+        assert!(prepared.mean_env.cpu_idle > 0.0);
+    }
+
+    #[test]
+    fn end_to_end_small_pipeline_runs() {
+        let cfg = tiny_cfg();
+        let prepared = prepare_project(&tiny_profile(), ProjectId(9), &cfg);
+        let evaluated = evaluate_candidates(&prepared, &cfg);
+        assert!(!evaluated.is_empty());
+        for eq in &evaluated {
+            assert_eq!(eq.costs.len(), cfg.eval_rounds);
+            assert!(eq.default_idx < eq.plans.len());
+            assert!(eq.oracle_cost() <= eq.default_cost() + 1e-9);
+        }
+
+        let native = evaluate_native(&evaluated);
+        let best = evaluate_best_achievable(&evaluated);
+        // Theorem 1 at workload level: best-achievable deviance ≤ native's.
+        assert!(best.deviance.expected <= native.deviance.expected + 1e-9);
+        assert!(best.avg_cost <= native.avg_cost + 1e-9);
+
+        let predictor = train_loam(&prepared, &cfg);
+        let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+        let loam = evaluate_model(&predictor, &strategy, &evaluated);
+        assert!(loam.avg_cost.is_finite() && loam.avg_cost > 0.0);
+        assert!(loam.deviance.expected >= best.deviance.expected - 1e-9);
+        assert_eq!(loam.per_query.len(), evaluated.len());
+    }
+
+    #[test]
+    fn improvement_space_is_nonnegative() {
+        let cfg = tiny_cfg();
+        let prepared = prepare_project(&tiny_profile(), ProjectId(10), &cfg);
+        let evaluated = evaluate_candidates(&prepared, &cfg);
+        let d = project_improvement_space(&evaluated);
+        assert!(d >= 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The adaptive cost predictor (Section 4): PlanEmb (tree convolution) +
+//! CostPred, with a DomClf domain classifier attached through a gradient
+//! reversal layer during training.
+
+pub mod baselines;
+pub mod train;
+
+use crate::featurize::{EnvSource, PlanFeaturizer};
+use mcsim_plan::PlanTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use tinynn::{Mat, Mlp, Tcn};
+
+/// Width of the intermediate plan embedding `e_P`.
+pub const EMB_DIM: usize = 32;
+
+/// LOAM's adaptive cost predictor.
+///
+/// `PlanEmb` is a two-layer tree convolutional network with dynamic max
+/// pooling and a fully connected projection; `CostPred` and `DomClf` are
+/// small fully connected heads. Costs are modeled in standardized log space
+/// (production CPU costs span 10³–10⁷).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptiveCostPredictor {
+    /// The statistics-free featurizer.
+    pub featurizer: PlanFeaturizer,
+    /// PlanEmb: tree-convolutional encoder.
+    pub plan_emb: Tcn,
+    /// CostPred: embedding → scalar (standardized log cost).
+    pub cost_head: Mlp,
+    /// DomClf: embedding → 2 logits (default vs. candidate plan).
+    pub dom_head: Mlp,
+    /// Mean of `ln(cost)` over the training set.
+    pub label_mean: f32,
+    /// Std-dev of `ln(cost)` over the training set.
+    pub label_std: f32,
+}
+
+impl AdaptiveCostPredictor {
+    /// Fresh, untrained predictor. `use_env = false` builds the LOAM-NL
+    /// ablation that ignores environment features entirely.
+    pub fn new(seed: u64, use_env: bool) -> Self {
+        Self::with_dims(seed, use_env, 128, 64, EMB_DIM)
+    }
+
+    /// Fresh predictor with explicit tree-conv widths and embedding size.
+    pub fn with_dims(seed: u64, use_env: bool, hidden1: usize, hidden2: usize, emb: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        AdaptiveCostPredictor {
+            featurizer: PlanFeaturizer { use_env },
+            plan_emb: Tcn::new(crate::featurize::FEATURE_DIM, hidden1, hidden2, emb, &mut rng),
+            cost_head: Mlp::new(&[emb, 16, 1], &mut rng),
+            dom_head: Mlp::new(&[emb, 16, 2], &mut rng),
+            label_mean: 0.0,
+            label_std: 1.0,
+        }
+    }
+
+    /// Embeds a plan.
+    pub fn embed(&self, plan: &PlanTree, env: EnvSource<'_>) -> Mat {
+        let (x, tree) = self.featurizer.featurize(plan, env);
+        self.plan_emb.infer(&x, &tree)
+    }
+
+    /// Predicts the CPU cost of `plan` under the given environment source.
+    pub fn predict(&self, plan: &PlanTree, env: EnvSource<'_>) -> f64 {
+        let emb = self.embed(plan, env);
+        let out = self.cost_head.infer(&emb);
+        self.denormalize(out.data[0])
+    }
+
+    /// Converts a raw head output back to a cost.
+    pub fn denormalize(&self, standardized: f32) -> f64 {
+        ((standardized * self.label_std + self.label_mean) as f64).exp()
+    }
+
+    /// Converts a cost to the standardized log-space label.
+    pub fn normalize(&self, cost: f64) -> f32 {
+        ((cost.max(1e-9).ln() as f32) - self.label_mean) / self.label_std
+    }
+
+    /// Scalar parameter count of the predictive module (PlanEmb + CostPred;
+    /// DomClf is a training-time auxiliary).
+    pub fn param_count(&self) -> usize {
+        self.plan_emb.param_count() + self.cost_head.param_count()
+    }
+
+    /// Approximate serialized model size in bytes (f32 parameters).
+    pub fn size_bytes(&self) -> usize {
+        self.param_count() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_plan::Operator;
+
+    fn tiny_plan(table: u32) -> PlanTree {
+        let mut t = PlanTree::new();
+        let s = t.leaf(Operator::table_scan(table, 1, 1, vec![0]));
+        let k = t.unary(Operator::Sink, s);
+        t.set_root(k);
+        t
+    }
+
+    #[test]
+    fn untrained_predictor_produces_finite_costs() {
+        let p = AdaptiveCostPredictor::new(1, true);
+        let cost = p.predict(&tiny_plan(0), EnvSource::None);
+        assert!(cost.is_finite() && cost > 0.0);
+    }
+
+    #[test]
+    fn normalization_round_trips() {
+        let mut p = AdaptiveCostPredictor::new(1, true);
+        p.label_mean = 5.0;
+        p.label_std = 2.0;
+        for &c in &[1.0, 100.0, 1.0e6] {
+            let n = p.normalize(c);
+            let back = p.denormalize(n);
+            assert!((back - c).abs() / c < 1e-4, "{c} → {n} → {back}");
+        }
+    }
+
+    #[test]
+    fn different_plans_embed_differently() {
+        let p = AdaptiveCostPredictor::new(2, true);
+        let e1 = p.embed(&tiny_plan(1), EnvSource::None);
+        let e2 = p.embed(&tiny_plan(2), EnvSource::None);
+        assert_ne!(e1.data, e2.data);
+    }
+
+    #[test]
+    fn model_size_is_reported() {
+        let p = AdaptiveCostPredictor::new(3, true);
+        assert!(p.size_bytes() > 10_000);
+    }
+}

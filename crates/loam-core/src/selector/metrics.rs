@@ -1,0 +1,161 @@
+//! Ranking metrics: Recall@(k, n) and NDCG@k, plus the closed-form
+//! expectations for a uniform random ranking (Appendix E.2).
+
+/// `Recall@(k, n)`: the fraction of the `n` ground-truth-best projects that
+/// appear in the top-`k` of `predicted` (both are index orderings, best
+/// first).
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds the number of projects.
+pub fn recall_at(predicted: &[usize], truth: &[usize], k: usize, n: usize) -> f64 {
+    assert!(n > 0 && n <= truth.len(), "invalid n");
+    let top_truth: std::collections::HashSet<usize> = truth.iter().take(n).copied().collect();
+    let hits = predicted
+        .iter()
+        .take(k)
+        .filter(|i| top_truth.contains(i))
+        .count();
+    hits as f64 / n as f64
+}
+
+/// `DCG@k` of a predicted ordering given per-project relevance scores:
+/// `Σ_{i=1..k} (2^{rel_i} − 1) / log2(i + 1)`.
+pub fn dcg_at(predicted: &[usize], relevance: &[f64], k: usize) -> f64 {
+    predicted
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, &p)| (2f64.powf(relevance[p]) - 1.0) / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// `NDCG@k`: DCG of the predicted ordering divided by the ideal DCG.
+pub fn ndcg_at(predicted: &[usize], relevance: &[f64], k: usize) -> f64 {
+    let mut ideal: Vec<usize> = (0..relevance.len()).collect();
+    ideal.sort_by(|&a, &b| {
+        relevance[b]
+            .partial_cmp(&relevance[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let idcg = dcg_at(&ideal, relevance, k);
+    if idcg <= 0.0 {
+        return 0.0;
+    }
+    dcg_at(predicted, relevance, k) / idcg
+}
+
+/// Expected `Recall@(k, n)` of a uniform random permutation of `total`
+/// projects: `k / N` (Appendix E.2).
+pub fn expected_random_recall(k: usize, total: usize) -> f64 {
+    (k as f64 / total as f64).min(1.0)
+}
+
+/// Expected `NDCG@k` of a uniform random permutation (Appendix E.2): every
+/// position carries the mean gain `(1/N) Σ_i (2^{rel_i} − 1)`.
+pub fn expected_random_ndcg(relevance: &[f64], k: usize) -> f64 {
+    let n = relevance.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean_gain: f64 =
+        relevance.iter().map(|&r| 2f64.powf(r) - 1.0).sum::<f64>() / n as f64;
+    let expected_dcg: f64 = (0..k.min(n))
+        .map(|i| mean_gain / ((i + 2) as f64).log2())
+        .sum();
+    let mut ideal: Vec<usize> = (0..n).collect();
+    ideal.sort_by(|&a, &b| {
+        relevance[b]
+            .partial_cmp(&relevance[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let idcg = dcg_at(&ideal, relevance, k);
+    if idcg <= 0.0 {
+        0.0
+    } else {
+        expected_dcg / idcg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let truth = vec![3, 1, 0, 2];
+        assert_eq!(recall_at(&truth, &truth, 2, 2), 1.0);
+        let rel = vec![0.1, 0.8, 0.05, 1.0];
+        assert!((ndcg_at(&truth, &rel, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_ranking_scores_zero_recall() {
+        let predicted = vec![2, 3];
+        let truth = vec![0, 1, 2, 3];
+        assert_eq!(recall_at(&predicted, &truth, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k() {
+        let predicted = vec![4, 2, 0, 1, 3];
+        let truth = vec![0, 1, 2, 3, 4];
+        let mut prev = 0.0;
+        for k in 1..=5 {
+            let r = recall_at(&predicted, &truth, k, 3);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert_eq!(prev, 1.0);
+    }
+
+    #[test]
+    fn ndcg_in_unit_interval() {
+        let rel = vec![0.5, 0.2, 0.9, 0.1, 0.7];
+        let predicted = vec![3, 1, 0, 4, 2]; // bad ordering
+        for k in 1..=5 {
+            let v = ndcg_at(&predicted, &rel, k);
+            assert!((0.0..=1.0).contains(&v), "k={k} v={v}");
+        }
+    }
+
+    #[test]
+    fn random_expectations_match_simulation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 15usize;
+        let rel: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let mut truth: Vec<usize> = (0..n).collect();
+        truth.sort_by(|&a, &b| rel[b].partial_cmp(&rel[a]).unwrap());
+        let trials = 5000;
+        let k = 5;
+        let mut recall_sum = 0.0;
+        let mut ndcg_sum = 0.0;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for _ in 0..trials {
+            perm.shuffle(&mut rng);
+            recall_sum += recall_at(&perm, &truth, k, k);
+            ndcg_sum += ndcg_at(&perm, &rel, k);
+        }
+        let emp_recall = recall_sum / trials as f64;
+        let emp_ndcg = ndcg_sum / trials as f64;
+        assert!(
+            (emp_recall - expected_random_recall(k, n)).abs() < 0.02,
+            "recall {emp_recall} vs {}",
+            expected_random_recall(k, n)
+        );
+        assert!(
+            (emp_ndcg - expected_random_ndcg(&rel, k)).abs() < 0.02,
+            "ndcg {emp_ndcg} vs {}",
+            expected_random_ndcg(&rel, k)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid n")]
+    fn recall_rejects_bad_n() {
+        let _ = recall_at(&[0], &[0], 1, 0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Bootstrap confidence intervals for deviance estimates.
+//!
+//! The flighting environment gives a finite sample of synchronized cost
+//! matrices; deviance quantities computed from it (`D(M_d)`, `D(M_b)`,
+//! relative deviance) are point estimates. Resampling rounds with
+//! replacement yields distribution-free confidence intervals, which the
+//! harness uses to avoid over-reading small replay budgets.
+
+use crate::theory::deviance::deviance_of_choice;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A two-sided percentile bootstrap interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Point estimate from the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True if the interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+}
+
+/// Percentile bootstrap over a generic per-sample statistic.
+///
+/// `stat` maps a resampled index multiset (indices into the original sample)
+/// to the statistic value.
+///
+/// # Panics
+///
+/// Panics if `n_samples` is zero or `level` is outside `(0, 1)`.
+pub fn bootstrap<F: Fn(&[usize]) -> f64>(
+    n_samples: usize,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+    stat: F,
+) -> Interval {
+    assert!(n_samples > 0, "need at least one sample");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
+    let full: Vec<usize> = (0..n_samples).collect();
+    let estimate = stat(&full);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values: Vec<f64> = (0..resamples.max(2))
+        .map(|_| {
+            let idx: Vec<usize> = (0..n_samples).map(|_| rng.gen_range(0..n_samples)).collect();
+            stat(&idx)
+        })
+        .collect();
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    let pick = |p: f64| {
+        let i = ((values.len() as f64 - 1.0) * p).round() as usize;
+        values[i]
+    };
+    Interval {
+        estimate,
+        lo: pick(alpha),
+        hi: pick(1.0 - alpha),
+    }
+}
+
+/// Bootstrap interval for the *relative deviance* of a fixed plan choice,
+/// resampling synchronized replay rounds.
+pub fn relative_deviance_interval(
+    costs: &[Vec<f64>],
+    chosen: usize,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Interval {
+    bootstrap(costs.len(), resamples, level, seed, |idx| {
+        let resampled: Vec<Vec<f64>> = idx.iter().map(|&i| costs[i].clone()).collect();
+        deviance_of_choice(&resampled, chosen).relative
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let data: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let iv = bootstrap(data.len(), 500, 0.9, 1, |idx| {
+            idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64
+        });
+        assert!(iv.lo <= iv.estimate && iv.estimate <= iv.hi);
+        assert!(iv.contains(iv.estimate));
+        assert!((iv.estimate - 24.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let data: Vec<f64> = (0..40).map(|i| (i % 7) as f64).collect();
+        let stat = |idx: &[usize]| idx.iter().map(|&i| data[i]).sum::<f64>() / idx.len() as f64;
+        let narrow = bootstrap(data.len(), 400, 0.5, 2, stat);
+        let wide = bootstrap(data.len(), 400, 0.95, 2, stat);
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    fn deviance_interval_shrinks_with_more_rounds() {
+        // Synthetic cost matrix: two plans with noisy costs.
+        use rand::Rng as _;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut make = |rounds: usize| -> Vec<Vec<f64>> {
+            (0..rounds)
+                .map(|_| {
+                    vec![
+                        100.0 * (1.0 + 0.2 * rng.gen_range(-1.0..1.0f64)),
+                        80.0 * (1.0 + 0.2 * rng.gen_range(-1.0..1.0f64)),
+                    ]
+                })
+                .collect()
+        };
+        let small = relative_deviance_interval(&make(8), 0, 300, 0.9, 4);
+        let large = relative_deviance_interval(&make(200), 0, 300, 0.9, 4);
+        assert!(large.width() < small.width() + 1e-9);
+        assert!(small.estimate >= 0.0 && large.estimate >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_panics() {
+        let _ = bootstrap(0, 10, 0.9, 0, |_| 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Deviance: the cost gap between a plan-selection model and the oracle
+//! (Section 5, Theorem 1, Appendix E.1).
+//!
+//! For a query with candidate plans `P_1..P_n` and environment-dependent
+//! costs `C_E(P_i)`, a model `M` that picks plan `P_M` incurs deviance
+//! `D_E(M) = C_E(P_M) − C_E(P_{M_o})` where `M_o` is the per-environment
+//! oracle. Theorem 1: any environment-blind model satisfies
+//! `E[D(M)] ≥ E[D(M_b)] ≥ E[D(M_o)] = 0`, where `M_b` picks the plan with
+//! minimum *expected* cost.
+//!
+//! Two estimation paths are provided, mirroring Appendix E.1: direct Monte
+//! Carlo over synchronized cost samples (`costs[round][plan]` from the
+//! flighting environment), and the log-normal route that fits per-plan
+//! distributions and integrates the closed-form minimum-distribution PDF of
+//! Lemma 1.
+
+use crate::theory::lognormal::LogNormal;
+use serde::{Deserialize, Serialize};
+
+/// A deviance estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Deviance {
+    /// `E[D(M)]` in absolute cost units.
+    pub expected: f64,
+    /// `E[D(M)] / E[C(P_{M_o})]` — the relative deviance reported in
+    /// Figure 10b.
+    pub relative: f64,
+    /// `E[C(P_{M_o})]`: the oracle's expected cost.
+    pub oracle_cost: f64,
+}
+
+/// Expected cost of each plan across rounds.
+pub fn mean_costs(costs: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!costs.is_empty(), "need at least one round");
+    let n_plans = costs[0].len();
+    let mut means = vec![0.0; n_plans];
+    for row in costs {
+        assert_eq!(row.len(), n_plans, "ragged cost matrix");
+        for (m, &c) in means.iter_mut().zip(row) {
+            *m += c;
+        }
+    }
+    for m in &mut means {
+        *m /= costs.len() as f64;
+    }
+    means
+}
+
+/// The index `M_b` would pick: minimum expected cost.
+pub fn best_achievable_choice(costs: &[Vec<f64>]) -> usize {
+    let means = mean_costs(costs);
+    argmin(&means)
+}
+
+/// Monte-Carlo deviance of a model that always picks plan `chosen`
+/// regardless of the environment (all environment-blind models reduce to
+/// this once their choice is made).
+pub fn deviance_of_choice(costs: &[Vec<f64>], chosen: usize) -> Deviance {
+    assert!(!costs.is_empty());
+    let mut dev_sum = 0.0;
+    let mut oracle_sum = 0.0;
+    for row in costs {
+        let min = row.iter().cloned().fold(f64::MAX, f64::min);
+        dev_sum += row[chosen] - min;
+        oracle_sum += min;
+    }
+    let n = costs.len() as f64;
+    let oracle_cost = oracle_sum / n;
+    let expected = dev_sum / n;
+    Deviance {
+        expected,
+        relative: if oracle_cost > 0.0 {
+            expected / oracle_cost
+        } else {
+            0.0
+        },
+        oracle_cost,
+    }
+}
+
+/// The improvement space `D(M_d)`: deviance of the native optimizer's
+/// default-plan choice (Section 6 uses this as the Ranker's label).
+pub fn improvement_space(costs: &[Vec<f64>], default_idx: usize) -> Deviance {
+    deviance_of_choice(costs, default_idx)
+}
+
+/// Deviance of the best-achievable model `M_b`.
+pub fn best_achievable_deviance(costs: &[Vec<f64>]) -> Deviance {
+    deviance_of_choice(costs, best_achievable_choice(costs))
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Lemma 1: PDF of the minimum `C* = min_i C_i` of independent plan-cost
+/// distributions, evaluated at `x`:
+/// `f_{C*}(x) = Σ_i f_i(x) Π_{j≠i} (1 − F_j(x))`.
+pub fn min_pdf(dists: &[LogNormal], x: f64) -> f64 {
+    let mut total = 0.0;
+    for (i, di) in dists.iter().enumerate() {
+        let mut term = di.pdf(x);
+        if term == 0.0 {
+            continue;
+        }
+        for (j, dj) in dists.iter().enumerate() {
+            if i != j {
+                term *= 1.0 - dj.cdf(x);
+            }
+        }
+        total += term;
+    }
+    total
+}
+
+/// Expected deviance via fitted log-normals (Appendix E.1's practical
+/// estimation): `E[max(C_M − C*, 0)]` with `C_M` the chosen plan's fitted
+/// distribution and `C*` the minimum over the *other* plans, assuming
+/// independence, by numeric double integration on a quantile grid.
+pub fn deviance_lognormal(chosen: &LogNormal, others: &[LogNormal], grid: usize) -> f64 {
+    if others.is_empty() {
+        return 0.0;
+    }
+    let grid = grid.max(16);
+    // Integrate over quantiles of the chosen distribution (importance grid).
+    let mut total = 0.0;
+    for gi in 0..grid {
+        let p = (gi as f64 + 0.5) / grid as f64;
+        let c = chosen.quantile(p);
+        // Inner expectation: E[max(c − C*, 0)] = ∫_0^c (c − m) f_{C*}(m) dm.
+        // Integrate m over a quantile-ish grid of [0, c].
+        let steps = 64;
+        let mut inner = 0.0;
+        let dm = c / steps as f64;
+        for si in 0..steps {
+            let m = (si as f64 + 0.5) * dm;
+            inner += (c - m) * min_pdf(others, m) * dm;
+        }
+        total += inner / grid as f64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_matrix(dists: &[LogNormal], rounds: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..rounds)
+            .map(|_| dists.iter().map(|d| d.sample(&mut rng)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn oracle_has_zero_deviance() {
+        // A "model" that could pick per-round minima is the oracle; here we
+        // verify the deviance of the best single choice is ≥ 0 and the
+        // oracle cost is ≤ every per-plan mean.
+        let dists = [
+            LogNormal { mu: 1.0, sigma: 0.3 },
+            LogNormal { mu: 1.2, sigma: 0.3 },
+        ];
+        let costs = sample_matrix(&dists, 2000, 1);
+        let d = best_achievable_deviance(&costs);
+        assert!(d.expected >= 0.0);
+        let means = mean_costs(&costs);
+        assert!(d.oracle_cost <= means[0] && d.oracle_cost <= means[1]);
+    }
+
+    #[test]
+    fn theorem1_ordering_holds() {
+        // E[D(M)] >= E[D(M_b)] >= 0 for every fixed choice M.
+        let dists = [
+            LogNormal { mu: 2.0, sigma: 0.4 },
+            LogNormal { mu: 2.1, sigma: 0.2 },
+            LogNormal { mu: 2.3, sigma: 0.6 },
+        ];
+        let costs = sample_matrix(&dists, 3000, 2);
+        let db = best_achievable_deviance(&costs);
+        assert!(db.expected >= 0.0);
+        for chosen in 0..3 {
+            let d = deviance_of_choice(&costs, chosen);
+            assert!(
+                d.expected >= db.expected - 1e-9,
+                "choice {chosen}: {} < best {}",
+                d.expected,
+                db.expected
+            );
+        }
+    }
+
+    #[test]
+    fn best_achievable_picks_lowest_mean() {
+        let costs = vec![
+            vec![10.0, 5.0, 8.0],
+            vec![12.0, 6.0, 7.0],
+            vec![11.0, 5.5, 9.0],
+        ];
+        assert_eq!(best_achievable_choice(&costs), 1);
+    }
+
+    #[test]
+    fn identical_plans_have_zero_relative_deviance() {
+        let costs = vec![vec![5.0, 5.0], vec![7.0, 7.0]];
+        let d = deviance_of_choice(&costs, 0);
+        assert_eq!(d.expected, 0.0);
+        assert_eq!(d.relative, 0.0);
+    }
+
+    #[test]
+    fn min_pdf_integrates_to_one() {
+        let dists = [
+            LogNormal { mu: 1.0, sigma: 0.3 },
+            LogNormal { mu: 1.3, sigma: 0.5 },
+            LogNormal { mu: 0.8, sigma: 0.2 },
+        ];
+        let mut total = 0.0;
+        let dx = 0.005;
+        let mut x = dx / 2.0;
+        while x < 40.0 {
+            total += min_pdf(&dists, x) * dx;
+            x += dx;
+        }
+        assert!((total - 1.0).abs() < 0.02, "{total}");
+    }
+
+    #[test]
+    fn lognormal_deviance_matches_monte_carlo() {
+        let chosen = LogNormal { mu: 1.4, sigma: 0.3 };
+        let others = [
+            LogNormal { mu: 1.2, sigma: 0.3 },
+            LogNormal { mu: 1.5, sigma: 0.4 },
+        ];
+        let analytic = deviance_lognormal(&chosen, &others, 128);
+
+        // Monte Carlo of E[max(C_M − min(others), 0)].
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let c = chosen.sample(&mut rng);
+            let m = others
+                .iter()
+                .map(|d| d.sample(&mut rng))
+                .fold(f64::MAX, f64::min);
+            sum += (c - m).max(0.0);
+        }
+        let mc = sum / n as f64;
+        assert!(
+            (analytic - mc).abs() / mc < 0.08,
+            "analytic {analytic} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn improvement_space_is_deviance_of_default() {
+        let costs = vec![vec![10.0, 5.0], vec![12.0, 6.0]];
+        let d = improvement_space(&costs, 0);
+        assert!((d.expected - 5.5).abs() < 1e-12);
+        assert!((d.oracle_cost - 5.5).abs() < 1e-12);
+        assert!((d.relative - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        let _ = mean_costs(&[vec![1.0, 2.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Log-normal modeling of execution costs (Appendix E.1).
+//!
+//! Repeated executions of a query plan exhibit a log-normal cost pattern;
+//! this module provides MLE fitting, pdf/cdf, quantiles, Q-Q data, and a
+//! Kolmogorov–Smirnov goodness-of-fit test — everything Figure 15 needs.
+
+use serde::{Deserialize, Serialize};
+
+/// A log-normal distribution `ln X ~ N(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Std-dev of `ln X`.
+    pub sigma: f64,
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26, |ε| < 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inverse standard normal CDF (Acklam's rational approximation).
+pub fn std_normal_quantile(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let plow = 0.02425;
+    if p < plow {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - plow {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+impl LogNormal {
+    /// Maximum-likelihood fit from positive samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains non-positive values.
+    pub fn fit(samples: &[f64]) -> LogNormal {
+        assert!(!samples.is_empty(), "cannot fit an empty sample");
+        assert!(
+            samples.iter().all(|&x| x > 0.0),
+            "log-normal samples must be positive"
+        );
+        let logs: Vec<f64> = samples.iter().map(|x| x.ln()).collect();
+        let mu = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|l| (l - mu).powi(2)).sum::<f64>() / logs.len() as f64;
+        LogNormal {
+            mu,
+            sigma: var.sqrt().max(1e-9),
+        }
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        std_normal_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    /// Quantile (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * std_normal_quantile(p)).exp()
+    }
+
+    /// Mean of the distribution: `exp(mu + sigma²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    /// Draws one sample using a uniform RNG.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        self.quantile(u)
+    }
+}
+
+/// Result of a Kolmogorov–Smirnov goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsTest {
+    /// The KS statistic `D = sup |F_emp − F_fit|`.
+    pub statistic: f64,
+    /// Asymptotic p-value.
+    pub p_value: f64,
+}
+
+/// KS test of `samples` against `dist`.
+pub fn ks_test(samples: &[f64], dist: &LogNormal) -> KsTest {
+    assert!(!samples.is_empty());
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let emp_hi = (i + 1) as f64 / n;
+        let emp_lo = i as f64 / n;
+        d = d.max((f - emp_lo).abs()).max((emp_hi - f).abs());
+    }
+    // Asymptotic Kolmogorov distribution.
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    let mut p = 0.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        p += if k % 2 == 1 { 2.0 * term } else { -2.0 * term };
+    }
+    KsTest {
+        statistic: d,
+        p_value: p.clamp(0.0, 1.0),
+    }
+}
+
+/// Q-Q plot data: pairs of (theoretical quantile, empirical quantile).
+pub fn qq_points(samples: &[f64], dist: &LogNormal) -> Vec<(f64, f64)> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let p = (i as f64 + 0.5) / n;
+            (dist.quantile(p), x)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erf_known_values() {
+        assert!((erf(0.0)).abs() < 1e-12);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+            let x = std_normal_quantile(p);
+            assert!((std_normal_cdf(x) - p).abs() < 1e-4, "p={p}");
+        }
+    }
+
+    #[test]
+    fn mle_recovers_parameters() {
+        let truth = LogNormal { mu: 2.0, sigma: 0.3 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = LogNormal::fit(&samples);
+        assert!((fit.mu - 2.0).abs() < 0.02, "mu {}", fit.mu);
+        assert!((fit.sigma - 0.3).abs() < 0.02, "sigma {}", fit.sigma);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = LogNormal { mu: 1.0, sigma: 0.5 };
+        let mut total = 0.0;
+        let dx = 0.01;
+        let mut x = dx / 2.0;
+        while x < 60.0 {
+            total += d.pdf(x) * dx;
+            x += dx;
+        }
+        assert!((total - 1.0).abs() < 0.01, "{total}");
+    }
+
+    #[test]
+    fn mean_formula_matches_samples() {
+        let d = LogNormal { mu: 1.5, sigma: 0.4 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let emp: f64 =
+            (0..50_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        assert!((emp - d.mean()).abs() / d.mean() < 0.02);
+    }
+
+    #[test]
+    fn ks_accepts_true_distribution() {
+        let d = LogNormal { mu: 0.0, sigma: 1.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
+        let fit = LogNormal::fit(&samples);
+        let ks = ks_test(&samples, &fit);
+        assert!(ks.p_value > 0.1, "p = {}", ks.p_value);
+    }
+
+    #[test]
+    fn ks_rejects_wrong_distribution() {
+        // Uniform data is not log-normal with these parameters.
+        let samples: Vec<f64> = (1..=500).map(|i| i as f64).collect();
+        let wrong = LogNormal { mu: 0.0, sigma: 0.1 };
+        let ks = ks_test(&samples, &wrong);
+        assert!(ks.p_value < 0.01);
+    }
+
+    #[test]
+    fn qq_points_lie_near_diagonal_for_good_fit() {
+        let d = LogNormal { mu: 1.0, sigma: 0.25 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
+        let fit = LogNormal::fit(&samples);
+        let qq = qq_points(&samples, &fit);
+        // Middle quantiles should track the diagonal tightly.
+        for &(theo, emp) in &qq[200..1800] {
+            assert!((theo - emp).abs() / theo < 0.15, "{theo} vs {emp}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fit_rejects_non_positive() {
+        let _ = LogNormal::fit(&[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,14 @@
+//! Theoretical machinery of Section 5 and Appendix C/E.1: deviance under
+//! unobserved environments, Theorem 1's ordering, and log-normal cost
+//! modeling with goodness-of-fit testing.
+
+pub mod bootstrap;
+pub mod deviance;
+pub mod lognormal;
+
+pub use bootstrap::{bootstrap, relative_deviance_interval, Interval};
+pub use deviance::{
+    best_achievable_choice, best_achievable_deviance, deviance_lognormal, deviance_of_choice,
+    improvement_space, mean_costs, min_pdf, Deviance,
+};
+pub use lognormal::{erf, ks_test, qq_points, std_normal_cdf, std_normal_quantile, KsTest, LogNormal};

@@ -1,0 +1,293 @@
+//! Graph Convolutional Network encoder (baseline cost model, after
+//! Kipf & Welling / the zero-shot cost model of Hilprecht & Binnig).
+//!
+//! Plans are viewed as undirected graphs (tree edges + self loops); each
+//! layer aggregates mean-normalized neighbor features before a linear map
+//! and ReLU, and the node representations are mean-pooled into a plan
+//! embedding.
+
+use crate::linear::{relu, relu_backward, Linear};
+use crate::mat::Mat;
+use crate::param::AdamConfig;
+use crate::tcn::TreeStructure;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Adjacency as neighbor lists including the self loop.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `neighbors[i]` contains `i` itself plus every adjacent node.
+    pub neighbors: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds the undirected graph (with self loops) of a binary tree.
+    pub fn from_tree(tree: &TreeStructure) -> Graph {
+        let n = tree.len();
+        let mut neighbors: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        for i in 0..n {
+            for child in [tree.left[i], tree.right[i]].into_iter().flatten() {
+                neighbors[i].push(child);
+                neighbors[child].push(i);
+            }
+        }
+        Graph { neighbors }
+    }
+
+    /// Mean aggregation `agg[i] = mean_{j ∈ N(i)} x[j]`.
+    fn aggregate(&self, x: &Mat) -> Mat {
+        let mut out = Mat::zeros(x.rows, x.cols);
+        for (i, ns) in self.neighbors.iter().enumerate() {
+            let inv = 1.0 / ns.len() as f32;
+            for &j in ns {
+                for c in 0..x.cols {
+                    out.data[i * x.cols + c] += x.data[j * x.cols + c] * inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose of the aggregation (for backward): scatter grad back.
+    fn aggregate_backward(&self, grad: &Mat) -> Mat {
+        let mut out = Mat::zeros(grad.rows, grad.cols);
+        for (i, ns) in self.neighbors.iter().enumerate() {
+            let inv = 1.0 / ns.len() as f32;
+            for &j in ns {
+                for c in 0..grad.cols {
+                    out.data[j * grad.cols + c] += grad.data[i * grad.cols + c] * inv;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One GCN layer: `h = relu(Agg(x) Wᵀ + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcnLayer {
+    lin: Linear,
+}
+
+/// Backward cache for one GCN layer.
+#[derive(Debug, Clone)]
+pub struct GcnLayerCache {
+    agg: Mat,
+    pre: Mat,
+}
+
+impl GcnLayer {
+    /// He-initialized layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        GcnLayer {
+            lin: Linear::new(in_dim, out_dim, rng),
+        }
+    }
+
+    /// Forward pass.
+    pub fn forward(&self, x: &Mat, g: &Graph) -> (Mat, GcnLayerCache) {
+        let agg = g.aggregate(x);
+        let pre = self.lin.forward(&agg);
+        (relu(&pre), GcnLayerCache { agg, pre })
+    }
+
+    /// Backward pass.
+    pub fn backward(&mut self, cache: &GcnLayerCache, g: &Graph, grad_out: &Mat) -> Mat {
+        let gpre = relu_backward(&cache.pre, grad_out);
+        let gagg = self.lin.backward(&cache.agg, &gpre);
+        g.aggregate_backward(&gagg)
+    }
+}
+
+/// A two-layer GCN encoder with mean pooling and a projection head.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gcn {
+    l1: GcnLayer,
+    l2: GcnLayer,
+    proj: Linear,
+}
+
+/// Backward cache for the full encoder.
+#[derive(Debug, Clone)]
+pub struct GcnCache {
+    c1: GcnLayerCache,
+    h1: Mat,
+    c2: GcnLayerCache,
+    h2: Mat,
+    pooled: Mat,
+}
+
+impl Gcn {
+    /// Builds `in → hidden → hidden2 → emb`.
+    pub fn new<R: Rng>(
+        in_dim: usize,
+        hidden1: usize,
+        hidden2: usize,
+        emb_dim: usize,
+        rng: &mut R,
+    ) -> Gcn {
+        Gcn {
+            l1: GcnLayer::new(in_dim, hidden1, rng),
+            l2: GcnLayer::new(hidden1, hidden2, rng),
+            proj: Linear::new(hidden2, emb_dim, rng),
+        }
+    }
+
+    /// Encodes a plan graph into a 1×emb embedding.
+    pub fn forward(&self, x: &Mat, g: &Graph) -> (Mat, GcnCache) {
+        let (h1, c1) = self.l1.forward(x, g);
+        let (h2, c2) = self.l2.forward(&h1, g);
+        // Mean pooling over nodes.
+        let mut pooled = Mat::zeros(1, h2.cols);
+        for r in 0..h2.rows {
+            for c in 0..h2.cols {
+                pooled.data[c] += h2.get(r, c) / h2.rows as f32;
+            }
+        }
+        let emb = self.proj.forward(&pooled);
+        (
+            emb,
+            GcnCache {
+                c1,
+                h1,
+                c2,
+                h2,
+                pooled,
+            },
+        )
+    }
+
+    /// Inference-only encoding.
+    pub fn infer(&self, x: &Mat, g: &Graph) -> Mat {
+        self.forward(x, g).0
+    }
+
+    /// Backward from an embedding gradient.
+    pub fn backward(&mut self, cache: &GcnCache, g: &Graph, grad_emb: &Mat) {
+        let grad_pooled = self.proj.backward(&cache.pooled, grad_emb);
+        let n = cache.h2.rows as f32;
+        let mut grad_h2 = Mat::zeros(cache.h2.rows, cache.h2.cols);
+        for r in 0..cache.h2.rows {
+            for c in 0..cache.h2.cols {
+                grad_h2.set(r, c, grad_pooled.data[c] / n);
+            }
+        }
+        let grad_h1 = self.l2.backward(&cache.c2, g, &grad_h2);
+        let _ = self.l1.backward(&cache.c1, g, &grad_h1);
+        let _ = &cache.h1;
+    }
+
+    /// Clears gradients.
+    pub fn zero_grad(&mut self) {
+        self.l1.lin.zero_grad();
+        self.l2.lin.zero_grad();
+        self.proj.zero_grad();
+    }
+
+    /// Adam step.
+    pub fn adam_step(&mut self, lr: f32, t: u64, cfg: &AdamConfig) {
+        self.l1.lin.adam_step(lr, t, cfg);
+        self.l2.lin.adam_step(lr, t, cfg);
+        self.proj.adam_step(lr, t, cfg);
+    }
+
+    /// Scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.l1.lin.param_count() + self.l2.lin.param_count() + self.proj.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_tree() -> TreeStructure {
+        TreeStructure {
+            left: vec![Some(1), None, None],
+            right: vec![Some(2), None, None],
+        }
+    }
+
+    #[test]
+    fn graph_from_tree_is_symmetric_with_self_loops() {
+        let g = Graph::from_tree(&tiny_tree());
+        assert!(g.neighbors[0].contains(&0));
+        assert!(g.neighbors[0].contains(&1));
+        assert!(g.neighbors[1].contains(&0));
+        assert_eq!(g.neighbors[0].len(), 3);
+        assert_eq!(g.neighbors[1].len(), 2);
+    }
+
+    #[test]
+    fn aggregate_backward_is_transpose_of_forward() {
+        // <Agg(x), y> == <x, AggT(y)> for random x, y.
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = Graph::from_tree(&tiny_tree());
+        let x = Mat::randn(3, 4, 1.0, &mut rng);
+        let y = Mat::randn(3, 4, 1.0, &mut rng);
+        let ax = g.aggregate(&x);
+        let aty = g.aggregate_backward(&y);
+        let lhs: f32 = ax.data.iter().zip(&y.data).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data.iter().zip(&aty.data).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_check_through_encoder() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gcn = Gcn::new(4, 6, 5, 2, &mut rng);
+        let tree = tiny_tree();
+        let g = Graph::from_tree(&tree);
+        let x = Mat::randn(3, 4, 1.0, &mut rng);
+        let target = Mat::randn(1, 2, 1.0, &mut rng);
+
+        let (emb, cache) = gcn.forward(&x, &g);
+        let (_, grad) = mse(&emb, &target);
+        gcn.zero_grad();
+        gcn.backward(&cache, &g, &grad);
+
+        let loss_of = |gcn: &Gcn| mse(&gcn.infer(&x, &g), &target).0;
+        let eps = 1e-2;
+        for idx in [0usize, 5] {
+            let mut gp = gcn.clone();
+            gp.l1.lin.w.value.data[idx] += eps;
+            let mut gm = gcn.clone();
+            gm.l1.lin.w.value.data[idx] -= eps;
+            let num = (loss_of(&gp) - loss_of(&gm)) / (2.0 * eps);
+            let ana = gcn.l1.lin.w.grad.data[idx];
+            assert!((num - ana).abs() < 5e-2, "num {num} vs ana {ana}");
+        }
+    }
+
+    #[test]
+    fn gcn_fits_a_simple_graph_function() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gcn = Gcn::new(2, 12, 8, 4, &mut rng);
+        let mut head = Linear::new(4, 1, &mut rng);
+        let cfg = AdamConfig::default();
+        let tree = tiny_tree();
+        let g = Graph::from_tree(&tree);
+        let mut t = 0;
+        for _ in 0..600 {
+            let x = Mat::randn(3, 2, 1.0, &mut rng);
+            let label = x.data.iter().sum::<f32>(); // sum of all features
+            let (emb, cache) = gcn.forward(&x, &g);
+            let pred = head.forward(&emb);
+            let (_, grad) = mse(&pred, &Mat::from_vec(1, 1, vec![label]));
+            gcn.zero_grad();
+            head.zero_grad();
+            let gemb = head.backward(&emb, &grad);
+            gcn.backward(&cache, &g, &gemb);
+            t += 1;
+            gcn.adam_step(0.01, t, &cfg);
+            head.adam_step(0.01, t, &cfg);
+        }
+        let x = Mat::randn(3, 2, 1.0, &mut rng);
+        let label = x.data.iter().sum::<f32>();
+        let pred = head.forward(&gcn.infer(&x, &g)).data[0];
+        assert!((pred - label).abs() < 0.5, "pred {pred} vs label {label}");
+    }
+}

@@ -1,0 +1,50 @@
+//! # tinynn
+//!
+//! A minimal, dependency-light neural-network library built for the LOAM
+//! reproduction: dense matrices, fully connected layers, Adam, MSE and
+//! cross-entropy losses, tree convolution (the PlanEmb encoder of
+//! Bao/Neo/LOAM), a GCN encoder and a single-head transformer encoder (the
+//! baseline cost models of Section 7.1), and the gradient-reversal utilities
+//! of DANN-style adversarial domain adaptation.
+//!
+//! Every layer implements an explicit `forward`/`backward` pair with cached
+//! activations; gradient correctness is enforced by finite-difference tests
+//! in each module.
+//!
+//! ## Example
+//!
+//! ```
+//! use tinynn::{Mat, Mlp, AdamConfig, mse};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut mlp = Mlp::new(&[2, 8, 1], &mut rng);
+//! let x = Mat::from_vec(1, 2, vec![0.5, -0.25]);
+//! let (y, cache) = mlp.forward(&x);
+//! let (_, grad) = mse(&y, &Mat::from_vec(1, 1, vec![1.0]));
+//! mlp.zero_grad();
+//! mlp.backward(&cache, &grad);
+//! mlp.adam_step(0.01, 1, &AdamConfig::default());
+//! ```
+
+pub mod gcn;
+pub mod grl;
+pub mod linear;
+pub mod loss;
+pub mod mat;
+pub mod metrics;
+pub mod mlp;
+pub mod param;
+pub mod tcn;
+pub mod transformer;
+
+pub use gcn::{Gcn, GcnCache, Graph};
+pub use grl::{lambda_schedule, reverse_gradient};
+pub use linear::{relu, relu_backward, softmax_rows, Linear};
+pub use loss::{accuracy, cross_entropy_logits, mse};
+pub use mat::Mat;
+pub use metrics::{concordance, mean_abs_log_ratio, r2, spearman};
+pub use mlp::{Mlp, MlpCache};
+pub use param::{AdamConfig, Param};
+pub use tcn::{Tcn, TcnCache, TreeConvLayer, TreeStructure};
+pub use transformer::{Transformer, TransformerCache};

@@ -1,0 +1,218 @@
+//! Fully connected layers and activations with explicit backward passes.
+
+use crate::mat::Mat;
+use crate::param::{AdamConfig, Param};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = x Wᵀ + b` (`x`: n×in, `W`: out×in).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix, out×in.
+    pub w: Param,
+    /// Bias vector, 1×out.
+    pub b: Param,
+}
+
+impl Linear {
+    /// He-initialized layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Linear {
+        let std = (2.0 / in_dim as f32).sqrt();
+        Linear {
+            w: Param::new(Mat::randn(out_dim, in_dim, std, rng)),
+            b: Param::new(Mat::zeros(1, out_dim)),
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.value.cols
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.value.rows
+    }
+
+    /// Forward: `x` is n×in, result n×out.
+    pub fn forward(&self, x: &Mat) -> Mat {
+        let mut y = x.matmul_nt(&self.w.value);
+        y.add_row_broadcast(&self.b.value.data);
+        y
+    }
+
+    /// Backward: given the input `x` used in forward and `grad_out` (n×out),
+    /// accumulates parameter gradients and returns `grad_in` (n×in).
+    pub fn backward(&mut self, x: &Mat, grad_out: &Mat) -> Mat {
+        // dW = grad_outᵀ @ x  (out×in)
+        let dw = grad_out.matmul_tn(x);
+        self.w.grad.add_assign(&dw);
+        let db = grad_out.col_sums();
+        for (g, d) in self.b.grad.data.iter_mut().zip(db) {
+            *g += d;
+        }
+        // dX = grad_out @ W (n×in)
+        grad_out.matmul(&self.w.value)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.w.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// Adam update on both parameters.
+    pub fn adam_step(&mut self, lr: f32, t: u64, cfg: &AdamConfig) {
+        self.w.adam_step(lr, t, cfg);
+        self.b.adam_step(lr, t, cfg);
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// ReLU forward; returns output (input preserved for backward).
+pub fn relu(x: &Mat) -> Mat {
+    Mat {
+        rows: x.rows,
+        cols: x.cols,
+        data: x.data.iter().map(|&v| v.max(0.0)).collect(),
+    }
+}
+
+/// ReLU backward: masks `grad` where the forward input was ≤ 0.
+pub fn relu_backward(input: &Mat, grad: &Mat) -> Mat {
+    Mat {
+        rows: grad.rows,
+        cols: grad.cols,
+        data: grad
+            .data
+            .iter()
+            .zip(&input.data)
+            .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+            .collect(),
+    }
+}
+
+/// Row-wise softmax.
+pub fn softmax_rows(x: &Mat) -> Mat {
+    let mut out = x.clone();
+    for r in 0..out.rows {
+        let row = out.row_mut(r);
+        let max = row.iter().cloned().fold(f32::MIN, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check for the linear layer.
+    #[test]
+    fn linear_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x = Mat::randn(2, 4, 1.0, &mut rng);
+        let target = Mat::randn(2, 3, 1.0, &mut rng);
+
+        // Loss = 0.5 * ||y - target||².
+        let loss_of = |layer: &Linear, x: &Mat| -> f32 {
+            let y = layer.forward(x);
+            y.data
+                .iter()
+                .zip(&target.data)
+                .map(|(a, b)| 0.5 * (a - b) * (a - b))
+                .sum()
+        };
+
+        let y = layer.forward(&x);
+        let grad_out = Mat {
+            rows: y.rows,
+            cols: y.cols,
+            data: y.data.iter().zip(&target.data).map(|(a, b)| a - b).collect(),
+        };
+        layer.zero_grad();
+        let grad_in = layer.backward(&x, &grad_out);
+
+        let eps = 1e-3;
+        // Check dW numerically at a few entries.
+        for &idx in &[0usize, 5, 11] {
+            let mut lp = layer.clone();
+            lp.w.value.data[idx] += eps;
+            let mut lm = layer.clone();
+            lm.w.value.data[idx] -= eps;
+            let num = (loss_of(&lp, &x) - loss_of(&lm, &x)) / (2.0 * eps);
+            let ana = layer.w.grad.data[idx];
+            assert!((num - ana).abs() < 1e-2, "dW[{idx}]: num {num} vs ana {ana}");
+        }
+        // Check dX numerically.
+        for &idx in &[0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let mut xm = x.clone();
+            xm.data[idx] -= eps;
+            let num = (loss_of(&layer, &xp) - loss_of(&layer, &xm)) / (2.0 * eps);
+            let ana = grad_in.data[idx];
+            assert!((num - ana).abs() < 1e-2, "dX[{idx}]: num {num} vs ana {ana}");
+        }
+    }
+
+    #[test]
+    fn relu_masks_negative_inputs() {
+        let x = Mat::from_vec(1, 4, vec![-1.0, 0.0, 0.5, 2.0]);
+        let y = relu(&x);
+        assert_eq!(y.data, vec![0.0, 0.0, 0.5, 2.0]);
+        let g = relu_backward(&x, &Mat::from_vec(1, 4, vec![1.0; 4]));
+        assert_eq!(g.data, vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let s = softmax_rows(&x);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(s.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn linear_learns_a_linear_map() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = Linear::new(2, 1, &mut rng);
+        let cfg = AdamConfig::default();
+        // Learn y = 3a - 2b + 1.
+        for t in 1..=3000 {
+            let x = Mat::randn(8, 2, 1.0, &mut rng);
+            let target: Vec<f32> = (0..8)
+                .map(|i| 3.0 * x.get(i, 0) - 2.0 * x.get(i, 1) + 1.0)
+                .collect();
+            let y = layer.forward(&x);
+            let grad = Mat::from_vec(
+                8,
+                1,
+                y.data.iter().zip(&target).map(|(a, b)| (a - b) / 8.0).collect(),
+            );
+            layer.zero_grad();
+            layer.backward(&x, &grad);
+            layer.adam_step(0.02, t, &cfg);
+        }
+        assert!((layer.w.value.data[0] - 3.0).abs() < 0.05);
+        assert!((layer.w.value.data[1] + 2.0).abs() < 0.05);
+        assert!((layer.b.value.data[0] - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,159 @@
+//! Regression and ranking quality metrics used across the harness and
+//! probes: R², MAE in log space, pairwise concordance (Kendall-style), and
+//! Spearman rank correlation.
+
+/// Coefficient of determination R² of predictions against targets.
+///
+/// Returns 0.0 for degenerate inputs (fewer than 2 points or zero target
+/// variance).
+pub fn r2(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len());
+    if target.len() < 2 {
+        return 0.0;
+    }
+    let mean = target.iter().sum::<f64>() / target.len() as f64;
+    let ss_tot: f64 = target.iter().map(|t| (t - mean).powi(2)).sum();
+    if ss_tot <= 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = pred
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean absolute error of `ln(pred/target)` — the calibration measure for
+/// multiplicative cost predictions.
+pub fn mean_abs_log_ratio(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p.max(1e-12) / t.max(1e-12)).ln().abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Pairwise concordance: the fraction of (i, j) pairs whose predicted order
+/// matches the target order, among pairs with distinct targets. 0.5 is
+/// chance; 1.0 is a perfect ranking.
+pub fn concordance(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len());
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for i in 0..pred.len() {
+        for j in i + 1..pred.len() {
+            if target[i] != target[j] {
+                total += 1;
+                if (pred[i] - pred[j]) * (target[i] - target[j]) > 0.0 {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.5
+    } else {
+        agree as f64 / total as f64
+    }
+}
+
+/// Average ranks with ties sharing the mean rank.
+fn ranks(xs: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation ρ ∈ [−1, 1] (Pearson on ranks, tie-aware).
+pub fn spearman(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len());
+    if pred.len() < 2 {
+        return 0.0;
+    }
+    let ra = ranks(pred);
+    let rb = ranks(target);
+    let n = ra.len() as f64;
+    let ma = ra.iter().sum::<f64>() / n;
+    let mb = rb.iter().sum::<f64>() / n;
+    let cov: f64 = ra.iter().zip(&rb).map(|(a, b)| (a - ma) * (b - mb)).sum();
+    let va: f64 = ra.iter().map(|a| (a - ma).powi(2)).sum();
+    let vb: f64 = rb.iter().map(|b| (b - mb).powi(2)).sum();
+    if va <= 0.0 || vb <= 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_is_one_for_perfect_predictions() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_is_zero_for_mean_predictor() {
+        let t = [1.0, 2.0, 3.0];
+        let mean = [2.0, 2.0, 2.0];
+        assert!(r2(&mean, &t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concordance_detects_perfect_and_reversed_orders() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let rev = [4.0, 3.0, 2.0, 1.0];
+        assert_eq!(concordance(&t, &t), 1.0);
+        assert_eq!(concordance(&rev, &t), 0.0);
+    }
+
+    #[test]
+    fn concordance_of_constant_targets_is_chance() {
+        assert_eq!(concordance(&[1.0, 2.0], &[5.0, 5.0]), 0.5);
+    }
+
+    #[test]
+    fn spearman_matches_direction() {
+        let t = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let monotone = [10.0, 20.0, 25.0, 40.0, 100.0];
+        assert!((spearman(&monotone, &t) - 1.0).abs() < 1e-12);
+        let anti: Vec<f64> = monotone.iter().map(|x| -x).collect();
+        assert!((spearman(&anti, &t) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [5.0, 5.0, 6.0, 7.0];
+        let rho = spearman(&a, &b);
+        assert!(rho > 0.99, "{rho}");
+    }
+
+    #[test]
+    fn log_ratio_error_is_symmetric() {
+        let a = mean_abs_log_ratio(&[2.0], &[1.0]);
+        let b = mean_abs_log_ratio(&[1.0], &[2.0]);
+        assert!((a - b).abs() < 1e-12);
+        assert!((a - 2f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Multi-layer perceptrons (ReLU hidden layers, linear output).
+
+use crate::linear::{relu, relu_backward, Linear};
+use crate::mat::Mat;
+use crate::param::AdamConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An MLP with ReLU after every layer except the last.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Layers in order.
+    pub layers: Vec<Linear>,
+}
+
+/// Forward-pass cache needed for backward.
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    /// Input to each layer.
+    inputs: Vec<Mat>,
+    /// Pre-activation output of each hidden layer (for the ReLU mask).
+    pre_acts: Vec<Mat>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[32, 16, 1]` for
+    /// 32 → 16 → 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two dims are given.
+    pub fn new<R: Rng>(dims: &[usize], rng: &mut R) -> Mlp {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward pass returning the output and a cache for backward.
+    pub fn forward(&self, x: &Mat) -> (Mat, MlpCache) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_acts = Vec::with_capacity(self.layers.len().saturating_sub(1));
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(cur.clone());
+            let pre = layer.forward(&cur);
+            if i + 1 < self.layers.len() {
+                pre_acts.push(pre.clone());
+                cur = relu(&pre);
+            } else {
+                cur = pre;
+            }
+        }
+        (cur, MlpCache { inputs, pre_acts })
+    }
+
+    /// Inference-only forward (no cache).
+    pub fn infer(&self, x: &Mat) -> Mat {
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let pre = layer.forward(&cur);
+            cur = if i + 1 < self.layers.len() {
+                relu(&pre)
+            } else {
+                pre
+            };
+        }
+        cur
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns the gradient
+    /// w.r.t. the MLP input.
+    pub fn backward(&mut self, cache: &MlpCache, grad_out: &Mat) -> Mat {
+        let mut grad = grad_out.clone();
+        for i in (0..self.layers.len()).rev() {
+            if i + 1 < self.layers.len() {
+                grad = relu_backward(&cache.pre_acts[i], &grad);
+            }
+            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+        }
+        grad
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grad();
+        }
+    }
+
+    /// Adam step on all layers.
+    pub fn adam_step(&mut self, lr: f32, t: u64, cfg: &AdamConfig) {
+        for l in &mut self.layers {
+            l.adam_step(lr, t, cfg);
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_fits_a_nonlinear_function() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mlp = Mlp::new(&[2, 16, 16, 1], &mut rng);
+        let cfg = AdamConfig::default();
+        // y = x0² + sin(x1)
+        let mut t = 0;
+        for _ in 0..1500 {
+            let x = Mat::randn(16, 2, 1.0, &mut rng);
+            let target = Mat::from_vec(
+                16,
+                1,
+                (0..16)
+                    .map(|i| x.get(i, 0).powi(2) + x.get(i, 1).sin())
+                    .collect(),
+            );
+            let (y, cache) = mlp.forward(&x);
+            let (_, grad) = mse(&y, &target);
+            mlp.zero_grad();
+            mlp.backward(&cache, &grad);
+            t += 1;
+            mlp.adam_step(0.01, t, &cfg);
+        }
+        // Evaluate.
+        let x = Mat::randn(64, 2, 1.0, &mut rng);
+        let target: Vec<f32> = (0..64)
+            .map(|i| x.get(i, 0).powi(2) + x.get(i, 1).sin())
+            .collect();
+        let y = mlp.infer(&x);
+        let mse_val: f32 = y
+            .data
+            .iter()
+            .zip(&target)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            / 64.0;
+        assert!(mse_val < 0.1, "mse {mse_val}");
+    }
+
+    #[test]
+    fn gradient_check_through_two_layers() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mlp = Mlp::new(&[3, 5, 2], &mut rng);
+        let x = Mat::randn(4, 3, 1.0, &mut rng);
+        let target = Mat::randn(4, 2, 1.0, &mut rng);
+        let (y, cache) = mlp.forward(&x);
+        let (_, grad) = mse(&y, &target);
+        mlp.zero_grad();
+        let gx = mlp.backward(&cache, &grad);
+
+        let loss_of = |mlp: &Mlp, x: &Mat| {
+            let y = mlp.infer(x);
+            mse(&y, &target).0
+        };
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let mut xm = x.clone();
+            xm.data[idx] -= eps;
+            let num = (loss_of(&mlp, &xp) - loss_of(&mlp, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.data[idx]).abs() < 2e-2,
+                "dX[{idx}] num {num} vs {}",
+                gx.data[idx]
+            );
+        }
+        // And a weight in the first layer.
+        for idx in [0usize, 7] {
+            let mut mp = mlp.clone();
+            mp.layers[0].w.value.data[idx] += eps;
+            let mut mm = mlp.clone();
+            mm.layers[0].w.value.data[idx] -= eps;
+            let num = (loss_of(&mp, &x) - loss_of(&mm, &x)) / (2.0 * eps);
+            let ana = mlp.layers[0].w.grad.data[idx];
+            assert!((num - ana).abs() < 2e-2, "dW[{idx}] num {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&[4, 8, 2], &mut rng);
+        let x = Mat::randn(3, 4, 1.0, &mut rng);
+        let (y1, _) = mlp.forward(&x);
+        let y2 = mlp.infer(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_dim() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = Mlp::new(&[4], &mut rng);
+    }
+}

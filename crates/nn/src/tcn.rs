@@ -1,0 +1,438 @@
+//! Tree Convolutional Networks over binary plan trees.
+//!
+//! "Tree convolution applies learnable filters over each tree node and its
+//! children, aggregating information upward from child to parent. By
+//! stacking more TCN layers, each node progressively integrates hierarchical
+//! information from deeper subtrees. The resulting node representations are
+//! pooled and then passed through a fully connected layer" (Section 4,
+//! Predictive Module Design) — exactly the PlanEmb architecture of Bao/Neo.
+
+use crate::linear::{relu, relu_backward, Linear};
+use crate::mat::Mat;
+use crate::param::{AdamConfig, Param};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Structural view of a binary tree: per-node left/right child indices.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TreeStructure {
+    /// Left child of each node, if any.
+    pub left: Vec<Option<usize>>,
+    /// Right child of each node, if any.
+    pub right: Vec<Option<usize>>,
+}
+
+impl TreeStructure {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// True if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+}
+
+/// One tree-convolution layer:
+/// `h_i = relu(W_s x_i + W_l x_{left(i)} + W_r x_{right(i)} + b)`,
+/// with missing children treated as zero vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeConvLayer {
+    w_self: Param,
+    w_left: Param,
+    w_right: Param,
+    b: Param,
+}
+
+/// Cache for the backward pass of one layer.
+#[derive(Debug, Clone)]
+pub struct TreeConvCache {
+    input: Mat,
+    pre: Mat,
+}
+
+impl TreeConvLayer {
+    /// He-initialized layer mapping `in_dim` → `out_dim`.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let std = (2.0 / (3.0 * in_dim as f32)).sqrt();
+        TreeConvLayer {
+            w_self: Param::new(Mat::randn(out_dim, in_dim, std, rng)),
+            w_left: Param::new(Mat::randn(out_dim, in_dim, std, rng)),
+            w_right: Param::new(Mat::randn(out_dim, in_dim, std, rng)),
+            b: Param::new(Mat::zeros(1, out_dim)),
+        }
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.w_self.value.rows
+    }
+
+    /// Forward over all nodes at once (`x`: nodes×in).
+    pub fn forward(&self, x: &Mat, tree: &TreeStructure) -> (Mat, TreeConvCache) {
+        let gathered_l = gather(x, &tree.left);
+        let gathered_r = gather(x, &tree.right);
+        let mut pre = x.matmul_nt(&self.w_self.value);
+        pre.add_assign(&gathered_l.matmul_nt(&self.w_left.value));
+        pre.add_assign(&gathered_r.matmul_nt(&self.w_right.value));
+        pre.add_row_broadcast(&self.b.value.data);
+        let out = relu(&pre);
+        (
+            out,
+            TreeConvCache {
+                input: x.clone(),
+                pre,
+            },
+        )
+    }
+
+    /// Backward: accumulates parameter grads, returns grad w.r.t. `x`.
+    pub fn backward(
+        &mut self,
+        cache: &TreeConvCache,
+        tree: &TreeStructure,
+        grad_out: &Mat,
+    ) -> Mat {
+        let gpre = relu_backward(&cache.pre, grad_out);
+        let gathered_l = gather(&cache.input, &tree.left);
+        let gathered_r = gather(&cache.input, &tree.right);
+
+        self.w_self.grad.add_assign(&gpre.matmul_tn(&cache.input));
+        self.w_left.grad.add_assign(&gpre.matmul_tn(&gathered_l));
+        self.w_right.grad.add_assign(&gpre.matmul_tn(&gathered_r));
+        for (g, d) in self.b.grad.data.iter_mut().zip(gpre.col_sums()) {
+            *g += d;
+        }
+
+        // grad_x: self term + scattered child terms.
+        let mut grad_x = gpre.matmul(&self.w_self.value);
+        let via_left = gpre.matmul(&self.w_left.value);
+        scatter_add(&mut grad_x, &via_left, &tree.left);
+        let via_right = gpre.matmul(&self.w_right.value);
+        scatter_add(&mut grad_x, &via_right, &tree.right);
+        grad_x
+    }
+
+    /// Clears gradients.
+    pub fn zero_grad(&mut self) {
+        self.w_self.zero_grad();
+        self.w_left.zero_grad();
+        self.w_right.zero_grad();
+        self.b.zero_grad();
+    }
+
+    /// Adam step.
+    pub fn adam_step(&mut self, lr: f32, t: u64, cfg: &AdamConfig) {
+        self.w_self.adam_step(lr, t, cfg);
+        self.w_left.adam_step(lr, t, cfg);
+        self.w_right.adam_step(lr, t, cfg);
+        self.b.adam_step(lr, t, cfg);
+    }
+
+    /// Scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.w_self.len() + self.w_left.len() + self.w_right.len() + self.b.len()
+    }
+}
+
+/// Rows of `x` gathered by child index (missing child → zero row).
+fn gather(x: &Mat, idx: &[Option<usize>]) -> Mat {
+    let mut out = Mat::zeros(x.rows, x.cols);
+    for (i, &j) in idx.iter().enumerate() {
+        if let Some(j) = j {
+            out.row_mut(i).copy_from_slice(x.row(j));
+        }
+    }
+    out
+}
+
+/// `target[idx[i]] += src[i]` for present children.
+fn scatter_add(target: &mut Mat, src: &Mat, idx: &[Option<usize>]) {
+    for (i, &j) in idx.iter().enumerate() {
+        if let Some(j) = j {
+            let cols = target.cols;
+            for c in 0..cols {
+                target.data[j * cols + c] += src.data[i * cols + c];
+            }
+        }
+    }
+}
+
+/// Dynamic pooling over node representations: concatenated max and mean
+/// pools plus a log node count. Max pooling captures dominant operators;
+/// mean pooling (≈ sum / n) matches the additive structure of plan cost.
+fn pool(h: &Mat) -> (Mat, Vec<usize>) {
+    let d = h.cols;
+    let mut pooled = Mat::zeros(1, 2 * d + 1);
+    let mut arg = vec![0usize; d];
+    for c in 0..d {
+        let mut best = f32::MIN;
+        let mut sum = 0.0;
+        for r in 0..h.rows {
+            let v = h.get(r, c);
+            sum += v;
+            if v > best {
+                best = v;
+                arg[c] = r;
+            }
+        }
+        pooled.data[c] = best;
+        pooled.data[d + c] = sum / h.rows.max(1) as f32;
+    }
+    pooled.data[2 * d] = (1.0 + h.rows as f32).ln();
+    (pooled, arg)
+}
+
+/// The full PlanEmb tree-convolutional encoder: two tree-conv layers,
+/// dynamic max pooling, and a fully connected projection to the embedding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tcn {
+    conv1: TreeConvLayer,
+    conv2: TreeConvLayer,
+    proj: Linear,
+}
+
+/// Backward cache for one encoded tree.
+#[derive(Debug, Clone)]
+pub struct TcnCache {
+    c1: TreeConvCache,
+    h1: Mat,
+    c2: TreeConvCache,
+    h2: Mat,
+    argmax: Vec<usize>,
+    pooled: Mat,
+}
+
+impl Tcn {
+    /// Builds an encoder `in_dim → hidden1 → hidden2 → emb_dim`.
+    pub fn new<R: Rng>(
+        in_dim: usize,
+        hidden1: usize,
+        hidden2: usize,
+        emb_dim: usize,
+        rng: &mut R,
+    ) -> Tcn {
+        Tcn {
+            conv1: TreeConvLayer::new(in_dim, hidden1, rng),
+            conv2: TreeConvLayer::new(hidden1, hidden2, rng),
+            proj: Linear::new(2 * hidden2 + 1, emb_dim, rng),
+        }
+    }
+
+    /// Embedding width.
+    pub fn emb_dim(&self) -> usize {
+        self.proj.out_dim()
+    }
+
+    /// Encodes one tree (`x`: nodes×in) into a 1×emb embedding.
+    pub fn forward(&self, x: &Mat, tree: &TreeStructure) -> (Mat, TcnCache) {
+        let (h1, c1) = self.conv1.forward(x, tree);
+        let (h2, c2) = self.conv2.forward(&h1, tree);
+        let (pooled, argmax) = pool(&h2);
+        let emb = self.proj.forward(&pooled);
+        (
+            emb,
+            TcnCache {
+                c1,
+                h1,
+                c2,
+                h2,
+                argmax,
+                pooled,
+            },
+        )
+    }
+
+    /// Inference-only encoding.
+    pub fn infer(&self, x: &Mat, tree: &TreeStructure) -> Mat {
+        self.forward(x, tree).0
+    }
+
+    /// Backward from an embedding gradient; accumulates parameter grads.
+    pub fn backward(&mut self, cache: &TcnCache, tree: &TreeStructure, grad_emb: &Mat) {
+        let grad_pooled = self.proj.backward(&cache.pooled, grad_emb);
+        // Un-pool: max gradients route to argmax rows, mean gradients spread
+        // over all rows. The node-count term has no input gradient.
+        let d = cache.h2.cols;
+        let n = cache.h2.rows.max(1) as f32;
+        let mut grad_h2 = Mat::zeros(cache.h2.rows, cache.h2.cols);
+        for c in 0..d {
+            let r = cache.argmax[c];
+            grad_h2.data[r * d + c] += grad_pooled.data[c];
+            let gm = grad_pooled.data[d + c] / n;
+            for row in 0..cache.h2.rows {
+                grad_h2.data[row * d + c] += gm;
+            }
+        }
+        let grad_h1 = self.conv2.backward(&cache.c2, tree, &grad_h2);
+        let _ = self.conv1.backward(&cache.c1, tree, &grad_h1);
+        let _ = &cache.h1;
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        self.conv1.zero_grad();
+        self.conv2.zero_grad();
+        self.proj.zero_grad();
+    }
+
+    /// Adam step on all parameters.
+    pub fn adam_step(&mut self, lr: f32, t: u64, cfg: &AdamConfig) {
+        self.conv1.adam_step(lr, t, cfg);
+        self.conv2.adam_step(lr, t, cfg);
+        self.proj.adam_step(lr, t, cfg);
+    }
+
+    /// Scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.conv1.param_count() + self.conv2.param_count() + self.proj.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A three-node tree: root(0) with children 1 (left) and 2 (right).
+    fn tiny_tree() -> TreeStructure {
+        TreeStructure {
+            left: vec![Some(1), None, None],
+            right: vec![Some(2), None, None],
+        }
+    }
+
+    #[test]
+    fn forward_shapes_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let tcn = Tcn::new(6, 8, 4, 3, &mut rng);
+        let x = Mat::randn(3, 6, 1.0, &mut rng);
+        let (emb, _) = tcn.forward(&x, &tiny_tree());
+        assert_eq!((emb.rows, emb.cols), (1, 3));
+    }
+
+    #[test]
+    fn children_influence_parent_representation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let tcn = Tcn::new(4, 8, 4, 2, &mut rng);
+        let tree = tiny_tree();
+        let x1 = Mat::randn(3, 4, 1.0, &mut rng);
+        let mut x2 = x1.clone();
+        // Change only the left child's features.
+        for c in 0..4 {
+            x2.set(1, c, x2.get(1, c) + 2.0);
+        }
+        let e1 = tcn.infer(&x1, &tree);
+        let e2 = tcn.infer(&x2, &tree);
+        assert!(e1 != e2, "child features must flow into the embedding");
+    }
+
+    #[test]
+    fn gradient_check_through_the_whole_encoder() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tcn = Tcn::new(4, 6, 5, 2, &mut rng);
+        let tree = tiny_tree();
+        let x = Mat::randn(3, 4, 1.0, &mut rng);
+        let target = Mat::randn(1, 2, 1.0, &mut rng);
+
+        let (emb, cache) = tcn.forward(&x, &tree);
+        let (_, grad) = mse(&emb, &target);
+        tcn.zero_grad();
+        tcn.backward(&cache, &tree, &grad);
+
+        let loss_of = |tcn: &Tcn| {
+            let e = tcn.infer(&x, &tree);
+            mse(&e, &target).0
+        };
+        let eps = 1e-2;
+        // Check a few first-layer weights (hardest path: conv1 → conv2 →
+        // pool → proj).
+        for idx in [0usize, 3, 10] {
+            let mut tp = tcn.clone();
+            tp.conv1.w_left.value.data[idx] += eps;
+            let mut tm = tcn.clone();
+            tm.conv1.w_left.value.data[idx] -= eps;
+            let num = (loss_of(&tp) - loss_of(&tm)) / (2.0 * eps);
+            let ana = tcn.conv1.w_left.grad.data[idx];
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "conv1.w_left[{idx}] num {num} vs ana {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn tcn_learns_to_count_join_like_nodes() {
+        // Trees whose label is the number of nodes with feature[0] = 1.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut tcn = Tcn::new(3, 16, 8, 4, &mut rng);
+        let mut head = Linear::new(4, 1, &mut rng);
+        let cfg = AdamConfig::default();
+
+        let make_tree = |rng: &mut StdRng| {
+            // Left-deep chain of 4..7 nodes.
+            let n = rng.gen_range(4..8usize);
+            let mut left = vec![None; n];
+            let mut right = vec![None; n];
+            for i in 0..n - 1 {
+                left[i] = Some(i + 1);
+                if i + 2 < n && rng.gen_bool(0.3) {
+                    right[i] = Some(i + 2);
+                }
+            }
+            // Ensure it is a tree (right children must not duplicate).
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..n {
+                if let Some(r) = right[i] {
+                    if !seen.insert(r) || left.contains(&Some(r)) {
+                        right[i] = None;
+                    }
+                }
+            }
+            let mut x = Mat::zeros(n, 3);
+            let mut count = 0.0;
+            for i in 0..n {
+                if rng.gen_bool(0.5) {
+                    x.set(i, 0, 1.0);
+                    count += 1.0;
+                }
+                x.set(i, 1, rng.gen_range(-1.0..1.0));
+                x.set(i, 2, 1.0);
+            }
+            (x, TreeStructure { left, right }, count)
+        };
+
+        let mut t = 0;
+        for _ in 0..400 {
+            tcn.zero_grad();
+            head.zero_grad();
+            let mut loss_sum = 0.0;
+            for _ in 0..8 {
+                let (x, tree, label) = make_tree(&mut rng);
+                let (emb, cache) = tcn.forward(&x, &tree);
+                let pred = head.forward(&emb);
+                let (l, g) = mse(&pred, &Mat::from_vec(1, 1, vec![label]));
+                loss_sum += l;
+                let gemb = head.backward(&emb, &g);
+                tcn.backward(&cache, &tree, &gemb);
+            }
+            let _ = loss_sum;
+            t += 1;
+            tcn.adam_step(0.005, t, &cfg);
+            head.adam_step(0.005, t, &cfg);
+        }
+
+        // Evaluate.
+        let mut err = 0.0;
+        for _ in 0..50 {
+            let (x, tree, label) = make_tree(&mut rng);
+            let pred = head.forward(&tcn.infer(&x, &tree)).data[0];
+            err += (pred - label).abs();
+        }
+        err /= 50.0;
+        assert!(err < 1.0, "mean abs error {err} should beat trivial baseline");
+    }
+}

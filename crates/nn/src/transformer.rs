@@ -1,0 +1,290 @@
+//! A small single-head transformer encoder (baseline cost model, after
+//! QueryFormer-style plan transformers).
+//!
+//! Nodes are treated as a sequence (pre-order), passed through one
+//! self-attention block with a residual connection and a two-layer
+//! feed-forward, mean-pooled, and projected to the embedding.
+
+use crate::linear::{relu, relu_backward, softmax_rows, Linear};
+use crate::mat::Mat;
+use crate::param::AdamConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Single-head transformer encoder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transformer {
+    in_proj: Linear,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    ff1: Linear,
+    ff2: Linear,
+    out_proj: Linear,
+    d: usize,
+}
+
+/// Backward cache.
+#[derive(Debug, Clone)]
+pub struct TransformerCache {
+    x: Mat,
+    pre0: Mat,
+    h0: Mat,
+    q: Mat,
+    k: Mat,
+    v: Mat,
+    attn: Mat,
+    h1: Mat,
+    pre_ff: Mat,
+    ff_hidden: Mat,
+    h2: Mat,
+    pooled: Mat,
+}
+
+impl Transformer {
+    /// Builds an encoder with model width `d` and embedding width `emb`.
+    pub fn new<R: Rng>(in_dim: usize, d: usize, emb_dim: usize, rng: &mut R) -> Self {
+        Transformer {
+            in_proj: Linear::new(in_dim, d, rng),
+            wq: Linear::new(d, d, rng),
+            wk: Linear::new(d, d, rng),
+            wv: Linear::new(d, d, rng),
+            ff1: Linear::new(d, 2 * d, rng),
+            ff2: Linear::new(2 * d, d, rng),
+            out_proj: Linear::new(d, emb_dim, rng),
+            d,
+        }
+    }
+
+    /// Encodes a node sequence (`x`: nodes×in) into a 1×emb embedding.
+    pub fn forward(&self, x: &Mat) -> (Mat, TransformerCache) {
+        let pre0 = self.in_proj.forward(x);
+        let h0 = relu(&pre0);
+        let q = self.wq.forward(&h0);
+        let k = self.wk.forward(&h0);
+        let v = self.wv.forward(&h0);
+        let scale = 1.0 / (self.d as f32).sqrt();
+        let mut scores = q.matmul_nt(&k);
+        scores.scale(scale);
+        let attn = softmax_rows(&scores);
+        let att_out = attn.matmul(&v);
+        // Residual.
+        let mut h1 = h0.clone();
+        h1.add_assign(&att_out);
+        // Feed-forward with residual.
+        let pre_ff = self.ff1.forward(&h1);
+        let ff_hidden = relu(&pre_ff);
+        let ff_out = self.ff2.forward(&ff_hidden);
+        let mut h2 = h1.clone();
+        h2.add_assign(&ff_out);
+        // Mean pool.
+        let mut pooled = Mat::zeros(1, h2.cols);
+        for r in 0..h2.rows {
+            for c in 0..h2.cols {
+                pooled.data[c] += h2.get(r, c) / h2.rows as f32;
+            }
+        }
+        let emb = self.out_proj.forward(&pooled);
+        (
+            emb,
+            TransformerCache {
+                x: x.clone(),
+                pre0,
+                h0,
+                q,
+                k,
+                v,
+                attn,
+                h1,
+                pre_ff,
+                ff_hidden,
+                h2,
+                pooled,
+            },
+        )
+    }
+
+    /// Inference-only encoding.
+    pub fn infer(&self, x: &Mat) -> Mat {
+        self.forward(x).0
+    }
+
+    /// Backward from an embedding gradient; accumulates parameter grads.
+    pub fn backward(&mut self, c: &TransformerCache, grad_emb: &Mat) {
+        let grad_pooled = self.out_proj.backward(&c.pooled, grad_emb);
+        let n = c.h2.rows as f32;
+        let mut grad_h2 = Mat::zeros(c.h2.rows, c.h2.cols);
+        for r in 0..c.h2.rows {
+            for col in 0..c.h2.cols {
+                grad_h2.set(r, col, grad_pooled.data[col] / n);
+            }
+        }
+        // h2 = h1 + ff2(relu(ff1(h1)))
+        let grad_ff_out = grad_h2.clone();
+        let grad_ff_hidden = self.ff2.backward(&c.ff_hidden, &grad_ff_out);
+        let grad_pre_ff = relu_backward(&c.pre_ff, &grad_ff_hidden);
+        let mut grad_h1 = self.ff1.backward(&c.h1, &grad_pre_ff);
+        grad_h1.add_assign(&grad_h2); // residual path
+
+        // h1 = h0 + attn @ v
+        let grad_att_out = grad_h1.clone();
+        // dV = attnᵀ @ grad_att_out
+        let grad_v = c.attn.matmul_tn(&grad_att_out);
+        // dAttn = grad_att_out @ vᵀ
+        let grad_attn = grad_att_out.matmul_nt(&c.v);
+        // Softmax backward per row: ds = a ⊙ (dA − Σ(dA ⊙ a)).
+        let mut grad_scores = Mat::zeros(grad_attn.rows, grad_attn.cols);
+        for r in 0..grad_attn.rows {
+            let a = c.attn.row(r);
+            let da = grad_attn.row(r);
+            let dot: f32 = a.iter().zip(da).map(|(x, y)| x * y).sum();
+            for col in 0..grad_attn.cols {
+                grad_scores.set(r, col, a[col] * (da[col] - dot));
+            }
+        }
+        let scale = 1.0 / (self.d as f32).sqrt();
+        grad_scores.scale(scale);
+        // scores = q kᵀ ⇒ dq = ds @ k ; dk = dsᵀ @ q
+        let grad_q = grad_scores.matmul(&c.k);
+        let grad_k = grad_scores.matmul_tn(&c.q);
+
+        let mut grad_h0 = self.wq.backward(&c.h0, &grad_q);
+        grad_h0.add_assign(&self.wk.backward(&c.h0, &grad_k));
+        grad_h0.add_assign(&self.wv.backward(&c.h0, &grad_v));
+        grad_h0.add_assign(&grad_h1); // residual path
+
+        let grad_pre0 = relu_backward(&c.pre0, &grad_h0);
+        let _ = self.in_proj.backward(&c.x, &grad_pre0);
+    }
+
+    /// Clears all gradients.
+    pub fn zero_grad(&mut self) {
+        for l in [
+            &mut self.in_proj,
+            &mut self.wq,
+            &mut self.wk,
+            &mut self.wv,
+            &mut self.ff1,
+            &mut self.ff2,
+            &mut self.out_proj,
+        ] {
+            l.zero_grad();
+        }
+    }
+
+    /// Adam step on all parameters.
+    pub fn adam_step(&mut self, lr: f32, t: u64, cfg: &AdamConfig) {
+        for l in [
+            &mut self.in_proj,
+            &mut self.wq,
+            &mut self.wk,
+            &mut self.wv,
+            &mut self.ff1,
+            &mut self.ff2,
+            &mut self.out_proj,
+        ] {
+            l.adam_step(lr, t, cfg);
+        }
+    }
+
+    /// Scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        [
+            &self.in_proj,
+            &self.wq,
+            &self.wk,
+            &self.wv,
+            &self.ff1,
+            &self.ff2,
+            &self.out_proj,
+        ]
+        .iter()
+        .map(|l| l.param_count())
+        .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let tr = Transformer::new(5, 8, 3, &mut rng);
+        let x = Mat::randn(4, 5, 1.0, &mut rng);
+        let (emb, _) = tr.forward(&x);
+        assert_eq!((emb.rows, emb.cols), (1, 3));
+    }
+
+    #[test]
+    fn gradient_check_through_attention() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tr = Transformer::new(4, 6, 2, &mut rng);
+        let x = Mat::randn(3, 4, 1.0, &mut rng);
+        let target = Mat::randn(1, 2, 1.0, &mut rng);
+        let (emb, cache) = tr.forward(&x);
+        let (_, grad) = mse(&emb, &target);
+        tr.zero_grad();
+        tr.backward(&cache, &grad);
+
+        let loss_of = |tr: &Transformer| mse(&tr.infer(&x), &target).0;
+        let eps = 1e-2;
+        for idx in [0usize, 3] {
+            // Query projection weights exercise the softmax backward.
+            let mut tp = tr.clone();
+            tp.wq.w.value.data[idx] += eps;
+            let mut tm = tr.clone();
+            tm.wq.w.value.data[idx] -= eps;
+            let num = (loss_of(&tp) - loss_of(&tm)) / (2.0 * eps);
+            let ana = tr.wq.w.grad.data[idx];
+            assert!((num - ana).abs() < 5e-2, "wq[{idx}] num {num} vs ana {ana}");
+        }
+        for idx in [0usize, 7] {
+            let mut tp = tr.clone();
+            tp.in_proj.w.value.data[idx] += eps;
+            let mut tm = tr.clone();
+            tm.in_proj.w.value.data[idx] -= eps;
+            let num = (loss_of(&tp) - loss_of(&tm)) / (2.0 * eps);
+            let ana = tr.in_proj.w.grad.data[idx];
+            assert!((num - ana).abs() < 5e-2, "in_proj[{idx}] num {num} vs ana {ana}");
+        }
+    }
+
+    #[test]
+    fn transformer_fits_sequence_sum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tr = Transformer::new(2, 8, 4, &mut rng);
+        let mut head = Linear::new(4, 1, &mut rng);
+        let cfg = AdamConfig::default();
+        let mut t = 0;
+        for _ in 0..800 {
+            let n = rng.gen_range(3..6usize);
+            let x = Mat::randn(n, 2, 1.0, &mut rng);
+            let label: f32 = (0..n).map(|i| x.get(i, 0)).sum();
+            let (emb, cache) = tr.forward(&x);
+            let pred = head.forward(&emb);
+            let (_, grad) = mse(&pred, &Mat::from_vec(1, 1, vec![label]));
+            tr.zero_grad();
+            head.zero_grad();
+            let gemb = head.backward(&emb, &grad);
+            tr.backward(&cache, &gemb);
+            t += 1;
+            tr.adam_step(0.005, t, &cfg);
+            head.adam_step(0.005, t, &cfg);
+        }
+        let mut err = 0.0;
+        for _ in 0..40 {
+            let n = rng.gen_range(3..6usize);
+            let x = Mat::randn(n, 2, 1.0, &mut rng);
+            let label: f32 = (0..n).map(|i| x.get(i, 0)).sum();
+            let pred = head.forward(&tr.infer(&x)).data[0];
+            err += (pred - label).abs();
+        }
+        err /= 40.0;
+        assert!(err < 1.0, "mean abs err {err}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Tunable optimizer flags and steering knobs.
+//!
+//! MaxCompute exposes 75 tunable flags across six categories; the paper's
+//! plan explorer restricts itself to six flags spanning join, shuffling,
+//! spool, and filter-related optimizations, plus Lero-style scaling of
+//! estimated cardinalities for subqueries with at least three inputs
+//! (Section 3, "Plan Explorer"). This module defines those knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// The six expert-selected boolean optimizer flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OptimizerFlags {
+    /// Strongly prefer merge joins over hash joins (join-related). Merge
+    /// joins are always *available* to the cost-based choice; this flag
+    /// forces them — the steering lever that rescues queries whose hash
+    /// builds spill because the native model underestimated them.
+    pub prefer_merge_join: bool,
+    /// Allow broadcast joins when the build side is estimated small
+    /// (join-related; off by default — the conservative production posture).
+    pub enable_broadcast_join: bool,
+    /// Remove hash-partition exchanges over bare scans, gambling that data
+    /// is already usefully partitioned (shuffling-related; can backfire with
+    /// skew when the key is not the scan table's primary key).
+    pub aggressive_shuffle_removal: bool,
+    /// Materialize build sides through spools, damping re-execution cost
+    /// under contention (spool-related).
+    pub enable_spool_reuse: bool,
+    /// Push filters into table scans, enabling partition pruning
+    /// (filter-related; on by default).
+    pub filter_pushdown: bool,
+    /// Force sort-based aggregation instead of comparing hash vs. sort
+    /// (physical-implementation-related).
+    pub prefer_sort_aggregate: bool,
+}
+
+impl Default for OptimizerFlags {
+    /// MaxCompute's production defaults.
+    fn default() -> Self {
+        OptimizerFlags {
+            prefer_merge_join: false,
+            enable_broadcast_join: false,
+            aggressive_shuffle_removal: false,
+            enable_spool_reuse: false,
+            filter_pushdown: true,
+            prefer_sort_aggregate: false,
+        }
+    }
+}
+
+impl OptimizerFlags {
+    /// Number of boolean flags.
+    pub const COUNT: usize = 6;
+
+    /// The flag vector as booleans (stable order, used by the explorer).
+    pub fn as_array(&self) -> [bool; Self::COUNT] {
+        [
+            self.prefer_merge_join,
+            self.enable_broadcast_join,
+            self.aggressive_shuffle_removal,
+            self.enable_spool_reuse,
+            self.filter_pushdown,
+            self.prefer_sort_aggregate,
+        ]
+    }
+
+    /// Builds flags from a boolean vector in [`OptimizerFlags::as_array`]
+    /// order.
+    pub fn from_array(a: [bool; Self::COUNT]) -> Self {
+        OptimizerFlags {
+            prefer_merge_join: a[0],
+            enable_broadcast_join: a[1],
+            aggressive_shuffle_removal: a[2],
+            enable_spool_reuse: a[3],
+            filter_pushdown: a[4],
+            prefer_sort_aggregate: a[5],
+        }
+    }
+
+    /// Returns a copy with flag `i` (in `as_array` order) toggled.
+    pub fn toggled(&self, i: usize) -> Self {
+        let mut a = self.as_array();
+        a[i] = !a[i];
+        Self::from_array(a)
+    }
+}
+
+/// Everything the plan explorer can steer: flags plus cardinality scaling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knobs {
+    /// Boolean optimizer flags.
+    pub flags: OptimizerFlags,
+    /// Multiplier applied to estimated cardinalities of subqueries with at
+    /// least three base inputs (Lero-style steering). `1.0` = no scaling.
+    pub card_scale: f64,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            flags: OptimizerFlags::default(),
+            card_scale: 1.0,
+        }
+    }
+}
+
+impl Knobs {
+    /// True if these are exactly the production defaults, i.e. the plan they
+    /// produce is the *default plan*.
+    pub fn is_default(&self) -> bool {
+        *self == Knobs::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_flags_are_conservative() {
+        let f = OptimizerFlags::default();
+        assert!(!f.prefer_merge_join);
+        assert!(!f.enable_broadcast_join);
+        assert!(!f.aggressive_shuffle_removal);
+        assert!(f.filter_pushdown);
+    }
+
+    #[test]
+    fn array_round_trip() {
+        let f = OptimizerFlags::default();
+        assert_eq!(OptimizerFlags::from_array(f.as_array()), f);
+    }
+
+    #[test]
+    fn toggled_flips_exactly_one() {
+        let f = OptimizerFlags::default();
+        for i in 0..OptimizerFlags::COUNT {
+            let t = f.toggled(i);
+            let diff = f
+                .as_array()
+                .iter()
+                .zip(t.as_array())
+                .filter(|(a, b)| **a != *b)
+                .count();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn default_knobs_are_recognized() {
+        assert!(Knobs::default().is_default());
+        let k = Knobs {
+            card_scale: 4.0,
+            ..Knobs::default()
+        };
+        assert!(!k.is_default());
+    }
+}

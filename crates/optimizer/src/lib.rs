@@ -1,0 +1,34 @@
+//! # mcsim-optimizer
+//!
+//! A simulator of MaxCompute's native cost-based query optimizer.
+//!
+//! The optimizer compiles a [`mcsim_catalog::QuerySpec`] into a physical
+//! [`mcsim_plan::PlanTree`]: dynamic-programming join ordering, cost-based
+//! physical implementation selection, exchange insertion, and aggregation
+//! placement. Crucially — and this is the paper's Challenge 2 — its cost
+//! model is *coarse*: it sees only stale table row counts and fixed default
+//! selectivities, never histograms or NDVs, so its decisions are plausible
+//! but often wrong. The gap between its default plan and the best plan
+//! reachable through its tuning [`flags`] is exactly the improvement space
+//! `D(M_d)` that LOAM harvests.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcsim_catalog::{ProjectProfile, ProjectId};
+//! use mcsim_optimizer::{NativeOptimizer, Knobs};
+//!
+//! let project = ProjectProfile::evaluation_project(1).unwrap().generate(ProjectId(1));
+//! let query = &project.workload_for_day(0)[0];
+//! let opt = NativeOptimizer::new(&project.catalog);
+//! let plan = opt.optimize(query, &Knobs::default());
+//! assert!(plan.validate().is_ok());
+//! ```
+
+pub mod cost;
+pub mod flags;
+pub mod optimize;
+
+pub use cost::CoarseCostModel;
+pub use flags::{Knobs, OptimizerFlags};
+pub use optimize::NativeOptimizer;

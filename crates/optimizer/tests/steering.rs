@@ -1,0 +1,143 @@
+//! Integration tests of the optimizer's steering surface: the knob space
+//! the plan explorer relies on, and the coarse model's day-dependent
+//! beliefs.
+
+use mcsim_catalog::{ProjectId, ProjectProfile};
+use mcsim_catalog::workmodel::WorkParams;
+use mcsim_optimizer::{CoarseCostModel, Knobs, NativeOptimizer, OptimizerFlags};
+use mcsim_plan::{Operator, PlanSignature};
+
+fn project() -> mcsim_catalog::Project {
+    let mut prof = ProjectProfile::evaluation_project(2).unwrap();
+    prof.n_tables = 24;
+    prof.n_temp_tables = 2;
+    prof.n_columns = 170;
+    prof.n_templates = 12;
+    prof.generate(ProjectId(2))
+}
+
+#[test]
+fn prefer_merge_join_forces_merge_everywhere() {
+    let p = project();
+    let opt = NativeOptimizer::new(&p.catalog);
+    let knobs = Knobs {
+        flags: OptimizerFlags {
+            prefer_merge_join: true,
+            ..OptimizerFlags::default()
+        },
+        card_scale: 1.0,
+    };
+    for q in p.workload_for_day(0).iter().take(15) {
+        let plan = opt.optimize(q, &knobs);
+        let hash_joins = plan.count_ops(|o| {
+            matches!(
+                o,
+                Operator::Join {
+                    algo: mcsim_plan::op::JoinAlgo::Hash,
+                    ..
+                }
+            )
+        });
+        assert_eq!(hash_joins, 0, "prefer_merge_join must eliminate hash joins");
+    }
+}
+
+#[test]
+fn broadcast_flag_unlocks_more_broadcasts_than_default() {
+    let p = project();
+    let opt = NativeOptimizer::new(&p.catalog);
+    let count = |flags: OptimizerFlags| -> usize {
+        p.workload_for_day(0)
+            .iter()
+            .take(25)
+            .map(|q| {
+                opt.optimize(q, &Knobs { flags, card_scale: 1.0 }).count_ops(|o| {
+                    matches!(
+                        o,
+                        Operator::Join {
+                            algo: mcsim_plan::op::JoinAlgo::Broadcast,
+                            ..
+                        }
+                    )
+                })
+            })
+            .sum()
+    };
+    let default = count(OptimizerFlags::default());
+    let unlocked = count(OptimizerFlags {
+        enable_broadcast_join: true,
+        ..OptimizerFlags::default()
+    });
+    assert!(
+        unlocked > default,
+        "flag should unlock broadcasts: {unlocked} vs {default}"
+    );
+}
+
+#[test]
+fn coarse_beliefs_change_across_statistics_epochs() {
+    let p = project();
+    let params = WorkParams::default();
+    let table = p
+        .catalog
+        .tables()
+        .find(|t| t.stale_drift > 0.0)
+        .expect("drifting table");
+    let day0 = CoarseCostModel::new(&p.catalog, &params)
+        .with_day(0)
+        .believed_rows(table.id);
+    let mut changed = false;
+    for day in (3..40).step_by(3) {
+        let belief = CoarseCostModel::new(&p.catalog, &params)
+            .with_day(day)
+            .believed_rows(table.id);
+        if (belief - day0).abs() / day0.max(1.0) > 0.05 {
+            changed = true;
+            break;
+        }
+    }
+    assert!(changed, "stale beliefs should drift across epochs");
+}
+
+#[test]
+fn rough_cost_orders_plans_consistently_with_knobs() {
+    // The rough cost used by the explorer's top-k must be finite and
+    // positive for every steered plan.
+    let p = project();
+    let opt = NativeOptimizer::new(&p.catalog);
+    for q in p.workload_for_day(1).iter().take(10) {
+        for i in 0..OptimizerFlags::COUNT {
+            let knobs = Knobs {
+                flags: OptimizerFlags::default().toggled(i),
+                card_scale: 1.0,
+            };
+            let plan = opt.optimize(q, &knobs);
+            let cost = opt.rough_cost(&plan, &knobs);
+            assert!(cost.is_finite() && cost > 0.0);
+        }
+    }
+}
+
+#[test]
+fn distinct_card_scales_produce_valid_and_sometimes_distinct_plans() {
+    let p = project();
+    let opt = NativeOptimizer::new(&p.catalog);
+    let mut any_changed = false;
+    for q in p.workload_for_days(0, 4).iter().filter(|q| q.table_count() >= 3).take(25) {
+        let base = opt.optimize(q, &Knobs::default());
+        for scale in [0.25, 4.0] {
+            let plan = opt.optimize(
+                q,
+                &Knobs {
+                    flags: OptimizerFlags::default(),
+                    card_scale: scale,
+                },
+            );
+            assert!(plan.validate().is_ok());
+            if PlanSignature::of(&plan) != PlanSignature::of(&base) {
+                any_changed = true;
+            }
+        }
+    }
+    assert!(any_changed, "cardinality scaling should steer some join orders");
+}

@@ -1,0 +1,116 @@
+//! Human-readable plan rendering.
+
+use crate::op::Operator;
+use crate::tree::{NodeId, PlanTree};
+use std::fmt::Write as _;
+
+/// Renders `plan` as an indented operator tree, one node per line.
+///
+/// ```
+/// use mcsim_plan::{Operator, PlanTree};
+/// let mut t = PlanTree::new();
+/// let s = t.leaf(Operator::table_scan(3, 2, 4, vec![1]));
+/// let k = t.unary(Operator::Sink, s);
+/// t.set_root(k);
+/// let text = mcsim_plan::display::render(&t);
+/// assert!(text.contains("TableScan"));
+/// ```
+pub fn render(plan: &PlanTree) -> String {
+    let mut out = String::new();
+    if let Some(root) = plan.try_root() {
+        render_node(plan, root, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(plan: &PlanTree, id: NodeId, indent: usize, out: &mut String) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    let _ = writeln!(out, "{}", describe(plan.op(id)));
+    let n = plan.node(id);
+    for c in n.children() {
+        render_node(plan, c, indent + 1, out);
+    }
+}
+
+/// One-line description of an operator.
+pub fn describe(op: &Operator) -> String {
+    match op {
+        Operator::TableScan {
+            table,
+            partitions_accessed,
+            partitions_total,
+            columns,
+            predicate,
+        } => {
+            if predicate.is_true() {
+                format!(
+                    "TableScan(t{table}, parts {partitions_accessed}/{partitions_total}, {} cols)",
+                    columns.len()
+                )
+            } else {
+                format!(
+                    "TableScan(t{table}, parts {partitions_accessed}/{partitions_total}, {} cols, {predicate})",
+                    columns.len()
+                )
+            }
+        }
+        Operator::Filter { predicate } => format!("Filter({predicate})"),
+        Operator::Calc { predicate, columns } => {
+            format!("Calc({predicate}, {} cols)", columns.len())
+        }
+        Operator::Project { columns } => format!("Project({} cols)", columns.len()),
+        Operator::Join {
+            kind,
+            algo,
+            left_keys,
+            right_keys,
+        } => format!(
+            "{:?}Join[{:?}]({:?} = {:?})",
+            algo, kind, left_keys, right_keys
+        ),
+        Operator::Aggregate {
+            algo,
+            funcs,
+            group_by,
+            ..
+        } => format!("{:?}Aggregate({:?} by {:?})", algo, funcs, group_by),
+        Operator::Sort { keys } => format!("Sort({:?})", keys),
+        Operator::TopN { keys, n } => format!("TopN({:?}, {n})", keys),
+        Operator::Exchange { kind, keys } => format!("Exchange[{:?}]({:?})", kind, keys),
+        Operator::Spool { shared_id } => format!("Spool(#{shared_id})"),
+        Operator::Union => "Union".to_string(),
+        Operator::Limit { n } => format!("Limit({n})"),
+        Operator::Sink => "Sink".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{JoinAlgo, JoinKind};
+
+    #[test]
+    fn render_indents_children() {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        let b = t.leaf(Operator::table_scan(1, 1, 1, vec![1]));
+        let j = t.binary(
+            Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]),
+            a,
+            b,
+        );
+        t.set_root(j);
+        let s = render(&t);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("HashJoin"));
+        assert!(lines[1].starts_with("  TableScan"));
+    }
+
+    #[test]
+    fn empty_plan_renders_empty() {
+        assert_eq!(render(&PlanTree::new()), "");
+    }
+}

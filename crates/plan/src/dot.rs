@@ -1,0 +1,115 @@
+//! Graphviz (DOT) export of plans and stage graphs — handy when debugging
+//! optimizer rewrites or inspecting what a steering knob changed.
+
+use crate::display::describe;
+use crate::stage::StageGraph;
+use crate::tree::PlanTree;
+use std::fmt::Write as _;
+
+/// Renders `plan` as a Graphviz digraph, edges pointing from children to
+/// parents (data-flow direction).
+///
+/// ```
+/// use mcsim_plan::{Operator, PlanTree};
+/// let mut t = PlanTree::new();
+/// let s = t.leaf(Operator::table_scan(1, 1, 1, vec![0]));
+/// let k = t.unary(Operator::Sink, s);
+/// t.set_root(k);
+/// let dot = mcsim_plan::dot::plan_to_dot(&t);
+/// assert!(dot.starts_with("digraph plan"));
+/// assert!(dot.contains("TableScan"));
+/// ```
+pub fn plan_to_dot(plan: &PlanTree) -> String {
+    let mut out = String::from("digraph plan {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
+    for (id, node) in plan.iter() {
+        let label = describe(&node.op).replace('"', "'");
+        let _ = writeln!(out, "  n{id} [label=\"{label}\"];");
+        for c in node.children() {
+            let _ = writeln!(out, "  n{c} -> n{id};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a plan and its stage decomposition: nodes are clustered per
+/// stage, so shuffle boundaries are visible at a glance.
+pub fn stages_to_dot(plan: &PlanTree, stages: &StageGraph) -> String {
+    let mut out = String::from(
+        "digraph stages {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n",
+    );
+    for (sid, stage) in stages.stages.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{sid} {{");
+        let _ = writeln!(out, "    label=\"stage {sid}\";");
+        for &n in &stage.nodes {
+            let label = describe(plan.op(n)).replace('"', "'");
+            let _ = writeln!(out, "    n{n} [label=\"{label}\"];");
+        }
+        out.push_str("  }\n");
+    }
+    for (id, node) in plan.iter() {
+        for c in node.children() {
+            let _ = writeln!(out, "  n{c} -> n{id};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ExchangeKind, JoinAlgo, JoinKind, Operator};
+    use crate::stage::decompose;
+
+    fn plan() -> PlanTree {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        let b = t.leaf(Operator::table_scan(1, 1, 1, vec![1]));
+        let ea = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![0]), a);
+        let eb = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![1]), b);
+        let j = t.binary(
+            Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]),
+            ea,
+            eb,
+        );
+        t.set_root(j);
+        t
+    }
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let p = plan();
+        let dot = plan_to_dot(&p);
+        for (id, node) in p.iter() {
+            assert!(dot.contains(&format!("n{id} [label=")));
+            for c in node.children() {
+                assert!(dot.contains(&format!("n{c} -> n{id};")));
+            }
+        }
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn stage_dot_clusters_every_stage() {
+        let p = plan();
+        let g = decompose(&p);
+        let dot = stages_to_dot(&p, &g);
+        for sid in 0..g.len() {
+            assert!(dot.contains(&format!("subgraph cluster_{sid}")));
+        }
+        // All nodes present exactly once as declarations.
+        for (id, _) in p.iter() {
+            assert_eq!(dot.matches(&format!("n{id} [label=")).count(), 1);
+        }
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut t = PlanTree::new();
+        let s = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        t.set_root(s);
+        let dot = plan_to_dot(&t);
+        assert!(!dot.contains("\\\""));
+    }
+}

@@ -1,0 +1,326 @@
+//! Scalar predicate expressions.
+//!
+//! Filtering predicates in MaxCompute are structured as expression trees
+//! where internal nodes denote functions (`>`, `<`, `=`, …) and leaf nodes
+//! correspond to columns and constants (Section 4 of the paper). LOAM encodes
+//! only a simplified view of such trees — a multi-hot of the functions
+//! involved plus a hash encoding of the referenced columns — so this module
+//! keeps the representation compact but faithful enough to compute
+//! ground-truth selectivities against the synthetic catalog.
+
+use crate::ColumnId;
+use serde::{Deserialize, Serialize};
+
+/// A constant literal appearing in a predicate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// 64-bit integer constant (also used for dictionary-encoded strings).
+    Int(i64),
+    /// Floating point constant.
+    Float(f64),
+    /// Null marker.
+    Null,
+}
+
+impl Literal {
+    /// Numeric view of the literal; `Null` maps to NaN.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Literal::Int(v) => *v as f64,
+            Literal::Float(v) => *v,
+            Literal::Null => f64::NAN,
+        }
+    }
+}
+
+impl Eq for Literal {}
+
+impl std::hash::Hash for Literal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Literal::Int(v) => {
+                state.write_u8(0);
+                state.write_i64(*v);
+            }
+            Literal::Float(v) => {
+                state.write_u8(1);
+                state.write_u64(v.to_bits());
+            }
+            Literal::Null => state.write_u8(2),
+        }
+    }
+}
+
+/// Comparison functions supported in predicates.
+///
+/// The variants double as the vocabulary for LOAM's multi-hot function
+/// encoding of `Filter`/`Calc` operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum CmpFn {
+    Eq = 0,
+    Ne = 1,
+    Lt = 2,
+    Le = 3,
+    Gt = 4,
+    Ge = 5,
+    Like = 6,
+    In = 7,
+    Between = 8,
+    IsNull = 9,
+}
+
+impl CmpFn {
+    /// Number of distinct comparison functions (multi-hot width contribution).
+    pub const COUNT: usize = 10;
+
+    /// Stable index of this function in the multi-hot encoding.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All comparison functions, in index order.
+    pub fn all() -> [CmpFn; CmpFn::COUNT] {
+        use CmpFn::*;
+        [Eq, Ne, Lt, Le, Gt, Ge, Like, In, Between, IsNull]
+    }
+}
+
+impl std::fmt::Display for CmpFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CmpFn::Eq => "=",
+            CmpFn::Ne => "<>",
+            CmpFn::Lt => "<",
+            CmpFn::Le => "<=",
+            CmpFn::Gt => ">",
+            CmpFn::Ge => ">=",
+            CmpFn::Like => "LIKE",
+            CmpFn::In => "IN",
+            CmpFn::Between => "BETWEEN",
+            CmpFn::IsNull => "IS NULL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate over columns.
+///
+/// Production predicate trees can grow to hundreds of levels; the paper
+/// deliberately encodes only the involved functions and columns, so this
+/// simplified algebra (comparisons composed with `AND`/`OR`/`NOT`) is enough
+/// to generate realistic workloads and compute exact selectivities.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `column <fn> literal` (for `Between`, `value` is the lower bound and
+    /// `value2` the upper bound; for `In`, `value` holds the list length).
+    Cmp {
+        /// Comparison function.
+        op: CmpFn,
+        /// Column being compared.
+        column: ColumnId,
+        /// Right-hand literal.
+        value: Literal,
+        /// Secondary literal (upper bound of `Between`), if any.
+        value2: Option<Literal>,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true (used for unfiltered scans).
+    True,
+}
+
+impl Predicate {
+    /// Convenience constructor for a comparison predicate.
+    pub fn cmp(op: CmpFn, column: ColumnId, value: Literal) -> Self {
+        Predicate::Cmp {
+            op,
+            column,
+            value,
+            value2: None,
+        }
+    }
+
+    /// Convenience constructor for `column BETWEEN lo AND hi`.
+    pub fn between(column: ColumnId, lo: Literal, hi: Literal) -> Self {
+        Predicate::Cmp {
+            op: CmpFn::Between,
+            column,
+            value: lo,
+            value2: Some(hi),
+        }
+    }
+
+    /// Conjunction of two predicates, collapsing `True` operands.
+    pub fn and(self, other: Predicate) -> Self {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (a, b) => Predicate::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction of two predicates.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Collects every comparison function used anywhere in the tree
+    /// (the basis of LOAM's multi-hot filter encoding).
+    pub fn functions(&self) -> Vec<CmpFn> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let Predicate::Cmp { op, .. } = p {
+                out.push(*op);
+            }
+        });
+        out
+    }
+
+    /// Collects every column referenced anywhere in the tree.
+    pub fn columns(&self) -> Vec<ColumnId> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let Predicate::Cmp { column, .. } = p {
+                out.push(*column);
+            }
+        });
+        out
+    }
+
+    /// Number of comparison leaves in the tree.
+    pub fn comparison_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| {
+            if matches!(p, Predicate::Cmp { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Depth of the predicate tree (a `Cmp` or `True` leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Predicate::Cmp { .. } | Predicate::True => 1,
+            Predicate::Not(p) => 1 + p.depth(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// Pre-order traversal visiting every sub-predicate.
+    pub fn visit<F: FnMut(&Predicate)>(&self, f: &mut F) {
+        f(self);
+        match self {
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Predicate::Not(p) => p.visit(f),
+            Predicate::Cmp { .. } | Predicate::True => {}
+        }
+    }
+
+    /// True if this predicate is the trivial `True`.
+    pub fn is_true(&self) -> bool {
+        matches!(self, Predicate::True)
+    }
+}
+
+impl Default for Predicate {
+    fn default() -> Self {
+        Predicate::True
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::Cmp {
+                op,
+                column,
+                value,
+                value2,
+            } => match (op, value2) {
+                (CmpFn::Between, Some(hi)) => write!(
+                    f,
+                    "c{} BETWEEN {} AND {}",
+                    column,
+                    value.as_f64(),
+                    hi.as_f64()
+                ),
+                (CmpFn::IsNull, _) => write!(f, "c{} IS NULL", column),
+                _ => write!(f, "c{} {} {}", column, op, value.as_f64()),
+            },
+            Predicate::And(a, b) => write!(f, "({} AND {})", a, b),
+            Predicate::Or(a, b) => write!(f, "({} OR {})", a, b),
+            Predicate::Not(p) => write!(f, "NOT {}", p),
+            Predicate::True => f.write_str("TRUE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Predicate {
+        Predicate::cmp(CmpFn::Eq, 3, Literal::Int(7))
+            .and(Predicate::cmp(CmpFn::Gt, 4, Literal::Float(0.5)))
+            .or(Predicate::between(5, Literal::Int(1), Literal::Int(10)))
+    }
+
+    #[test]
+    fn functions_are_collected_in_order() {
+        let p = sample();
+        assert_eq!(p.functions(), vec![CmpFn::Eq, CmpFn::Gt, CmpFn::Between]);
+    }
+
+    #[test]
+    fn columns_are_collected() {
+        assert_eq!(sample().columns(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn and_collapses_true() {
+        let p = Predicate::True.and(Predicate::cmp(CmpFn::Lt, 1, Literal::Int(5)));
+        assert_eq!(p.comparison_count(), 1);
+        assert!(!matches!(p, Predicate::And(_, _)));
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        assert_eq!(Predicate::True.depth(), 1);
+        assert_eq!(sample().depth(), 3);
+    }
+
+    #[test]
+    fn cmp_fn_indices_are_dense_and_unique() {
+        let all = CmpFn::all();
+        for (i, f) in all.iter().enumerate() {
+            assert_eq!(f.index(), i);
+        }
+        assert_eq!(all.len(), CmpFn::COUNT);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let p = sample();
+        let s = format!("{p}");
+        assert!(s.contains("c3 = 7"));
+        assert!(s.contains("BETWEEN"));
+    }
+
+    #[test]
+    fn literal_hash_distinguishes_variants() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Predicate::cmp(CmpFn::Eq, 0, Literal::Int(1)));
+        set.insert(Predicate::cmp(CmpFn::Eq, 0, Literal::Float(1.0)));
+        set.insert(Predicate::cmp(CmpFn::Eq, 0, Literal::Null));
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! # mcsim-plan
+//!
+//! Physical query-plan algebra for the MaxCompute simulator used by the LOAM
+//! reproduction.
+//!
+//! A plan is a tree of [`Operator`]s ([`PlanTree`]). Each node corresponds to
+//! a data operation such as table scanning, joining, or aggregation
+//! (Section 2.1 of the paper). Plans are decomposed into [`stage::StageGraph`]s
+//! at operators requiring data reshuffling ([`Operator::Exchange`]), mirroring
+//! MaxCompute's stage-level scheduling model.
+//!
+//! The crate is dependency-light on purpose: everything downstream (the
+//! catalog, the optimizer, the executor, LOAM's featurizer) shares these
+//! types.
+//!
+//! ## Example
+//!
+//! ```
+//! use mcsim_plan::{Operator, PlanTree, ExchangeKind, JoinAlgo, JoinKind};
+//!
+//! let mut t = PlanTree::new();
+//! let scan_a = t.leaf(Operator::table_scan(0, 4, 4, vec![0, 1]));
+//! let scan_b = t.leaf(Operator::table_scan(1, 2, 8, vec![5]));
+//! let ex_a = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![0]), scan_a);
+//! let ex_b = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![5]), scan_b);
+//! let join = t.binary(
+//!     Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![5]),
+//!     ex_a,
+//!     ex_b,
+//! );
+//! t.set_root(join);
+//! assert_eq!(t.len(), 5);
+//! let stages = mcsim_plan::stage::decompose(&t);
+//! assert_eq!(stages.stages.len(), 3); // two scan stages + the join stage
+//! ```
+
+pub mod display;
+pub mod dot;
+pub mod expr;
+pub mod op;
+pub mod signature;
+pub mod stage;
+pub mod tree;
+
+pub use expr::{CmpFn, Literal, Predicate};
+pub use op::{
+    AggAlgo, AggFunc, ExchangeKind, JoinAlgo, JoinKind, OpType, Operator, OP_TYPE_COUNT,
+};
+pub use signature::PlanSignature;
+pub use tree::{NodeId, PlanNode, PlanTree};
+
+/// Identifier of a table within the simulator's global catalog space.
+///
+/// Table identifiers are unbounded in production (temporal tables are created
+/// and deleted constantly), which is why LOAM hash-encodes them instead of
+/// one-hot encoding (Appendix B.1 of the paper).
+pub type TableId = u32;
+
+/// Identifier of a column within the simulator's global catalog space.
+pub type ColumnId = u32;

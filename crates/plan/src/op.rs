@@ -1,0 +1,489 @@
+//! Physical plan operators.
+//!
+//! MaxCompute supports ~30 operator types; LOAM encodes the classes that are
+//! most frequently used and cost-impacting (Section 4). This module defines
+//! the simulator's operator algebra along with a dense [`OpType`] index used
+//! for one-hot encodings.
+
+use crate::expr::Predicate;
+use crate::{ColumnId, TableId};
+use serde::{Deserialize, Serialize};
+
+/// Logical join form (paper: "a one-hot vector for the join form").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum JoinKind {
+    Inner = 0,
+    LeftOuter = 1,
+    RightOuter = 2,
+    FullOuter = 3,
+    Semi = 4,
+    Anti = 5,
+}
+
+impl JoinKind {
+    /// Number of join forms (one-hot width).
+    pub const COUNT: usize = 6;
+
+    /// Stable one-hot index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Physical join implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum JoinAlgo {
+    /// Build a hash table on the smaller input, probe with the larger.
+    Hash = 0,
+    /// Sort both inputs (if needed) and merge.
+    Merge = 1,
+    /// Replicate the small input to every instance of the large input.
+    Broadcast = 2,
+    /// Nested loops; only sensible for tiny inputs or non-equi conditions.
+    NestedLoop = 3,
+}
+
+impl JoinAlgo {
+    /// Number of join implementations.
+    pub const COUNT: usize = 4;
+}
+
+/// Aggregation function (paper: SUM, COUNT, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AggFunc {
+    Sum = 0,
+    Count = 1,
+    Min = 2,
+    Max = 3,
+    Avg = 4,
+    CountDistinct = 5,
+}
+
+impl AggFunc {
+    /// Number of aggregation functions (one-hot width).
+    pub const COUNT: usize = 6;
+
+    /// Stable one-hot index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Physical aggregation implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AggAlgo {
+    /// Hash table keyed by the group-by columns.
+    Hash = 0,
+    /// Sort by the group-by columns, then scan.
+    Sort = 1,
+}
+
+/// How an [`Operator::Exchange`] reshuffles data across machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ExchangeKind {
+    /// Hash-partition rows on a key so equal keys land on the same instance.
+    HashPartition = 0,
+    /// Range-partition rows (for sorts / merge joins).
+    RangePartition = 1,
+    /// Replicate all rows to every consumer instance.
+    Broadcast = 2,
+    /// Gather all rows to a single instance.
+    Gather = 3,
+}
+
+/// A physical plan operator.
+///
+/// Each node of a [`crate::PlanTree`] holds one `Operator`. Attributes mirror
+/// the pieces LOAM encodes: accessed tables/partitions/columns for scans,
+/// join form and key columns for joins, functions and key columns for
+/// aggregations, and function/column sets for filters (Section 4, Figure 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Operator {
+    /// Scan (part of) a partitioned table, optionally with a pushed-down
+    /// predicate used for partition pruning.
+    TableScan {
+        /// The scanned table.
+        table: TableId,
+        /// Number of partitions actually read (after pruning).
+        partitions_accessed: u32,
+        /// Total number of partitions in the table.
+        partitions_total: u32,
+        /// Columns projected out of the scan.
+        columns: Vec<ColumnId>,
+        /// Pushed-down predicate, if filter pushdown was applied.
+        predicate: Predicate,
+    },
+    /// Standalone row filter.
+    Filter {
+        /// The predicate rows must satisfy.
+        predicate: Predicate,
+    },
+    /// Combined filter + projection (MaxCompute's `Calc`).
+    Calc {
+        /// The predicate rows must satisfy.
+        predicate: Predicate,
+        /// Columns retained by the projection part.
+        columns: Vec<ColumnId>,
+    },
+    /// Pure projection.
+    Project {
+        /// Columns retained.
+        columns: Vec<ColumnId>,
+    },
+    /// Binary equi-join.
+    Join {
+        /// Logical join form.
+        kind: JoinKind,
+        /// Physical implementation.
+        algo: JoinAlgo,
+        /// Join key columns of the left input.
+        left_keys: Vec<ColumnId>,
+        /// Join key columns of the right input.
+        right_keys: Vec<ColumnId>,
+    },
+    /// Grouping aggregation.
+    Aggregate {
+        /// Physical implementation.
+        algo: AggAlgo,
+        /// Aggregation functions applied.
+        funcs: Vec<AggFunc>,
+        /// Columns being aggregated (parallel to `funcs`).
+        agg_columns: Vec<ColumnId>,
+        /// Group-by key columns (empty for a scalar aggregate).
+        group_by: Vec<ColumnId>,
+    },
+    /// Full sort.
+    Sort {
+        /// Sort key columns.
+        keys: Vec<ColumnId>,
+    },
+    /// Sort + limit fused.
+    TopN {
+        /// Sort key columns.
+        keys: Vec<ColumnId>,
+        /// Number of rows retained.
+        n: u64,
+    },
+    /// Data reshuffle across machines — the stage boundary.
+    Exchange {
+        /// Reshuffle style.
+        kind: ExchangeKind,
+        /// Partitioning key columns (empty for broadcast/gather).
+        keys: Vec<ColumnId>,
+    },
+    /// Materialize the child once and share it with several consumers.
+    Spool {
+        /// Identifier linking spool producers with reuse points.
+        shared_id: u32,
+    },
+    /// Bag union of both children.
+    Union,
+    /// Row-count limit.
+    Limit {
+        /// Number of rows retained.
+        n: u64,
+    },
+    /// Terminal sink writing the query result.
+    Sink,
+}
+
+/// Dense operator-type index used for one-hot encodings.
+///
+/// Physical implementation variants get distinct indices (a `HashJoin` and a
+/// `MergeJoin` are different operator types to the model, exactly as in
+/// Figure 4 of the paper where `TableScan` and `MergeJoin` occupy different
+/// one-hot positions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum OpType {
+    TableScan = 0,
+    Filter = 1,
+    Calc = 2,
+    Project = 3,
+    HashJoin = 4,
+    MergeJoin = 5,
+    BroadcastJoin = 6,
+    NestedLoopJoin = 7,
+    HashAggregate = 8,
+    SortAggregate = 9,
+    Sort = 10,
+    TopN = 11,
+    ExchangeHash = 12,
+    ExchangeRange = 13,
+    ExchangeBroadcast = 14,
+    ExchangeGather = 15,
+    Spool = 16,
+    Union = 17,
+    Limit = 18,
+    Sink = 19,
+}
+
+/// Number of distinct [`OpType`]s (width of the operator one-hot block).
+pub const OP_TYPE_COUNT: usize = 20;
+
+impl OpType {
+    /// Stable one-hot index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short mnemonic used in plan displays and in the Ranker's
+    /// parent/child pattern encoding (Appendix D.2).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpType::TableScan => "TS",
+            OpType::Filter => "FIL",
+            OpType::Calc => "CALC",
+            OpType::Project => "PRJ",
+            OpType::HashJoin => "HJ",
+            OpType::MergeJoin => "MJ",
+            OpType::BroadcastJoin => "BJ",
+            OpType::NestedLoopJoin => "NLJ",
+            OpType::HashAggregate => "HA",
+            OpType::SortAggregate => "SA",
+            OpType::Sort => "SRT",
+            OpType::TopN => "TOPN",
+            OpType::ExchangeHash => "EXH",
+            OpType::ExchangeRange => "EXR",
+            OpType::ExchangeBroadcast => "EXB",
+            OpType::ExchangeGather => "EXG",
+            OpType::Spool => "SPL",
+            OpType::Union => "UNI",
+            OpType::Limit => "LIM",
+            OpType::Sink => "SNK",
+        }
+    }
+}
+
+impl Operator {
+    /// Convenience constructor for an unfiltered table scan.
+    pub fn table_scan(
+        table: TableId,
+        partitions_accessed: u32,
+        partitions_total: u32,
+        columns: Vec<ColumnId>,
+    ) -> Self {
+        Operator::TableScan {
+            table,
+            partitions_accessed,
+            partitions_total,
+            columns,
+            predicate: Predicate::True,
+        }
+    }
+
+    /// Convenience constructor for a join.
+    pub fn join(
+        kind: JoinKind,
+        algo: JoinAlgo,
+        left_keys: Vec<ColumnId>,
+        right_keys: Vec<ColumnId>,
+    ) -> Self {
+        Operator::Join {
+            kind,
+            algo,
+            left_keys,
+            right_keys,
+        }
+    }
+
+    /// Convenience constructor for an exchange.
+    pub fn exchange(kind: ExchangeKind, keys: Vec<ColumnId>) -> Self {
+        Operator::Exchange { kind, keys }
+    }
+
+    /// The dense operator-type classification of this operator.
+    pub fn op_type(&self) -> OpType {
+        match self {
+            Operator::TableScan { .. } => OpType::TableScan,
+            Operator::Filter { .. } => OpType::Filter,
+            Operator::Calc { .. } => OpType::Calc,
+            Operator::Project { .. } => OpType::Project,
+            Operator::Join { algo, .. } => match algo {
+                JoinAlgo::Hash => OpType::HashJoin,
+                JoinAlgo::Merge => OpType::MergeJoin,
+                JoinAlgo::Broadcast => OpType::BroadcastJoin,
+                JoinAlgo::NestedLoop => OpType::NestedLoopJoin,
+            },
+            Operator::Aggregate { algo, .. } => match algo {
+                AggAlgo::Hash => OpType::HashAggregate,
+                AggAlgo::Sort => OpType::SortAggregate,
+            },
+            Operator::Sort { .. } => OpType::Sort,
+            Operator::TopN { .. } => OpType::TopN,
+            Operator::Exchange { kind, .. } => match kind {
+                ExchangeKind::HashPartition => OpType::ExchangeHash,
+                ExchangeKind::RangePartition => OpType::ExchangeRange,
+                ExchangeKind::Broadcast => OpType::ExchangeBroadcast,
+                ExchangeKind::Gather => OpType::ExchangeGather,
+            },
+            Operator::Spool { .. } => OpType::Spool,
+            Operator::Union => OpType::Union,
+            Operator::Limit { .. } => OpType::Limit,
+            Operator::Sink => OpType::Sink,
+        }
+    }
+
+    /// Number of children this operator must have in a well-formed plan.
+    pub fn arity(&self) -> usize {
+        match self {
+            Operator::TableScan { .. } => 0,
+            Operator::Join { .. } | Operator::Union => 2,
+            _ => 1,
+        }
+    }
+
+    /// True for exchange operators, which delimit execution stages.
+    pub fn is_stage_boundary(&self) -> bool {
+        matches!(self, Operator::Exchange { .. })
+    }
+
+    /// All columns referenced by this operator's attributes (keys,
+    /// projections, predicate columns). Used by LOAM's hash encoder.
+    pub fn referenced_columns(&self) -> Vec<ColumnId> {
+        match self {
+            Operator::TableScan {
+                columns, predicate, ..
+            } => {
+                let mut c = columns.clone();
+                c.extend(predicate.columns());
+                c
+            }
+            Operator::Filter { predicate } => predicate.columns(),
+            Operator::Calc { predicate, columns } => {
+                let mut c = predicate.columns();
+                c.extend(columns.iter().copied());
+                c
+            }
+            Operator::Project { columns } => columns.clone(),
+            Operator::Join {
+                left_keys,
+                right_keys,
+                ..
+            } => left_keys.iter().chain(right_keys).copied().collect(),
+            Operator::Aggregate {
+                agg_columns,
+                group_by,
+                ..
+            } => agg_columns.iter().chain(group_by).copied().collect(),
+            Operator::Sort { keys } | Operator::TopN { keys, .. } => keys.clone(),
+            Operator::Exchange { keys, .. } => keys.clone(),
+            Operator::Spool { .. }
+            | Operator::Union
+            | Operator::Limit { .. }
+            | Operator::Sink => Vec::new(),
+        }
+    }
+
+    /// The predicate attached to this operator, if it filters rows.
+    pub fn predicate(&self) -> Option<&Predicate> {
+        match self {
+            Operator::TableScan { predicate, .. }
+            | Operator::Filter { predicate }
+            | Operator::Calc { predicate, .. } => Some(predicate),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpFn, Literal};
+
+    #[test]
+    fn op_type_indices_are_dense() {
+        use OpType::*;
+        let all = [
+            TableScan,
+            Filter,
+            Calc,
+            Project,
+            HashJoin,
+            MergeJoin,
+            BroadcastJoin,
+            NestedLoopJoin,
+            HashAggregate,
+            SortAggregate,
+            Sort,
+            TopN,
+            ExchangeHash,
+            ExchangeRange,
+            ExchangeBroadcast,
+            ExchangeGather,
+            Spool,
+            Union,
+            Limit,
+            Sink,
+        ];
+        assert_eq!(all.len(), OP_TYPE_COUNT);
+        for (i, t) in all.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn join_algo_determines_op_type() {
+        let j = Operator::join(JoinKind::Inner, JoinAlgo::Merge, vec![1], vec![2]);
+        assert_eq!(j.op_type(), OpType::MergeJoin);
+        assert_eq!(j.arity(), 2);
+    }
+
+    #[test]
+    fn scan_references_projection_and_predicate_columns() {
+        let scan = Operator::TableScan {
+            table: 0,
+            partitions_accessed: 1,
+            partitions_total: 4,
+            columns: vec![10, 11],
+            predicate: Predicate::cmp(CmpFn::Eq, 12, Literal::Int(5)),
+        };
+        assert_eq!(scan.referenced_columns(), vec![10, 11, 12]);
+        assert_eq!(scan.arity(), 0);
+    }
+
+    #[test]
+    fn exchange_is_a_stage_boundary() {
+        assert!(Operator::exchange(ExchangeKind::Gather, vec![]).is_stage_boundary());
+        assert!(!Operator::Sink.is_stage_boundary());
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = (0..OP_TYPE_COUNT)
+            .map(|i| {
+                // round-trip through the enum by matching on index
+                let all = [
+                    OpType::TableScan,
+                    OpType::Filter,
+                    OpType::Calc,
+                    OpType::Project,
+                    OpType::HashJoin,
+                    OpType::MergeJoin,
+                    OpType::BroadcastJoin,
+                    OpType::NestedLoopJoin,
+                    OpType::HashAggregate,
+                    OpType::SortAggregate,
+                    OpType::Sort,
+                    OpType::TopN,
+                    OpType::ExchangeHash,
+                    OpType::ExchangeRange,
+                    OpType::ExchangeBroadcast,
+                    OpType::ExchangeGather,
+                    OpType::Spool,
+                    OpType::Union,
+                    OpType::Limit,
+                    OpType::Sink,
+                ];
+                all[i].mnemonic()
+            })
+            .collect();
+        assert_eq!(set.len(), OP_TYPE_COUNT);
+    }
+}

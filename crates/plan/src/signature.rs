@@ -1,0 +1,248 @@
+//! Stable plan fingerprints.
+//!
+//! The historical query repository deduplicates recurring queries and the
+//! plan explorer deduplicates candidate plans by structural signature. The
+//! signature is a 64-bit FNV-1a hash over a canonical pre-order serialization
+//! of the plan; it is stable across processes (no `DefaultHasher`
+//! randomization) so repositories can be persisted and compared.
+
+use crate::expr::Predicate;
+use crate::op::Operator;
+use crate::tree::PlanTree;
+use serde::{Deserialize, Serialize};
+
+/// A stable 64-bit structural fingerprint of a plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PlanSignature(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over byte chunks.
+#[derive(Debug, Clone)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Stable hash of arbitrary bytes — also used by LOAM's multi-segment hash
+/// encoder, which needs process-stable hash functions.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(bytes);
+    h.0
+}
+
+/// Stable hash of bytes with a seed, giving a family of independent hash
+/// functions `f_i` as required by the multi-segment encoding (Appendix B.1).
+pub fn fnv1a_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&seed.to_le_bytes());
+    h.write(bytes);
+    // One extra mixing round so nearby seeds decorrelate.
+    let mut x = h.0;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x
+}
+
+impl PlanSignature {
+    /// Computes the signature of `plan`.
+    pub fn of(plan: &PlanTree) -> PlanSignature {
+        let mut h = Fnv::new();
+        if plan.try_root().is_none() {
+            return PlanSignature(h.0);
+        }
+        for id in plan.preorder() {
+            let n = plan.node(id);
+            hash_operator(&mut h, &n.op);
+            // Mark shape: which children exist.
+            let shape = (n.left.is_some() as u8) | ((n.right.is_some() as u8) << 1);
+            h.write(&[0xfe, shape]);
+        }
+        PlanSignature(h.0)
+    }
+}
+
+fn hash_operator(h: &mut Fnv, op: &Operator) {
+    h.write(&[op.op_type().index() as u8]);
+    match op {
+        Operator::TableScan {
+            table,
+            partitions_accessed,
+            partitions_total,
+            columns,
+            predicate,
+        } => {
+            h.write_u32(*table);
+            h.write_u32(*partitions_accessed);
+            h.write_u32(*partitions_total);
+            hash_cols(h, columns);
+            hash_pred(h, predicate);
+        }
+        Operator::Filter { predicate } => hash_pred(h, predicate),
+        Operator::Calc { predicate, columns } => {
+            hash_pred(h, predicate);
+            hash_cols(h, columns);
+        }
+        Operator::Project { columns } => hash_cols(h, columns),
+        Operator::Join {
+            kind,
+            algo,
+            left_keys,
+            right_keys,
+        } => {
+            h.write(&[*kind as u8, *algo as u8]);
+            hash_cols(h, left_keys);
+            hash_cols(h, right_keys);
+        }
+        Operator::Aggregate {
+            algo,
+            funcs,
+            agg_columns,
+            group_by,
+        } => {
+            h.write(&[*algo as u8]);
+            for f in funcs {
+                h.write(&[*f as u8]);
+            }
+            hash_cols(h, agg_columns);
+            hash_cols(h, group_by);
+        }
+        Operator::Sort { keys } => hash_cols(h, keys),
+        Operator::TopN { keys, n } => {
+            hash_cols(h, keys);
+            h.write_u64(*n);
+        }
+        Operator::Exchange { kind, keys } => {
+            h.write(&[*kind as u8]);
+            hash_cols(h, keys);
+        }
+        Operator::Spool { shared_id } => h.write_u32(*shared_id),
+        Operator::Limit { n } => h.write_u64(*n),
+        Operator::Union | Operator::Sink => {}
+    }
+}
+
+fn hash_cols(h: &mut Fnv, cols: &[u32]) {
+    h.write_u32(cols.len() as u32);
+    for &c in cols {
+        h.write_u32(c);
+    }
+}
+
+fn hash_pred(h: &mut Fnv, p: &Predicate) {
+    match p {
+        Predicate::Cmp {
+            op,
+            column,
+            value,
+            value2,
+        } => {
+            h.write(&[1, op.index() as u8]);
+            h.write_u32(*column);
+            h.write_u64(value.as_f64().to_bits());
+            if let Some(v2) = value2 {
+                h.write_u64(v2.as_f64().to_bits());
+            }
+        }
+        Predicate::And(a, b) => {
+            h.write(&[2]);
+            hash_pred(h, a);
+            hash_pred(h, b);
+        }
+        Predicate::Or(a, b) => {
+            h.write(&[3]);
+            hash_pred(h, a);
+            hash_pred(h, b);
+        }
+        Predicate::Not(a) => {
+            h.write(&[4]);
+            hash_pred(h, a);
+        }
+        Predicate::True => h.write(&[5]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpFn, Literal};
+    use crate::op::{ExchangeKind, JoinAlgo, JoinKind};
+
+    fn plan(algo: JoinAlgo) -> PlanTree {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        let b = t.leaf(Operator::table_scan(1, 1, 1, vec![1]));
+        let ea = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![0]), a);
+        let eb = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![1]), b);
+        let j = t.binary(Operator::join(JoinKind::Inner, algo, vec![0], vec![1]), ea, eb);
+        t.set_root(j);
+        t
+    }
+
+    #[test]
+    fn identical_plans_share_a_signature() {
+        assert_eq!(
+            PlanSignature::of(&plan(JoinAlgo::Hash)),
+            PlanSignature::of(&plan(JoinAlgo::Hash))
+        );
+    }
+
+    #[test]
+    fn different_join_algorithms_differ() {
+        assert_ne!(
+            PlanSignature::of(&plan(JoinAlgo::Hash)),
+            PlanSignature::of(&plan(JoinAlgo::Merge))
+        );
+    }
+
+    #[test]
+    fn predicate_constants_affect_signature() {
+        let mk = |v: i64| {
+            let mut t = PlanTree::new();
+            let a = t.leaf(Operator::TableScan {
+                table: 0,
+                partitions_accessed: 1,
+                partitions_total: 1,
+                columns: vec![0],
+                predicate: Predicate::cmp(CmpFn::Eq, 0, Literal::Int(v)),
+            });
+            t.set_root(a);
+            PlanSignature::of(&t)
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn seeded_hashes_are_decorrelated() {
+        // Different seeds should give (almost always) different buckets.
+        let buckets: Vec<u64> = (0..5)
+            .map(|s| fnv1a_seeded(s, b"some_table_name") % 10)
+            .collect();
+        let distinct: std::collections::HashSet<_> = buckets.iter().collect();
+        assert!(distinct.len() >= 2, "seeds should decorrelate: {buckets:?}");
+    }
+
+    #[test]
+    fn fnv_is_stable_across_calls() {
+        assert_eq!(fnv1a(b"loam"), fnv1a(b"loam"));
+        assert_ne!(fnv1a(b"loam"), fnv1a(b"maol"));
+    }
+}

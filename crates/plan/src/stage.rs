@@ -1,0 +1,256 @@
+//! Execution-plan decomposition into stages.
+//!
+//! MaxCompute decomposes a physical plan into a tree of stages at operators
+//! requiring data reshuffling (Section 2.1). Each stage is a sequence of
+//! connected operators executed as an intra-machine pipeline; edges in the
+//! stage tree are data dependencies. The resource manager treats each stage
+//! as the atomic unit of allocation, and all plan nodes within a stage run on
+//! the same set of allocated machines — which is why LOAM's environment
+//! features are observed at stage granularity.
+
+use crate::op::Operator;
+use crate::tree::{NodeId, PlanTree};
+use serde::{Deserialize, Serialize};
+
+/// Index of a stage within a [`StageGraph`].
+pub type StageId = usize;
+
+/// One execution stage: a maximal exchange-free pipeline of plan nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Plan nodes belonging to this stage, in post-order within the stage.
+    pub nodes: Vec<NodeId>,
+    /// Stages this stage consumes data from (its children in the stage tree).
+    pub inputs: Vec<StageId>,
+    /// The exchange node (in the *parent* stage side) through which this
+    /// stage's output flows, if this is not the root stage.
+    pub output_exchange: Option<NodeId>,
+}
+
+/// The stage decomposition of a plan: a tree of [`Stage`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageGraph {
+    /// All stages; `stages[root]` is the stage containing the plan root.
+    pub stages: Vec<Stage>,
+    /// Index of the root stage.
+    pub root: StageId,
+    /// For each plan node, the stage it belongs to.
+    pub stage_of_node: Vec<StageId>,
+}
+
+impl StageGraph {
+    /// Stages in dependency order: every stage appears after all stages it
+    /// consumes from, so iterating executes parents-last as the scheduler
+    /// requires ("once all parent stages are complete, a stage becomes
+    /// eligible").
+    pub fn execution_order(&self) -> Vec<StageId> {
+        let mut out = Vec::with_capacity(self.stages.len());
+        let mut stack = vec![(self.root, false)];
+        while let Some((s, expanded)) = stack.pop() {
+            if expanded {
+                out.push(s);
+            } else {
+                stack.push((s, true));
+                for &i in &self.stages[s].inputs {
+                    stack.push((i, false));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the graph has no stages (empty plan).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+/// Decomposes `plan` into its stage tree.
+///
+/// An [`Operator::Exchange`] node is assigned to the *consumer* (parent)
+/// stage — it represents the reading side of the shuffle — while its subtree
+/// below becomes a separate producer stage. Leaf scans start fresh stages
+/// only when separated from the root pipeline by an exchange.
+///
+/// # Panics
+///
+/// Panics if the plan has no root. Call [`PlanTree::validate`] first for
+/// untrusted plans.
+pub fn decompose(plan: &PlanTree) -> StageGraph {
+    assert!(plan.try_root().is_some(), "cannot decompose an empty plan");
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut stage_of_node = vec![usize::MAX; plan.len()];
+
+    // Create the root stage and recursively assign nodes.
+    let root_stage = new_stage(&mut stages);
+    assign(plan, plan.root(), root_stage, &mut stages, &mut stage_of_node);
+
+    // Within each stage, order nodes in post-order for pipelined evaluation.
+    let postorder = plan.postorder();
+    let mut by_stage: Vec<Vec<NodeId>> = vec![Vec::new(); stages.len()];
+    for id in postorder {
+        by_stage[stage_of_node[id]].push(id);
+    }
+    for (s, nodes) in by_stage.into_iter().enumerate() {
+        stages[s].nodes = nodes;
+    }
+
+    StageGraph {
+        stages,
+        root: root_stage,
+        stage_of_node,
+    }
+}
+
+fn new_stage(stages: &mut Vec<Stage>) -> StageId {
+    stages.push(Stage {
+        nodes: Vec::new(),
+        inputs: Vec::new(),
+        output_exchange: None,
+    });
+    stages.len() - 1
+}
+
+fn assign(
+    plan: &PlanTree,
+    node: NodeId,
+    stage: StageId,
+    stages: &mut Vec<Stage>,
+    stage_of_node: &mut [StageId],
+) {
+    stage_of_node[node] = stage;
+    let n = plan.node(node);
+    let is_exchange = matches!(n.op, Operator::Exchange { .. });
+    for child in n.children() {
+        if is_exchange {
+            // The subtree under an exchange is a new producer stage.
+            let child_stage = new_stage(stages);
+            stages[child_stage].output_exchange = Some(node);
+            stages[stage].inputs.push(child_stage);
+            assign(plan, child, child_stage, stages, stage_of_node);
+        } else {
+            assign(plan, child, stage, stages, stage_of_node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ExchangeKind, JoinAlgo, JoinKind};
+
+    /// scan(A) -> EX -> \
+    ///                    HJ -> agg -> sink
+    /// scan(B) -> EX -> /
+    fn join_plan() -> PlanTree {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        let b = t.leaf(Operator::table_scan(1, 1, 1, vec![1]));
+        let ea = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![0]), a);
+        let eb = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![1]), b);
+        let j = t.binary(
+            Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]),
+            ea,
+            eb,
+        );
+        let s = t.unary(Operator::Sink, j);
+        t.set_root(s);
+        t
+    }
+
+    #[test]
+    fn join_plan_has_three_stages() {
+        let t = join_plan();
+        let g = decompose(&t);
+        assert_eq!(g.len(), 3);
+        // Root stage contains sink, join, and both exchanges (reader side).
+        assert_eq!(g.stages[g.root].nodes.len(), 4);
+        // Each producer stage holds exactly one scan.
+        for (s, stage) in g.stages.iter().enumerate() {
+            if s != g.root {
+                assert_eq!(stage.nodes.len(), 1);
+                assert!(matches!(
+                    t.op(stage.nodes[0]),
+                    Operator::TableScan { .. }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_in_exactly_one_stage() {
+        let t = join_plan();
+        let g = decompose(&t);
+        let mut counts = vec![0usize; t.len()];
+        for stage in &g.stages {
+            for &n in &stage.nodes {
+                counts[n] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn execution_order_respects_dependencies() {
+        let t = join_plan();
+        let g = decompose(&t);
+        let order = g.execution_order();
+        assert_eq!(order.len(), g.len());
+        let pos: Vec<usize> = (0..g.len())
+            .map(|s| order.iter().position(|&x| x == s).unwrap())
+            .collect();
+        for (s, stage) in g.stages.iter().enumerate() {
+            for &i in &stage.inputs {
+                assert!(pos[i] < pos[s], "producer {i} must run before consumer {s}");
+            }
+        }
+        assert_eq!(*order.last().unwrap(), g.root);
+    }
+
+    #[test]
+    fn single_stage_plan_without_exchange() {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        let f = t.unary(
+            Operator::Filter {
+                predicate: crate::expr::Predicate::True,
+            },
+            a,
+        );
+        let s = t.unary(Operator::Sink, f);
+        t.set_root(s);
+        let g = decompose(&t);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.stages[0].nodes.len(), 3);
+        assert!(g.stages[0].output_exchange.is_none());
+    }
+
+    #[test]
+    fn nested_exchanges_create_chain_of_stages() {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        let e1 = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![0]), a);
+        let agg = t.unary(
+            Operator::Aggregate {
+                algo: crate::op::AggAlgo::Hash,
+                funcs: vec![crate::op::AggFunc::Sum],
+                agg_columns: vec![0],
+                group_by: vec![1],
+            },
+            e1,
+        );
+        let e2 = t.unary(Operator::exchange(ExchangeKind::Gather, vec![]), agg);
+        let s = t.unary(Operator::Sink, e2);
+        t.set_root(s);
+        let g = decompose(&t);
+        assert_eq!(g.len(), 3);
+        let order = g.execution_order();
+        // scan stage, then agg stage, then sink stage
+        assert_eq!(order.last(), Some(&g.root));
+    }
+}

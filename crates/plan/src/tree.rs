@@ -1,0 +1,449 @@
+//! Arena-based plan trees.
+//!
+//! Plans are canonical binary trees (footnote 1 of the paper): every node has
+//! at most two children. Nodes live in an arena indexed by [`NodeId`] so that
+//! downstream annotations (cardinalities, stage membership, feature vectors)
+//! can be stored in parallel `Vec`s.
+
+use crate::op::Operator;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within a [`PlanTree`] arena.
+pub type NodeId = usize;
+
+/// One node of a plan tree: an operator plus child links.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanNode {
+    /// The operator at this node.
+    pub op: Operator,
+    /// Left (or only) child, if any.
+    pub left: Option<NodeId>,
+    /// Right child, if any (only binary operators have one).
+    pub right: Option<NodeId>,
+}
+
+impl PlanNode {
+    /// Child ids in left-to-right order.
+    pub fn children(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.left.into_iter().chain(self.right)
+    }
+}
+
+/// A physical query plan: a canonical binary tree of [`Operator`]s.
+///
+/// # Example
+///
+/// ```
+/// use mcsim_plan::{Operator, PlanTree};
+///
+/// let mut t = PlanTree::new();
+/// let scan = t.leaf(Operator::table_scan(7, 1, 1, vec![0]));
+/// let sink = t.unary(Operator::Sink, scan);
+/// t.set_root(sink);
+/// assert_eq!(t.len(), 2);
+/// assert!(t.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlanTree {
+    nodes: Vec<PlanNode>,
+    root: Option<NodeId>,
+}
+
+/// Error returned by [`PlanTree::validate`] when the tree is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidatePlanError {
+    /// The tree has no root set.
+    MissingRoot,
+    /// A child id points outside the arena.
+    DanglingChild {
+        /// Offending parent node.
+        node: NodeId,
+    },
+    /// An operator has the wrong number of children for its arity.
+    WrongArity {
+        /// Offending node.
+        node: NodeId,
+        /// Children the operator requires.
+        expected: usize,
+        /// Children it actually has.
+        actual: usize,
+    },
+    /// A node is referenced as a child by more than one parent, or the root
+    /// is referenced as a child (the "tree" is really a DAG or cyclic).
+    NotATree {
+        /// Offending node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for ValidatePlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidatePlanError::MissingRoot => write!(f, "plan has no root"),
+            ValidatePlanError::DanglingChild { node } => {
+                write!(f, "node {node} references a child outside the arena")
+            }
+            ValidatePlanError::WrongArity {
+                node,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "node {node} has {actual} children but its operator requires {expected}"
+            ),
+            ValidatePlanError::NotATree { node } => {
+                write!(f, "node {node} has multiple parents or forms a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidatePlanError {}
+
+impl PlanTree {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the plan has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The root node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no root has been set; use [`PlanTree::try_root`] to handle
+    /// the empty case.
+    pub fn root(&self) -> NodeId {
+        self.root.expect("plan has no root")
+    }
+
+    /// The root node id, if one has been set.
+    pub fn try_root(&self) -> Option<NodeId> {
+        self.root
+    }
+
+    /// Marks `id` as the root of the plan.
+    pub fn set_root(&mut self, id: NodeId) {
+        debug_assert!(id < self.nodes.len());
+        self.root = Some(id);
+    }
+
+    /// Adds a leaf node (no children) and returns its id.
+    pub fn leaf(&mut self, op: Operator) -> NodeId {
+        self.push(op, None, None)
+    }
+
+    /// Adds a unary node over `child` and returns its id.
+    pub fn unary(&mut self, op: Operator, child: NodeId) -> NodeId {
+        self.push(op, Some(child), None)
+    }
+
+    /// Adds a binary node over `left` and `right` and returns its id.
+    pub fn binary(&mut self, op: Operator, left: NodeId, right: NodeId) -> NodeId {
+        self.push(op, Some(left), Some(right))
+    }
+
+    fn push(&mut self, op: Operator, left: Option<NodeId>, right: Option<NodeId>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(PlanNode { op, left, right });
+        id
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node(&self, id: NodeId) -> &PlanNode {
+        &self.nodes[id]
+    }
+
+    /// Mutably borrow a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut PlanNode {
+        &mut self.nodes[id]
+    }
+
+    /// Borrow a node's operator.
+    pub fn op(&self, id: NodeId) -> &Operator {
+        &self.nodes[id].op
+    }
+
+    /// All nodes in arena order (not traversal order).
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &PlanNode)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Node ids in post-order (children before parents), starting at the root.
+    ///
+    /// This is the evaluation order used by the executor and the order in
+    /// which tree convolution aggregates information upward.
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        if let Some(root) = self.root {
+            // Iterative post-order with an explicit visit flag to avoid
+            // recursion limits on deep plans.
+            let mut stack = vec![(root, false)];
+            while let Some((id, expanded)) = stack.pop() {
+                if expanded {
+                    out.push(id);
+                } else {
+                    stack.push((id, true));
+                    let n = &self.nodes[id];
+                    if let Some(r) = n.right {
+                        stack.push((r, false));
+                    }
+                    if let Some(l) = n.left {
+                        stack.push((l, false));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Node ids in pre-order (parents before children), starting at the root.
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        if let Some(root) = self.root {
+            let mut stack = vec![root];
+            while let Some(id) = stack.pop() {
+                out.push(id);
+                let n = &self.nodes[id];
+                if let Some(r) = n.right {
+                    stack.push(r);
+                }
+                if let Some(l) = n.left {
+                    stack.push(l);
+                }
+            }
+        }
+        out
+    }
+
+    /// Depth of the tree (root-only tree has depth 1; empty tree depth 0).
+    pub fn depth(&self) -> usize {
+        fn rec(t: &PlanTree, id: NodeId) -> usize {
+            let n = t.node(id);
+            1 + n.children().map(|c| rec(t, c)).max().unwrap_or(0)
+        }
+        self.root.map(|r| rec(self, r)).unwrap_or(0)
+    }
+
+    /// Parent of each node (`None` for the root), computed by a full scan.
+    pub fn parents(&self) -> Vec<Option<NodeId>> {
+        let mut parents = vec![None; self.nodes.len()];
+        for (id, n) in self.nodes.iter().enumerate() {
+            for c in n.children() {
+                parents[c] = Some(id);
+            }
+        }
+        parents
+    }
+
+    /// Counts operators matching `pred`.
+    pub fn count_ops<F: Fn(&Operator) -> bool>(&self, pred: F) -> usize {
+        self.preorder()
+            .into_iter()
+            .filter(|&id| pred(&self.nodes[id].op))
+            .count()
+    }
+
+    /// Checks structural invariants: a root exists, children are in-bounds,
+    /// arities match, and every reachable node has exactly one parent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidatePlanError`] found.
+    pub fn validate(&self) -> Result<(), ValidatePlanError> {
+        let root = self.root.ok_or(ValidatePlanError::MissingRoot)?;
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        seen[root] = true;
+        while let Some(id) = stack.pop() {
+            let n = &self.nodes[id];
+            let actual = n.children().count();
+            let expected = n.op.arity();
+            if actual != expected {
+                return Err(ValidatePlanError::WrongArity {
+                    node: id,
+                    expected,
+                    actual,
+                });
+            }
+            for c in n.children() {
+                if c >= self.nodes.len() {
+                    return Err(ValidatePlanError::DanglingChild { node: id });
+                }
+                if seen[c] || c == root {
+                    return Err(ValidatePlanError::NotATree { node: c });
+                }
+                seen[c] = true;
+                stack.push(c);
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the tree keeping only nodes reachable from the root,
+    /// renumbering ids into post-order. Useful after rewrites that orphan
+    /// nodes.
+    pub fn compact(&self) -> PlanTree {
+        let mut out = PlanTree::new();
+        if self.root.is_none() {
+            return out;
+        }
+        let order = self.postorder();
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        for id in order {
+            let n = &self.nodes[id];
+            let left = n.left.map(|c| remap[c]);
+            let right = n.right.map(|c| remap[c]);
+            let new_id = out.push(n.op.clone(), left, right);
+            remap[id] = new_id;
+        }
+        out.set_root(remap[self.root.unwrap()]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{ExchangeKind, JoinAlgo, JoinKind};
+
+    fn small_plan() -> PlanTree {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        let b = t.leaf(Operator::table_scan(1, 1, 1, vec![1]));
+        let ea = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![0]), a);
+        let eb = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![1]), b);
+        let j = t.binary(
+            Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]),
+            ea,
+            eb,
+        );
+        let s = t.unary(Operator::Sink, j);
+        t.set_root(s);
+        t
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let t = small_plan();
+        let order = t.postorder();
+        let pos: Vec<usize> = (0..t.len())
+            .map(|id| order.iter().position(|&x| x == id).unwrap())
+            .collect();
+        for (id, n) in t.iter() {
+            for c in n.children() {
+                assert!(pos[c] < pos[id], "child {c} must precede parent {id}");
+            }
+        }
+        assert_eq!(order.len(), t.len());
+    }
+
+    #[test]
+    fn preorder_visits_parents_first() {
+        let t = small_plan();
+        let order = t.preorder();
+        let pos: Vec<usize> = (0..t.len())
+            .map(|id| order.iter().position(|&x| x == id).unwrap())
+            .collect();
+        for (id, n) in t.iter() {
+            for c in n.children() {
+                assert!(pos[c] > pos[id]);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(small_plan().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_missing_root() {
+        let t = PlanTree::new();
+        assert_eq!(t.validate(), Err(ValidatePlanError::MissingRoot));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity() {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        // Join requires two children but gets one.
+        let j = t.unary(
+            Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![1]),
+            a,
+        );
+        t.set_root(j);
+        assert!(matches!(
+            t.validate(),
+            Err(ValidatePlanError::WrongArity { expected: 2, actual: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_shared_child() {
+        let mut t = PlanTree::new();
+        let a = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        let j = t.binary(
+            Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![0], vec![0]),
+            a,
+            a,
+        );
+        t.set_root(j);
+        assert!(matches!(t.validate(), Err(ValidatePlanError::NotATree { .. })));
+    }
+
+    #[test]
+    fn parents_inverse_of_children() {
+        let t = small_plan();
+        let parents = t.parents();
+        for (id, n) in t.iter() {
+            for c in n.children() {
+                assert_eq!(parents[c], Some(id));
+            }
+        }
+        assert_eq!(parents[t.root()], None);
+    }
+
+    #[test]
+    fn compact_preserves_structure_and_drops_orphans() {
+        let mut t = small_plan();
+        // Add an orphan node not reachable from the root.
+        t.leaf(Operator::table_scan(9, 1, 1, vec![9]));
+        let c = t.compact();
+        assert_eq!(c.len(), 6);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.depth(), t.depth());
+        assert_eq!(
+            c.count_ops(|o| matches!(o, Operator::Join { .. })),
+            t.count_ops(|o| matches!(o, Operator::Join { .. }))
+        );
+    }
+
+    #[test]
+    fn depth_of_chain() {
+        let mut t = PlanTree::new();
+        let mut cur = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        for _ in 0..5 {
+            cur = t.unary(Operator::Limit { n: 10 }, cur);
+        }
+        t.set_root(cur);
+        assert_eq!(t.depth(), 6);
+    }
+}

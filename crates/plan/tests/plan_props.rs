@@ -1,0 +1,133 @@
+//! Property tests on the plan algebra: random well-formed trees round-trip
+//! through compaction, stage decomposition partitions nodes, and signatures
+//! are injective enough.
+
+use mcsim_plan::expr::{CmpFn, Literal, Predicate};
+use mcsim_plan::op::{AggAlgo, AggFunc, ExchangeKind, JoinAlgo, JoinKind};
+use mcsim_plan::stage::decompose;
+use mcsim_plan::{Operator, PlanSignature, PlanTree};
+use proptest::prelude::*;
+
+/// Strategy: random well-formed plan trees (scans at leaves, joins/unions
+/// binary, everything else unary), depth-bounded.
+fn plan_strategy() -> impl Strategy<Value = PlanTree> {
+    // Recursive blueprint: an enum tree we then materialize.
+    #[derive(Debug, Clone)]
+    enum Node {
+        Scan(u32, u32),
+        Unary(u8, Box<Node>),
+        Binary(u8, Box<Node>, Box<Node>),
+    }
+    let leaf = (0u32..50, 1u32..64).prop_map(|(t, parts)| Node::Scan(t, parts));
+    let tree = leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (0u8..6, inner.clone()).prop_map(|(k, c)| Node::Unary(k, Box::new(c))),
+            (0u8..2, inner.clone(), inner).prop_map(|(k, a, b)| Node::Binary(k, Box::new(a), Box::new(b))),
+        ]
+    });
+
+    fn materialize(n: &Node, t: &mut PlanTree) -> usize {
+        match n {
+            Node::Scan(table, parts) => t.leaf(Operator::TableScan {
+                table: *table,
+                partitions_accessed: (*parts).min(8),
+                partitions_total: *parts,
+                columns: vec![*table * 10, *table * 10 + 1],
+                predicate: Predicate::cmp(CmpFn::Eq, *table * 10 + 1, Literal::Int(3)),
+            }),
+            Node::Unary(kind, c) => {
+                let child = materialize(c, t);
+                let op = match kind % 6 {
+                    0 => Operator::Filter {
+                        predicate: Predicate::cmp(CmpFn::Gt, 1, Literal::Int(5)),
+                    },
+                    1 => Operator::exchange(ExchangeKind::HashPartition, vec![1]),
+                    2 => Operator::Aggregate {
+                        algo: AggAlgo::Hash,
+                        funcs: vec![AggFunc::Sum],
+                        agg_columns: vec![2],
+                        group_by: vec![3],
+                    },
+                    3 => Operator::Limit { n: 100 },
+                    4 => Operator::Spool { shared_id: 1 },
+                    _ => Operator::Sort { keys: vec![4] },
+                };
+                t.unary(op, child)
+            }
+            Node::Binary(kind, a, b) => {
+                let left = materialize(a, t);
+                let right = materialize(b, t);
+                let op = match kind % 2 {
+                    0 => Operator::join(JoinKind::Inner, JoinAlgo::Hash, vec![1], vec![2]),
+                    _ => Operator::Union,
+                };
+                t.binary(op, left, right)
+            }
+        }
+    }
+
+    tree.prop_map(|blueprint| {
+        let mut t = PlanTree::new();
+        let root = materialize(&blueprint, &mut t);
+        let sink = t.unary(Operator::Sink, root);
+        t.set_root(sink);
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_plans_validate(plan in plan_strategy()) {
+        prop_assert!(plan.validate().is_ok());
+    }
+
+    #[test]
+    fn compaction_preserves_signature(plan in plan_strategy()) {
+        let compacted = plan.compact();
+        prop_assert!(compacted.validate().is_ok());
+        prop_assert_eq!(PlanSignature::of(&plan), PlanSignature::of(&compacted));
+        prop_assert_eq!(plan.len(), compacted.len()); // no orphans by construction
+    }
+
+    #[test]
+    fn stages_partition_the_plan(plan in plan_strategy()) {
+        let stages = decompose(&plan);
+        let mut count = vec![0usize; plan.len()];
+        for s in &stages.stages {
+            for &n in &s.nodes {
+                count[n] += 1;
+            }
+        }
+        prop_assert!(count.iter().all(|&c| c == 1));
+        // Execution order ends at the root stage and respects dependencies.
+        let order = stages.execution_order();
+        prop_assert_eq!(order.len(), stages.len());
+        prop_assert_eq!(*order.last().unwrap(), stages.root);
+    }
+
+    #[test]
+    fn stage_count_equals_exchanges_plus_one(plan in plan_strategy()) {
+        let exchanges = plan.count_ops(|o| matches!(o, Operator::Exchange { .. }));
+        let stages = decompose(&plan);
+        prop_assert_eq!(stages.len(), exchanges + 1);
+    }
+
+    #[test]
+    fn postorder_and_preorder_are_permutations(plan in plan_strategy()) {
+        let mut post = plan.postorder();
+        let mut pre = plan.preorder();
+        post.sort_unstable();
+        pre.sort_unstable();
+        prop_assert_eq!(&post, &pre);
+        prop_assert_eq!(post.len(), plan.len());
+    }
+
+    #[test]
+    fn signatures_survive_serde(plan in plan_strategy()) {
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: PlanTree = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(PlanSignature::of(&plan), PlanSignature::of(&back));
+    }
+}

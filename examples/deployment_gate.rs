@@ -1,0 +1,78 @@
+//! Deployment lifecycle: train a predictor, validate it in the flighting
+//! environment against the deployment gate, persist it on approval, reload
+//! it, and verify the reloaded model steers identically — the operational
+//! loop of Figure 2.
+//!
+//! ```bash
+//! cargo run --release --example deployment_gate
+//! ```
+
+use loam::prelude::*;
+use loam_core::gate::{validate, GateConfig};
+use loam_core::persist::{load_predictor, save_predictor};
+
+fn main() {
+    let mut profile = ProjectProfile::evaluation_project(2).expect("project 2");
+    profile.n_tables = 30;
+    profile.n_temp_tables = 3;
+    profile.n_columns = 200;
+    profile.n_templates = 15;
+    profile.n_query_day0 = 40.0;
+
+    let cfg = PipelineConfig {
+        train_days: 10,
+        test_days: 2,
+        max_train: 400,
+        max_test: 25,
+        eval_rounds: 3,
+        da_queries: 20,
+        train_cfg: TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+
+    println!("offline phase: history + adaptive training...");
+    let prepared = prepare_project(&profile, ProjectId(2), &cfg);
+    let model = train_loam(&prepared, &cfg);
+
+    println!("flighting validation (the paper's pre-deployment step)...");
+    let evaluated = evaluate_candidates(&prepared, &cfg);
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    let report = validate(&model, &strategy, &evaluated, &GateConfig::default());
+    println!(
+        "gate report: avg ratio {:.3}, worst tail {:.2}x, regressions {:.0}% → {}",
+        report.avg_ratio,
+        report.worst_tail_ratio,
+        report.regression_fraction * 100.0,
+        if report.deploy() { "DEPLOY" } else { "REJECT" }
+    );
+
+    if !report.deploy() {
+        println!("model rejected — in production LOAM would keep the native optimizer");
+        return;
+    }
+
+    // Persist and reload (the ship-to-optimizer-service boundary).
+    let path = std::env::temp_dir().join("loam-example-model.json");
+    save_predictor(&model, &path).expect("save model");
+    println!("model persisted to {}", path.display());
+    let reloaded = load_predictor(&path).expect("load model");
+
+    // The reloaded model must steer identically.
+    let mut agree = 0;
+    for eq in &evaluated {
+        let refs: Vec<&PlanTree> = eq.plans.iter().collect();
+        let (a, _) = select_plan(&model, &refs, &strategy);
+        let (b, _) = select_plan(&reloaded, &refs, &strategy);
+        if a == b {
+            agree += 1;
+        }
+    }
+    println!(
+        "reloaded model agrees with the original on {agree}/{} steering decisions",
+        evaluated.len()
+    );
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate a synthetic project, optimize a query with the
+//! native optimizer, execute it on the simulated cluster, and inspect the
+//! logged record — the minimal tour of the substrate LOAM builds on.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use loam::prelude::*;
+
+fn main() {
+    // 1. A project: tables, columns, foreign keys, query templates.
+    let mut profile = ProjectProfile::evaluation_project(1).expect("project 1");
+    profile.n_tables = 40;
+    profile.n_temp_tables = 4;
+    profile.n_columns = 320;
+    profile.n_templates = 20;
+    let project = profile.generate(ProjectId(1));
+    println!(
+        "project with {} tables / {} columns / {} templates",
+        project.catalog.table_count(),
+        project.catalog.column_count(),
+        project.templates.len()
+    );
+
+    // 2. A day's workload and one query from it.
+    let queries = project.workload_for_day(0);
+    let query = &queries[0];
+    println!(
+        "\nquery {}: {} tables, {} joins, aggregation: {}",
+        query.id,
+        query.table_count(),
+        query.joins.len(),
+        query.has_aggregation()
+    );
+
+    // 3. The native optimizer compiles it into a physical plan.
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let plan = optimizer.optimize(query, &Knobs::default());
+    println!("\ndefault plan:\n{}", mcsim_plan::display::render(&plan));
+
+    // 4. Execute it on the simulated multi-tenant cluster.
+    let cluster = Cluster::new(7, ClusterConfig::default());
+    let mut executor = Executor::new(7, cluster, profile.env_noise_sigma);
+    executor.cluster.advance(100); // warm the cluster up
+    let outcome = executor.execute(&plan, &project.catalog);
+    println!(
+        "executed: CPU cost {:.1}, latency {:.2}, {} stages",
+        outcome.cpu_cost,
+        outcome.latency,
+        outcome.stage_envs.len()
+    );
+    for (i, env) in outcome.stage_envs.iter().enumerate() {
+        println!(
+            "  stage {i}: CPU_IDLE {:.2}, IO_WAIT {:.3}, LOAD5 {:.1}, MEM {:.2} → cost {:.1}",
+            env.cpu_idle, env.io_wait, env.load5, env.mem_usage, outcome.stage_costs[i]
+        );
+    }
+
+    // 5. Re-running the identical plan gives a different cost — the
+    //    environment variation at the heart of the paper's Challenge 1.
+    let again = executor.execute(&plan, &project.catalog);
+    println!(
+        "\nsame plan re-executed: CPU cost {:.1} (vs {:.1} — environment variation)",
+        again.cpu_cost, outcome.cpu_cost
+    );
+}

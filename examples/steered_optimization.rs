@@ -1,0 +1,91 @@
+//! Steered optimization end to end: build a project's history, train LOAM's
+//! adaptive cost predictor on it, then serve a day of online queries in the
+//! paper's steering style — explore candidates, predict under the
+//! representative environment, execute the selected plan — and compare
+//! against the native optimizer.
+//!
+//! ```bash
+//! cargo run --release --example steered_optimization
+//! ```
+
+use loam::prelude::*;
+
+fn main() {
+    // A small Project-2-like setup so the example runs in ~a minute.
+    let mut profile = ProjectProfile::evaluation_project(2).expect("project 2");
+    profile.n_tables = 35;
+    profile.n_temp_tables = 3;
+    profile.n_columns = 220;
+    profile.n_templates = 18;
+    profile.n_query_day0 = 60.0;
+
+    let cfg = PipelineConfig {
+        train_days: 15,
+        test_days: 3,
+        max_train: 900,
+        max_test: 40,
+        eval_rounds: 3,
+        da_queries: 25,
+        train_cfg: TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+
+    println!("building {}-day history...", cfg.train_days);
+    let prepared = prepare_project(&profile, ProjectId(2), &cfg);
+    println!(
+        "  {} executions logged, {} unlabeled candidate plans for domain adaptation",
+        prepared.train_samples.len(),
+        prepared.da_candidates.len()
+    );
+
+    println!("training the adaptive cost predictor (TCN + GRL)...");
+    let predictor = train_loam(&prepared, &cfg);
+    println!(
+        "  model: {} parameters ({} KB)",
+        predictor.param_count(),
+        predictor.size_bytes() / 1024
+    );
+
+    println!("replaying {} test queries in the flighting environment...", prepared.test_queries.len());
+    let evaluated = evaluate_candidates(&prepared, &cfg);
+
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    let native = evaluate_native(&evaluated);
+    let loam = evaluate_model(&predictor, &strategy, &evaluated);
+    let best = evaluate_best_achievable(&evaluated);
+
+    println!("\naverage end-to-end CPU cost over the test workload:");
+    println!("  MaxCompute (default plans): {:.0}", native.avg_cost);
+    println!("  LOAM (steered):             {:.0}", loam.avg_cost);
+    println!("  best-achievable (M_b):      {:.0}", best.avg_cost);
+    println!(
+        "\nLOAM gain over the native optimizer: {:+.1}%",
+        100.0 * (1.0 - loam.avg_cost / native.avg_cost)
+    );
+    println!(
+        "relative deviance from the oracle: native {:.1}%, LOAM {:.1}%, best-achievable {:.1}%",
+        native.deviance.relative * 100.0,
+        loam.deviance.relative * 100.0,
+        best.deviance.relative * 100.0
+    );
+
+    let improved = loam
+        .per_query
+        .iter()
+        .filter(|(d, c)| c < &(d * 0.98))
+        .count();
+    let regressed = loam
+        .per_query
+        .iter()
+        .filter(|(d, c)| c > &(d * 1.02))
+        .count();
+    println!(
+        "per-query: {} improved, {} regressed, {} unchanged",
+        improved,
+        regressed,
+        loam.per_query.len() - improved - regressed
+    );
+}

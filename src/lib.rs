@@ -1,0 +1,67 @@
+//! # loam
+//!
+//! A reproduction of *"Learned Query Optimizer in Alibaba MaxCompute:
+//! Challenges, Analysis, and Solutions"*: the LOAM framework plus the full
+//! simulated substrate it needs — a MaxCompute-like query optimizer, a
+//! multi-tenant cluster with stochastic load, ground-truth cost physics, and
+//! from-scratch neural-network / gradient-boosting libraries.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`mcsim_plan`] — physical plan algebra and stage decomposition;
+//! * [`mcsim_catalog`] — projects, synthetic schemas/workloads, the
+//!   historical query repository;
+//! * [`mcsim_optimizer`] — the native cost-based optimizer with its six
+//!   steering flags and cardinality-scaling knob;
+//! * [`mcsim_exec`] — the execution simulator and flighting environment;
+//! * [`tinynn`] / [`tinygbdt`] — the learning substrates;
+//! * [`loam_core`] — LOAM itself: statistics-free featurization, the
+//!   adaptive cost predictor with adversarial domain adaptation, inference
+//!   strategies under invisible environments, deviance theory, and the
+//!   project selector.
+//!
+//! ## Example
+//!
+//! ```
+//! use loam::prelude::*;
+//!
+//! let mut profile = ProjectProfile::evaluation_project(1).unwrap();
+//! profile.n_tables = 15; profile.n_temp_tables = 2;
+//! profile.n_columns = 120; profile.n_templates = 8;
+//! let project = profile.generate(ProjectId(1));
+//! let optimizer = NativeOptimizer::new(&project.catalog);
+//! let query = &project.workload_for_day(0)[0];
+//! let plan = optimizer.optimize(query, &Knobs::default());
+//! assert!(plan.validate().is_ok());
+//! ```
+
+pub use loam_core;
+pub use mcsim_catalog;
+pub use mcsim_exec;
+pub use mcsim_optimizer;
+pub use mcsim_plan;
+pub use tinygbdt;
+pub use tinynn;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use loam_core::explorer::{ExplorerConfig, PlanExplorer};
+    pub use loam_core::inference::{select_plan, EnvStrategy};
+    pub use loam_core::pipeline::{
+        evaluate_best_achievable, evaluate_candidates, evaluate_model, evaluate_native,
+        prepare_project, train_loam, PipelineConfig,
+    };
+    pub use loam_core::predictor::baselines::CostModel;
+    pub use loam_core::predictor::train::{train, TrainConfig, TrainSample};
+    pub use loam_core::selector::{evaluate_filter, ranker_features, FilterConfig, Ranker};
+    pub use loam_core::theory::{Deviance, KsTest, LogNormal};
+    pub use loam_core::{AdaptiveCostPredictor, EnvSource, PlanFeaturizer};
+    pub use mcsim_catalog::{
+        Catalog, EnvMetrics, Project, ProjectId, ProjectProfile, QueryRepository, QuerySpec,
+    };
+    pub use mcsim_exec::{
+        build_history, Cluster, ClusterConfig, Executor, Flighting, HistoryOptions,
+    };
+    pub use mcsim_optimizer::{Knobs, NativeOptimizer, OptimizerFlags};
+    pub use mcsim_plan::{Operator, PlanSignature, PlanTree};
+}

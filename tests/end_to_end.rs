@@ -1,0 +1,144 @@
+//! End-to-end integration: history → training → steering → evaluation on a
+//! miniature project, with the paper's structural guarantees asserted.
+
+use loam::prelude::*;
+
+fn tiny_profile() -> ProjectProfile {
+    let mut prof = ProjectProfile::evaluation_project(2).expect("project 2");
+    prof.n_tables = 20;
+    prof.n_temp_tables = 2;
+    prof.n_columns = 150;
+    prof.n_templates = 10;
+    prof.n_query_day0 = 12.0;
+    prof
+}
+
+fn tiny_cfg() -> PipelineConfig {
+    PipelineConfig {
+        train_days: 4,
+        test_days: 2,
+        max_train: 60,
+        max_test: 12,
+        eval_rounds: 3,
+        da_queries: 10,
+        train_cfg: TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_respects_theorem_one() {
+    let cfg = tiny_cfg();
+    let prepared = prepare_project(&tiny_profile(), ProjectId(42), &cfg);
+    assert!(!prepared.train_samples.is_empty());
+    let evaluated = evaluate_candidates(&prepared, &cfg);
+    assert!(!evaluated.is_empty());
+
+    let native = evaluate_native(&evaluated);
+    let best = evaluate_best_achievable(&evaluated);
+    // Theorem 1 at the workload level.
+    assert!(best.deviance.expected <= native.deviance.expected + 1e-9);
+    assert!(best.deviance.expected >= 0.0);
+    assert!(best.avg_cost <= native.avg_cost + 1e-9);
+
+    // A trained model's deviance is also bounded below by M_b's.
+    let loam = train_loam(&prepared, &cfg);
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    let eval = evaluate_model(&loam, &strategy, &evaluated);
+    assert!(eval.deviance.expected >= best.deviance.expected - 1e-9);
+    assert!(eval.avg_cost.is_finite() && eval.avg_cost > 0.0);
+}
+
+#[test]
+fn steered_selection_never_leaves_the_candidate_set() {
+    let cfg = tiny_cfg();
+    let prepared = prepare_project(&tiny_profile(), ProjectId(43), &cfg);
+    let loam = train_loam(&prepared, &cfg);
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    let evaluated = evaluate_candidates(&prepared, &cfg);
+    for eq in &evaluated {
+        let refs: Vec<&PlanTree> = eq.plans.iter().collect();
+        let (choice, costs) = select_plan(&loam, &refs, &strategy);
+        assert!(choice < eq.plans.len());
+        assert_eq!(costs.len(), eq.plans.len());
+        assert!(costs.iter().all(|c| c.is_finite() && *c > 0.0));
+    }
+}
+
+#[test]
+fn history_environments_feed_training_features() {
+    let cfg = tiny_cfg();
+    let prepared = prepare_project(&tiny_profile(), ProjectId(44), &cfg);
+    // Every training sample carries per-stage environments consistent with
+    // its plan's stage decomposition.
+    for s in &prepared.train_samples {
+        let stages = mcsim_plan::stage::decompose(&s.plan);
+        assert_eq!(stages.len(), s.stage_envs.len());
+        assert!(s.cost > 0.0);
+    }
+    // The representative environment is a plausible average.
+    let e = prepared.mean_env;
+    assert!(e.cpu_idle > 0.05 && e.cpu_idle < 0.95);
+    assert!(e.io_wait >= 0.0 && e.io_wait < 0.3);
+}
+
+#[test]
+fn flighting_replays_are_isolated_from_each_other() {
+    let profile = tiny_profile();
+    let project = profile.generate(ProjectId(45));
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let q = &project.workload_for_day(0)[0];
+    let plan = optimizer.optimize(q, &Knobs::default());
+
+    let mut a = Flighting::new(9, 0.2);
+    let mut b = Flighting::new(9, 0.2);
+    let ca = a.average_cost(&plan, &project.catalog, 5);
+    let cb = b.average_cost(&plan, &project.catalog, 5);
+    // Same seed ⇒ identical replay streams.
+    assert_eq!(ca, cb);
+}
+
+#[test]
+fn default_plan_signature_is_deterministic_per_day() {
+    let profile = tiny_profile();
+    let project = profile.generate(ProjectId(46));
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let q = &project.workload_for_day(0)[0];
+    let p1 = optimizer.optimize(q, &Knobs::default());
+    let p2 = optimizer.optimize(q, &Knobs::default());
+    assert_eq!(PlanSignature::of(&p1), PlanSignature::of(&p2));
+}
+
+#[test]
+fn stale_statistics_drift_changes_some_default_plans_over_time() {
+    let profile = tiny_profile();
+    let project = profile.generate(ProjectId(47));
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    // The same template instantiated on different days can get different
+    // default plans because the optimizer's stale beliefs drift.
+    let mut changed = 0;
+    let mut compared = 0;
+    for day in [0i64, 10, 20] {
+        for other in [5i64, 15, 25] {
+            let qa = &project.sample_queries(day, 8);
+            let qb = &project.sample_queries(other, 8);
+            for (a, b) in qa.iter().zip(qb) {
+                if a.template == b.template {
+                    compared += 1;
+                    let pa = optimizer.optimize(a, &Knobs::default());
+                    let mut b_on_a_params = b.clone();
+                    b_on_a_params.day = b.day; // plans differ only via day + params
+                    let pb = optimizer.optimize(&b_on_a_params, &Knobs::default());
+                    if PlanSignature::of(&pa) != PlanSignature::of(&pb) {
+                        changed += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(compared > 0);
+    assert!(changed > 0, "drift should alter some plans ({changed}/{compared})");
+}

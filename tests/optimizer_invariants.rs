@@ -1,0 +1,129 @@
+//! Cross-crate invariants of the optimizer + executor substrate, including
+//! property-style sweeps over generated workloads.
+
+use loam::prelude::*;
+use loam_core::explorer::PlanExplorer;
+use mcsim_catalog::CardinalityModel;
+use mcsim_plan::stage::decompose;
+use proptest::prelude::*;
+
+fn project_from_seed(seed: u64) -> Project {
+    let mut prof = ProjectProfile::random(seed);
+    prof.n_tables = prof.n_tables.min(40);
+    prof.n_columns = prof.n_columns.min(400);
+    prof.n_templates = prof.n_templates.min(20);
+    prof.generate(ProjectId((seed % 1000) as u32))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_generated_plan_is_valid_and_stageable(seed in 0u64..3000) {
+        let project = project_from_seed(seed);
+        let optimizer = NativeOptimizer::new(&project.catalog);
+        for q in project.workload_for_day(0).iter().take(6) {
+            let plan = optimizer.optimize(q, &Knobs::default());
+            prop_assert!(plan.validate().is_ok());
+            let stages = decompose(&plan);
+            // Every node appears in exactly one stage.
+            let mut seen = vec![0usize; plan.len()];
+            for s in &stages.stages {
+                for &n in &s.nodes {
+                    seen[n] += 1;
+                }
+            }
+            prop_assert!(seen.iter().all(|&c| c == 1));
+            // True cardinalities are finite and non-negative.
+            let cards = CardinalityModel::new(&project.catalog).annotate(&plan);
+            prop_assert!(cards.iter().all(|c| c.output_rows.is_finite() && c.output_rows >= 0.0));
+        }
+    }
+
+    #[test]
+    fn explorer_candidates_execute_with_positive_cost(seed in 0u64..2000) {
+        let project = project_from_seed(seed);
+        let optimizer = NativeOptimizer::new(&project.catalog);
+        let explorer = PlanExplorer::default();
+        let mut flighting = Flighting::new(seed, 0.2);
+        if let Some(q) = project.workload_for_day(0).first() {
+            let set = explorer.explore(&optimizer, q);
+            prop_assert!(set.len() >= 1 && set.len() <= 5);
+            for c in &set.candidates {
+                let cost = flighting.average_cost(&c.plan, &project.catalog, 2);
+                prop_assert!(cost.is_finite() && cost > 0.0);
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_pushdown_never_increases_true_cost_dramatically() {
+    // Pushdown prunes partitions; disabling it reads everything. The
+    // intrinsic cost without pushdown must be ≥ with pushdown for filtered
+    // scans (modulo the Calc node overhead).
+    let project = project_from_seed(77);
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let executor = Executor::new(0, Cluster::new(0, ClusterConfig::default()), 0.0);
+    let mut checked = 0;
+    for q in project.workload_for_days(0, 3).iter().take(40) {
+        if q.tables.iter().all(|t| t.predicate.is_true()) {
+            continue;
+        }
+        let with = optimizer.optimize(q, &Knobs::default());
+        let without = optimizer.optimize(
+            q,
+            &Knobs {
+                flags: OptimizerFlags {
+                    filter_pushdown: false,
+                    ..OptimizerFlags::default()
+                },
+                card_scale: 1.0,
+            },
+        );
+        let c_with = executor.intrinsic_cost(&with, &project.catalog);
+        let c_without = executor.intrinsic_cost(&without, &project.catalog);
+        assert!(
+            c_without >= c_with * 0.95,
+            "pushdown should not hurt: {c_with} vs {c_without} (query {})",
+            q.id
+        );
+        checked += 1;
+    }
+    assert!(checked > 0);
+}
+
+#[test]
+fn executor_is_deterministic_given_seeds() {
+    let project = project_from_seed(5);
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let q = &project.workload_for_day(0)[0];
+    let plan = optimizer.optimize(q, &Knobs::default());
+    let run = || {
+        let cluster = Cluster::new(3, ClusterConfig::default());
+        let mut exec = Executor::new(3, cluster, 0.2);
+        exec.cluster.advance(30);
+        exec.execute(&plan, &project.catalog).cpu_cost
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn repository_round_trips_through_serde() {
+    let project = project_from_seed(9);
+    let repo = build_history(
+        &project,
+        &HistoryOptions {
+            days: 2,
+            max_queries: 20,
+            ..HistoryOptions::default()
+        },
+    );
+    let json = serde_json::to_string(&repo).expect("serialize");
+    let back: QueryRepository = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.len(), repo.len());
+    assert_eq!(
+        back.records()[0].signature,
+        repo.records()[0].signature
+    );
+}

@@ -1,0 +1,143 @@
+//! Property-based tests on the theoretical machinery: Theorem 1 orderings,
+//! log-normal fitting, ranking metrics, and the deviance estimators.
+
+use loam::prelude::*;
+use loam_core::selector::metrics::{
+    expected_random_ndcg, expected_random_recall, ndcg_at, recall_at,
+};
+use loam_core::theory::deviance::{
+    best_achievable_choice, best_achievable_deviance, deviance_of_choice, mean_costs, min_pdf,
+};
+use proptest::prelude::*;
+
+fn cost_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // rounds in 2..12, plans in 2..6, costs positive.
+    (2usize..12, 2usize..6).prop_flat_map(|(rounds, plans)| {
+        proptest::collection::vec(
+            proptest::collection::vec(1.0f64..1.0e6, plans..=plans),
+            rounds..=rounds,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_holds_for_any_cost_matrix(costs in cost_matrix()) {
+        let best = best_achievable_deviance(&costs);
+        prop_assert!(best.expected >= -1e-9);
+        for choice in 0..costs[0].len() {
+            let d = deviance_of_choice(&costs, choice);
+            prop_assert!(d.expected >= best.expected - 1e-9);
+            prop_assert!(d.expected >= -1e-9);
+            prop_assert!(d.oracle_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn best_achievable_choice_minimizes_mean(costs in cost_matrix()) {
+        let choice = best_achievable_choice(&costs);
+        let means = mean_costs(&costs);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!((means[choice] - min).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_mle_recovers_parameters(mu in -2.0f64..6.0, sigma in 0.05f64..1.0, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let truth = LogNormal { mu, sigma };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..4000).map(|_| truth.sample(&mut rng)).collect();
+        let fit = LogNormal::fit(&samples);
+        prop_assert!((fit.mu - mu).abs() < 0.1, "mu {} vs {}", fit.mu, mu);
+        prop_assert!((fit.sigma - sigma).abs() < 0.1, "sigma {} vs {}", fit.sigma, sigma);
+    }
+
+    #[test]
+    fn lognormal_cdf_is_monotone(mu in -1.0f64..4.0, sigma in 0.1f64..1.0) {
+        let d = LogNormal { mu, sigma };
+        let mut prev = 0.0;
+        for i in 1..40 {
+            let x = i as f64 * 0.5;
+            let c = d.cdf(x);
+            prop_assert!(c >= prev - 1e-12);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn min_pdf_is_nonnegative(mus in proptest::collection::vec(0.0f64..3.0, 2..5)) {
+        let dists: Vec<LogNormal> = mus.iter().map(|&mu| LogNormal { mu, sigma: 0.4 }).collect();
+        for i in 1..30 {
+            let x = i as f64 * 0.7;
+            prop_assert!(min_pdf(&dists, x) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ranking_metrics_stay_in_unit_interval(
+        n in 3usize..12,
+        seed in 0u64..500,
+        k in 1usize..6,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut predicted: Vec<usize> = (0..n).collect();
+        predicted.shuffle(&mut rng);
+        let relevance: Vec<f64> = (0..n).map(|i| (i as f64) / n as f64).collect();
+        let mut truth: Vec<usize> = (0..n).collect();
+        truth.sort_by(|&a, &b| relevance[b].partial_cmp(&relevance[a]).unwrap());
+        let k = k.min(n);
+        let r = recall_at(&predicted, &truth, k, k);
+        let g = ndcg_at(&predicted, &relevance, k);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&g));
+        prop_assert!((0.0..=1.0).contains(&expected_random_recall(k, n)));
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&expected_random_ndcg(&relevance, k)));
+    }
+
+    #[test]
+    fn perfect_ranking_dominates_random_expectation(
+        n in 4usize..12,
+        k in 1usize..4,
+    ) {
+        let relevance: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let mut ideal: Vec<usize> = (0..n).collect();
+        ideal.sort_by(|&a, &b| relevance[b].partial_cmp(&relevance[a]).unwrap());
+        let k = k.min(n);
+        prop_assert!(ndcg_at(&ideal, &relevance, k) >= expected_random_ndcg(&relevance, k) - 1e-9);
+        prop_assert!(recall_at(&ideal, &ideal, k, k) >= expected_random_recall(k, n));
+    }
+}
+
+#[test]
+fn ks_test_accepts_lognormal_execution_costs() {
+    // Integration: real simulator costs pass the log-normal KS test most of
+    // the time (the Figure 15 claim).
+    let mut prof = ProjectProfile::evaluation_project(1).unwrap();
+    prof.n_tables = 15;
+    prof.n_temp_tables = 2;
+    prof.n_columns = 120;
+    prof.n_templates = 8;
+    let project = prof.generate(ProjectId(0));
+    let optimizer = NativeOptimizer::new(&project.catalog);
+    let mut accepted = 0;
+    let total = 6;
+    for (i, q) in project.workload_for_day(0).iter().take(total).enumerate() {
+        let plan = optimizer.optimize(q, &Knobs::default());
+        let mut fl = Flighting::new(50 + i as u64, 0.2);
+        let costs: Vec<f64> = fl
+            .replay(&plan, &project.catalog, 100)
+            .into_iter()
+            .map(|o| o.cpu_cost)
+            .collect();
+        let fit = LogNormal::fit(&costs);
+        if loam_core::theory::lognormal::ks_test(&costs, &fit).p_value > 0.05 {
+            accepted += 1;
+        }
+    }
+    assert!(accepted >= total / 2, "only {accepted}/{total} passed KS");
+}
