@@ -71,10 +71,17 @@ fn benches(c: &mut Criterion) {
         .collect();
     let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + r[1] - r[2]).collect();
     c.bench_function("gbdt_fit_300x3", |b| {
-        b.iter(|| tinygbdt::Gbdt::fit(black_box(&x), black_box(&y), tinygbdt::GbdtConfig {
-            n_trees: 20,
-            ..tinygbdt::GbdtConfig::default()
-        }, 7))
+        b.iter(|| {
+            tinygbdt::Gbdt::fit(
+                black_box(&x),
+                black_box(&y),
+                tinygbdt::GbdtConfig {
+                    n_trees: 20,
+                    ..tinygbdt::GbdtConfig::default()
+                },
+                7,
+            )
+        })
     });
     let model = tinygbdt::Gbdt::fit(&x, &y, tinygbdt::GbdtConfig::default(), 7);
     c.bench_function("gbdt_predict", |b| {

@@ -22,7 +22,12 @@ fn main() {
     let rounds: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     let mut table = Table::new([
-        "project", "queries", "avg cands", "avg cost (native)", "D(Md) rel", "D(Mb) rel",
+        "project",
+        "queries",
+        "avg cands",
+        "avg cost (native)",
+        "D(Md) rel",
+        "D(Mb) rel",
         "paper D(Md)",
     ]);
     let paper = [0.25, 0.43, 0.20, 0.23, 0.40];
@@ -34,7 +39,11 @@ fn main() {
         let explorer = PlanExplorer::default();
         let mut flighting = Flighting::new(7 + n as u64, project.profile.env_noise_sigma);
 
-        let queries: Vec<_> = project.workload_for_days(0, 10).into_iter().take(n_queries).collect();
+        let queries: Vec<_> = project
+            .workload_for_days(0, 10)
+            .into_iter()
+            .take(n_queries)
+            .collect();
         let mut dev_sum = 0.0;
         let mut devb_sum = 0.0;
         let mut oracle_sum = 0.0;

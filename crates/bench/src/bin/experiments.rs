@@ -23,6 +23,17 @@
 use loam_bench::exps;
 use loam_bench::exps::common::{run_all_projects, ProjectRun};
 use loam_bench::Scale;
+use std::sync::Arc;
+
+/// Prints the harness-wide metrics snapshot as a single JSON line.
+fn emit_metrics(id: &str, scale: Scale, recorder: &mcsim_obs::InMemoryRecorder) {
+    let scale_name = format!("{scale:?}").to_lowercase();
+    println!("\n=== metrics (JSON) ===");
+    println!(
+        "{}",
+        loam_bench::metrics_json(id, &scale_name, &recorder.snapshot())
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,19 +45,29 @@ fn main() {
         .and_then(|s| Scale::parse(s))
         .unwrap_or(Scale::Small);
 
+    // Collect pipeline metrics (phase timings, counters, histograms) for the
+    // whole run; dumped as JSON at the end.
+    let recorder = Arc::new(mcsim_obs::InMemoryRecorder::new());
+    mcsim_obs::install(recorder.clone());
+
     let started = std::time::Instant::now();
     eprintln!("running `{id}` at {scale:?} scale");
 
     // Experiments that do not need the five evaluation-project runs.
-    match id {
-        "fig1" => return exps::fig1::run(scale),
-        "fig5" => return exps::fig5::run(scale),
-        "fig12" => return exps::fig12::run(scale),
-        "fig15" => return exps::fig15::run(scale),
-        "fig16" => return exps::fig16::run(scale),
-        "sec73" => return exps::sec73::run(scale),
-        "thm1" => return exps::thm1::run(scale),
-        _ => {}
+    let context_free: Option<fn(Scale)> = match id {
+        "fig1" => Some(exps::fig1::run),
+        "fig5" => Some(exps::fig5::run),
+        "fig12" => Some(exps::fig12::run),
+        "fig15" => Some(exps::fig15::run),
+        "fig16" => Some(exps::fig16::run),
+        "sec73" => Some(exps::sec73::run),
+        "thm1" => Some(exps::thm1::run),
+        _ => None,
+    };
+    if let Some(run) = context_free {
+        run(scale);
+        emit_metrics(id, scale, &recorder);
+        return;
     }
 
     // Everything else shares the prepared/trained/evaluated project context.
@@ -124,5 +145,6 @@ fn main() {
         with_context(id, &runs);
     }
 
+    emit_metrics(id, scale, &recorder);
     eprintln!("\ntotal wall time: {:.0}s", started.elapsed().as_secs_f64());
 }

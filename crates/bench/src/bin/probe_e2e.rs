@@ -23,9 +23,13 @@ fn main() {
 
     let profile = scaled_eval_profile(project_n, scale);
     let cfg = scaled_pipeline_config(scale);
-    eprintln!("preparing project {project_n} ({} days history)...", cfg.train_days);
+    eprintln!(
+        "preparing project {project_n} ({} days history)...",
+        cfg.train_days
+    );
     let t0 = std::time::Instant::now();
-    let prepared = prepare_project(&profile, ProjectId(project_n as u32), &cfg);
+    let prepared =
+        prepare_project(&profile, ProjectId(project_n as u32), &cfg).expect("prepare failed");
     eprintln!(
         "prepared: {} train samples, {} test queries, {} DA candidates ({:.1}s)",
         prepared.train_samples.len(),
@@ -35,7 +39,7 @@ fn main() {
     );
 
     let t1 = std::time::Instant::now();
-    let loam = train_loam(&prepared, &cfg);
+    let loam = train_loam(&prepared, &cfg).expect("training failed");
     eprintln!("LOAM trained ({:.1}s)", t1.elapsed().as_secs_f64());
 
     // LOAM-NA: no adversarial domain adaptation.
@@ -44,19 +48,32 @@ fn main() {
         adaptive: false,
         ..cfg.train_cfg
     };
-    train(&mut na, &prepared.train_samples, &[], prepared.mean_env, &na_cfg);
+    train(
+        &mut na,
+        &prepared.train_samples,
+        &[],
+        prepared.mean_env,
+        &na_cfg,
+    );
 
     let t2 = std::time::Instant::now();
-    let evaluated = evaluate_candidates(&prepared, &cfg);
-    eprintln!("evaluated {} queries ({:.1}s)", evaluated.len(), t2.elapsed().as_secs_f64());
+    let evaluated = evaluate_candidates(&prepared, &cfg).expect("evaluation failed");
+    eprintln!(
+        "evaluated {} queries ({:.1}s)",
+        evaluated.len(),
+        t2.elapsed().as_secs_f64()
+    );
 
     let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
-    let native = evaluate_native(&evaluated);
-    let best = evaluate_best_achievable(&evaluated);
-    let loam_eval = evaluate_model(&loam, &strategy, &evaluated);
-    let na_eval = evaluate_model(&na, &strategy, &evaluated);
+    let native = evaluate_native(&evaluated).expect("native evaluation failed");
+    let best = evaluate_best_achievable(&evaluated).expect("best-achievable evaluation failed");
+    let loam_eval = evaluate_model(&loam, &strategy, &evaluated).expect("model evaluation failed");
+    let na_eval = evaluate_model(&na, &strategy, &evaluated).expect("model evaluation failed");
 
-    println!("\nProject {project_n} — avg E2E CPU cost over {} test queries:", evaluated.len());
+    println!(
+        "\nProject {project_n} — avg E2E CPU cost over {} test queries:",
+        evaluated.len()
+    );
     for m in [&native, &na_eval, &loam_eval, &best] {
         println!(
             "  {:<16} {:>12.1}  (dev rel {:.3})",

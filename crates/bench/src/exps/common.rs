@@ -32,11 +32,12 @@ pub struct ProjectRun {
 pub fn run_project(n: usize, scale: Scale) -> ProjectRun {
     let profile = scaled_eval_profile(n, scale);
     let cfg = scaled_pipeline_config(scale);
-    let prepared = prepare_project(&profile, ProjectId(n as u32), &cfg);
+    let prepared = prepare_project(&profile, ProjectId(n as u32), &cfg)
+        .expect("evaluation project preparation failed");
     let t = std::time::Instant::now();
-    let loam = train_loam(&prepared, &cfg);
+    let loam = train_loam(&prepared, &cfg).expect("LOAM training failed");
     let loam_train_secs = t.elapsed().as_secs_f64();
-    let evaluated = evaluate_candidates(&prepared, &cfg);
+    let evaluated = evaluate_candidates(&prepared, &cfg).expect("candidate evaluation failed");
     let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
     ProjectRun {
         n,
@@ -51,20 +52,17 @@ pub fn run_project(n: usize, scale: Scale) -> ProjectRun {
 
 /// Runs all five evaluation projects, in parallel across threads.
 pub fn run_all_projects(scale: Scale) -> Vec<ProjectRun> {
-    let mut out: Vec<Option<ProjectRun>> = (0..5).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for n in 1..=5 {
-            handles.push(s.spawn(move |_| run_project(n, scale)));
-        }
-        for h in handles {
-            let run = h.join().expect("project run panicked");
-            let slot = run.n - 1;
-            out[slot] = Some(run);
-        }
-    })
-    .expect("scope");
-    out.into_iter().map(|r| r.expect("all projects ran")).collect()
+    let mut runs: Vec<ProjectRun> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..=5)
+            .map(|n| s.spawn(move || run_project(n, scale)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("project run panicked"))
+            .collect()
+    });
+    runs.sort_by_key(|r| r.n);
+    runs
 }
 
 /// Percentage gain of `model_cost` relative to `baseline_cost`.

@@ -35,7 +35,7 @@ pub fn evaluate_run(run: &ProjectRun) -> Fig10Row {
 
     let mut variants = Vec::new();
     for s in &strategies {
-        let eval = evaluate_model(&run.loam, s, &run.evaluated);
+        let eval = evaluate_model(&run.loam, s, &run.evaluated).expect("model evaluation failed");
         variants.push((s.name().to_string(), eval.avg_cost, eval.deviance.relative));
     }
 
@@ -51,16 +51,24 @@ pub fn evaluate_run(run: &ProjectRun) -> Fig10Row {
         run.prepared.mean_env,
         &nl_cfg,
     );
-    let eval = evaluate_model(&nl, &EnvStrategy::NoEnv, &run.evaluated);
+    let eval =
+        evaluate_model(&nl, &EnvStrategy::NoEnv, &run.evaluated).expect("model evaluation failed");
     variants.push(("LOAM-NL".to_string(), eval.avg_cost, eval.deviance.relative));
 
-    let native = evaluate_native(&run.evaluated);
-    variants.push(("MaxCompute".to_string(), native.avg_cost, native.deviance.relative));
+    let native = evaluate_native(&run.evaluated).expect("native evaluation failed");
+    variants.push((
+        "MaxCompute".to_string(),
+        native.avg_cost,
+        native.deviance.relative,
+    ));
 
     Fig10Row {
         n: run.n,
         variants,
-        best_rel: evaluate_best_achievable(&run.evaluated).deviance.relative,
+        best_rel: evaluate_best_achievable(&run.evaluated)
+            .expect("best-achievable evaluation failed")
+            .deviance
+            .relative,
     }
 }
 

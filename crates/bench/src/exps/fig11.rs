@@ -37,9 +37,15 @@ pub fn evaluate_run(run: &ProjectRun) -> Fig11Row {
     );
     Fig11Row {
         n: run.n,
-        native: evaluate_native(&run.evaluated).avg_cost,
-        na: evaluate_model(&na, &run.strategy, &run.evaluated).avg_cost,
-        loam: evaluate_model(&run.loam, &run.strategy, &run.evaluated).avg_cost,
+        native: evaluate_native(&run.evaluated)
+            .expect("native evaluation failed")
+            .avg_cost,
+        na: evaluate_model(&na, &run.strategy, &run.evaluated)
+            .expect("model evaluation failed")
+            .avg_cost,
+        loam: evaluate_model(&run.loam, &run.strategy, &run.evaluated)
+            .expect("model evaluation failed")
+            .avg_cost,
     }
 }
 

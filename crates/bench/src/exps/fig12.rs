@@ -41,8 +41,7 @@ pub fn evaluate_split(
     }
     let ranker = Ranker::fit(&feats, &labels, seed);
 
-    let project_feats: Vec<Vec<Vec<f64>>> =
-        test.iter().map(|p| p.query_features.clone()).collect();
+    let project_feats: Vec<Vec<Vec<f64>>> = test.iter().map(|p| p.query_features.clone()).collect();
     let predicted = ranker.rank_projects(&project_feats);
     let relevance: Vec<f64> = test.iter().map(|p| p.improvement()).collect();
     let mut truth: Vec<usize> = (0..test.len()).collect();
@@ -56,7 +55,10 @@ pub fn evaluate_split(
         .iter()
         .map(|&k| recall_at(&predicted, &truth, k, k))
         .collect();
-    let ndcgs = ks.iter().map(|&k| ndcg_at(&predicted, &relevance, k)).collect();
+    let ndcgs = ks
+        .iter()
+        .map(|&k| ndcg_at(&predicted, &relevance, k))
+        .collect();
     (recalls, ndcgs)
 }
 
@@ -109,9 +111,15 @@ pub fn run(scale: Scale) {
     println!("Figure 12 — Ranker vs Random (28 projects, 13 train / 15 test, cross-validated)\n");
     let population = labeled_28(scale);
     let ks = [1usize, 2, 3, 4, 5, 6, 7, 8];
-    let eval = cross_validate(&population, 13, 6, &ks, 0xabc);
+    let eval = cross_validate(population, 13, 6, &ks, 0xabc);
 
-    let mut t = Table::new(["k", "Recall@(k,k)", "Random recall", "NDCG@k", "Random NDCG"]);
+    let mut t = Table::new([
+        "k",
+        "Recall@(k,k)",
+        "Random recall",
+        "NDCG@k",
+        "Random NDCG",
+    ]);
     for (i, &k) in ks.iter().enumerate() {
         t.row([
             format!("{k}"),

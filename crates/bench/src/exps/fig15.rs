@@ -69,7 +69,10 @@ pub fn run(scale: Scale) {
         let vy: f64 = qq.iter().map(|p| (p.1 - my).powi(2)).sum();
         cov / (vx * vy).sqrt().max(1e-12)
     };
-    println!("(b) Q-Q correlation between theoretical and empirical quantiles: {:.4}\n", corr);
+    println!(
+        "(b) Q-Q correlation between theoretical and empirical quantiles: {:.4}\n",
+        corr
+    );
 
     let avg_p = p_values.iter().sum::<f64>() / p_values.len().max(1) as f64;
     let reject = p_values.iter().filter(|&&p| p < 0.05).count();

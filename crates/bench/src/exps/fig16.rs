@@ -34,7 +34,10 @@ pub fn run(scale: Scale) {
             idx.shuffle(&mut rng);
             // 15 fixed-size test set, training subset of the remainder.
             let test: Vec<_> = idx[..15].iter().map(|&i| &population[i]).collect();
-            let train: Vec<_> = idx[15..15 + train_n].iter().map(|&i| &population[i]).collect();
+            let train: Vec<_> = idx[15..15 + train_n]
+                .iter()
+                .map(|&i| &population[i])
+                .collect();
             let (r, n) = evaluate_split(&train, &test, &ks, 0xf16 ^ c as u64);
             for (i, v) in r.into_iter().enumerate() {
                 recall_sum[i] += v;

@@ -22,11 +22,14 @@ pub fn run(scale: Scale) {
     let mut series: Vec<(f64, f64, f64)> = Vec::new();
     for step in 0..8 {
         let busy = 0.12 + 0.1 * step as f64;
-        let cluster = Cluster::new(42, ClusterConfig {
-            base_busy: busy,
-            diurnal_amplitude: 0.0,
-            ..ClusterConfig::default()
-        });
+        let cluster = Cluster::new(
+            42,
+            ClusterConfig {
+                base_busy: busy,
+                diurnal_amplitude: 0.0,
+                ..ClusterConfig::default()
+            },
+        );
         let mut exec = Executor::new(42, cluster, 0.08);
         exec.cluster.advance(80);
         let mut cost_sum = 0.0;

@@ -45,14 +45,17 @@ pub fn evaluate_run(run: &ProjectRun) -> Fig6Row {
     let xgb = XgbPredictor::fit(samples, run.cfg.seed);
     let t_xgb = t2.elapsed().as_secs_f64();
 
+    let eval = |m: &dyn CostModel| {
+        evaluate_model(m, &run.strategy, &run.evaluated).expect("model evaluation failed")
+    };
     Fig6Row {
         n: run.n,
-        native: evaluate_native(&run.evaluated),
-        loam: evaluate_model(&run.loam, &run.strategy, &run.evaluated),
-        transformer: evaluate_model(&transformer, &run.strategy, &run.evaluated),
-        gcn: evaluate_model(&gcn, &run.strategy, &run.evaluated),
-        xgb: evaluate_model(&xgb, &run.strategy, &run.evaluated),
-        best: evaluate_best_achievable(&run.evaluated),
+        native: evaluate_native(&run.evaluated).expect("native evaluation failed"),
+        loam: eval(&run.loam),
+        transformer: eval(&transformer),
+        gcn: eval(&gcn),
+        xgb: eval(&xgb),
+        best: evaluate_best_achievable(&run.evaluated).expect("best-achievable evaluation failed"),
         baseline_train_secs: [t_tr, t_gcn, t_xgb],
         baseline_sizes: [transformer.size_bytes(), gcn.size_bytes(), xgb.size_bytes()],
     }

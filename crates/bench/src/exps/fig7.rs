@@ -7,7 +7,8 @@ use loam_core::pipeline::evaluate_model;
 
 /// Prints the per-query analysis for one project.
 pub fn print_project(run: &ProjectRun) {
-    let loam = evaluate_model(&run.loam, &run.strategy, &run.evaluated);
+    let loam =
+        evaluate_model(&run.loam, &run.strategy, &run.evaluated).expect("model evaluation failed");
     // (default − chosen): positive = speedup.
     let mut deltas: Vec<(f64, f64, f64)> = loam
         .per_query
@@ -16,8 +17,14 @@ pub fn print_project(run: &ProjectRun) {
         .collect();
     deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
 
-    let slowdowns = deltas.iter().filter(|d| d.0 < -1e-9 && d.2 > d.1 * 1.02).count();
-    let speedups = deltas.iter().filter(|d| d.0 > 1e-9 && d.2 < d.1 * 0.98).count();
+    let slowdowns = deltas
+        .iter()
+        .filter(|d| d.0 < -1e-9 && d.2 > d.1 * 1.02)
+        .count();
+    let speedups = deltas
+        .iter()
+        .filter(|d| d.0 > 1e-9 && d.2 < d.1 * 0.98)
+        .count();
     let worst = deltas.first().map(|d| -d.0).unwrap_or(0.0).max(0.0);
     let best = deltas.last().map(|d| d.0).unwrap_or(0.0).max(0.0);
     let n = deltas.len();

@@ -15,8 +15,8 @@ pub const FRACTIONS: [f64; 2] = [0.3, 1.0];
 /// Runs the sweep for one project and prints its series.
 pub fn print_project(run: &ProjectRun) {
     let total = run.prepared.train_samples.len();
-    let native = evaluate_native(&run.evaluated);
-    let best = evaluate_best_achievable(&run.evaluated);
+    let native = evaluate_native(&run.evaluated).expect("native evaluation failed");
+    let best = evaluate_best_achievable(&run.evaluated).expect("best-achievable evaluation failed");
 
     let mut t = Table::new(["train queries", "LOAM avg cost", "vs MaxCompute"]);
     for &f in &FRACTIONS {
@@ -30,7 +30,8 @@ pub fn print_project(run: &ProjectRun) {
             run.prepared.mean_env,
             &run.cfg.train_cfg,
         );
-        let eval = evaluate_model(&model, &run.strategy, &run.evaluated);
+        let eval =
+            evaluate_model(&model, &run.strategy, &run.evaluated).expect("model evaluation failed");
         t.row([
             format!("{k}"),
             format!("{:.0}", eval.avg_cost),

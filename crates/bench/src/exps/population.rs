@@ -86,7 +86,11 @@ fn label_project(project: &Project, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let optimizer = NativeOptimizer::new(&project.catalog);
     let explorer = PlanExplorer::default();
     let mut flighting = Flighting::new(seed ^ 0xd00d, project.profile.env_noise_sigma);
-    let queries: Vec<_> = project.workload_for_days(0, 5).into_iter().take(25).collect();
+    let queries: Vec<_> = project
+        .workload_for_days(0, 5)
+        .into_iter()
+        .take(25)
+        .collect();
     let mut features = Vec::with_capacity(queries.len());
     let mut improvements = Vec::with_capacity(queries.len());
     for q in &queries {

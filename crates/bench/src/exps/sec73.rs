@@ -7,8 +7,7 @@ use crate::report::Table;
 use crate::scale::{scaled_pipeline_config, Scale};
 use loam_core::inference::EnvStrategy;
 use loam_core::pipeline::{
-    evaluate_candidates, evaluate_model, evaluate_native, prepare_project,
-    train_loam,
+    evaluate_candidates, evaluate_model, evaluate_native, prepare_project, train_loam,
 };
 use mcsim_catalog::{ProjectId, ProjectProfile};
 
@@ -18,8 +17,10 @@ use mcsim_catalog::{ProjectId, ProjectProfile};
 /// random sample, the other 25 are conservatively treated as low-benefit,
 /// so the ≥10 % rate is (winners among the five) / 30.
 pub fn run_with_gains(scale: Scale, eval_gains: &[f64]) {
-    println!("Section 7.3 — expected deployment benefit across the population
-");
+    println!(
+        "Section 7.3 — expected deployment benefit across the population
+"
+    );
     let pass_rate = filter_pass_rate(scale);
     let winners = eval_gains.iter().filter(|&&g| g >= 0.10).count();
     let gain_rate = winners as f64 / 30.0;
@@ -85,18 +86,21 @@ pub fn run(scale: Scale) {
     let mut gains = Vec::new();
     for (i, pop) in passing.iter().take(sample_n).enumerate() {
         let profile: ProjectProfile = pop.project.profile.clone();
-        let prepared = prepare_project(&profile, ProjectId(2000 + i as u32), &pipeline_cfg);
-        if prepared.train_samples.is_empty() || prepared.test_queries.is_empty() {
+        // Degenerate population projects (no history, no test queries) are
+        // expected here — skip them instead of failing the sweep.
+        let Ok(prepared) = prepare_project(&profile, ProjectId(2000 + i as u32), &pipeline_cfg)
+        else {
             continue;
-        }
-        let loam = train_loam(&prepared, &pipeline_cfg);
-        let evaluated = evaluate_candidates(&prepared, &pipeline_cfg);
-        if evaluated.is_empty() {
+        };
+        let Ok(loam) = train_loam(&prepared, &pipeline_cfg) else {
             continue;
-        }
+        };
+        let Ok(evaluated) = evaluate_candidates(&prepared, &pipeline_cfg) else {
+            continue;
+        };
         let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
-        let native = evaluate_native(&evaluated);
-        let model = evaluate_model(&loam, &strategy, &evaluated);
+        let native = evaluate_native(&evaluated).expect("native evaluation failed");
+        let model = evaluate_model(&loam, &strategy, &evaluated).expect("model evaluation failed");
         let gain = 1.0 - model.avg_cost / native.avg_cost;
         gains.push(gain);
         t.row([

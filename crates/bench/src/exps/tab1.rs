@@ -6,7 +6,9 @@ use crate::report::Table;
 /// Prints Table 1 from prepared project runs.
 pub fn print(runs: &[ProjectRun]) {
     println!("Table 1 — statistics of the evaluation projects (at harness scale)");
-    println!("(paper full-scale: 253/125/348/209/229 tables, 10k/10k/10k/4.2k/8.7k train queries)\n");
+    println!(
+        "(paper full-scale: 253/125/348/209/229 tables, 10k/10k/10k/4.2k/8.7k train queries)\n"
+    );
     let mut t = Table::new([
         "dataset",
         "# tables",
@@ -16,11 +18,7 @@ pub fn print(runs: &[ProjectRun]) {
         "avg CPU cost",
     ]);
     for r in runs {
-        let avg_cost: f64 = r
-            .evaluated
-            .iter()
-            .map(|e| e.default_cost())
-            .sum::<f64>()
+        let avg_cost: f64 = r.evaluated.iter().map(|e| e.default_cost()).sum::<f64>()
             / r.evaluated.len().max(1) as f64;
         t.row([
             format!("Project {}", r.n),

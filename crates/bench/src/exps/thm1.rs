@@ -27,7 +27,13 @@ pub fn run(scale: Scale) {
     let queries: Vec<_> = project.workload_for_day(0).into_iter().take(25).collect();
     let mut violations = 0usize;
     let mut total_checks = 0usize;
-    let mut t = Table::new(["query", "candidates", "E[D(M_b)]", "max E[D(M)]", "ordering holds"]);
+    let mut t = Table::new([
+        "query",
+        "candidates",
+        "E[D(M_b)]",
+        "max E[D(M)]",
+        "ordering holds",
+    ]);
     let mut lognormal_errors = Vec::new();
 
     for (qi, q) in queries.iter().enumerate() {
@@ -86,8 +92,7 @@ pub fn run(scale: Scale) {
         "ordering checks: {total_checks}, violations: {violations} (expected 0; D(M_b) is minimal by construction)"
     );
     if !lognormal_errors.is_empty() {
-        let mean_err =
-            lognormal_errors.iter().sum::<f64>() / lognormal_errors.len() as f64;
+        let mean_err = lognormal_errors.iter().sum::<f64>() / lognormal_errors.len() as f64;
         println!(
             "log-normal estimation (Appendix E.1) vs Monte Carlo: mean relative gap {:.0}% over {} queries (finite-sample + independence approximation)",
             mean_err * 100.0,

@@ -58,6 +58,23 @@ impl Table {
     }
 }
 
+/// Wraps a [`mcsim_obs::MetricsSnapshot`] in a JSON document tagged with the
+/// experiment id and scale, ready to pipe into downstream tooling:
+///
+/// ```json
+/// {"experiment":"fig6","scale":"small","metrics":{"counters":{...},...}}
+/// ```
+pub fn metrics_json(
+    experiment: &str,
+    scale: &str,
+    snapshot: &mcsim_obs::MetricsSnapshot,
+) -> String {
+    format!(
+        "{{\"experiment\":\"{experiment}\",\"scale\":\"{scale}\",\"metrics\":{}}}",
+        snapshot.to_json()
+    )
+}
+
 /// Formats a float compactly: integers under 1k exactly, thousands with
 /// separators, tiny values with precision.
 pub fn fmt_row(v: f64) -> String {

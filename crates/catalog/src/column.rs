@@ -80,9 +80,7 @@ impl ColumnMeta {
         }
         match self.dist {
             ColumnDistribution::Uniform => 1.0 / self.ndv as f64,
-            ColumnDistribution::Zipf { s } => {
-                ((rank + 1) as f64).powf(-s) / harmonic(self.ndv, s)
-            }
+            ColumnDistribution::Zipf { s } => ((rank + 1) as f64).powf(-s) / harmonic(self.ndv, s),
         }
     }
 
@@ -126,10 +124,7 @@ mod tests {
         for &ndv in &[1u64, 7, 64, 1000, 100_000] {
             let c = ColumnMeta::new(0, 0, ndv, ColumnDistribution::Zipf { s: 1.1 });
             let total = c.range_selectivity(0, ndv - 1);
-            assert!(
-                (total - 1.0).abs() < 0.01,
-                "ndv={ndv} total={total}"
-            );
+            assert!((total - 1.0).abs() < 0.01, "ndv={ndv} total={total}");
         }
     }
 
@@ -150,7 +145,10 @@ mod tests {
     fn harmonic_approximation_is_accurate_large_n() {
         let exact: f64 = (1..=20_000u64).map(|k| (k as f64).powf(-0.8)).sum();
         let approx = harmonic(20_000, 0.8);
-        assert!(((approx - exact) / exact).abs() < 0.005, "{approx} vs {exact}");
+        assert!(
+            ((approx - exact) / exact).abs() < 0.005,
+            "{approx} vs {exact}"
+        );
         // And for s = 1 exactly.
         let exact1: f64 = (1..=20_000u64).map(|k| 1.0 / k as f64).sum();
         assert!(((harmonic(20_000, 1.0) - exact1) / exact1).abs() < 0.005);

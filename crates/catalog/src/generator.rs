@@ -270,7 +270,12 @@ impl ProjectProfile {
             // Primary key: unique values.
             let pk = next_col;
             next_col += 1;
-            columns.push(ColumnMeta::new(pk, t as TableId, rows, ColumnDistribution::Uniform));
+            columns.push(ColumnMeta::new(
+                pk,
+                t as TableId,
+                rows,
+                ColumnDistribution::Uniform,
+            ));
             pk_of.push(pk);
 
             // Foreign keys: reference strictly larger-index (smaller) tables,
@@ -350,8 +355,7 @@ impl ProjectProfile {
         // --- Templates. ---
         let mut templates = Vec::with_capacity(self.n_templates);
         for tid in 0..self.n_templates {
-            let wants_temp =
-                (tid as f64 / self.n_templates as f64) < self.temp_query_ratio * 1.2;
+            let wants_temp = (tid as f64 / self.n_templates as f64) < self.temp_query_ratio * 1.2;
             if let Some(t) = make_template(
                 tid as u32,
                 self,
@@ -555,21 +559,17 @@ impl Project {
     pub fn workload_for_day(&self, day: i64) -> Vec<QuerySpec> {
         // Deterministic per-day log-normal volume jitter.
         let noise = if self.profile.daily_volume_sigma > 0.0 {
-            let h = mcsim_plan::signature::fnv1a_seeded(
-                self.profile.seed ^ 0xda11,
-                &day.to_le_bytes(),
-            );
+            let h =
+                mcsim_plan::signature::fnv1a_seeded(self.profile.seed ^ 0xda11, &day.to_le_bytes());
             let u = (h % 2_000_001) as f64 / 1_000_000.0 - 1.0; // [-1, 1]
-            // Map uniform to an approximate standard normal via the
-            // inverse-CDF of a triangular-ish transform (cheap, bounded).
+                                                                // Map uniform to an approximate standard normal via the
+                                                                // inverse-CDF of a triangular-ish transform (cheap, bounded).
             let z = 1.6 * u;
             (self.profile.daily_volume_sigma * z).exp()
         } else {
             1.0
         };
-        let n = (self.profile.n_query_day0
-            * self.profile.daily_growth.powi(day as i32)
-            * noise)
+        let n = (self.profile.n_query_day0 * self.profile.daily_growth.powi(day as i32) * noise)
             .round()
             .max(0.0) as usize;
         self.sample_queries(day, n)
@@ -609,11 +609,7 @@ impl Project {
                 .iter()
                 .enumerate()
                 .map(|(slot_idx, slot)| {
-                    let ndv = self
-                        .catalog
-                        .column(slot.column)
-                        .map(|c| c.ndv)
-                        .unwrap_or(1);
+                    let ndv = self.catalog.column(slot.column).map(|c| c.ndv).unwrap_or(1);
                     const POOL: u64 = 12;
                     let u: f64 = rng.gen_range(0.0f64..1.0);
                     let pool_pick = (u.powf(6.0) * POOL as f64) as u64 % POOL;
@@ -784,9 +780,15 @@ mod tests {
         let p = prof.generate(ProjectId(5));
         let counts: Vec<usize> = (0..12).map(|d| p.workload_for_day(d).len()).collect();
         let distinct: std::collections::HashSet<_> = counts.iter().collect();
-        assert!(distinct.len() > 3, "noise should vary daily counts: {counts:?}");
+        assert!(
+            distinct.len() > 3,
+            "noise should vary daily counts: {counts:?}"
+        );
         let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
-        assert!((50.0..200.0).contains(&mean), "mean {mean} should stay near 100");
+        assert!(
+            (50.0..200.0).contains(&mean),
+            "mean {mean} should stay near 100"
+        );
         // Day-over-day ratios have mean above 1 (Jensen) — the property the
         // filter rule R2 depends on.
         let ratios: Vec<f64> = counts

@@ -119,7 +119,10 @@ impl QueryRepository {
     /// Splits deduplicated records into (train, test) by day: the first
     /// `train_days` of the observed range train, the rest test (Section 7.1:
     /// 25 training days, 5 test days).
-    pub fn train_test_split(&self, train_days: i64) -> (Vec<&ExecutionRecord>, Vec<&ExecutionRecord>) {
+    pub fn train_test_split(
+        &self,
+        train_days: i64,
+    ) -> (Vec<&ExecutionRecord>, Vec<&ExecutionRecord>) {
         let dedup = self.deduplicated();
         let min_day = dedup.iter().map(|r| r.day).min().unwrap_or(0);
         let cutoff = min_day + train_days;
@@ -185,7 +188,9 @@ mod tests {
         repo.push(record(2, 8, 50.0));
         let d = repo.deduplicated();
         assert_eq!(d.len(), 2);
-        let kept = d.iter().find(|r| r.signature == record(1, 7, 0.0).signature);
+        let kept = d
+            .iter()
+            .find(|r| r.signature == record(1, 7, 0.0).signature);
         assert_eq!(kept.unwrap().day, 5);
     }
 

@@ -112,8 +112,7 @@ impl<'a> CardinalityModel<'a> {
         let mut cards = vec![NodeCard::default(); plan.len()];
         for id in plan.postorder() {
             let node = plan.node(id);
-            let child_cards: Vec<NodeCard> =
-                node.children().map(|c| cards[c]).collect();
+            let child_cards: Vec<NodeCard> = node.children().map(|c| cards[c]).collect();
             cards[id] = self.node_card(&node.op, &child_cards);
         }
         cards
@@ -136,8 +135,7 @@ impl<'a> CardinalityModel<'a> {
             } => {
                 let t = self.catalog.table(*table);
                 let rows = t.map(|t| t.rows as f64).unwrap_or(1000.0);
-                let frac_parts =
-                    *partitions_accessed as f64 / (*partitions_total).max(1) as f64;
+                let frac_parts = *partitions_accessed as f64 / (*partitions_total).max(1) as f64;
                 let read = rows * frac_parts;
                 // The pushed-down predicate filters the rows actually read.
                 let out = read * self.selectivity(predicate);
@@ -294,8 +292,11 @@ mod tests {
     fn conjunction_multiplies() {
         let cat = catalog();
         let m = CardinalityModel::new(&cat);
-        let p = Predicate::cmp(CmpFn::Eq, 2, Literal::Int(5))
-            .and(Predicate::cmp(CmpFn::Eq, 11, Literal::Int(3)));
+        let p = Predicate::cmp(CmpFn::Eq, 2, Literal::Int(5)).and(Predicate::cmp(
+            CmpFn::Eq,
+            11,
+            Literal::Int(3),
+        ));
         assert!((m.selectivity(&p) - 0.01 * 0.02).abs() < 1e-9);
     }
 
@@ -410,7 +411,11 @@ mod tests {
             let mut t = PlanTree::new();
             let f = t.leaf(Operator::table_scan(0, 10, 10, vec![0, 1]));
             let d = t.leaf(Operator::table_scan(1, 1, 1, vec![10]));
-            let j = t.binary(Operator::join(kind, JoinAlgo::Hash, vec![1], vec![10]), f, d);
+            let j = t.binary(
+                Operator::join(kind, JoinAlgo::Hash, vec![1], vec![10]),
+                f,
+                d,
+            );
             t.set_root(j);
             m.annotate(&t)[j].output_rows
         };

@@ -108,10 +108,7 @@ mod tests {
         assert!(stats.n_queries > 0);
         // The paper's fleet-wide mean is 3.8 joined tables; evaluation
         // profiles target the same neighborhood.
-        assert!(
-            (2.0..=6.0).contains(&stats.avg_joined_tables),
-            "{stats:?}"
-        );
+        assert!((2.0..=6.0).contains(&stats.avg_joined_tables), "{stats:?}");
         assert!(stats.max_joined_tables <= 6);
         assert!(stats.aggregation_fraction > 0.2);
         assert!(stats.filtered_fraction > 0.3);

@@ -75,10 +75,7 @@ impl TableMeta {
         if epoch == 0 {
             return self.stale_rows;
         }
-        let h = mcsim_plan::signature::fnv1a_seeded(
-            0x57a1e ^ self.id as u64,
-            &epoch.to_le_bytes(),
-        );
+        let h = mcsim_plan::signature::fnv1a_seeded(0x57a1e ^ self.id as u64, &epoch.to_le_bytes());
         // Uniform in [-1, 1] from the hash.
         let u = (h % 2_000_001) as f64 / 1_000_000.0 - 1.0;
         let err = u * self.stale_drift;

@@ -166,7 +166,11 @@ impl QueryTemplate {
                     let width = ((ndv as f64 * slot.range_fraction).ceil() as u64).max(1);
                     let lo = p.min(ndv.saturating_sub(1));
                     let hi = (lo + width - 1).min(ndv - 1);
-                    Predicate::between(slot.column, Literal::Int(lo as i64), Literal::Int(hi as i64))
+                    Predicate::between(
+                        slot.column,
+                        Literal::Int(lo as i64),
+                        Literal::Int(hi as i64),
+                    )
                 }
                 cmp => Predicate::cmp(cmp, slot.column, Literal::Int((p % ndv) as i64)),
             };

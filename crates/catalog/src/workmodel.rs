@@ -75,19 +75,19 @@ pub fn operator_work(
         Operator::TableScan { columns, .. } => {
             card.input_rows * (p.scan_row + p.scan_col * columns.len() as f64)
         }
-        Operator::Filter { predicate } => {
-            input * 0.1 * predicate.comparison_count().max(1) as f64
-        }
+        Operator::Filter { predicate } => input * 0.1 * predicate.comparison_count().max(1) as f64,
         Operator::Calc { predicate, columns } => {
-            input
-                * (0.1 * predicate.comparison_count().max(1) as f64
-                    + 0.02 * columns.len() as f64)
+            input * (0.1 * predicate.comparison_count().max(1) as f64 + 0.02 * columns.len() as f64)
         }
         Operator::Project { columns } => input * 0.02 * columns.len() as f64,
         Operator::Join { algo, .. } => {
             let probe = children.first().map(|c| c.output_rows).unwrap_or(0.0);
             let build = children.get(1).map(|c| c.output_rows).unwrap_or(0.0);
-            let skew = if ctx.skewed_inputs { p.skew_penalty } else { 1.0 };
+            let skew = if ctx.skewed_inputs {
+                p.skew_penalty
+            } else {
+                1.0
+            };
             match algo {
                 JoinAlgo::Hash => {
                     let spill = if build > p.spill_threshold {
@@ -216,7 +216,10 @@ mod tests {
             WorkContext::default(),
             &p,
         );
-        assert!(merge < hash, "merge {merge} should beat spilled hash {hash}");
+        assert!(
+            merge < hash,
+            "merge {merge} should beat spilled hash {hash}"
+        );
     }
 
     #[test]
@@ -278,14 +281,18 @@ mod tests {
             &join,
             &card(1.0e4),
             &[card(1.0e6), card(1.0e4)],
-            WorkContext { skewed_inputs: false },
+            WorkContext {
+                skewed_inputs: false,
+            },
             &p,
         );
         let skewed = operator_work(
             &join,
             &card(1.0e4),
             &[card(1.0e6), card(1.0e4)],
-            WorkContext { skewed_inputs: true },
+            WorkContext {
+                skewed_inputs: true,
+            },
             &p,
         );
         assert!(skewed > clean * 1.3);

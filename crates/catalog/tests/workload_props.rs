@@ -95,7 +95,13 @@ fn temp_tables_have_short_lifespans() {
     let prof = ProjectProfile::evaluation_project(1).unwrap();
     let p = prof.generate(ProjectId(9));
     let short = p.catalog.tables().filter(|t| !t.is_long_lived(30)).count();
-    assert!(short >= prof.n_temp_tables / 2, "temp tables exist: {short}");
+    assert!(
+        short >= prof.n_temp_tables / 2,
+        "temp tables exist: {short}"
+    );
     let long = p.catalog.tables().filter(|t| t.is_long_lived(30)).count();
-    assert!(long >= prof.n_tables / 2, "permanent tables dominate: {long}");
+    assert!(
+        long >= prof.n_tables / 2,
+        "permanent tables dominate: {long}"
+    );
 }

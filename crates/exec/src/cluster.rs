@@ -45,6 +45,92 @@ impl Default for ClusterConfig {
     }
 }
 
+impl ClusterConfig {
+    /// Starts a validated builder pre-loaded with the default configuration.
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder {
+            config: ClusterConfig::default(),
+        }
+    }
+}
+
+/// Error produced when a [`ClusterConfigBuilder`] is given values the
+/// simulator cannot run with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidClusterConfig(pub String);
+
+impl std::fmt::Display for InvalidClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid cluster config: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidClusterConfig {}
+
+/// Builder for [`ClusterConfig`] that validates at [`build`]
+/// ([`ClusterConfigBuilder::build`]) instead of panicking deep inside the
+/// simulator.
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Number of machines in the pool (≥ 1).
+    pub fn n_machines(mut self, n: usize) -> Self {
+        self.config.n_machines = n;
+        self
+    }
+
+    /// Mean multi-tenant busy fraction, in `[0, 1)`.
+    pub fn base_busy(mut self, b: f64) -> Self {
+        self.config.base_busy = b;
+        self
+    }
+
+    /// Amplitude of the diurnal load cycle (≥ 0).
+    pub fn diurnal_amplitude(mut self, a: f64) -> Self {
+        self.config.diurnal_amplitude = a;
+        self
+    }
+
+    /// Per-machine load dynamics.
+    pub fn dynamics(mut self, d: LoadDynamics) -> Self {
+        self.config.dynamics = d;
+        self
+    }
+
+    /// How many cluster-mean snapshots to retain (≥ 1).
+    pub fn history_len(mut self, n: usize) -> Self {
+        self.config.history_len = n;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ClusterConfig, InvalidClusterConfig> {
+        let c = self.config;
+        if c.n_machines == 0 {
+            return Err(InvalidClusterConfig("n_machines must be >= 1".into()));
+        }
+        if !(0.0..1.0).contains(&c.base_busy) || !c.base_busy.is_finite() {
+            return Err(InvalidClusterConfig(format!(
+                "base_busy must be in [0, 1), got {}",
+                c.base_busy
+            )));
+        }
+        if !c.diurnal_amplitude.is_finite() || c.diurnal_amplitude < 0.0 {
+            return Err(InvalidClusterConfig(format!(
+                "diurnal_amplitude must be >= 0, got {}",
+                c.diurnal_amplitude
+            )));
+        }
+        if c.history_len == 0 {
+            return Err(InvalidClusterConfig("history_len must be >= 1".into()));
+        }
+        Ok(c)
+    }
+}
+
 /// The simulated cluster.
 #[derive(Debug, Clone)]
 pub struct Cluster {
@@ -88,8 +174,8 @@ impl Cluster {
 
     /// The diurnal multi-tenant baseline busy fraction at the current tick.
     pub fn baseline_busy(&self) -> f64 {
-        let phase = 2.0 * std::f64::consts::PI * (self.tick % TICKS_PER_DAY) as f64
-            / TICKS_PER_DAY as f64;
+        let phase =
+            2.0 * std::f64::consts::PI * (self.tick % TICKS_PER_DAY) as f64 / TICKS_PER_DAY as f64;
         (self.config.base_busy + self.config.diurnal_amplitude * phase.sin()).clamp(0.02, 0.95)
     }
 
@@ -99,7 +185,11 @@ impl Cluster {
         // Slight per-tick jitter in the shared baseline models tenant churn.
         let jitter = 0.02 * std_normal(&mut self.rng);
         for m in &mut self.machines {
-            m.tick((baseline + jitter).clamp(0.02, 0.95), &self.config.dynamics, &mut self.rng);
+            m.tick(
+                (baseline + jitter).clamp(0.02, 0.95),
+                &self.config.dynamics,
+                &mut self.rng,
+            );
         }
         let mean = self.cluster_mean();
         self.history.push_back(mean);
@@ -194,7 +284,10 @@ mod tests {
         let before = c.mean_load_of(&chosen).cpu_idle;
         c.advance(5);
         let after = c.mean_load_of(&chosen).cpu_idle;
-        assert!(after < before, "placed work should raise busy: {before}->{after}");
+        assert!(
+            after < before,
+            "placed work should raise busy: {before}->{after}"
+        );
     }
 
     #[test]
@@ -221,12 +314,38 @@ mod tests {
 
     #[test]
     fn allocation_is_clamped_to_pool_size() {
-        let mut c = Cluster::new(9, ClusterConfig {
-            n_machines: 4,
-            ..ClusterConfig::default()
-        });
+        let mut c = Cluster::new(
+            9,
+            ClusterConfig {
+                n_machines: 4,
+                ..ClusterConfig::default()
+            },
+        );
         let chosen = c.allocate(100, 0.1);
         assert_eq!(chosen.len(), 4);
+    }
+
+    #[test]
+    fn builder_accepts_valid_and_rejects_invalid_configs() {
+        let cfg = ClusterConfig::builder()
+            .n_machines(16)
+            .base_busy(0.3)
+            .diurnal_amplitude(0.1)
+            .history_len(100)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.n_machines, 16);
+        assert!(ClusterConfig::builder().n_machines(0).build().is_err());
+        assert!(ClusterConfig::builder().base_busy(1.5).build().is_err());
+        assert!(ClusterConfig::builder()
+            .base_busy(f64::NAN)
+            .build()
+            .is_err());
+        assert!(ClusterConfig::builder()
+            .diurnal_amplitude(-0.1)
+            .build()
+            .is_err());
+        assert!(ClusterConfig::builder().history_len(0).build().is_err());
     }
 
     #[test]

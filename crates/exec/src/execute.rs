@@ -12,7 +12,7 @@ use crate::cluster::Cluster;
 use crate::envmodel::EnvModel;
 use crate::machine::std_normal;
 use mcsim_catalog::workmodel::{operator_work, WorkContext, WorkParams};
-use mcsim_catalog::{Catalog, CardinalityModel, EnvMetrics};
+use mcsim_catalog::{CardinalityModel, Catalog, EnvMetrics};
 use mcsim_plan::op::{JoinAlgo, Operator};
 use mcsim_plan::stage::{decompose, StageGraph};
 use mcsim_plan::{NodeId, PlanSignature, PlanTree};
@@ -81,9 +81,10 @@ impl Executor {
         let cards = CardinalityModel::new(catalog).annotate(plan);
         let stages = decompose(plan);
         let skewed = detect_skew(plan, &stages, catalog);
+        mcsim_obs::counter("exec.queries_executed", 1);
+        mcsim_obs::counter("exec.stages_executed", stages.len() as u64);
 
-        let mut noise_rng =
-            StdRng::seed_from_u64(noise_seed ^ PlanSignature::of(plan).0);
+        let mut noise_rng = StdRng::seed_from_u64(noise_seed ^ PlanSignature::of(plan).0);
 
         let mut stage_envs = vec![EnvMetrics::default(); stages.len()];
         let mut stage_costs = vec![0.0; stages.len()];
@@ -115,6 +116,7 @@ impl Executor {
             // Fuxi allocation: parallel instances scale with work volume.
             let instances = ((work / 1.0e6).ceil() as usize).clamp(1, 256);
             let machines = self.cluster.allocate(instances, 0.15);
+            mcsim_obs::observe("exec.alloc.instances", instances as f64);
 
             // The stage runs for a work-dependent number of 20 s ticks; its
             // observed environment is the average over machines and window.
@@ -133,7 +135,10 @@ impl Executor {
                 .iter()
                 .any(|&id| matches!(plan.op(id), Operator::Spool { .. }));
             let (mult, sigma) = if has_spool {
-                (self.env_model.spooled_multiplier(&env), self.noise_sigma * 0.85)
+                (
+                    self.env_model.spooled_multiplier(&env),
+                    self.noise_sigma * 0.85,
+                )
             } else {
                 (self.env_model.multiplier(&env), self.noise_sigma)
             };
@@ -145,6 +150,20 @@ impl Executor {
             // Latency: stage wall time plus queueing jitter.
             let queue = (0.5 * std_normal(&mut noise_rng)).exp();
             latency += cost / instances as f64 * 1.2 * queue;
+            // Stage-granular observability (never per machine-tick): the
+            // utilization of the machines this stage actually ran on, and
+            // the queueing multiplier it suffered.
+            mcsim_obs::observe("exec.stage.machine_busy", 1.0 - env.cpu_idle);
+            mcsim_obs::observe("exec.stage.queue_wait_factor", queue);
+            mcsim_obs::observe("exec.stage.cost", cost);
+        }
+        if mcsim_obs::enabled() {
+            // cluster_mean() walks every machine, so compute it only when a
+            // recorder is actually listening.
+            mcsim_obs::gauge(
+                "exec.cluster.utilization",
+                1.0 - self.cluster.cluster_mean().cpu_idle,
+            );
         }
 
         ExecutionOutcome {
@@ -221,12 +240,10 @@ fn feeds_through_exchange(plan: &PlanTree, mut node: NodeId) -> bool {
     loop {
         match plan.op(node) {
             Operator::Exchange { .. } => return true,
-            Operator::Spool { .. } => {
-                match plan.node(node).left {
-                    Some(c) => node = c,
-                    None => return false,
-                }
-            }
+            Operator::Spool { .. } => match plan.node(node).left {
+                Some(c) => node = c,
+                None => return false,
+            },
             _ => return false,
         }
     }
@@ -304,11 +321,14 @@ mod tests {
         let q = &p.workload_for_day(0)[0];
         let plan = opt.optimize(q, &Knobs::default());
         let run = |base_busy: f64| {
-            let cluster = Cluster::new(7, ClusterConfig {
-                base_busy,
-                diurnal_amplitude: 0.0,
-                ..ClusterConfig::default()
-            });
+            let cluster = Cluster::new(
+                7,
+                ClusterConfig {
+                    base_busy,
+                    diurnal_amplitude: 0.0,
+                    ..ClusterConfig::default()
+                },
+            );
             let mut exec = Executor::new(7, cluster, 0.1);
             exec.cluster.advance(50);
             let costs: Vec<f64> = (0..15)

@@ -60,6 +60,7 @@ impl Flighting {
         catalog: &Catalog,
         rounds: usize,
     ) -> Vec<ExecutionOutcome> {
+        mcsim_obs::counter("exec.flighting.replays", rounds as u64);
         (0..rounds)
             .map(|_| {
                 self.executor.cluster.advance(self.rng.gen_range(5..60));
@@ -78,6 +79,8 @@ impl Flighting {
         catalog: &Catalog,
         rounds: usize,
     ) -> Vec<Vec<f64>> {
+        mcsim_obs::counter("exec.flighting.synchronized_rounds", rounds as u64);
+        mcsim_obs::counter("exec.flighting.replays", (rounds * plans.len()) as u64);
         let mut out = Vec::with_capacity(rounds);
         for round in 0..rounds {
             self.executor.cluster.advance(self.rng.gen_range(10..80));

@@ -140,8 +140,7 @@ mod tests {
                 ..HistoryOptions::default()
             },
         );
-        let days: std::collections::BTreeSet<i64> =
-            repo.records().iter().map(|r| r.day).collect();
+        let days: std::collections::BTreeSet<i64> = repo.records().iter().map(|r| r.day).collect();
         assert_eq!(days.into_iter().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
     }
 }

@@ -36,7 +36,9 @@ pub mod flighting;
 pub mod history;
 pub mod machine;
 
-pub use cluster::{Cluster, ClusterConfig, TICKS_PER_DAY};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterConfigBuilder, InvalidClusterConfig, TICKS_PER_DAY,
+};
 pub use envmodel::EnvModel;
 pub use execute::{ExecutionOutcome, Executor};
 pub use flighting::Flighting;

@@ -96,7 +96,12 @@ fn noise_free_executor_tracks_intrinsic_cost_times_multiplier() {
     let out = exec.execute(&plan, &project.catalog);
     let intrinsic = exec.intrinsic_cost(&plan, &project.catalog);
     // With σ = 0 the cost must be intrinsic × (per-stage multipliers ≥ 1).
-    assert!(out.cpu_cost >= intrinsic * 0.999, "{} vs {}", out.cpu_cost, intrinsic);
+    assert!(
+        out.cpu_cost >= intrinsic * 0.999,
+        "{} vs {}",
+        out.cpu_cost,
+        intrinsic
+    );
     assert!(out.cpu_cost <= intrinsic * 5.0);
 }
 
@@ -116,7 +121,10 @@ fn quiet_cluster_yields_multiplier_near_one() {
     let out = exec.execute(&plan, &project.catalog);
     let intrinsic = exec.intrinsic_cost(&plan, &project.catalog);
     let mult = out.cpu_cost / intrinsic;
-    assert!(mult < 2.2, "quiet-cluster multiplier should be small: {mult}");
+    assert!(
+        mult < 2.2,
+        "quiet-cluster multiplier should be small: {mult}"
+    );
 }
 
 /// Section 3 of the paper: "end-to-end latency … is highly sensitive to

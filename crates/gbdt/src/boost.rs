@@ -91,8 +91,7 @@ impl Gbdt {
     /// Predicts for one feature row.
     pub fn predict(&self, row: &[f64]) -> f64 {
         self.base_score
-            + self.config.learning_rate
-                * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
+            + self.config.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     /// Predicts for a batch.
@@ -151,11 +150,7 @@ mod tests {
         let preds = model.predict_batch(&xt);
         let mean = yt.iter().sum::<f64>() / yt.len() as f64;
         let ss_tot: f64 = yt.iter().map(|v| (v - mean).powi(2)).sum();
-        let ss_res: f64 = preds
-            .iter()
-            .zip(&yt)
-            .map(|(p, t)| (p - t).powi(2))
-            .sum();
+        let ss_res: f64 = preds.iter().zip(&yt).map(|(p, t)| (p - t).powi(2)).sum();
         let r2 = 1.0 - ss_res / ss_tot;
         assert!(r2 > 0.8, "R² = {r2}");
     }

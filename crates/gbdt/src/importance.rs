@@ -37,7 +37,11 @@ fn accumulate(tree: &Tree, counts: &mut [f64]) {
 pub fn top_features(model: &Gbdt, n_features: usize, k: usize) -> Vec<(usize, f64)> {
     let imp = split_importance(model, n_features);
     let mut idx: Vec<usize> = (0..n_features).collect();
-    idx.sort_by(|&a, &b| imp[b].partial_cmp(&imp[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        imp[b]
+            .partial_cmp(&imp[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.into_iter().take(k).map(|i| (i, imp[i])).collect()
 }
 
@@ -50,13 +54,7 @@ mod tests {
     fn informative_feature_dominates_importance() {
         // y depends only on feature 1; features 0 and 2 are noise.
         let x: Vec<Vec<f64>> = (0..300)
-            .map(|i| {
-                vec![
-                    (i % 13) as f64,
-                    (i % 7) as f64,
-                    ((i * 31) % 11) as f64,
-                ]
-            })
+            .map(|i| vec![(i % 13) as f64, (i % 7) as f64, ((i * 31) % 11) as f64])
             .collect();
         let y: Vec<f64> = x.iter().map(|r| 10.0 * r[1]).collect();
         let model = Gbdt::fit(&x, &y, GbdtConfig::default(), 1);

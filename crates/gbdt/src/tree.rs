@@ -66,16 +66,7 @@ impl Tree {
         params: &TreeParams,
     ) -> Tree {
         let mut nodes = Vec::new();
-        build(
-            x,
-            g,
-            h,
-            rows.to_vec(),
-            n_features,
-            params,
-            0,
-            &mut nodes,
-        );
+        build(x, g, h, rows.to_vec(), n_features, params, 0, &mut nodes);
         Tree { nodes }
     }
 
@@ -138,6 +129,8 @@ fn build(
     let parent_score = g_sum * g_sum / (h_sum + params.lambda);
     let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
     let mut sorted = rows.clone();
+    // `f` indexes columns of the row-major sample matrix, not `x` itself.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..n_features {
         sorted.sort_by(|&a, &b| {
             x[a][f]
@@ -159,8 +152,8 @@ fn build(
             if hl < params.min_child_weight || hr < params.min_child_weight {
                 continue;
             }
-            let gain = gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
-                - parent_score;
+            let gain =
+                gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score;
             if gain > params.gamma && best.map(|(bg, _, _)| gain > bg).unwrap_or(true) {
                 let threshold = 0.5 * (x[sorted[w]][f] + x[sorted[w + 1]][f]);
                 best = Some((gain, f, threshold));
@@ -198,7 +191,10 @@ mod tests {
         // y = 1 if x0 > 0.5 else -1; squared loss ⇒ g = pred - y = -y at
         // pred 0, h = 1.
         let x: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.5 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { -1.0 })
+            .collect();
         let g: Vec<f64> = y.iter().map(|&v| -v).collect();
         let h = vec![1.0; 100];
         let rows: Vec<usize> = (0..100).collect();
@@ -227,16 +223,30 @@ mod tests {
         let x = vec![vec![0.0]];
         let g = vec![-1.0];
         let h = vec![1.0];
-        let t0 = Tree::fit(&x, &g, &h, &[0], 1, &TreeParams {
-            max_depth: 0,
-            lambda: 0.0,
-            ..TreeParams::default()
-        });
-        let t1 = Tree::fit(&x, &g, &h, &[0], 1, &TreeParams {
-            max_depth: 0,
-            lambda: 9.0,
-            ..TreeParams::default()
-        });
+        let t0 = Tree::fit(
+            &x,
+            &g,
+            &h,
+            &[0],
+            1,
+            &TreeParams {
+                max_depth: 0,
+                lambda: 0.0,
+                ..TreeParams::default()
+            },
+        );
+        let t1 = Tree::fit(
+            &x,
+            &g,
+            &h,
+            &[0],
+            1,
+            &TreeParams {
+                max_depth: 0,
+                lambda: 9.0,
+                ..TreeParams::default()
+            },
+        );
         assert!((t0.predict(&[0.0]) - 1.0).abs() < 1e-12);
         assert!((t1.predict(&[0.0]) - 0.1).abs() < 1e-12);
     }
@@ -254,7 +264,10 @@ mod tests {
     #[test]
     fn missing_features_predict_through_default_path() {
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 10.0 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 10.0 { 1.0 } else { 0.0 })
+            .collect();
         let g: Vec<f64> = y.iter().map(|&v| -v).collect();
         let h = vec![1.0; 20];
         let rows: Vec<usize> = (0..20).collect();

@@ -1,0 +1,59 @@
+//! The public error type of the LOAM pipeline.
+//!
+//! Every facade-level entry point (`prepare_project`, `train_loam`,
+//! `evaluate_*`) returns `Result<_, LoamError>` instead of panicking, so
+//! invalid configurations and degenerate workloads surface as values the
+//! caller can match on.
+
+use mcsim_exec::InvalidClusterConfig;
+
+/// Everything that can go wrong in the public pipeline API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoamError {
+    /// A configuration value is out of range or inconsistent.
+    InvalidConfig(String),
+    /// A step needed queries/samples and the workload provided none.
+    EmptyWorkload(String),
+    /// Training produced non-finite losses or predictions.
+    TrainingDiverged(String),
+    /// A generated or supplied plan failed structural validation.
+    PlanInvalid(String),
+}
+
+impl std::fmt::Display for LoamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoamError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            LoamError::EmptyWorkload(m) => write!(f, "empty workload: {m}"),
+            LoamError::TrainingDiverged(m) => write!(f, "training diverged: {m}"),
+            LoamError::PlanInvalid(m) => write!(f, "invalid plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoamError {}
+
+impl From<InvalidClusterConfig> for LoamError {
+    fn from(e: InvalidClusterConfig) -> Self {
+        LoamError::InvalidConfig(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LoamError::InvalidConfig("train_days must be > 0".into());
+        assert!(e.to_string().contains("train_days"));
+        let e = LoamError::EmptyWorkload("no test queries".into());
+        assert!(e.to_string().contains("empty workload"));
+    }
+
+    #[test]
+    fn cluster_config_errors_convert() {
+        let e: LoamError = InvalidClusterConfig("n_machines must be >= 1".into()).into();
+        assert!(matches!(e, LoamError::InvalidConfig(_)));
+    }
+}

@@ -111,6 +111,7 @@ impl PlanExplorer {
         let mut default_sig = None;
 
         for knobs in self.knob_space() {
+            mcsim_obs::counter("explorer.plans_explored", 1);
             let plan = optimizer.optimize(query, &knobs);
             let sig = PlanSignature::of(&plan);
             let is_default = knobs.is_default();
@@ -124,6 +125,8 @@ impl PlanExplorer {
                     knobs,
                     rough_cost,
                 });
+            } else {
+                mcsim_obs::counter("explorer.duplicates_pruned", 1);
             }
         }
 
@@ -151,6 +154,7 @@ impl PlanExplorer {
             .iter()
             .position(|c| PlanSignature::of(&c.plan) == default_sig)
             .expect("default plan retained");
+        mcsim_obs::counter("explorer.candidates_kept", kept.len() as u64);
 
         CandidateSet {
             candidates: kept,
@@ -192,12 +196,14 @@ mod tests {
             assert!(!set.is_empty());
             assert!(set.len() <= 5);
             let def = &set.candidates[set.default_idx];
-            assert!(def.knobs.is_default() || {
-                // The default plan may also be produced by a non-default
-                // knob; its signature is what matters.
-                let dplan = opt.optimize(q, &Knobs::default());
-                PlanSignature::of(&def.plan) == PlanSignature::of(&dplan)
-            });
+            assert!(
+                def.knobs.is_default() || {
+                    // The default plan may also be produced by a non-default
+                    // knob; its signature is what matters.
+                    let dplan = opt.optimize(q, &Knobs::default());
+                    PlanSignature::of(&def.plan) == PlanSignature::of(&dplan)
+                }
+            );
         }
     }
 
@@ -229,7 +235,10 @@ mod tests {
                 multi += 1;
             }
         }
-        assert!(multi >= 15, "join queries should have plan diversity: {multi}");
+        assert!(
+            multi >= 15,
+            "join queries should have plan diversity: {multi}"
+        );
     }
 
     #[test]

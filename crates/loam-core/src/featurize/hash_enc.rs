@@ -29,7 +29,12 @@ pub fn encode_id(namespace: u64, id: u64, out: &mut [f32]) {
     assert_eq!(out.len(), HASH_ENC_DIM, "output slice has wrong width");
     let key = id.to_le_bytes();
     for seg in 0..SEGMENTS {
-        let h = fnv1a_seeded(namespace.wrapping_add(seg as u64).wrapping_mul(0x9e3779b97f4a7c15), &key);
+        let h = fnv1a_seeded(
+            namespace
+                .wrapping_add(seg as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15),
+            &key,
+        );
         let bucket = (h % SEGMENT_DIM as u64) as usize;
         out[seg * SEGMENT_DIM + bucket] = 1.0;
     }

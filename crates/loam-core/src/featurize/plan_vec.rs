@@ -75,6 +75,7 @@ impl PlanFeaturizer {
     /// Vectorizes `plan` into (node features, tree structure). Node row `i`
     /// corresponds to plan `NodeId` `i`.
     pub fn featurize(&self, plan: &PlanTree, env: EnvSource<'_>) -> (Mat, TreeStructure) {
+        mcsim_obs::counter("loam.featurize.calls", 1);
         let n = plan.len();
         let mut x = Mat::zeros(n, FEATURE_DIM);
         let stage_of: Option<Vec<usize>> = match &env {
@@ -263,11 +264,15 @@ mod tests {
         // Node 0 is the filtered scan.
         let row = x.row(0);
         assert_eq!(row[FILTER_FN_OFF + CmpFn::Eq.index()], 1.0);
-        let filter_cols: f32 = row[FILTER_COL_OFF..FILTER_COL_OFF + HASH_ENC_DIM].iter().sum();
+        let filter_cols: f32 = row[FILTER_COL_OFF..FILTER_COL_OFF + HASH_ENC_DIM]
+            .iter()
+            .sum();
         assert!(filter_cols >= 5.0, "five segments must be hot");
         // Unfiltered scan has no filter encoding.
         let row1 = x.row(1);
-        let none: f32 = row1[FILTER_FN_OFF..FILTER_FN_OFF + CmpFn::COUNT].iter().sum();
+        let none: f32 = row1[FILTER_FN_OFF..FILTER_FN_OFF + CmpFn::COUNT]
+            .iter()
+            .sum();
         assert_eq!(none, 0.0);
     }
 

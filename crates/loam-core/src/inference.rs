@@ -112,9 +112,14 @@ pub fn select_plan_guarded<M: CostModel + ?Sized>(
     margin: f64,
 ) -> (usize, Vec<f64>) {
     let (best, costs) = select_plan(model, plans, strategy);
-    if best != default_idx && costs[best] > costs[default_idx] * (1.0 - margin) {
+    if best == default_idx {
+        mcsim_obs::counter("loam.select.default_best", 1);
+        (best, costs)
+    } else if costs[best] > costs[default_idx] * (1.0 - margin) {
+        mcsim_obs::counter("loam.select.rejected", 1);
         (default_idx, costs)
     } else {
+        mcsim_obs::counter("loam.select.accepted", 1);
         (best, costs)
     }
 }

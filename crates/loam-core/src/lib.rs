@@ -29,19 +29,23 @@
 //! use loam_core::inference::EnvStrategy;
 //! use mcsim_catalog::{ProjectId, ProjectProfile};
 //!
+//! # fn main() -> Result<(), loam_core::LoamError> {
 //! let profile = ProjectProfile::evaluation_project(1).unwrap();
 //! let cfg = PipelineConfig::reduced(0.05);
-//! let prepared = pipeline::prepare_project(&profile, ProjectId(1), &cfg);
-//! let predictor = pipeline::train_loam(&prepared, &cfg);
-//! let evaluated = pipeline::evaluate_candidates(&prepared, &cfg);
+//! let prepared = pipeline::prepare_project(&profile, ProjectId(1), &cfg)?;
+//! let predictor = pipeline::train_loam(&prepared, &cfg)?;
+//! let evaluated = pipeline::evaluate_candidates(&prepared, &cfg)?;
 //! let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
-//! let result = pipeline::evaluate_model(&predictor, &strategy, &evaluated);
+//! let result = pipeline::evaluate_model(&predictor, &strategy, &evaluated)?;
 //! println!("LOAM avg CPU cost: {:.0}", result.avg_cost);
+//! # Ok(())
+//! # }
 //! ```
 
+pub mod error;
 pub mod explorer;
-pub mod gate;
 pub mod featurize;
+pub mod gate;
 pub mod inference;
 pub mod persist;
 pub mod pipeline;
@@ -49,11 +53,12 @@ pub mod predictor;
 pub mod selector;
 pub mod theory;
 
+pub use error::LoamError;
 pub use explorer::{Candidate, CandidateSet, ExplorerConfig, PlanExplorer};
-pub use gate::{validate as validate_deployment, GateConfig, GateReport};
-pub use persist::{load_predictor, load_ranker, save_predictor, save_ranker, PersistError};
 pub use featurize::{EnvSource, PlanFeaturizer, FEATURE_DIM};
+pub use gate::{validate as validate_deployment, GateConfig, GateReport};
 pub use inference::{select_plan, EnvStrategy};
+pub use persist::{load_predictor, load_ranker, save_predictor, save_ranker, PersistError};
 pub use predictor::baselines::{CostModel, GcnPredictor, TransformerPredictor, XgbPredictor};
 pub use predictor::train::{train, TrainConfig, TrainReport, TrainSample};
 pub use predictor::AdaptiveCostPredictor;

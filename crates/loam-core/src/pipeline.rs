@@ -3,6 +3,7 @@
 //! serving — the machinery behind every end-to-end experiment (Figures
 //! 6–11).
 
+use crate::error::LoamError;
 use crate::explorer::{ExplorerConfig, PlanExplorer};
 use crate::inference::{select_plan_guarded, EnvStrategy, DEFAULT_MARGIN};
 use crate::predictor::baselines::CostModel;
@@ -70,6 +71,120 @@ impl PipelineConfig {
             ..base
         }
     }
+
+    /// Starts a validated builder pre-loaded with the defaults.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            config: PipelineConfig::default(),
+        }
+    }
+
+    /// Checks every field the pipeline later relies on, so entry points can
+    /// reject a bad configuration up front instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), LoamError> {
+        let err = |m: String| Err(LoamError::InvalidConfig(m));
+        if self.train_days <= 0 {
+            return err(format!("train_days must be > 0, got {}", self.train_days));
+        }
+        if self.test_days <= 0 {
+            return err(format!("test_days must be > 0, got {}", self.test_days));
+        }
+        if self.max_train == 0 {
+            return err("max_train must be >= 1".into());
+        }
+        if self.max_test == 0 {
+            return err("max_test must be >= 1".into());
+        }
+        if self.eval_rounds == 0 {
+            return err("eval_rounds must be >= 1".into());
+        }
+        if self.train_cfg.epochs == 0 {
+            return err("train_cfg.epochs must be >= 1".into());
+        }
+        if self.train_cfg.batch_size == 0 {
+            return err("train_cfg.batch_size must be >= 1".into());
+        }
+        if self.train_cfg.lr <= 0.0 || !self.train_cfg.lr.is_finite() {
+            return err(format!(
+                "train_cfg.lr must be a positive finite number, got {}",
+                self.train_cfg.lr
+            ));
+        }
+        if self.explorer.top_k == 0 {
+            return err("explorer.top_k must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PipelineConfig`] that validates at
+/// [`build`](PipelineConfigBuilder::build) time and returns a typed
+/// [`LoamError::InvalidConfig`] instead of panicking later.
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Days of history used for training.
+    pub fn train_days(mut self, d: i64) -> Self {
+        self.config.train_days = d;
+        self
+    }
+
+    /// Days of history used for testing.
+    pub fn test_days(mut self, d: i64) -> Self {
+        self.config.test_days = d;
+        self
+    }
+
+    /// Cap on training queries.
+    pub fn max_train(mut self, n: usize) -> Self {
+        self.config.max_train = n;
+        self
+    }
+
+    /// Cap on test queries.
+    pub fn max_test(mut self, n: usize) -> Self {
+        self.config.max_test = n;
+        self
+    }
+
+    /// Synchronized replay rounds per test query.
+    pub fn eval_rounds(mut self, n: usize) -> Self {
+        self.config.eval_rounds = n;
+        self
+    }
+
+    /// Training queries explored for unlabeled domain-adaptation candidates.
+    pub fn da_queries(mut self, n: usize) -> Self {
+        self.config.da_queries = n;
+        self
+    }
+
+    /// Predictor training hyperparameters.
+    pub fn train_cfg(mut self, cfg: TrainConfig) -> Self {
+        self.config.train_cfg = cfg;
+        self
+    }
+
+    /// Plan-explorer configuration.
+    pub fn explorer(mut self, cfg: ExplorerConfig) -> Self {
+        self.config.explorer = cfg;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PipelineConfig, LoamError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 /// A project with its generated history and training data, ready for model
@@ -91,21 +206,34 @@ pub struct PreparedProject {
 }
 
 /// Generates a project, simulates its history, and extracts train/test data.
+///
+/// # Errors
+///
+/// [`LoamError::InvalidConfig`] if `cfg` fails [`PipelineConfig::validate`];
+/// [`LoamError::EmptyWorkload`] if the profile yields no historical
+/// executions or no held-out test queries.
 pub fn prepare_project(
     profile: &ProjectProfile,
     id: ProjectId,
     cfg: &PipelineConfig,
-) -> PreparedProject {
+) -> Result<PreparedProject, LoamError> {
+    cfg.validate()?;
+    let _span = mcsim_obs::span("prepare");
     let project = profile.generate(id);
-    let repo = build_history(
-        &project,
-        &HistoryOptions {
-            days: cfg.train_days,
-            max_queries: cfg.max_train,
-            seed: cfg.seed ^ id.0 as u64,
-            ..HistoryOptions::default()
-        },
-    );
+    let repo = {
+        // History building replays the historical workload through the
+        // executor: account it to the "execute" phase.
+        let _s = mcsim_obs::span("execute");
+        build_history(
+            &project,
+            &HistoryOptions {
+                days: cfg.train_days,
+                max_queries: cfg.max_train,
+                seed: cfg.seed ^ id.0 as u64,
+                ..HistoryOptions::default()
+            },
+        )
+    };
 
     // Every logged execution is a training sample: recurring plans observed
     // under different environments are what teach the model to disentangle
@@ -131,6 +259,7 @@ pub fn prepare_project(
         .take(cfg.da_queries)
         .collect();
     for q in &da_sample {
+        let _s = mcsim_obs::span("optimize");
         let set = explorer.explore(&optimizer, q);
         for (i, c) in set.candidates.into_iter().enumerate() {
             if i != set.default_idx {
@@ -157,28 +286,68 @@ pub fn prepare_project(
         }
     }
 
+    if train_samples.is_empty() {
+        return Err(LoamError::EmptyWorkload(format!(
+            "project {} produced no historical executions over {} training days",
+            id.0, cfg.train_days
+        )));
+    }
+    if test_queries.is_empty() {
+        return Err(LoamError::EmptyWorkload(format!(
+            "project {} produced no test queries over {} held-out days",
+            id.0, cfg.test_days
+        )));
+    }
+
     let mean_env = repo.mean_stage_env();
-    PreparedProject {
+    Ok(PreparedProject {
         project,
         repo,
         train_samples,
         da_candidates,
         test_queries,
         mean_env,
-    }
+    })
 }
 
 /// Trains LOAM's adaptive predictor on a prepared project.
-pub fn train_loam(prepared: &PreparedProject, cfg: &PipelineConfig) -> AdaptiveCostPredictor {
+///
+/// # Errors
+///
+/// [`LoamError::InvalidConfig`] on bad hyperparameters,
+/// [`LoamError::EmptyWorkload`] if `prepared` has no training samples, and
+/// [`LoamError::TrainingDiverged`] if any epoch loss came out non-finite.
+pub fn train_loam(
+    prepared: &PreparedProject,
+    cfg: &PipelineConfig,
+) -> Result<AdaptiveCostPredictor, LoamError> {
+    cfg.validate()?;
+    if prepared.train_samples.is_empty() {
+        return Err(LoamError::EmptyWorkload(
+            "cannot train on zero samples".into(),
+        ));
+    }
     let mut predictor = AdaptiveCostPredictor::new(cfg.seed ^ 0x10a0, true);
-    train(
+    let report = train(
         &mut predictor,
         &prepared.train_samples,
         &prepared.da_candidates,
         prepared.mean_env,
         &cfg.train_cfg,
     );
-    predictor
+    let diverged = report
+        .cost_loss
+        .iter()
+        .chain(report.domain_loss.iter())
+        .any(|l| !l.is_finite());
+    if diverged {
+        return Err(LoamError::TrainingDiverged(format!(
+            "non-finite loss after {} epochs (cost_loss: {:?})",
+            report.cost_loss.len(),
+            report.cost_loss
+        )));
+    }
+    Ok(predictor)
 }
 
 /// One test query's evaluated candidate set: plans, synchronized replay
@@ -217,27 +386,51 @@ impl EvaluatedQuery {
 }
 
 /// Explores and flighting-replays every test query's candidate set.
-pub fn evaluate_candidates(prepared: &PreparedProject, cfg: &PipelineConfig) -> Vec<EvaluatedQuery> {
+///
+/// # Errors
+///
+/// [`LoamError::InvalidConfig`] on a bad configuration,
+/// [`LoamError::EmptyWorkload`] if `prepared` holds no test queries, and
+/// [`LoamError::PlanInvalid`] if a generated candidate fails structural
+/// validation.
+pub fn evaluate_candidates(
+    prepared: &PreparedProject,
+    cfg: &PipelineConfig,
+) -> Result<Vec<EvaluatedQuery>, LoamError> {
+    cfg.validate()?;
+    if prepared.test_queries.is_empty() {
+        return Err(LoamError::EmptyWorkload(
+            "no test queries to evaluate".into(),
+        ));
+    }
     let optimizer = NativeOptimizer::new(&prepared.project.catalog);
     let explorer = PlanExplorer::new(cfg.explorer.clone());
-    let mut flighting = Flighting::new(
-        cfg.seed ^ 0xf1f1,
-        prepared.project.profile.env_noise_sigma,
-    );
+    let mut flighting = Flighting::new(cfg.seed ^ 0xf1f1, prepared.project.profile.env_noise_sigma);
     prepared
         .test_queries
         .iter()
         .map(|q| {
-            let set = explorer.explore(&optimizer, q);
+            let set = {
+                let _s = mcsim_obs::span("optimize");
+                explorer.explore(&optimizer, q)
+            };
             let plans: Vec<PlanTree> = set.candidates.iter().map(|c| c.plan.clone()).collect();
+            for p in &plans {
+                p.validate().map_err(|e| {
+                    LoamError::PlanInvalid(format!("candidate for query {}: {e}", q.id))
+                })?;
+            }
             let refs: Vec<&PlanTree> = plans.iter().collect();
-            let costs = flighting.replay_synchronized(&refs, &prepared.project.catalog, cfg.eval_rounds);
-            EvaluatedQuery {
+            let costs = {
+                let _s = mcsim_obs::span("execute");
+                flighting.replay_synchronized(&refs, &prepared.project.catalog, cfg.eval_rounds)
+            };
+            Ok(EvaluatedQuery {
                 query_id: q.id,
                 plans,
                 costs,
                 default_idx: set.default_idx,
-            }
+            })
         })
         .collect()
 }
@@ -264,8 +457,12 @@ pub fn evaluate_model<M: CostModel + ?Sized>(
     model: &M,
     strategy: &EnvStrategy,
     evaluated: &[EvaluatedQuery],
-) -> ModelEvaluation {
-    assert!(!evaluated.is_empty(), "need at least one evaluated query");
+) -> Result<ModelEvaluation, LoamError> {
+    if evaluated.is_empty() {
+        return Err(LoamError::EmptyWorkload(
+            "need at least one evaluated query".into(),
+        ));
+    }
     let mut per_query = Vec::with_capacity(evaluated.len());
     let mut dev_sum = 0.0;
     let mut oracle_sum = 0.0;
@@ -273,8 +470,10 @@ pub fn evaluate_model<M: CostModel + ?Sized>(
     let mut total_cost = 0.0;
     for eq in evaluated {
         let refs: Vec<&PlanTree> = eq.plans.iter().collect();
-        let (choice, _) =
-            select_plan_guarded(model, &refs, strategy, eq.default_idx, DEFAULT_MARGIN);
+        let (choice, _) = {
+            let _s = mcsim_obs::span("infer");
+            select_plan_guarded(model, &refs, strategy, eq.default_idx, DEFAULT_MARGIN)
+        };
         let chosen_cost = eq.mean_cost(choice);
         total_cost += chosen_cost;
         per_query.push((eq.default_cost(), chosen_cost));
@@ -286,22 +485,34 @@ pub fn evaluate_model<M: CostModel + ?Sized>(
     let n = evaluated.len() as f64;
     let expected = dev_sum / n;
     let oracle_cost = oracle_sum / n;
-    ModelEvaluation {
+    Ok(ModelEvaluation {
         name: model.name().to_string(),
         avg_cost: total_cost / n,
         per_query,
         deviance: Deviance {
             expected,
-            relative: if oracle_cost > 0.0 { expected / oracle_cost } else { 0.0 },
+            relative: if oracle_cost > 0.0 {
+                expected / oracle_cost
+            } else {
+                0.0
+            },
             oracle_cost,
         },
         inference_seconds,
-    }
+    })
 }
 
 /// The native optimizer's performance (always picking the default plan).
-pub fn evaluate_native(evaluated: &[EvaluatedQuery]) -> ModelEvaluation {
-    assert!(!evaluated.is_empty());
+///
+/// # Errors
+///
+/// [`LoamError::EmptyWorkload`] if `evaluated` is empty.
+pub fn evaluate_native(evaluated: &[EvaluatedQuery]) -> Result<ModelEvaluation, LoamError> {
+    if evaluated.is_empty() {
+        return Err(LoamError::EmptyWorkload(
+            "need at least one evaluated query".into(),
+        ));
+    }
     let mut per_query = Vec::with_capacity(evaluated.len());
     let mut dev_sum = 0.0;
     let mut oracle_sum = 0.0;
@@ -317,23 +528,37 @@ pub fn evaluate_native(evaluated: &[EvaluatedQuery]) -> ModelEvaluation {
     let n = evaluated.len() as f64;
     let expected = dev_sum / n;
     let oracle_cost = oracle_sum / n;
-    ModelEvaluation {
+    Ok(ModelEvaluation {
         name: "MaxCompute".to_string(),
         avg_cost: total / n,
         per_query,
         deviance: Deviance {
             expected,
-            relative: if oracle_cost > 0.0 { expected / oracle_cost } else { 0.0 },
+            relative: if oracle_cost > 0.0 {
+                expected / oracle_cost
+            } else {
+                0.0
+            },
             oracle_cost,
         },
         inference_seconds: 0.0,
-    }
+    })
 }
 
 /// The best-achievable model M_b (minimum expected cost per query) — the
 /// dashed line of Figures 6 and 8.
-pub fn evaluate_best_achievable(evaluated: &[EvaluatedQuery]) -> ModelEvaluation {
-    assert!(!evaluated.is_empty());
+///
+/// # Errors
+///
+/// [`LoamError::EmptyWorkload`] if `evaluated` is empty.
+pub fn evaluate_best_achievable(
+    evaluated: &[EvaluatedQuery],
+) -> Result<ModelEvaluation, LoamError> {
+    if evaluated.is_empty() {
+        return Err(LoamError::EmptyWorkload(
+            "need at least one evaluated query".into(),
+        ));
+    }
     let mut per_query = Vec::with_capacity(evaluated.len());
     let mut dev_sum = 0.0;
     let mut oracle_sum = 0.0;
@@ -349,24 +574,32 @@ pub fn evaluate_best_achievable(evaluated: &[EvaluatedQuery]) -> ModelEvaluation
     let n = evaluated.len() as f64;
     let expected = dev_sum / n;
     let oracle_cost = oracle_sum / n;
-    ModelEvaluation {
+    Ok(ModelEvaluation {
         name: "Best-achievable".to_string(),
         avg_cost: total / n,
         per_query,
         deviance: Deviance {
             expected,
-            relative: if oracle_cost > 0.0 { expected / oracle_cost } else { 0.0 },
+            relative: if oracle_cost > 0.0 {
+                expected / oracle_cost
+            } else {
+                0.0
+            },
             oracle_cost,
         },
         inference_seconds: 0.0,
-    }
+    })
 }
 
 /// The exact improvement space `D(M_d)` of a project, relative form —
 /// computed from evaluated candidate sets (Appendix E.1's role in
 /// Section 7.1).
-pub fn project_improvement_space(evaluated: &[EvaluatedQuery]) -> f64 {
-    evaluate_native(evaluated).deviance.relative
+///
+/// # Errors
+///
+/// [`LoamError::EmptyWorkload`] if `evaluated` is empty.
+pub fn project_improvement_space(evaluated: &[EvaluatedQuery]) -> Result<f64, LoamError> {
+    Ok(evaluate_native(evaluated)?.deviance.relative)
 }
 
 #[cfg(test)]
@@ -401,7 +634,7 @@ mod tests {
 
     #[test]
     fn prepare_produces_train_and_test_data() {
-        let prepared = prepare_project(&tiny_profile(), ProjectId(9), &tiny_cfg());
+        let prepared = prepare_project(&tiny_profile(), ProjectId(9), &tiny_cfg()).unwrap();
         assert!(!prepared.train_samples.is_empty());
         assert!(!prepared.test_queries.is_empty());
         assert!(!prepared.da_candidates.is_empty());
@@ -411,8 +644,8 @@ mod tests {
     #[test]
     fn end_to_end_small_pipeline_runs() {
         let cfg = tiny_cfg();
-        let prepared = prepare_project(&tiny_profile(), ProjectId(9), &cfg);
-        let evaluated = evaluate_candidates(&prepared, &cfg);
+        let prepared = prepare_project(&tiny_profile(), ProjectId(9), &cfg).unwrap();
+        let evaluated = evaluate_candidates(&prepared, &cfg).unwrap();
         assert!(!evaluated.is_empty());
         for eq in &evaluated {
             assert_eq!(eq.costs.len(), cfg.eval_rounds);
@@ -420,15 +653,15 @@ mod tests {
             assert!(eq.oracle_cost() <= eq.default_cost() + 1e-9);
         }
 
-        let native = evaluate_native(&evaluated);
-        let best = evaluate_best_achievable(&evaluated);
+        let native = evaluate_native(&evaluated).unwrap();
+        let best = evaluate_best_achievable(&evaluated).unwrap();
         // Theorem 1 at workload level: best-achievable deviance ≤ native's.
         assert!(best.deviance.expected <= native.deviance.expected + 1e-9);
         assert!(best.avg_cost <= native.avg_cost + 1e-9);
 
-        let predictor = train_loam(&prepared, &cfg);
+        let predictor = train_loam(&prepared, &cfg).unwrap();
         let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
-        let loam = evaluate_model(&predictor, &strategy, &evaluated);
+        let loam = evaluate_model(&predictor, &strategy, &evaluated).unwrap();
         assert!(loam.avg_cost.is_finite() && loam.avg_cost > 0.0);
         assert!(loam.deviance.expected >= best.deviance.expected - 1e-9);
         assert_eq!(loam.per_query.len(), evaluated.len());
@@ -437,9 +670,50 @@ mod tests {
     #[test]
     fn improvement_space_is_nonnegative() {
         let cfg = tiny_cfg();
-        let prepared = prepare_project(&tiny_profile(), ProjectId(10), &cfg);
-        let evaluated = evaluate_candidates(&prepared, &cfg);
-        let d = project_improvement_space(&evaluated);
+        let prepared = prepare_project(&tiny_profile(), ProjectId(10), &cfg).unwrap();
+        let evaluated = evaluate_candidates(&prepared, &cfg).unwrap();
+        let d = project_improvement_space(&evaluated).unwrap();
         assert!(d >= 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_up_front() {
+        let bad = PipelineConfig {
+            train_days: 0,
+            ..tiny_cfg()
+        };
+        let err = prepare_project(&tiny_profile(), ProjectId(11), &bad).unwrap_err();
+        assert!(matches!(err, super::LoamError::InvalidConfig(_)), "{err}");
+
+        assert!(PipelineConfig::builder().eval_rounds(0).build().is_err());
+        assert!(PipelineConfig::builder()
+            .train_cfg(TrainConfig {
+                lr: 0.0,
+                ..TrainConfig::default()
+            })
+            .build()
+            .is_err());
+        let ok = PipelineConfig::builder()
+            .train_days(3)
+            .test_days(2)
+            .max_train(40)
+            .max_test(10)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(ok.train_days, 3);
+        assert_eq!(ok.seed, 7);
+    }
+
+    #[test]
+    fn empty_evaluations_are_typed_errors_not_panics() {
+        assert!(matches!(
+            evaluate_native(&[]),
+            Err(super::LoamError::EmptyWorkload(_))
+        ));
+        assert!(matches!(
+            evaluate_best_achievable(&[]),
+            Err(super::LoamError::EmptyWorkload(_))
+        ));
     }
 }

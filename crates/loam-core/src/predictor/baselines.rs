@@ -50,10 +50,12 @@ struct LabelStats {
 
 impl LabelStats {
     fn fit(samples: &[TrainSample]) -> LabelStats {
-        let logs: Vec<f32> = samples.iter().map(|s| s.cost.max(1e-9).ln() as f32).collect();
+        let logs: Vec<f32> = samples
+            .iter()
+            .map(|s| s.cost.max(1e-9).ln() as f32)
+            .collect();
         let mean = logs.iter().sum::<f32>() / logs.len().max(1) as f32;
-        let var =
-            logs.iter().map(|l| (l - mean).powi(2)).sum::<f32>() / logs.len().max(1) as f32;
+        let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f32>() / logs.len().max(1) as f32;
         LabelStats {
             mean,
             std: var.sqrt().max(1e-3),
@@ -259,7 +261,10 @@ impl XgbPredictor {
                 )
             })
             .collect();
-        let y: Vec<f64> = samples.iter().map(|s| stats.normalize(s.cost) as f64).collect();
+        let y: Vec<f64> = samples
+            .iter()
+            .map(|s| stats.normalize(s.cost) as f64)
+            .collect();
         let model = Gbdt::fit(&x, &y, GbdtConfig::default(), seed);
         XgbPredictor {
             featurizer,

@@ -49,7 +49,13 @@ impl AdaptiveCostPredictor {
         let mut rng = StdRng::seed_from_u64(seed);
         AdaptiveCostPredictor {
             featurizer: PlanFeaturizer { use_env },
-            plan_emb: Tcn::new(crate::featurize::FEATURE_DIM, hidden1, hidden2, emb, &mut rng),
+            plan_emb: Tcn::new(
+                crate::featurize::FEATURE_DIM,
+                hidden1,
+                hidden2,
+                emb,
+                &mut rng,
+            ),
             cost_head: Mlp::new(&[emb, 16, 1], &mut rng),
             dom_head: Mlp::new(&[emb, 16, 2], &mut rng),
             label_mean: 0.0,

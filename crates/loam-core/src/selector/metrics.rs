@@ -58,8 +58,7 @@ pub fn expected_random_ndcg(relevance: &[f64], k: usize) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let mean_gain: f64 =
-        relevance.iter().map(|&r| 2f64.powf(r) - 1.0).sum::<f64>() / n as f64;
+    let mean_gain: f64 = relevance.iter().map(|&r| 2f64.powf(r) - 1.0).sum::<f64>() / n as f64;
     let expected_dcg: f64 = (0..k.min(n))
         .map(|i| mean_gain / ((i + 2) as f64).log2())
         .sum();

@@ -56,7 +56,9 @@ pub fn bootstrap<F: Fn(&[usize]) -> f64>(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut values: Vec<f64> = (0..resamples.max(2))
         .map(|_| {
-            let idx: Vec<usize> = (0..n_samples).map(|_| rng.gen_range(0..n_samples)).collect();
+            let idx: Vec<usize> = (0..n_samples)
+                .map(|_| rng.gen_range(0..n_samples))
+                .collect();
             stat(&idx)
         })
         .collect();

@@ -164,8 +164,14 @@ mod tests {
         // verify the deviance of the best single choice is ≥ 0 and the
         // oracle cost is ≤ every per-plan mean.
         let dists = [
-            LogNormal { mu: 1.0, sigma: 0.3 },
-            LogNormal { mu: 1.2, sigma: 0.3 },
+            LogNormal {
+                mu: 1.0,
+                sigma: 0.3,
+            },
+            LogNormal {
+                mu: 1.2,
+                sigma: 0.3,
+            },
         ];
         let costs = sample_matrix(&dists, 2000, 1);
         let d = best_achievable_deviance(&costs);
@@ -178,9 +184,18 @@ mod tests {
     fn theorem1_ordering_holds() {
         // E[D(M)] >= E[D(M_b)] >= 0 for every fixed choice M.
         let dists = [
-            LogNormal { mu: 2.0, sigma: 0.4 },
-            LogNormal { mu: 2.1, sigma: 0.2 },
-            LogNormal { mu: 2.3, sigma: 0.6 },
+            LogNormal {
+                mu: 2.0,
+                sigma: 0.4,
+            },
+            LogNormal {
+                mu: 2.1,
+                sigma: 0.2,
+            },
+            LogNormal {
+                mu: 2.3,
+                sigma: 0.6,
+            },
         ];
         let costs = sample_matrix(&dists, 3000, 2);
         let db = best_achievable_deviance(&costs);
@@ -217,9 +232,18 @@ mod tests {
     #[test]
     fn min_pdf_integrates_to_one() {
         let dists = [
-            LogNormal { mu: 1.0, sigma: 0.3 },
-            LogNormal { mu: 1.3, sigma: 0.5 },
-            LogNormal { mu: 0.8, sigma: 0.2 },
+            LogNormal {
+                mu: 1.0,
+                sigma: 0.3,
+            },
+            LogNormal {
+                mu: 1.3,
+                sigma: 0.5,
+            },
+            LogNormal {
+                mu: 0.8,
+                sigma: 0.2,
+            },
         ];
         let mut total = 0.0;
         let dx = 0.005;
@@ -233,10 +257,19 @@ mod tests {
 
     #[test]
     fn lognormal_deviance_matches_monte_carlo() {
-        let chosen = LogNormal { mu: 1.4, sigma: 0.3 };
+        let chosen = LogNormal {
+            mu: 1.4,
+            sigma: 0.3,
+        };
         let others = [
-            LogNormal { mu: 1.2, sigma: 0.3 },
-            LogNormal { mu: 1.5, sigma: 0.4 },
+            LogNormal {
+                mu: 1.2,
+                sigma: 0.3,
+            },
+            LogNormal {
+                mu: 1.5,
+                sigma: 0.4,
+            },
         ];
         let analytic = deviance_lognormal(&chosen, &others, 128);
 

@@ -43,7 +43,7 @@ pub fn std_normal_quantile(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn mle_recovers_parameters() {
-        let truth = LogNormal { mu: 2.0, sigma: 0.3 };
+        let truth = LogNormal {
+            mu: 2.0,
+            sigma: 0.3,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let samples: Vec<f64> = (0..20_000).map(|_| truth.sample(&mut rng)).collect();
         let fit = LogNormal::fit(&samples);
@@ -223,7 +226,10 @@ mod tests {
 
     #[test]
     fn pdf_integrates_to_one() {
-        let d = LogNormal { mu: 1.0, sigma: 0.5 };
+        let d = LogNormal {
+            mu: 1.0,
+            sigma: 0.5,
+        };
         let mut total = 0.0;
         let dx = 0.01;
         let mut x = dx / 2.0;
@@ -236,16 +242,21 @@ mod tests {
 
     #[test]
     fn mean_formula_matches_samples() {
-        let d = LogNormal { mu: 1.5, sigma: 0.4 };
+        let d = LogNormal {
+            mu: 1.5,
+            sigma: 0.4,
+        };
         let mut rng = StdRng::seed_from_u64(2);
-        let emp: f64 =
-            (0..50_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 50_000.0;
+        let emp: f64 = (0..50_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 50_000.0;
         assert!((emp - d.mean()).abs() / d.mean() < 0.02);
     }
 
     #[test]
     fn ks_accepts_true_distribution() {
-        let d = LogNormal { mu: 0.0, sigma: 1.0 };
+        let d = LogNormal {
+            mu: 0.0,
+            sigma: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let samples: Vec<f64> = (0..500).map(|_| d.sample(&mut rng)).collect();
         let fit = LogNormal::fit(&samples);
@@ -257,14 +268,20 @@ mod tests {
     fn ks_rejects_wrong_distribution() {
         // Uniform data is not log-normal with these parameters.
         let samples: Vec<f64> = (1..=500).map(|i| i as f64).collect();
-        let wrong = LogNormal { mu: 0.0, sigma: 0.1 };
+        let wrong = LogNormal {
+            mu: 0.0,
+            sigma: 0.1,
+        };
         let ks = ks_test(&samples, &wrong);
         assert!(ks.p_value < 0.01);
     }
 
     #[test]
     fn qq_points_lie_near_diagonal_for_good_fit() {
-        let d = LogNormal { mu: 1.0, sigma: 0.25 };
+        let d = LogNormal {
+            mu: 1.0,
+            sigma: 0.25,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let samples: Vec<f64> = (0..2000).map(|_| d.sample(&mut rng)).collect();
         let fit = LogNormal::fit(&samples);

@@ -11,4 +11,6 @@ pub use deviance::{
     best_achievable_choice, best_achievable_deviance, deviance_lognormal, deviance_of_choice,
     improvement_space, mean_costs, min_pdf, Deviance,
 };
-pub use lognormal::{erf, ks_test, qq_points, std_normal_cdf, std_normal_quantile, KsTest, LogNormal};
+pub use lognormal::{
+    erf, ks_test, qq_points, std_normal_cdf, std_normal_quantile, KsTest, LogNormal,
+};

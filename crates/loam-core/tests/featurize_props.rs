@@ -92,5 +92,8 @@ fn flag_variants_of_the_same_query_get_distinct_features() {
         let key: Vec<u32> = x.data.iter().map(|v| v.to_bits()).collect();
         distinct.insert(key);
     }
-    assert!(distinct.len() >= 2, "feature collisions across flag variants");
+    assert!(
+        distinct.len() >= 2,
+        "feature collisions across flag variants"
+    );
 }

@@ -142,7 +142,12 @@ mod tests {
         let grad_out = Mat {
             rows: y.rows,
             cols: y.cols,
-            data: y.data.iter().zip(&target.data).map(|(a, b)| a - b).collect(),
+            data: y
+                .data
+                .iter()
+                .zip(&target.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         };
         layer.zero_grad();
         let grad_in = layer.backward(&x, &grad_out);
@@ -156,7 +161,10 @@ mod tests {
             lm.w.value.data[idx] -= eps;
             let num = (loss_of(&lp, &x) - loss_of(&lm, &x)) / (2.0 * eps);
             let ana = layer.w.grad.data[idx];
-            assert!((num - ana).abs() < 1e-2, "dW[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "dW[{idx}]: num {num} vs ana {ana}"
+            );
         }
         // Check dX numerically.
         for &idx in &[0usize, 3, 7] {
@@ -166,7 +174,10 @@ mod tests {
             xm.data[idx] -= eps;
             let num = (loss_of(&layer, &xp) - loss_of(&layer, &xm)) / (2.0 * eps);
             let ana = grad_in.data[idx];
-            assert!((num - ana).abs() < 1e-2, "dX[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "dX[{idx}]: num {num} vs ana {ana}"
+            );
         }
     }
 
@@ -205,7 +216,11 @@ mod tests {
             let grad = Mat::from_vec(
                 8,
                 1,
-                y.data.iter().zip(&target).map(|(a, b)| (a - b) / 8.0).collect(),
+                y.data
+                    .iter()
+                    .zip(&target)
+                    .map(|(a, b)| (a - b) / 8.0)
+                    .collect(),
             );
             layer.zero_grad();
             layer.backward(&x, &grad);

@@ -107,7 +107,11 @@ mod tests {
             l.data[i] -= 2.0 * eps;
             let (lm, _) = cross_entropy_logits(&l, &labels);
             let num = (lp - lm) / (2.0 * eps);
-            assert!((num - g.data[i]).abs() < 1e-3, "i={i}: {num} vs {}", g.data[i]);
+            assert!(
+                (num - g.data[i]).abs() < 1e-3,
+                "i={i}: {num} vs {}",
+                g.data[i]
+            );
         }
     }
 

@@ -16,11 +16,7 @@ pub fn r2(pred: &[f64], target: &[f64]) -> f64 {
     if ss_tot <= 0.0 {
         return 0.0;
     }
-    let ss_res: f64 = pred
-        .iter()
-        .zip(target)
-        .map(|(p, t)| (p - t).powi(2))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(target).map(|(p, t)| (p - t).powi(2)).sum();
     1.0 - ss_res / ss_tot
 }
 
@@ -65,7 +61,11 @@ pub fn concordance(pred: &[f64], target: &[f64]) -> f64 {
 /// Average ranks with ties sharing the mean rank.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {

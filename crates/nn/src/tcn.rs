@@ -88,12 +88,7 @@ impl TreeConvLayer {
     }
 
     /// Backward: accumulates parameter grads, returns grad w.r.t. `x`.
-    pub fn backward(
-        &mut self,
-        cache: &TreeConvCache,
-        tree: &TreeStructure,
-        grad_out: &Mat,
-    ) -> Mat {
+    pub fn backward(&mut self, cache: &TreeConvCache, tree: &TreeStructure, grad_out: &Mat) -> Mat {
         let gpre = relu_backward(&cache.pre, grad_out);
         let gathered_l = gather(&cache.input, &tree.left);
         let gathered_r = gather(&cache.input, &tree.right);
@@ -166,7 +161,7 @@ fn pool(h: &Mat) -> (Mat, Vec<usize>) {
     let d = h.cols;
     let mut pooled = Mat::zeros(1, 2 * d + 1);
     let mut arg = vec![0usize; d];
-    for c in 0..d {
+    for (c, arg_c) in arg.iter_mut().enumerate() {
         let mut best = f32::MIN;
         let mut sum = 0.0;
         for r in 0..h.rows {
@@ -174,7 +169,7 @@ fn pool(h: &Mat) -> (Mat, Vec<usize>) {
             sum += v;
             if v > best {
                 best = v;
-                arg[c] = r;
+                *arg_c = r;
             }
         }
         pooled.data[c] = best;
@@ -385,10 +380,10 @@ mod tests {
             }
             // Ensure it is a tree (right children must not duplicate).
             let mut seen = std::collections::HashSet::new();
-            for i in 0..n {
-                if let Some(r) = right[i] {
+            for slot in right.iter_mut() {
+                if let Some(r) = *slot {
                     if !seen.insert(r) || left.contains(&Some(r)) {
-                        right[i] = None;
+                        *slot = None;
                     }
                 }
             }
@@ -433,6 +428,9 @@ mod tests {
             err += (pred - label).abs();
         }
         err /= 50.0;
-        assert!(err < 1.0, "mean abs error {err} should beat trivial baseline");
+        assert!(
+            err < 1.0,
+            "mean abs error {err} should beat trivial baseline"
+        );
     }
 }

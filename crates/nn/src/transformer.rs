@@ -250,7 +250,10 @@ mod tests {
             tm.in_proj.w.value.data[idx] -= eps;
             let num = (loss_of(&tp) - loss_of(&tm)) / (2.0 * eps);
             let ana = tr.in_proj.w.grad.data[idx];
-            assert!((num - ana).abs() < 5e-2, "in_proj[{idx}] num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "in_proj[{idx}] num {num} vs ana {ana}"
+            );
         }
     }
 

@@ -10,6 +10,7 @@
 //!   ones,
 //! * **fixed default selectivities** for true predicate selectivities,
 //! * a **unique-key assumption** for join outputs (no NDVs available),
+//!
 //! and applies the Lero-style cardinality-scaling knob to subqueries with at
 //! least three base inputs.
 
@@ -176,12 +177,7 @@ impl<'a> CoarseCostModel<'a> {
                 let r = children.get(1).copied().unwrap_or_default();
                 NodeCard {
                     input_rows: l.output_rows + r.output_rows,
-                    output_rows: self.join_output(
-                        *kind,
-                        l.output_rows,
-                        r.output_rows,
-                        base_inputs,
-                    ),
+                    output_rows: self.join_output(*kind, l.output_rows, r.output_rows, base_inputs),
                     width: l.width + r.width,
                 }
             }
@@ -217,8 +213,7 @@ impl<'a> CoarseCostModel<'a> {
     /// cost estimates").
     pub fn rough_cost(&self, plan: &PlanTree) -> f64 {
         let cards = self.annotate(plan);
-        plan_work(plan, &cards, |_| WorkContext::default(), self.params)
-            * self.params.work_to_cost
+        plan_work(plan, &cards, |_| WorkContext::default(), self.params) * self.params.work_to_cost
     }
 }
 

@@ -5,7 +5,7 @@ use crate::cost::CoarseCostModel;
 use crate::flags::Knobs;
 use mcsim_catalog::selectivity::NodeCard;
 use mcsim_catalog::workmodel::{operator_work, WorkContext, WorkParams};
-use mcsim_catalog::{Catalog, CardinalityModel, QuerySpec};
+use mcsim_catalog::{CardinalityModel, Catalog, QuerySpec};
 use mcsim_plan::op::{AggAlgo, ExchangeKind, JoinAlgo, JoinKind, Operator};
 use mcsim_plan::{ColumnId, NodeId, PlanTree};
 
@@ -80,6 +80,7 @@ impl<'a> NativeOptimizer<'a> {
     /// Panics if the query references zero tables.
     pub fn optimize(&self, query: &QuerySpec, knobs: &Knobs) -> PlanTree {
         assert!(!query.tables.is_empty(), "query must reference a table");
+        mcsim_obs::counter("optimizer.plans_built", 1);
         let model = CoarseCostModel::new(self.catalog, &self.params)
             .with_card_scale(knobs.card_scale)
             .with_day(query.day);
@@ -91,7 +92,11 @@ impl<'a> NativeOptimizer<'a> {
             .map(|t| model.believed_rows(t.table) * model.selectivity(&t.predicate))
             .collect();
 
+        let dp_timer = mcsim_obs::enabled().then(mcsim_obs::Timer::start);
         let recipe = self.join_order(query, &leaf_est, &model);
+        if let Some(t) = dp_timer {
+            t.observe_as("optimizer.dp_seconds");
+        }
 
         let mut plan = PlanTree::new();
         let (mut root, mut rows, _) =
@@ -173,7 +178,8 @@ impl<'a> NativeOptimizer<'a> {
                     sub = (sub - 1) & mask;
                     continue;
                 }
-                if let (Some(l), Some(r)) = (best[sub as usize].clone(), best[other as usize].clone())
+                if let (Some(l), Some(r)) =
+                    (best[sub as usize].clone(), best[other as usize].clone())
                 {
                     // Find an edge connecting the two sides.
                     for (ei, e) in query.joins.iter().enumerate() {
@@ -184,12 +190,8 @@ impl<'a> NativeOptimizer<'a> {
                         if !connects {
                             continue;
                         }
-                        let rows = model.join_output(
-                            e.kind,
-                            l.rows,
-                            r.rows,
-                            mask.count_ones() as usize,
-                        );
+                        let rows =
+                            model.join_output(e.kind, l.rows, r.rows, mask.count_ones() as usize);
                         let cost = l.cost + r.cost + rows;
                         let better = best[mask as usize]
                             .as_ref()
@@ -259,22 +261,47 @@ impl<'a> NativeOptimizer<'a> {
                 let kind = orient_kind(e.kind, left_has_edge_left);
 
                 // Probe = larger estimated side goes left.
-                let (probe, probe_rows, probe_key, probe_bare, build, build_rows, build_key, build_bare, kind) =
-                    if lrows >= rrows {
-                        (ln, lrows, lkey, lbare, rn, rrows, rkey, rbare, kind)
-                    } else {
-                        (rn, rrows, rkey, rbare, ln, lrows, lkey, lbare, flip_kind(kind))
-                    };
+                let (
+                    probe,
+                    probe_rows,
+                    probe_key,
+                    probe_bare,
+                    build,
+                    build_rows,
+                    build_key,
+                    build_bare,
+                    kind,
+                ) = if lrows >= rrows {
+                    (ln, lrows, lkey, lbare, rn, rrows, rkey, rbare, kind)
+                } else {
+                    (
+                        rn,
+                        rrows,
+                        rkey,
+                        rbare,
+                        ln,
+                        lrows,
+                        lkey,
+                        lbare,
+                        flip_kind(kind),
+                    )
+                };
 
                 let algo = self.choose_join_algo(probe_rows, build_rows, knobs);
+                mcsim_obs::counter(
+                    match algo {
+                        JoinAlgo::Broadcast => "optimizer.join_algo.broadcast",
+                        JoinAlgo::Merge => "optimizer.join_algo.merge",
+                        _ => "optimizer.join_algo.hash",
+                    },
+                    1,
+                );
 
                 // Exchange insertion.
                 let (probe_in, build_in) = match algo {
                     JoinAlgo::Broadcast => {
-                        let b = plan.unary(
-                            Operator::exchange(ExchangeKind::Broadcast, vec![]),
-                            build,
-                        );
+                        let b =
+                            plan.unary(Operator::exchange(ExchangeKind::Broadcast, vec![]), build);
                         (probe, b)
                     }
                     JoinAlgo::Merge => {
@@ -290,6 +317,7 @@ impl<'a> NativeOptimizer<'a> {
                     }
                     _ => {
                         let p = if knobs.flags.aggressive_shuffle_removal && probe_bare {
+                            mcsim_obs::counter("optimizer.rule.shuffle_removed", 1);
                             probe // gamble: read in place, may be skewed
                         } else {
                             plan.unary(
@@ -298,6 +326,7 @@ impl<'a> NativeOptimizer<'a> {
                             )
                         };
                         let b = if knobs.flags.aggressive_shuffle_removal && build_bare {
+                            mcsim_obs::counter("optimizer.rule.shuffle_removed", 1);
                             build
                         } else {
                             plan.unary(
@@ -312,9 +341,10 @@ impl<'a> NativeOptimizer<'a> {
                 // Spool the build side when requested (the default
                 // configuration spools only huge builds).
                 let build_est = probe_rows.min(build_rows);
-                let spool_wanted = knobs.flags.enable_spool_reuse
-                    || build_est > SPOOL_DEFAULT_THRESHOLD;
+                let spool_wanted =
+                    knobs.flags.enable_spool_reuse || build_est > SPOOL_DEFAULT_THRESHOLD;
                 let build_in = if spool_wanted && algo != JoinAlgo::Broadcast {
+                    mcsim_obs::counter("optimizer.rule.spool_inserted", 1);
                     plan.unary(
                         Operator::Spool {
                             shared_id: *edge as u32,
@@ -356,6 +386,7 @@ impl<'a> NativeOptimizer<'a> {
             // partition is available even without histograms): the fraction
             // of partitions that can contain matches shrinks sub-linearly
             // with true selectivity.
+            mcsim_obs::counter("optimizer.rule.filter_pushdown", 1);
             let true_sel = CardinalityModel::new(self.catalog).selectivity(&tref.predicate);
             let accessed =
                 ((parts_total as f64 * true_sel.powf(0.7)).ceil() as u32).clamp(1, parts_total);
@@ -627,7 +658,10 @@ mod tests {
             .find(|q| {
                 q.tables.iter().any(|t| {
                     !t.predicate.is_true()
-                        && p.catalog.table(t.table).map(|m| m.partitions > 4).unwrap_or(false)
+                        && p.catalog
+                            .table(t.table)
+                            .map(|m| m.partitions > 4)
+                            .unwrap_or(false)
                 })
             })
             .expect("should find a filtered query");
@@ -677,7 +711,10 @@ mod tests {
         let plan = opt.optimize(&q, &knobs);
         assert!(plan.count_ops(|o| matches!(o, Operator::Spool { .. })) > 0);
         let default = opt.optimize(&q, &Knobs::default());
-        assert_eq!(default.count_ops(|o| matches!(o, Operator::Spool { .. })), 0);
+        assert_eq!(
+            default.count_ops(|o| matches!(o, Operator::Spool { .. })),
+            0
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! the plan explorer relies on, and the coarse model's day-dependent
 //! beliefs.
 
-use mcsim_catalog::{ProjectId, ProjectProfile};
 use mcsim_catalog::workmodel::WorkParams;
+use mcsim_catalog::{ProjectId, ProjectProfile};
 use mcsim_optimizer::{CoarseCostModel, Knobs, NativeOptimizer, OptimizerFlags};
 use mcsim_plan::{Operator, PlanSignature};
 
@@ -51,7 +51,14 @@ fn broadcast_flag_unlocks_more_broadcasts_than_default() {
             .iter()
             .take(25)
             .map(|q| {
-                opt.optimize(q, &Knobs { flags, card_scale: 1.0 }).count_ops(|o| {
+                opt.optimize(
+                    q,
+                    &Knobs {
+                        flags,
+                        card_scale: 1.0,
+                    },
+                )
+                .count_ops(|o| {
                     matches!(
                         o,
                         Operator::Join {
@@ -123,7 +130,12 @@ fn distinct_card_scales_produce_valid_and_sometimes_distinct_plans() {
     let p = project();
     let opt = NativeOptimizer::new(&p.catalog);
     let mut any_changed = false;
-    for q in p.workload_for_days(0, 4).iter().filter(|q| q.table_count() >= 3).take(25) {
+    for q in p
+        .workload_for_days(0, 4)
+        .iter()
+        .filter(|q| q.table_count() >= 3)
+        .take(25)
+    {
         let base = opt.optimize(q, &Knobs::default());
         for scale in [0.25, 4.0] {
             let plan = opt.optimize(
@@ -139,5 +151,8 @@ fn distinct_card_scales_produce_valid_and_sometimes_distinct_plans() {
             }
         }
     }
-    assert!(any_changed, "cardinality scaling should steer some join orders");
+    assert!(
+        any_changed,
+        "cardinality scaling should steer some join orders"
+    );
 }

@@ -35,9 +35,8 @@ pub fn plan_to_dot(plan: &PlanTree) -> String {
 /// Renders a plan and its stage decomposition: nodes are clustered per
 /// stage, so shuffle boundaries are visible at a glance.
 pub fn stages_to_dot(plan: &PlanTree, stages: &StageGraph) -> String {
-    let mut out = String::from(
-        "digraph stages {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n",
-    );
+    let mut out =
+        String::from("digraph stages {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
     for (sid, stage) in stages.stages.iter().enumerate() {
         let _ = writeln!(out, "  subgraph cluster_{sid} {{");
         let _ = writeln!(out, "    label=\"stage {sid}\";");

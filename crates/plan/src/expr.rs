@@ -110,7 +110,7 @@ impl std::fmt::Display for CmpFn {
 /// deliberately encodes only the involved functions and columns, so this
 /// simplified algebra (comparisons composed with `AND`/`OR`/`NOT`) is enough
 /// to generate realistic workloads and compute exact selectivities.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Predicate {
     /// `column <fn> literal` (for `Between`, `value` is the lower bound and
     /// `value2` the upper bound; for `In`, `value` holds the list length).
@@ -131,6 +131,7 @@ pub enum Predicate {
     /// Negation.
     Not(Box<Predicate>),
     /// Always true (used for unfiltered scans).
+    #[default]
     True,
 }
 
@@ -227,12 +228,6 @@ impl Predicate {
     /// True if this predicate is the trivial `True`.
     pub fn is_true(&self) -> bool {
         matches!(self, Predicate::True)
-    }
-}
-
-impl Default for Predicate {
-    fn default() -> Self {
-        Predicate::True
     }
 }
 

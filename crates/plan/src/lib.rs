@@ -43,9 +43,7 @@ pub mod stage;
 pub mod tree;
 
 pub use expr::{CmpFn, Literal, Predicate};
-pub use op::{
-    AggAlgo, AggFunc, ExchangeKind, JoinAlgo, JoinKind, OpType, Operator, OP_TYPE_COUNT,
-};
+pub use op::{AggAlgo, AggFunc, ExchangeKind, JoinAlgo, JoinKind, OpType, Operator, OP_TYPE_COUNT};
 pub use signature::PlanSignature;
 pub use tree::{NodeId, PlanNode, PlanTree};
 

@@ -373,10 +373,9 @@ impl Operator {
             } => agg_columns.iter().chain(group_by).copied().collect(),
             Operator::Sort { keys } | Operator::TopN { keys, .. } => keys.clone(),
             Operator::Exchange { keys, .. } => keys.clone(),
-            Operator::Spool { .. }
-            | Operator::Union
-            | Operator::Limit { .. }
-            | Operator::Sink => Vec::new(),
+            Operator::Spool { .. } | Operator::Union | Operator::Limit { .. } | Operator::Sink => {
+                Vec::new()
+            }
         }
     }
 

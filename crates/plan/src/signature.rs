@@ -192,7 +192,11 @@ mod tests {
         let b = t.leaf(Operator::table_scan(1, 1, 1, vec![1]));
         let ea = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![0]), a);
         let eb = t.unary(Operator::exchange(ExchangeKind::HashPartition, vec![1]), b);
-        let j = t.binary(Operator::join(JoinKind::Inner, algo, vec![0], vec![1]), ea, eb);
+        let j = t.binary(
+            Operator::join(JoinKind::Inner, algo, vec![0], vec![1]),
+            ea,
+            eb,
+        );
         t.set_root(j);
         t
     }

@@ -88,7 +88,13 @@ pub fn decompose(plan: &PlanTree) -> StageGraph {
 
     // Create the root stage and recursively assign nodes.
     let root_stage = new_stage(&mut stages);
-    assign(plan, plan.root(), root_stage, &mut stages, &mut stage_of_node);
+    assign(
+        plan,
+        plan.root(),
+        root_stage,
+        &mut stages,
+        &mut stage_of_node,
+    );
 
     // Within each stage, order nodes in post-order for pipelined evaluation.
     let postorder = plan.postorder();
@@ -174,10 +180,7 @@ mod tests {
         for (s, stage) in g.stages.iter().enumerate() {
             if s != g.root {
                 assert_eq!(stage.nodes.len(), 1);
-                assert!(matches!(
-                    t.op(stage.nodes[0]),
-                    Operator::TableScan { .. }
-                ));
+                assert!(matches!(t.op(stage.nodes[0]), Operator::TableScan { .. }));
             }
         }
     }

@@ -392,7 +392,11 @@ mod tests {
         t.set_root(j);
         assert!(matches!(
             t.validate(),
-            Err(ValidatePlanError::WrongArity { expected: 2, actual: 1, .. })
+            Err(ValidatePlanError::WrongArity {
+                expected: 2,
+                actual: 1,
+                ..
+            })
         ));
     }
 
@@ -406,7 +410,10 @@ mod tests {
             a,
         );
         t.set_root(j);
-        assert!(matches!(t.validate(), Err(ValidatePlanError::NotATree { .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(ValidatePlanError::NotATree { .. })
+        ));
     }
 
     #[test]

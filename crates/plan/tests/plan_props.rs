@@ -22,7 +22,11 @@ fn plan_strategy() -> impl Strategy<Value = PlanTree> {
     let tree = leaf.prop_recursive(4, 24, 4, |inner| {
         prop_oneof![
             (0u8..6, inner.clone()).prop_map(|(k, c)| Node::Unary(k, Box::new(c))),
-            (0u8..2, inner.clone(), inner).prop_map(|(k, a, b)| Node::Binary(k, Box::new(a), Box::new(b))),
+            (0u8..2, inner.clone(), inner).prop_map(|(k, a, b)| Node::Binary(
+                k,
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     });
 

@@ -32,9 +32,8 @@ fn main() {
         .map(|o| o.cpu_cost)
         .collect();
     let mean = costs.iter().sum::<f64>() / costs.len() as f64;
-    let rsd = (costs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / costs.len() as f64)
-        .sqrt()
-        / mean;
+    let rsd =
+        (costs.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / costs.len() as f64).sqrt() / mean;
     println!(
         "recurring query over 120 replays: mean cost {:.0}, relative std-dev {:.1}%",
         mean,
@@ -52,11 +51,14 @@ fn main() {
     // --- Load coupling (Figure 5). ---
     println!("\ncost vs. cluster load:");
     for &busy in &[0.2, 0.5, 0.8] {
-        let cluster = Cluster::new(3, ClusterConfig {
-            base_busy: busy,
-            diurnal_amplitude: 0.0,
-            ..ClusterConfig::default()
-        });
+        let cluster = Cluster::new(
+            3,
+            ClusterConfig {
+                base_busy: busy,
+                diurnal_amplitude: 0.0,
+                ..ClusterConfig::default()
+            },
+        );
         let mut exec = Executor::new(3, cluster, 0.05);
         exec.cluster.advance(60);
         let c: f64 = (0..10)
@@ -83,7 +85,11 @@ fn main() {
     );
     for choice in 0..plans.len() {
         let d = deviance_of_choice(&matrix, choice);
-        let marker = if d.expected <= best.expected + 1e-9 { " ← M_b" } else { "" };
+        let marker = if d.expected <= best.expected + 1e-9 {
+            " ← M_b"
+        } else {
+            ""
+        };
         println!(
             "  always pick plan {choice}: E[D] = {:.1} ({:.1}%){}",
             d.expected,

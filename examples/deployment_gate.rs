@@ -11,7 +11,7 @@ use loam::prelude::*;
 use loam_core::gate::{validate, GateConfig};
 use loam_core::persist::{load_predictor, save_predictor};
 
-fn main() {
+fn main() -> Result<(), LoamError> {
     let mut profile = ProjectProfile::evaluation_project(2).expect("project 2");
     profile.n_tables = 30;
     profile.n_temp_tables = 3;
@@ -34,11 +34,11 @@ fn main() {
     };
 
     println!("offline phase: history + adaptive training...");
-    let prepared = prepare_project(&profile, ProjectId(2), &cfg);
-    let model = train_loam(&prepared, &cfg);
+    let prepared = prepare_project(&profile, ProjectId(2), &cfg)?;
+    let model = train_loam(&prepared, &cfg)?;
 
     println!("flighting validation (the paper's pre-deployment step)...");
-    let evaluated = evaluate_candidates(&prepared, &cfg);
+    let evaluated = evaluate_candidates(&prepared, &cfg)?;
     let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
     let report = validate(&model, &strategy, &evaluated, &GateConfig::default());
     println!(
@@ -51,7 +51,7 @@ fn main() {
 
     if !report.deploy() {
         println!("model rejected — in production LOAM would keep the native optimizer");
-        return;
+        return Ok(());
     }
 
     // Persist and reload (the ship-to-optimizer-service boundary).
@@ -75,4 +75,5 @@ fn main() {
         evaluated.len()
     );
     let _ = std::fs::remove_file(path);
+    Ok(())
 }

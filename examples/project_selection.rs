@@ -35,13 +35,21 @@ fn main() {
             report.n_query,
             report.query_inc_ratio,
             report.stable_table_ratio,
-            if report.passes() { "PASS" } else { "filtered out" }
+            if report.passes() {
+                "PASS"
+            } else {
+                "filtered out"
+            }
         );
         if report.passes() {
             passing.push(p);
         }
     }
-    println!("{} of {} projects pass the filter", passing.len(), projects.len());
+    println!(
+        "{} of {} projects pass the filter",
+        passing.len(),
+        projects.len()
+    );
 
     // --- Stage 2: the learned Ranker. ---
     // Label a sampled workload of each passing project with its true

@@ -10,7 +10,7 @@
 
 use loam::prelude::*;
 
-fn main() {
+fn main() -> Result<(), LoamError> {
     // A small Project-2-like setup so the example runs in ~a minute.
     let mut profile = ProjectProfile::evaluation_project(2).expect("project 2");
     profile.n_tables = 35;
@@ -34,7 +34,7 @@ fn main() {
     };
 
     println!("building {}-day history...", cfg.train_days);
-    let prepared = prepare_project(&profile, ProjectId(2), &cfg);
+    let prepared = prepare_project(&profile, ProjectId(2), &cfg)?;
     println!(
         "  {} executions logged, {} unlabeled candidate plans for domain adaptation",
         prepared.train_samples.len(),
@@ -42,20 +42,23 @@ fn main() {
     );
 
     println!("training the adaptive cost predictor (TCN + GRL)...");
-    let predictor = train_loam(&prepared, &cfg);
+    let predictor = train_loam(&prepared, &cfg)?;
     println!(
         "  model: {} parameters ({} KB)",
         predictor.param_count(),
         predictor.size_bytes() / 1024
     );
 
-    println!("replaying {} test queries in the flighting environment...", prepared.test_queries.len());
-    let evaluated = evaluate_candidates(&prepared, &cfg);
+    println!(
+        "replaying {} test queries in the flighting environment...",
+        prepared.test_queries.len()
+    );
+    let evaluated = evaluate_candidates(&prepared, &cfg)?;
 
     let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
-    let native = evaluate_native(&evaluated);
-    let loam = evaluate_model(&predictor, &strategy, &evaluated);
-    let best = evaluate_best_achievable(&evaluated);
+    let native = evaluate_native(&evaluated)?;
+    let loam = evaluate_model(&predictor, &strategy, &evaluated)?;
+    let best = evaluate_best_achievable(&evaluated)?;
 
     println!("\naverage end-to-end CPU cost over the test workload:");
     println!("  MaxCompute (default plans): {:.0}", native.avg_cost);
@@ -88,4 +91,5 @@ fn main() {
         regressed,
         loam.per_query.len() - improved - regressed
     );
+    Ok(())
 }

@@ -1,0 +1,162 @@
+//! Offline drop-in shim for the subset of `criterion` this workspace uses:
+//! `black_box`, `Criterion::bench_function`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of criterion's
+//! statistical machinery it runs a warm-up, collects `sample_size` timed
+//! samples (auto-scaling iterations per sample to the measurement budget),
+//! and prints min/median/mean per benchmark.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to collect per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for collecting samples.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how long to run the routine before timing starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the routine until the warm-up budget elapses, and
+        // estimate its per-iteration cost for sample sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+            warm_iters += b.iters;
+        }
+        let per_iter = if warm_iters > 0 {
+            warm_start.elapsed().as_secs_f64() / warm_iters as f64
+        } else {
+            1e-9
+        };
+
+        // Size each sample so all samples fit the measurement budget.
+        let budget_per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget_per_sample / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<32} min {:>12} median {:>12} mean {:>12} ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Times closures for one sample.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for this sample's iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group; mirrors criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

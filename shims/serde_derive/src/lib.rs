@@ -1,0 +1,488 @@
+//! Offline `#[derive(Serialize, Deserialize)]` shim for the vendored serde.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` in the
+//! container) and emits impls of the shim's `to_value`/`from_value`
+//! traits. Supported shapes — the full set this workspace derives on:
+//! named/tuple/unit structs, enums with unit/tuple/struct variants
+//! (including explicit discriminants), and plain type parameters, which
+//! get `::serde::Serialize`/`::serde::Deserialize` bounds added.
+//! `#[serde(...)]` attributes are not supported and are rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    /// (declaration text, usable name, is_type_param) per generic param.
+    generics: Vec<(String, String, bool)>,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the serde shim's `Serialize` (a `to_value` impl).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives the serde shim's `Deserialize` (a `from_value` impl).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_input(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments), rejecting
+/// `#[serde(...)]` which the shim does not implement.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i < toks.len() && is_punct(&toks[i], '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.first().is_some_and(|t| is_ident(t, "serde")) {
+                panic!("serde shim: #[serde(...)] attributes are not supported");
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Advances past an optional `pub` / `pub(crate)` / `pub(in ...)`.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if i < toks.len() && is_ident(&toks[i], "pub") {
+        i += 1;
+        if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&toks, skip_attrs(&toks, 0));
+
+    let is_enum = if is_ident(&toks[i], "struct") {
+        false
+    } else if is_ident(&toks[i], "enum") {
+        true
+    } else {
+        panic!("serde shim: derive supports only structs and enums");
+    };
+    i += 1;
+
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected type name, got {other}"),
+    };
+    i += 1;
+
+    let mut generics = Vec::new();
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        let mut depth = 1usize;
+        let mut seg: Vec<TokenTree> = Vec::new();
+        i += 1;
+        loop {
+            let t = &toks[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    if !seg.is_empty() {
+                        generics.push(parse_generic_param(&seg));
+                    }
+                    break;
+                }
+            } else if is_punct(t, ',') && depth == 1 {
+                if !seg.is_empty() {
+                    generics.push(parse_generic_param(&seg));
+                }
+                seg = Vec::new();
+                i += 1;
+                continue;
+            }
+            seg.push(t.clone());
+            i += 1;
+        }
+    }
+
+    // Skip an optional `where` clause — bounds there are re-stated verbatim
+    // nowhere (the workspace never uses one), so just scan to the body.
+    if i < toks.len() && is_ident(&toks[i], "where") {
+        while i < toks.len()
+            && !matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+            && !is_punct(&toks[i], ';')
+        {
+            i += 1;
+        }
+    }
+
+    let data = if is_enum {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim: expected enum body, got {other}"),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Data::UnitStruct,
+        }
+    };
+
+    Input {
+        name,
+        generics,
+        data,
+    }
+}
+
+fn parse_generic_param(seg: &[TokenTree]) -> (String, String, bool) {
+    let decl = seg
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    if is_punct(&seg[0], '\'') {
+        let name = format!("'{}", seg[1]);
+        (decl, name, false)
+    } else if is_ident(&seg[0], "const") {
+        let name = seg[1].to_string();
+        (decl, name, false)
+    } else {
+        let name = seg[0].to_string();
+        (decl, name, true)
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_vis(&toks, skip_attrs(&toks, i));
+        if i >= toks.len() {
+            break;
+        }
+        match &toks[i] {
+            TokenTree::Ident(id) => fields.push(id.to_string()),
+            other => panic!("serde shim: expected field name, got {other}"),
+        }
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde shim: expected `:` after field"
+        );
+        i += 1;
+        // Skip the type: everything up to the next comma outside `<...>`.
+        let mut depth = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+            } else if is_punct(t, ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut depth = 0usize;
+    let mut count = 0usize;
+    let mut seg_has_tokens = false;
+    for t in &toks {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            if seg_has_tokens {
+                count += 1;
+            }
+            seg_has_tokens = false;
+            continue;
+        }
+        seg_has_tokens = true;
+    }
+    if seg_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// Renders `impl<...> Trait for Name<...>` generics with `bound` added to
+/// every plain type parameter.
+fn impl_header(item: &Input, trait_path: &str, bound: &str) -> String {
+    if item.generics.is_empty() {
+        return format!("impl {trait_path} for {}", item.name);
+    }
+    let decls: Vec<String> = item
+        .generics
+        .iter()
+        .map(|(decl, _, is_type)| {
+            if !is_type {
+                decl.clone()
+            } else if decl.contains(':') {
+                format!("{decl} + {bound}")
+            } else {
+                format!("{decl}: {bound}")
+            }
+        })
+        .collect();
+    let names: Vec<String> = item.generics.iter().map(|(_, n, _)| n.clone()).collect();
+    format!(
+        "impl<{}> {trait_path} for {}<{}>",
+        decls.join(", "),
+        item.name,
+        names.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n{pushes}::serde::Value::Map(__m)"
+            )
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\")),\n"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),\n"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Value::Seq(vec![{}]))]),\n",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let elems: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Value::Map(vec![{}]))]),\n",
+                                elems.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n{} {{\n fn to_value(&self) -> ::serde::Value {{\n {body}\n }}\n}}\n",
+        impl_header(item, "::serde::Serialize", "::serde::Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Input) -> String {
+    let name = &item.name;
+    let body = match &item.data {
+        Data::NamedStruct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__m, \"{f}\", \"{name}\")?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = ::serde::__private::as_map(__v, \"{name}\")?;\nOk({name} {{\n{inits}}})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = ::serde::__private::as_seq(__v, {n}, \"{name}\")?;\nOk({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Data::UnitStruct => format!("Ok({name})"),
+        Data::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        str_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__val)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __s = ::serde::__private::as_seq(__val, {n}, \"{name}::{vn}\")?; Ok({name}::{vn}({})) }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__m2, \"{f}\", \"{name}::{vn}\")?)?,\n"
+                                )
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __m2 = ::serde::__private::as_map(__val, \"{name}::{vn}\")?; Ok({name}::{vn} {{\n{inits}}}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {str_arms}__other => Err(::serde::__private::unknown_variant(__other, \"{name}\")),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __val) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {map_arms}__other => Err(::serde::__private::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+                 }},\n\
+                 __other => Err(::serde::__private::invalid_type(\"{name}\", __other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n{} {{\n fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::de::DeError> {{\n {body}\n }}\n}}\n",
+        impl_header(item, "::serde::Deserialize", "::serde::Deserialize")
+    )
+}

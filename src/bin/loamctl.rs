@@ -71,7 +71,10 @@ fn inspect(project_n: usize, scale: f64) {
     println!("  templates: {}", project.templates.len());
     println!("  queries/day: {:.0}", project.profile.n_query_day0);
     let stats = mcsim_catalog::stats::summarize_project(&project, 0, 3);
-    println!("  avg joined tables: {:.1} (max {})", stats.avg_joined_tables, stats.max_joined_tables);
+    println!(
+        "  avg joined tables: {:.1} (max {})",
+        stats.avg_joined_tables, stats.max_joined_tables
+    );
     println!(
         "  aggregating: {:.0}%, filtered: {:.0}%, distinct templates: {}, top-template share: {:.0}%",
         stats.aggregation_fraction * 100.0,
@@ -97,7 +100,10 @@ fn optimize(project_n: usize, scale: f64, args: &[String]) {
         .unwrap_or(0);
     let queries = project.workload_for_day(0);
     let Some(query) = queries.get(idx) else {
-        eprintln!("query index {idx} out of range (day 0 has {})", queries.len());
+        eprintln!(
+            "query index {idx} out of range (day 0 has {})",
+            queries.len()
+        );
         std::process::exit(2);
     };
     let optimizer = NativeOptimizer::new(&project.catalog);
@@ -125,15 +131,20 @@ fn train_cmd(project_n: usize, scale: f64, args: &[String]) {
     let profile = scaled_profile(project_n, scale);
     let cfg = PipelineConfig::reduced(scale);
     eprintln!("building history ({} days)...", cfg.train_days);
-    let prepared = prepare_project(&profile, ProjectId(project_n as u32), &cfg);
+    let fail = |e: LoamError| -> ! {
+        eprintln!("pipeline error: {e}");
+        std::process::exit(1);
+    };
+    let prepared =
+        prepare_project(&profile, ProjectId(project_n as u32), &cfg).unwrap_or_else(|e| fail(e));
     eprintln!(
         "training on {} executions ({} DA candidates)...",
         prepared.train_samples.len(),
         prepared.da_candidates.len()
     );
-    let model = train_loam(&prepared, &cfg);
+    let model = train_loam(&prepared, &cfg).unwrap_or_else(|e| fail(e));
     eprintln!("validating in the flighting environment...");
-    let evaluated = evaluate_candidates(&prepared, &cfg);
+    let evaluated = evaluate_candidates(&prepared, &cfg).unwrap_or_else(|e| fail(e));
     let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
     let report = validate_gate(&model, &strategy, &evaluated, &GateConfig::default());
     println!(
@@ -180,7 +191,8 @@ fn serve(project_n: usize, scale: f64, args: &[String]) {
         let plans: Vec<&PlanTree> = set.candidates.iter().map(|c| &c.plan).collect();
         let (choice, _) = select_plan(&model, &plans, &strategy);
         let steered = flighting.average_cost(&set.candidates[choice].plan, &project.catalog, 3);
-        let native = flighting.average_cost(&set.candidates[set.default_idx].plan, &project.catalog, 3);
+        let native =
+            flighting.average_cost(&set.candidates[set.default_idx].plan, &project.catalog, 3);
         steered_total += steered;
         native_total += native;
         println!(
@@ -188,7 +200,11 @@ fn serve(project_n: usize, scale: f64, args: &[String]) {
             q.id,
             native,
             steered,
-            if choice == set.default_idx { "kept default" } else { "steered" }
+            if choice == set.default_idx {
+                "kept default"
+            } else {
+                "steered"
+            }
         );
     }
     println!(

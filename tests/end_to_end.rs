@@ -32,22 +32,22 @@ fn tiny_cfg() -> PipelineConfig {
 #[test]
 fn full_pipeline_respects_theorem_one() {
     let cfg = tiny_cfg();
-    let prepared = prepare_project(&tiny_profile(), ProjectId(42), &cfg);
+    let prepared = prepare_project(&tiny_profile(), ProjectId(42), &cfg).unwrap();
     assert!(!prepared.train_samples.is_empty());
-    let evaluated = evaluate_candidates(&prepared, &cfg);
+    let evaluated = evaluate_candidates(&prepared, &cfg).unwrap();
     assert!(!evaluated.is_empty());
 
-    let native = evaluate_native(&evaluated);
-    let best = evaluate_best_achievable(&evaluated);
+    let native = evaluate_native(&evaluated).unwrap();
+    let best = evaluate_best_achievable(&evaluated).unwrap();
     // Theorem 1 at the workload level.
     assert!(best.deviance.expected <= native.deviance.expected + 1e-9);
     assert!(best.deviance.expected >= 0.0);
     assert!(best.avg_cost <= native.avg_cost + 1e-9);
 
     // A trained model's deviance is also bounded below by M_b's.
-    let loam = train_loam(&prepared, &cfg);
+    let loam = train_loam(&prepared, &cfg).unwrap();
     let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
-    let eval = evaluate_model(&loam, &strategy, &evaluated);
+    let eval = evaluate_model(&loam, &strategy, &evaluated).unwrap();
     assert!(eval.deviance.expected >= best.deviance.expected - 1e-9);
     assert!(eval.avg_cost.is_finite() && eval.avg_cost > 0.0);
 }
@@ -55,10 +55,10 @@ fn full_pipeline_respects_theorem_one() {
 #[test]
 fn steered_selection_never_leaves_the_candidate_set() {
     let cfg = tiny_cfg();
-    let prepared = prepare_project(&tiny_profile(), ProjectId(43), &cfg);
-    let loam = train_loam(&prepared, &cfg);
+    let prepared = prepare_project(&tiny_profile(), ProjectId(43), &cfg).unwrap();
+    let loam = train_loam(&prepared, &cfg).unwrap();
     let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
-    let evaluated = evaluate_candidates(&prepared, &cfg);
+    let evaluated = evaluate_candidates(&prepared, &cfg).unwrap();
     for eq in &evaluated {
         let refs: Vec<&PlanTree> = eq.plans.iter().collect();
         let (choice, costs) = select_plan(&loam, &refs, &strategy);
@@ -71,7 +71,7 @@ fn steered_selection_never_leaves_the_candidate_set() {
 #[test]
 fn history_environments_feed_training_features() {
     let cfg = tiny_cfg();
-    let prepared = prepare_project(&tiny_profile(), ProjectId(44), &cfg);
+    let prepared = prepare_project(&tiny_profile(), ProjectId(44), &cfg).unwrap();
     // Every training sample carries per-stage environments consistent with
     // its plan's stage decomposition.
     for s in &prepared.train_samples {
@@ -140,5 +140,8 @@ fn stale_statistics_drift_changes_some_default_plans_over_time() {
         }
     }
     assert!(compared > 0);
-    assert!(changed > 0, "drift should alter some plans ({changed}/{compared})");
+    assert!(
+        changed > 0,
+        "drift should alter some plans ({changed}/{compared})"
+    );
 }

@@ -1,0 +1,148 @@
+//! Integration: a small end-to-end pipeline run, observed through an
+//! installed [`InMemoryRecorder`], must produce the documented span tree
+//! (prepare → optimize → execute → featurize → train → infer) and non-zero
+//! counters from every instrumented layer.
+//!
+//! The recorder is process-global, so everything lives in one test function
+//! — parallel test threads would otherwise interleave their metrics.
+
+use loam::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Serializes tests that touch the process-global recorder slot.
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_profile() -> ProjectProfile {
+    let mut prof = ProjectProfile::evaluation_project(2).expect("project 2");
+    prof.n_tables = 20;
+    prof.n_temp_tables = 2;
+    prof.n_columns = 150;
+    prof.n_templates = 10;
+    prof.n_query_day0 = 12.0;
+    prof
+}
+
+fn tiny_cfg() -> PipelineConfig {
+    PipelineConfig {
+        train_days: 4,
+        test_days: 2,
+        max_train: 60,
+        max_test: 12,
+        eval_rounds: 3,
+        da_queries: 10,
+        train_cfg: TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn pipeline_run_emits_span_tree_and_counters() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let recorder = Arc::new(InMemoryRecorder::new());
+    mcsim_obs::install(recorder.clone());
+
+    let cfg = tiny_cfg();
+    let prepared = prepare_project(&tiny_profile(), ProjectId(77), &cfg).unwrap();
+    let predictor = train_loam(&prepared, &cfg).unwrap();
+    let evaluated = evaluate_candidates(&prepared, &cfg).unwrap();
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    let eval = evaluate_model(&predictor, &strategy, &evaluated).unwrap();
+    assert!(eval.avg_cost > 0.0);
+
+    mcsim_obs::uninstall();
+    let snap = recorder.snapshot();
+
+    // The phase span tree: prepare nests its history build (execute) and DA
+    // exploration (optimize); training nests featurization and per-epoch
+    // spans; candidate evaluation emits root-level optimize/execute spans;
+    // guarded selection runs under infer.
+    for path in [
+        "prepare",
+        "prepare/execute",
+        "prepare/optimize",
+        "featurize",
+        "train",
+        "train/epoch",
+        "optimize",
+        "execute",
+        "infer",
+    ] {
+        let stat = snap.span(path);
+        assert!(stat.is_some(), "missing span `{path}`");
+        assert!(stat.unwrap().count > 0, "span `{path}` never completed");
+        assert!(
+            snap.span_total_seconds(path) > 0.0,
+            "span `{path}` has zero duration"
+        );
+    }
+    assert_eq!(
+        snap.span("train/epoch").unwrap().count as usize,
+        cfg.train_cfg.epochs
+    );
+
+    // Counters from every instrumented layer must be non-zero.
+    for name in [
+        "optimizer.plans_built",
+        "exec.queries_executed",
+        "exec.stages_executed",
+        "exec.flighting.replays",
+        "exec.flighting.synchronized_rounds",
+        "explorer.plans_explored",
+        "explorer.candidates_kept",
+        "loam.featurize.calls",
+        "loam.featurize.cache_hits",
+        "loam.train.epochs",
+        "loam.train.steps",
+    ] {
+        assert!(snap.counter(name) > 0, "counter `{name}` is zero");
+    }
+    assert_eq!(
+        snap.counter("loam.train.epochs") as usize,
+        cfg.train_cfg.epochs
+    );
+
+    // Guarded selection classifies every test query exactly once.
+    let selects = snap.counter("loam.select.accepted")
+        + snap.counter("loam.select.rejected")
+        + snap.counter("loam.select.default_best");
+    assert_eq!(selects as usize, evaluated.len());
+
+    // Distributions and gauges observed along the way.
+    assert!(snap.histogram("optimizer.dp_seconds").is_some());
+    assert!(snap.histogram("exec.stage.cost").is_some());
+    assert!(snap.histogram("loam.train.cost_loss").is_some());
+    let lambda = snap.gauge("loam.train.grl_lambda").expect("GRL λ gauge");
+    assert!(
+        (0.0..=0.15).contains(&lambda),
+        "λ out of schedule range: {lambda}"
+    );
+
+    // The JSON rendering carries the whole snapshot.
+    let json = snap.to_json();
+    for needle in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"spans\"",
+        "optimizer.plans_built",
+        "loam.train.epochs",
+        "train/epoch",
+    ] {
+        assert!(json.contains(needle), "JSON snapshot missing `{needle}`");
+    }
+}
+
+#[test]
+fn disabled_recorder_means_inert_instrumentation() {
+    // With no recorder installed the pipeline still runs, and the free
+    // functions / spans are no-ops (this is the <5% overhead design).
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    mcsim_obs::uninstall();
+    assert!(!mcsim_obs::enabled());
+    let cfg = tiny_cfg();
+    let prepared = prepare_project(&tiny_profile(), ProjectId(78), &cfg).unwrap();
+    assert!(!prepared.train_samples.is_empty());
+}

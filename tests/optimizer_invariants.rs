@@ -48,7 +48,7 @@ proptest! {
         let mut flighting = Flighting::new(seed, 0.2);
         if let Some(q) = project.workload_for_day(0).first() {
             let set = explorer.explore(&optimizer, q);
-            prop_assert!(set.len() >= 1 && set.len() <= 5);
+            prop_assert!(!set.is_empty() && set.len() <= 5);
             for c in &set.candidates {
                 let cost = flighting.average_cost(&c.plan, &project.catalog, 2);
                 prop_assert!(cost.is_finite() && cost > 0.0);
@@ -122,8 +122,5 @@ fn repository_round_trips_through_serde() {
     let json = serde_json::to_string(&repo).expect("serialize");
     let back: QueryRepository = serde_json::from_str(&json).expect("deserialize");
     assert_eq!(back.len(), repo.len());
-    assert_eq!(
-        back.records()[0].signature,
-        repo.records()[0].signature
-    );
+    assert_eq!(back.records()[0].signature, repo.records()[0].signature);
 }
