@@ -1,16 +1,18 @@
 //! Criterion micro-benchmarks for the hot paths of the reproduction:
 //! plan featurization (hash encoding included), TCN inference, native
 //! optimization with join-order DP, simulated execution, candidate
-//! exploration, and GBDT prediction.
+//! exploration, GBDT prediction, and the parallel compute layer (serial vs.
+//! pool matmul, dense vs. sparse inputs, cached vs. uncached featurization).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use loam_core::explorer::PlanExplorer;
-use loam_core::featurize::{EnvSource, PlanFeaturizer};
+use loam_core::featurize::{EnvSource, FeatureCache, PlanFeaturizer};
 use loam_core::selector::ranker_features;
 use loam_core::AdaptiveCostPredictor;
 use mcsim_catalog::{EnvMetrics, Project, ProjectId, ProjectProfile};
 use mcsim_exec::{Cluster, ClusterConfig, Executor};
 use mcsim_optimizer::{Knobs, NativeOptimizer};
+use tinynn::Mat;
 
 fn bench_project() -> Project {
     let mut prof = ProjectProfile::evaluation_project(1).expect("project 1");
@@ -86,6 +88,53 @@ fn benches(c: &mut Criterion) {
     let model = tinygbdt::Gbdt::fit(&x, &y, tinygbdt::GbdtConfig::default(), 7);
     c.bench_function("gbdt_predict", |b| {
         b.iter(|| model.predict(black_box(&x[7])))
+    });
+
+    // Serial vs. pool matmul: same blocked kernel, dispatched on one thread
+    // or row-partitioned across the pool (work gate forced open so even the
+    // 64×64 case takes the parallel path).
+    for size in [64usize, 256, 1024] {
+        let a = Mat::from_fn(size, size, |i, j| {
+            ((i * 31 + j * 7) % 13) as f32 / 13.0 - 0.4
+        });
+        let m = Mat::from_fn(size, size, |i, j| {
+            ((i * 17 + j * 3) % 11) as f32 / 11.0 - 0.5
+        });
+        c.bench_function(&format!("matmul_serial_{size}"), |bch| {
+            let prev = mcsim_par::set_threads(1);
+            bch.iter(|| black_box(&a).matmul(black_box(&m)));
+            mcsim_par::set_threads(prev);
+        });
+        c.bench_function(&format!("matmul_parallel_{size}"), |bch| {
+            let prev_t = mcsim_par::set_threads(mcsim_par::default_threads());
+            let prev_w = mcsim_par::set_min_parallel_work(1);
+            bch.iter(|| black_box(&a).matmul(black_box(&m)));
+            mcsim_par::set_threads(prev_t);
+            mcsim_par::set_min_parallel_work(prev_w);
+        });
+    }
+
+    // Dense-vs-sparse regression guard: the branchless kernels must cost the
+    // same whether the operand is dense or mostly zeros (the old `a == 0.0`
+    // zero-skip made sparse inputs look artificially fast and dense inputs
+    // pay a branch per element).
+    let a256 = Mat::from_fn(256, 256, |i, j| ((i * 31 + j * 7) % 13) as f32 / 13.0 - 0.4);
+    let dense = Mat::from_fn(256, 256, |i, j| ((i * 5 + j) % 9) as f32 / 9.0 + 0.1);
+    let sparse = Mat::from_fn(256, 256, |i, j| if (i + j) % 8 == 0 { 0.7 } else { 0.0 });
+    c.bench_function("matmul_dense_256", |b| {
+        b.iter(|| black_box(&a256).matmul(black_box(&dense)))
+    });
+    c.bench_function("matmul_sparse_256", |b| {
+        b.iter(|| black_box(&a256).matmul(black_box(&sparse)))
+    });
+
+    // Cached vs. uncached featurization of the same plan.
+    c.bench_function("featurize_uncached", |b| {
+        b.iter(|| featurizer.featurize(black_box(&plan), EnvSource::Uniform(env)))
+    });
+    let cache = FeatureCache::new();
+    c.bench_function("featurize_cached", |b| {
+        b.iter(|| cache.featurize(&featurizer, black_box(&plan), EnvSource::Uniform(env)))
     });
 }
 

@@ -18,6 +18,9 @@
 //!   fig16  Ranker vs number of training projects
 //!   sec73  population-wide benefit estimate
 //!   thm1   Theorem 1 ordering checks
+//!
+//!   parallel  serial-vs-pool wall-clock benchmark over the fig5+fig7
+//!             subset; writes BENCH_parallel.json
 //! ```
 
 use loam_bench::exps;
@@ -62,6 +65,7 @@ fn main() {
         "fig16" => Some(exps::fig16::run),
         "sec73" => Some(exps::sec73::run),
         "thm1" => Some(exps::thm1::run),
+        "parallel" => Some(exps::parallel::run),
         _ => None,
     };
     if let Some(run) = context_free {

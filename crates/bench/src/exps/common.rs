@@ -50,19 +50,11 @@ pub fn run_project(n: usize, scale: Scale) -> ProjectRun {
     }
 }
 
-/// Runs all five evaluation projects, in parallel across threads.
+/// Runs all five evaluation projects, fanned out across the global pool
+/// (order-preserving, so `runs[i]` is always project `i + 1`).
 pub fn run_all_projects(scale: Scale) -> Vec<ProjectRun> {
-    let mut runs: Vec<ProjectRun> = std::thread::scope(|s| {
-        let handles: Vec<_> = (1..=5)
-            .map(|n| s.spawn(move || run_project(n, scale)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("project run panicked"))
-            .collect()
-    });
-    runs.sort_by_key(|r| r.n);
-    runs
+    let ns: Vec<usize> = (1..=5).collect();
+    mcsim_par::ThreadPool::global().parallel_map(&ns, |&n| run_project(n, scale))
 }
 
 /// Percentage gain of `model_cost` relative to `baseline_cost`.

@@ -4,51 +4,66 @@
 
 use crate::report::Table;
 use crate::scale::{scaled_eval_profile, Scale};
-use mcsim_catalog::ProjectId;
+use mcsim_catalog::{Project, ProjectId};
 use mcsim_exec::{Cluster, ClusterConfig, Executor};
 use mcsim_optimizer::{Knobs, NativeOptimizer};
+use mcsim_plan::PlanTree;
 
-/// Runs the experiment: sweeps the cluster's baseline busy fraction and
-/// reports mean cost vs. the observed load metrics.
-pub fn run(scale: Scale) {
+/// One load step of the sweep: seeds a fresh cluster at the given baseline
+/// busy fraction, replays the recurring plan, and averages cost and the
+/// observed load metrics. Each step is self-contained (own cluster + own
+/// executor from a fixed seed), so steps run independently.
+pub fn run_step(step: usize, plan: &PlanTree, project: &Project) -> (f64, f64, f64, f64) {
+    let busy = 0.12 + 0.1 * step as f64;
+    let cluster = Cluster::new(
+        42,
+        ClusterConfig {
+            base_busy: busy,
+            diurnal_amplitude: 0.0,
+            ..ClusterConfig::default()
+        },
+    );
+    let mut exec = Executor::new(42, cluster, 0.08);
+    exec.cluster.advance(80);
+    let mut cost_sum = 0.0;
+    let mut idle_sum = 0.0;
+    let mut load_sum = 0.0;
+    let runs = 12;
+    for _ in 0..runs {
+        exec.cluster.advance(10);
+        let out = exec.execute(plan, &project.catalog);
+        cost_sum += out.cpu_cost;
+        let env = mcsim_catalog::EnvMetrics::mean(out.stage_envs.iter());
+        idle_sum += env.cpu_idle;
+        load_sum += env.load5;
+    }
+    (
+        busy,
+        idle_sum / runs as f64,
+        load_sum / runs as f64,
+        cost_sum / runs as f64,
+    )
+}
+
+/// Sweeps the cluster's baseline busy fraction across the pool and returns
+/// per-step `(busy, idle, load5, cost)` tuples in step order.
+pub fn sweep(scale: Scale) -> Vec<(f64, f64, f64, f64)> {
     let profile = scaled_eval_profile(1, scale);
     let project = profile.generate(ProjectId(1));
     let optimizer = NativeOptimizer::new(&project.catalog);
     let query = &project.workload_for_day(0)[0];
     let plan = optimizer.optimize(query, &Knobs::default());
+    let steps: Vec<usize> = (0..8).collect();
+    mcsim_par::ThreadPool::global().parallel_map(&steps, |&step| run_step(step, &plan, &project))
+}
 
+/// Runs the experiment: sweeps the cluster's baseline busy fraction and
+/// reports mean cost vs. the observed load metrics.
+pub fn run(scale: Scale) {
     println!("Figure 5 — CPU cost of a recurring query vs. machine load\n");
     let mut t = Table::new(["baseline busy", "CPU_IDLE", "LOAD5", "mean CPU cost"]);
     let mut series: Vec<(f64, f64, f64)> = Vec::new();
-    for step in 0..8 {
-        let busy = 0.12 + 0.1 * step as f64;
-        let cluster = Cluster::new(
-            42,
-            ClusterConfig {
-                base_busy: busy,
-                diurnal_amplitude: 0.0,
-                ..ClusterConfig::default()
-            },
-        );
-        let mut exec = Executor::new(42, cluster, 0.08);
-        exec.cluster.advance(80);
-        let mut cost_sum = 0.0;
-        let mut idle_sum = 0.0;
-        let mut load_sum = 0.0;
-        let runs = 12;
-        for _ in 0..runs {
-            exec.cluster.advance(10);
-            let out = exec.execute(&plan, &project.catalog);
-            cost_sum += out.cpu_cost;
-            let env = mcsim_catalog::EnvMetrics::mean(out.stage_envs.iter());
-            idle_sum += env.cpu_idle;
-            load_sum += env.load5;
-        }
-        let (cost, idle, load5) = (
-            cost_sum / runs as f64,
-            idle_sum / runs as f64,
-            load_sum / runs as f64,
-        );
+    for (busy, idle, load5, cost) in sweep(scale) {
         t.row([
             format!("{:.2}", busy),
             format!("{:.2}", idle),

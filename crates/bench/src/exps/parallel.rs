@@ -1,0 +1,176 @@
+//! The parallel-compute benchmark: runs the fig5+fig7 experiment subset
+//! twice — once pinned to a single thread (the serial baseline) and once on
+//! the default pool — and reports wall-clock per phase plus the speedup,
+//! both as a table and as a `BENCH_parallel.json` report.
+
+use crate::exps::{common, fig5};
+use crate::report::Table;
+use crate::scale::Scale;
+use loam_core::pipeline::evaluate_model;
+
+/// Wall-clock seconds of each phase of the fig5+fig7 subset.
+struct PhaseTimes {
+    /// (phase name, seconds) in execution order.
+    phases: Vec<(&'static str, f64)>,
+}
+
+impl PhaseTimes {
+    fn total(&self) -> f64 {
+        self.phases.iter().map(|p| p.1).sum()
+    }
+}
+
+/// Runs the fig5 load sweep, the fig7 project context (prepare + train +
+/// replay), and the fig7 model evaluation, timing each phase under whatever
+/// thread count is currently configured.
+fn run_phases(scale: Scale) -> PhaseTimes {
+    let mut phases = Vec::new();
+
+    let t = std::time::Instant::now();
+    let sweep = fig5::sweep(scale);
+    phases.push(("fig5_sweep", t.elapsed().as_secs_f64()));
+    // Consume the sweep so the work cannot be considered dead.
+    assert!(sweep.iter().map(|s| s.3).sum::<f64>().is_finite());
+
+    let t = std::time::Instant::now();
+    let run = common::run_project(1, scale);
+    phases.push(("fig7_context", t.elapsed().as_secs_f64()));
+
+    let t = std::time::Instant::now();
+    let report =
+        evaluate_model(&run.loam, &run.strategy, &run.evaluated).expect("model evaluation failed");
+    phases.push(("fig7_eval", t.elapsed().as_secs_f64()));
+    assert_eq!(report.per_query.len(), run.evaluated.len());
+
+    PhaseTimes { phases }
+}
+
+/// Renders the report as a JSON document.
+fn report_json(
+    scale: Scale,
+    parallel_threads: usize,
+    serial: &PhaseTimes,
+    parallel: &PhaseTimes,
+) -> String {
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let mut phases = String::new();
+    for (i, ((name, s), (_, p))) in serial.phases.iter().zip(&parallel.phases).enumerate() {
+        if i > 0 {
+            phases.push(',');
+        }
+        phases.push_str(&format!(
+            "{{\"name\":\"{name}\",\"serial_s\":{s:.6},\"parallel_s\":{p:.6},\"speedup\":{:.4}}}",
+            s / p.max(1e-9)
+        ));
+    }
+    format!(
+        concat!(
+            "{{\"bench\":\"parallel\",\"scale\":\"{}\",",
+            "\"threads_serial\":1,\"threads_parallel\":{},",
+            "\"phases\":[{}],",
+            "\"total\":{{\"serial_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.4}}}}}"
+        ),
+        scale_name,
+        parallel_threads,
+        phases,
+        serial.total(),
+        parallel.total(),
+        serial.total() / parallel.total().max(1e-9),
+    )
+}
+
+/// Runs the benchmark and writes `BENCH_parallel.json` into the current
+/// directory.
+pub fn run(scale: Scale) {
+    println!("Parallel-compute benchmark — fig5+fig7 subset, serial vs pool\n");
+    let parallel_threads = mcsim_par::default_threads();
+
+    eprintln!("serial baseline (1 thread)...");
+    let prev = mcsim_par::set_threads(1);
+    let serial = run_phases(scale);
+
+    eprintln!("parallel run ({parallel_threads} threads)...");
+    mcsim_par::set_threads(parallel_threads);
+    let parallel = run_phases(scale);
+    mcsim_par::set_threads(prev);
+
+    let mut t = Table::new(["phase", "serial (s)", "parallel (s)", "speedup"]);
+    for ((name, s), (_, p)) in serial.phases.iter().zip(&parallel.phases) {
+        t.row([
+            name.to_string(),
+            format!("{s:.3}"),
+            format!("{p:.3}"),
+            format!("{:.2}x", s / p.max(1e-9)),
+        ]);
+    }
+    t.row([
+        "total".to_string(),
+        format!("{:.3}", serial.total()),
+        format!("{:.3}", parallel.total()),
+        format!("{:.2}x", serial.total() / parallel.total().max(1e-9)),
+    ]);
+    println!("{}", t.render());
+    println!("threads: serial=1, parallel={parallel_threads}");
+
+    let json = report_json(scale, parallel_threads, &serial, &parallel);
+    let path = "BENCH_parallel.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[derive(Debug, Deserialize)]
+    struct Report {
+        bench: String,
+        scale: String,
+        threads_serial: u32,
+        threads_parallel: u32,
+        phases: Vec<Phase>,
+        total: Totals,
+    }
+
+    #[derive(Debug, Deserialize)]
+    struct Phase {
+        name: String,
+        serial_s: f64,
+        parallel_s: f64,
+        speedup: f64,
+    }
+
+    #[derive(Debug, Deserialize)]
+    struct Totals {
+        serial_s: f64,
+        parallel_s: f64,
+        speedup: f64,
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let serial = PhaseTimes {
+            phases: vec![("a", 2.0), ("b", 4.0)],
+        };
+        let parallel = PhaseTimes {
+            phases: vec![("a", 1.0), ("b", 2.0)],
+        };
+        let json = report_json(Scale::Small, 8, &serial, &parallel);
+        let r: Report = serde_json::from_str(&json).expect("valid json");
+        assert_eq!(r.bench, "parallel");
+        assert_eq!(r.scale, "small");
+        assert_eq!(r.threads_serial, 1);
+        assert_eq!(r.threads_parallel, 8);
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].name, "a");
+        assert!((r.phases[0].serial_s - 2.0).abs() < 1e-9);
+        assert!((r.phases[0].parallel_s - 1.0).abs() < 1e-9);
+        assert!((r.phases[0].speedup - 2.0).abs() < 1e-9);
+        assert!((r.total.serial_s - 6.0).abs() < 1e-9);
+        assert!((r.total.parallel_s - 3.0).abs() < 1e-9);
+        assert!((r.total.speedup - 2.0).abs() < 1e-9);
+    }
+}

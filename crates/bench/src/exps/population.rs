@@ -57,26 +57,27 @@ pub fn labeled_28(scale: Scale) -> &'static Vec<PopulationProject> {
 /// experiments).
 pub fn build(n: usize, scale: Scale, with_labels: bool, seed0: u64) -> Vec<PopulationProject> {
     let cfg = filter_config(scale);
-    (0..n)
-        .map(|i| {
-            let seed = seed0 + i as u64;
-            let profile = ProjectProfile::random(seed);
-            let project = profile.generate(ProjectId(1000 + i as u32));
-            let filter = evaluate_filter(&project, 0, 5, &cfg);
-            let (query_features, query_improvement) = if with_labels {
-                label_project(&project, seed)
-            } else {
-                (Vec::new(), Vec::new())
-            };
-            PopulationProject {
-                seed,
-                project,
-                filter,
-                query_features,
-                query_improvement,
-            }
-        })
-        .collect()
+    // Each project is generated and labeled from its own seed, so the
+    // population fans out across the pool; parallel_map preserves order.
+    let indices: Vec<usize> = (0..n).collect();
+    mcsim_par::ThreadPool::global().parallel_map(&indices, |&i| {
+        let seed = seed0 + i as u64;
+        let profile = ProjectProfile::random(seed);
+        let project = profile.generate(ProjectId(1000 + i as u32));
+        let filter = evaluate_filter(&project, 0, 5, &cfg);
+        let (query_features, query_improvement) = if with_labels {
+            label_project(&project, seed)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        PopulationProject {
+            seed,
+            project,
+            filter,
+            query_features,
+            query_improvement,
+        }
+    })
 }
 
 /// Samples a small workload, explores candidates, and measures per-query

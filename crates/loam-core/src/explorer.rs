@@ -105,21 +105,30 @@ impl PlanExplorer {
     }
 
     /// Generates the candidate set for `query`.
+    ///
+    /// Each knob setting's optimize + rough-cost run is independent, so they
+    /// fan out across the global pool; dedup then walks the results in knob
+    /// order, exactly as the serial loop did.
     pub fn explore(&self, optimizer: &NativeOptimizer<'_>, query: &QuerySpec) -> CandidateSet {
+        let space = self.knob_space();
+        mcsim_obs::counter("explorer.plans_explored", space.len() as u64);
+        let explored: Vec<(Knobs, PlanTree, f64)> =
+            mcsim_par::ThreadPool::global().parallel_map(&space, |knobs| {
+                let plan = optimizer.optimize(query, knobs);
+                let rough_cost = optimizer.rough_cost(&plan, knobs);
+                (knobs.clone(), plan, rough_cost)
+            });
+
         let mut seen = std::collections::HashSet::new();
         let mut all: Vec<Candidate> = Vec::new();
         let mut default_sig = None;
 
-        for knobs in self.knob_space() {
-            mcsim_obs::counter("explorer.plans_explored", 1);
-            let plan = optimizer.optimize(query, &knobs);
+        for (knobs, plan, rough_cost) in explored {
             let sig = PlanSignature::of(&plan);
-            let is_default = knobs.is_default();
-            if is_default {
+            if knobs.is_default() {
                 default_sig = Some(sig);
             }
             if seen.insert(sig) {
-                let rough_cost = optimizer.rough_cost(&plan, &knobs);
                 all.push(Candidate {
                     plan,
                     knobs,

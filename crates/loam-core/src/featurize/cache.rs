@@ -1,0 +1,205 @@
+//! A feature cache keyed by plan identity.
+//!
+//! Featurization is deterministic: the same plan under the same environment
+//! always produces the same `(Mat, TreeStructure)` pair. Training revisits
+//! each plan every epoch and inference strategies re-score the same
+//! candidate plans across queries, so the cache turns repeat featurization
+//! into an `Arc` clone.
+//!
+//! The key combines the plan's structural [`PlanSignature`] (a hash over
+//! the canonical plan serialization, including predicate constants — the
+//! same identity the plan explorer dedupes by), the featurizer mode, and a
+//! bit-exact fingerprint of the environment source. Entries are shared via
+//! `Arc`, so hits cost one hash lookup plus a reference-count bump, and the
+//! cache is `Sync` — workers of the parallel featurization paths share one
+//! instance.
+
+use super::plan_vec::{EnvSource, PlanFeaturizer};
+use mcsim_plan::{PlanSignature, PlanTree};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use tinynn::tcn::TreeStructure;
+use tinynn::Mat;
+
+/// A cached featurization: node-feature matrix plus tree structure.
+pub type CachedFeatures = Arc<(Mat, TreeStructure)>;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    plan: PlanSignature,
+    use_env: bool,
+    env: u64,
+}
+
+/// Identity-keyed, thread-safe featurization cache.
+#[derive(Debug, Default)]
+pub struct FeatureCache {
+    map: Mutex<HashMap<CacheKey, CachedFeatures>>,
+}
+
+impl FeatureCache {
+    /// An empty cache.
+    pub fn new() -> FeatureCache {
+        FeatureCache::default()
+    }
+
+    /// Featurizes `plan` through the cache: returns the stored features on
+    /// a hit, otherwise computes them with `featurizer` and stores them.
+    /// Hit results are bit-identical to a fresh featurization.
+    pub fn featurize(
+        &self,
+        featurizer: &PlanFeaturizer,
+        plan: &PlanTree,
+        env: EnvSource<'_>,
+    ) -> CachedFeatures {
+        let key = CacheKey {
+            plan: PlanSignature::of(plan),
+            use_env: featurizer.use_env,
+            env: env_fingerprint(&env),
+        };
+        {
+            let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(hit) = map.get(&key) {
+                mcsim_obs::counter("loam.featurize.cache_hits", 1);
+                return Arc::clone(hit);
+            }
+        }
+        // Compute outside the lock so concurrent misses on different plans
+        // featurize in parallel; a duplicate concurrent miss on the same
+        // plan just overwrites with an identical value.
+        mcsim_obs::counter("loam.featurize.cache_misses", 1);
+        let features = Arc::new(featurizer.featurize(plan, env));
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(key).or_insert(features))
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries (e.g. when the environment regime changes
+    /// wholesale and keys would only accumulate).
+    pub fn clear(&self) {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+/// Bit-exact FNV-1a fingerprint of an environment source. `f64::to_bits`
+/// keeps the key exact: environments that differ in any bit get distinct
+/// entries, so a hit can never return features for a different environment.
+fn env_fingerprint(env: &EnvSource<'_>) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    match env {
+        EnvSource::None => mix(0),
+        EnvSource::Uniform(m) => {
+            mix(1);
+            for f in [m.cpu_idle, m.io_wait, m.load5, m.mem_usage] {
+                mix(f.to_bits());
+            }
+        }
+        EnvSource::PerStage(envs) => {
+            mix(2);
+            mix(envs.len() as u64);
+            for m in envs.iter() {
+                for f in [m.cpu_idle, m.io_wait, m.load5, m.mem_usage] {
+                    mix(f.to_bits());
+                }
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_catalog::EnvMetrics;
+    use mcsim_plan::Operator;
+
+    fn chain_plan(len: usize, table: u32) -> PlanTree {
+        let mut t = PlanTree::new();
+        let mut cur = t.leaf(Operator::table_scan(table, 1, 1, vec![0]));
+        for _ in 0..len {
+            cur = t.unary(Operator::Limit { n: 10 }, cur);
+        }
+        let s = t.unary(Operator::Sink, cur);
+        t.set_root(s);
+        t
+    }
+
+    #[test]
+    fn hit_equals_fresh_featurization() {
+        let cache = FeatureCache::new();
+        let f = PlanFeaturizer::default();
+        let plan = chain_plan(3, 1);
+        let env = EnvMetrics::new(0.6, 0.05, 4.0, 0.5);
+        let first = cache.featurize(&f, &plan, EnvSource::Uniform(env));
+        let hit = cache.featurize(&f, &plan, EnvSource::Uniform(env));
+        let fresh = f.featurize(&plan, EnvSource::Uniform(env));
+        assert!(Arc::ptr_eq(&first, &hit), "second call must be a hit");
+        assert_eq!(hit.0, fresh.0);
+        assert_eq!(hit.1, fresh.1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn different_envs_and_plans_get_distinct_entries() {
+        let cache = FeatureCache::new();
+        let f = PlanFeaturizer::default();
+        let plan = chain_plan(3, 1);
+        let e1 = EnvMetrics::new(0.6, 0.05, 4.0, 0.5);
+        let e2 = EnvMetrics::new(0.7, 0.05, 4.0, 0.5);
+        let a = cache.featurize(&f, &plan, EnvSource::Uniform(e1));
+        let b = cache.featurize(&f, &plan, EnvSource::Uniform(e2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.0, b.0, "env block must differ");
+        cache.featurize(&f, &chain_plan(4, 2), EnvSource::Uniform(e1));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn featurizer_mode_is_part_of_the_key() {
+        let cache = FeatureCache::new();
+        let plan = chain_plan(2, 1);
+        let env = EnvMetrics::new(0.6, 0.05, 4.0, 0.5);
+        let with_env = cache.featurize(
+            &PlanFeaturizer { use_env: true },
+            &plan,
+            EnvSource::Uniform(env),
+        );
+        let no_env = cache.featurize(
+            &PlanFeaturizer { use_env: false },
+            &plan,
+            EnvSource::Uniform(env),
+        );
+        assert_ne!(with_env.0, no_env.0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = FeatureCache::new();
+        cache.featurize(
+            &PlanFeaturizer::default(),
+            &chain_plan(2, 1),
+            EnvSource::None,
+        );
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,8 +1,10 @@
 //! Statistics-free plan featurization: multi-segment hash encodings and the
 //! per-node feature layout of Section 4 / Figure 4.
 
+pub mod cache;
 pub mod hash_enc;
 pub mod plan_vec;
 
+pub use cache::{CachedFeatures, FeatureCache};
 pub use hash_enc::{encode_id, encode_ids, HASH_ENC_DIM, SEGMENTS, SEGMENT_DIM};
 pub use plan_vec::{EnvSource, PlanFeaturizer, ENV_OFF, FEATURE_DIM};

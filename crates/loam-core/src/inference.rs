@@ -79,16 +79,18 @@ pub const DEFAULT_MARGIN: f64 = 0.4;
 
 /// Selects the candidate plan with the lowest estimated cost under the
 /// given environment strategy. Returns `(index, predicted_costs)`.
-pub fn select_plan<M: CostModel + ?Sized>(
+///
+/// Candidates are scored independently, so scoring fans out across the
+/// global pool; the winner is picked from the order-preserved cost vector,
+/// identical to a serial scan.
+pub fn select_plan<M: CostModel + Sync + ?Sized>(
     model: &M,
     plans: &[&PlanTree],
     strategy: &EnvStrategy,
 ) -> (usize, Vec<f64>) {
     assert!(!plans.is_empty(), "candidate set must be non-empty");
-    let costs: Vec<f64> = plans
-        .iter()
-        .map(|p| model.predict(p, strategy.env_source()))
-        .collect();
+    let costs: Vec<f64> = mcsim_par::ThreadPool::global()
+        .parallel_map(plans, |p| model.predict(p, strategy.env_source()));
     let best = costs
         .iter()
         .enumerate()
@@ -104,7 +106,7 @@ pub fn select_plan<M: CostModel + ?Sized>(
 /// improvement costs little, a confident-but-wrong switch is a regression a
 /// multi-tenant system cannot afford — so deviations from the native
 /// optimizer require a confidence margin.
-pub fn select_plan_guarded<M: CostModel + ?Sized>(
+pub fn select_plan_guarded<M: CostModel + Sync + ?Sized>(
     model: &M,
     plans: &[&PlanTree],
     strategy: &EnvStrategy,

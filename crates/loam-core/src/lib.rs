@@ -55,7 +55,7 @@ pub mod theory;
 
 pub use error::LoamError;
 pub use explorer::{Candidate, CandidateSet, ExplorerConfig, PlanExplorer};
-pub use featurize::{EnvSource, PlanFeaturizer, FEATURE_DIM};
+pub use featurize::{CachedFeatures, EnvSource, FeatureCache, PlanFeaturizer, FEATURE_DIM};
 pub use gate::{validate as validate_deployment, GateConfig, GateReport};
 pub use inference::{select_plan, EnvStrategy};
 pub use persist::{load_predictor, load_ranker, save_predictor, save_ranker, PersistError};

@@ -453,7 +453,11 @@ pub struct ModelEvaluation {
 /// Evaluates a cost model on pre-replayed candidate sets: the model picks
 /// per query, and its pick is scored against the same synchronized cost
 /// matrices every other model sees.
-pub fn evaluate_model<M: CostModel + ?Sized>(
+///
+/// Queries are scored independently, so selection fans out across the
+/// global pool; the order-preserved results are folded serially, giving the
+/// same evaluation as a serial loop.
+pub fn evaluate_model<M: CostModel + Sync + ?Sized>(
     model: &M,
     strategy: &EnvStrategy,
     evaluated: &[EvaluatedQuery],
@@ -463,17 +467,17 @@ pub fn evaluate_model<M: CostModel + ?Sized>(
             "need at least one evaluated query".into(),
         ));
     }
+    let started = std::time::Instant::now();
+    let choices: Vec<usize> = mcsim_par::ThreadPool::global().parallel_map(evaluated, |eq| {
+        let refs: Vec<&PlanTree> = eq.plans.iter().collect();
+        let _s = mcsim_obs::span("infer");
+        select_plan_guarded(model, &refs, strategy, eq.default_idx, DEFAULT_MARGIN).0
+    });
     let mut per_query = Vec::with_capacity(evaluated.len());
     let mut dev_sum = 0.0;
     let mut oracle_sum = 0.0;
-    let started = std::time::Instant::now();
     let mut total_cost = 0.0;
-    for eq in evaluated {
-        let refs: Vec<&PlanTree> = eq.plans.iter().collect();
-        let (choice, _) = {
-            let _s = mcsim_obs::span("infer");
-            select_plan_guarded(model, &refs, strategy, eq.default_idx, DEFAULT_MARGIN)
-        };
+    for (eq, &choice) in evaluated.iter().zip(&choices) {
         let chosen_cost = eq.mean_cost(choice);
         total_cost += chosen_cost;
         per_query.push((eq.default_cost(), chosen_cost));

@@ -1,7 +1,7 @@
 //! Property tests on the statistics-free featurization over real generated
 //! plans, and on the predictor's numerical hygiene.
 
-use loam_core::featurize::{EnvSource, PlanFeaturizer, ENV_OFF, FEATURE_DIM};
+use loam_core::featurize::{EnvSource, FeatureCache, PlanFeaturizer, ENV_OFF, FEATURE_DIM};
 use loam_core::AdaptiveCostPredictor;
 use mcsim_catalog::{EnvMetrics, ProjectId, ProjectProfile};
 use mcsim_optimizer::{Knobs, NativeOptimizer, OptimizerFlags};
@@ -68,6 +68,28 @@ proptest! {
                 prop_assert!((x.row(r)[ENV_OFF] as f64 - idle).abs() < 1e-5);
             }
         }
+    }
+
+    #[test]
+    fn cached_featurization_equals_fresh(seed in 0u64..2000, idle in 0.05f64..0.95) {
+        let featurizer = PlanFeaturizer::default();
+        let cache = FeatureCache::new();
+        let env = EnvMetrics::new(idle, 0.05, 6.0, 0.5);
+        let plans = plans_for_seed(seed);
+        for plan in plans.iter().take(4) {
+            for source in [EnvSource::None, EnvSource::Uniform(env)] {
+                let fresh = featurizer.featurize(plan, source.clone());
+                // First lookup populates the cache, second must hit; both
+                // return exactly what a fresh featurization would.
+                let miss = cache.featurize(&featurizer, plan, source.clone());
+                let hit = cache.featurize(&featurizer, plan, source);
+                prop_assert_eq!(&fresh.0, &miss.0);
+                prop_assert_eq!(&fresh.1, &miss.1);
+                prop_assert!(std::sync::Arc::ptr_eq(&miss, &hit), "second lookup must hit");
+            }
+        }
+        // Distinct env sources for the same plan occupy distinct entries.
+        prop_assert!(cache.len() >= 2);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! End-to-end training determinism: with a fixed seed, `train` must produce
+//! bit-identical per-epoch losses no matter how many pool threads run the
+//! kernels underneath it.
+
+use loam_core::predictor::train::{train, TrainConfig, TrainSample};
+use loam_core::AdaptiveCostPredictor;
+use mcsim_catalog::EnvMetrics;
+use mcsim_plan::{Operator, PlanTree};
+
+/// Synthetic workload: chains of varying depth with a cost that depends on
+/// plan size and the (deterministic) environment.
+fn make_samples(n: usize) -> Vec<TrainSample> {
+    (0..n)
+        .map(|i| {
+            let chain = 2 + (i % 5);
+            let mut plan = PlanTree::new();
+            let mut cur = plan.leaf(Operator::table_scan((i % 7) as u32, 1, 1, vec![0]));
+            for _ in 0..chain {
+                cur = plan.unary(Operator::Limit { n: 10 }, cur);
+            }
+            let s = plan.unary(Operator::Sink, cur);
+            plan.set_root(s);
+            let idle = 0.1 + 0.8 * ((i as f64 * 0.37).fract());
+            let env = EnvMetrics::new(idle, 0.05, 4.0, 0.5);
+            let mult = 1.0 + 1.5 * (1.0 - idle);
+            TrainSample {
+                plan,
+                stage_envs: vec![env],
+                cost: 100.0 * (chain + 2) as f64 * mult,
+            }
+        })
+        .collect()
+}
+
+fn loss_bits(losses: &[f64]) -> Vec<u64> {
+    losses.iter().map(|l| l.to_bits()).collect()
+}
+
+fn train_once(samples: &[TrainSample]) -> Vec<u64> {
+    let mut p = AdaptiveCostPredictor::new(7, true);
+    let cfg = TrainConfig {
+        epochs: 4,
+        adaptive: false,
+        seed: 0xd5eed,
+        ..TrainConfig::default()
+    };
+    let report = train(&mut p, samples, &[], EnvMetrics::default(), &cfg);
+    assert_eq!(report.cost_loss.len(), 4);
+    loss_bits(&report.cost_loss)
+}
+
+/// Two runs with the same seed produce identical loss curves, and the curve
+/// does not change across thread counts 1, 2, and 8 even with the work gate
+/// forced open (every kernel takes its parallel path).
+#[test]
+fn same_seed_same_losses_at_any_thread_count() {
+    let samples = make_samples(60);
+
+    let prev_threads = mcsim_par::threads();
+    let prev_work = mcsim_par::set_min_parallel_work(1);
+
+    mcsim_par::set_threads(1);
+    let reference = train_once(&samples);
+    let repeat = train_once(&samples);
+    assert_eq!(reference, repeat, "same seed must replay identically");
+
+    for threads in [2usize, 8] {
+        mcsim_par::set_threads(threads);
+        let run = train_once(&samples);
+        assert_eq!(
+            reference, run,
+            "loss curve changed at {threads} threads — parallel kernels are not bit-identical"
+        );
+    }
+
+    mcsim_par::set_threads(prev_threads);
+    mcsim_par::set_min_parallel_work(prev_work);
+}

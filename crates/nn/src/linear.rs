@@ -73,43 +73,91 @@ impl Linear {
     }
 }
 
+/// Elementwise ops below this many elements stay serial (on top of the
+/// global [`mcsim_par::min_parallel_work`] gate) — activations are cheap
+/// per element, so fan-out only ever pays off on big batches.
+fn elementwise_chunk(n: usize, pool: &mcsim_par::ThreadPool) -> Option<usize> {
+    if pool.threads() > 1 && n > 1 && n * 4 >= mcsim_par::min_parallel_work() {
+        Some(n.div_ceil(pool.threads() * 2).max(1))
+    } else {
+        None
+    }
+}
+
 /// ReLU forward; returns output (input preserved for backward).
 pub fn relu(x: &Mat) -> Mat {
-    Mat {
-        rows: x.rows,
-        cols: x.cols,
-        data: x.data.iter().map(|&v| v.max(0.0)).collect(),
+    let mut out = x.clone();
+    let pool = mcsim_par::ThreadPool::global();
+    match elementwise_chunk(out.data.len(), &pool) {
+        Some(chunk) => pool.parallel_for_chunks_mut(&mut out.data, chunk, |_, c| {
+            for v in c.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }),
+        None => {
+            for v in out.data.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
     }
+    out
 }
 
 /// ReLU backward: masks `grad` where the forward input was ≤ 0.
 pub fn relu_backward(input: &Mat, grad: &Mat) -> Mat {
-    Mat {
-        rows: grad.rows,
-        cols: grad.cols,
-        data: grad
-            .data
-            .iter()
-            .zip(&input.data)
-            .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
-            .collect(),
+    let mut out = grad.clone();
+    let mask = |out: &mut [f32], inp: &[f32]| {
+        for (g, &x) in out.iter_mut().zip(inp) {
+            if x <= 0.0 {
+                *g = 0.0;
+            }
+        }
+    };
+    let pool = mcsim_par::ThreadPool::global();
+    match elementwise_chunk(out.data.len(), &pool) {
+        Some(chunk) => {
+            let jobs: Vec<(&mut [f32], &[f32])> = out
+                .data
+                .chunks_mut(chunk)
+                .zip(input.data.chunks(chunk))
+                .collect();
+            pool.for_each(jobs, |(o, i)| mask(o, i));
+        }
+        None => mask(&mut out.data, &input.data),
     }
+    out
 }
 
-/// Row-wise softmax.
+/// Row-wise softmax. Rows are independent, so row blocks run in parallel
+/// with bit-identical results.
 pub fn softmax_rows(x: &Mat) -> Mat {
     let mut out = x.clone();
-    for r in 0..out.rows {
-        let row = out.row_mut(r);
-        let max = row.iter().cloned().fold(f32::MIN, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+    if out.cols == 0 {
+        return out;
+    }
+    let softmax_block = |block: &mut [f32], cols: usize| {
+        for row in block.chunks_mut(cols) {
+            let max = row.iter().cloned().fold(f32::MIN, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
         }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+    };
+    let cols = out.cols;
+    let pool = mcsim_par::ThreadPool::global();
+    // exp() dominates: weight it like ~8 flops per element.
+    if pool.threads() > 1 && out.rows > 1 && out.data.len() * 8 >= mcsim_par::min_parallel_work() {
+        let block_rows = out.rows.div_ceil(pool.threads() * 2).max(1);
+        pool.parallel_for_chunks_mut(&mut out.data, block_rows * cols, |_, c| {
+            softmax_block(c, cols)
+        });
+    } else {
+        softmax_block(&mut out.data, cols);
     }
     out
 }

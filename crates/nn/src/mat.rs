@@ -78,64 +78,100 @@ impl Mat {
 
     /// `self @ other` (m×k · k×n → m×n).
     ///
+    /// Cache-blocked over k-panels with an unrolled axpy inner loop, and
+    /// parallelized over output-row blocks above [`mcsim_par::min_parallel_work`].
+    /// Serial and parallel paths share the same per-row kernel, and every
+    /// output element accumulates in ascending-k order, so results are
+    /// bit-identical at any thread count.
+    ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Mat::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let flops = 2 * self.rows * self.cols * other.cols;
+        run_row_blocked(&mut out, flops, |i0, chunk| {
+            self.matmul_rows_into(other, i0, chunk)
+        });
         out
     }
 
     /// `selfᵀ @ other` (k×m · k×n → m×n) without materializing the transpose.
+    ///
+    /// Blocked/parallelized like [`Mat::matmul`]; bit-identical at any
+    /// thread count.
     pub fn matmul_tn(&self, other: &Mat) -> Mat {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
         let mut out = Mat::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
-            let brow = &other.data[k * other.cols..(k + 1) * other.cols];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
+        let flops = 2 * self.rows * self.cols * other.cols;
+        run_row_blocked(&mut out, flops, |i0, chunk| {
+            self.matmul_tn_rows_into(other, i0, chunk)
+        });
         out
     }
 
     /// `self @ otherᵀ` (m×k · n×k → m×n) without materializing the transpose.
+    ///
+    /// Blocked/parallelized like [`Mat::matmul`]; bit-identical at any
+    /// thread count.
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let mut out = Mat::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..other.rows {
-                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
-                let mut s = 0.0;
-                for (&a, &b) in arow.iter().zip(brow) {
-                    s += a * b;
+        let flops = 2 * self.rows * self.cols * other.rows;
+        run_row_blocked(&mut out, flops, |i0, chunk| {
+            self.matmul_nt_rows_into(other, i0, chunk)
+        });
+        out
+    }
+
+    /// Computes output rows starting at `i0` of `self @ other` into `chunk`
+    /// (a zeroed `rows × other.cols` slice). k is processed in cache-sized
+    /// panels so the touched rows of `other` stay warm across the block's
+    /// rows; per output element the accumulation order is ascending k.
+    fn matmul_rows_into(&self, other: &Mat, i0: usize, chunk: &mut [f32]) {
+        let n = other.cols;
+        let rows = chunk.len() / n;
+        for k0 in (0..self.cols).step_by(K_PANEL) {
+            let k1 = (k0 + K_PANEL).min(self.cols);
+            for bi in 0..rows {
+                let arow = self.row(i0 + bi);
+                let orow = &mut chunk[bi * n..(bi + 1) * n];
+                let brows = other.data[k0 * n..k1 * n].chunks_exact(n);
+                for (&a, brow) in arow[k0..k1].iter().zip(brows) {
+                    axpy(orow, a, brow);
                 }
-                out.data[i * other.rows + j] = s;
             }
         }
-        out
+    }
+
+    /// Output rows `i0..` of `selfᵀ @ other` into `chunk`. k-outer traversal
+    /// streams both inputs row-by-row; accumulation order per element is
+    /// ascending k, matching [`Mat::matmul_rows_into`].
+    fn matmul_tn_rows_into(&self, other: &Mat, i0: usize, chunk: &mut [f32]) {
+        let n = other.cols;
+        let rows = chunk.len() / n;
+        for k in 0..self.rows {
+            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
+            let brow = &other.data[k * n..(k + 1) * n];
+            for bi in 0..rows {
+                axpy(&mut chunk[bi * n..(bi + 1) * n], arow[i0 + bi], brow);
+            }
+        }
+    }
+
+    /// Output rows `i0..` of `self @ otherᵀ` into `chunk`: one unrolled dot
+    /// product per output element.
+    fn matmul_nt_rows_into(&self, other: &Mat, i0: usize, chunk: &mut [f32]) {
+        let n = other.rows;
+        let rows = chunk.len() / n;
+        for bi in 0..rows {
+            let arow = self.row(i0 + bi);
+            let orow = &mut chunk[bi * n..(bi + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = dot(arow, &other.data[j * other.cols..(j + 1) * other.cols]);
+            }
+        }
     }
 
     /// Adds `v` to every row in place (bias broadcast).
@@ -178,6 +214,73 @@ impl Mat {
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
+}
+
+/// k-panel size for cache blocking: 64 rows of a 256-column f32 matrix is
+/// 64 KiB, sized to keep the panel of the right-hand operand L2-resident
+/// while it is reused across a block of output rows.
+const K_PANEL: usize = 64;
+
+/// Dispatches a row-block matmul kernel either serially (one block covering
+/// the whole output) or across the global pool. `kernel(i0, chunk)` must
+/// fill output rows `i0..i0 + chunk.len()/out.cols`. Row-partitioning means
+/// every output element is computed entirely by one worker with the shared
+/// kernel, so results are bit-identical regardless of thread count or block
+/// boundaries.
+fn run_row_blocked(out: &mut Mat, flops: usize, kernel: impl Fn(usize, &mut [f32]) + Sync) {
+    if out.rows == 0 || out.cols == 0 {
+        return;
+    }
+    let pool = mcsim_par::ThreadPool::global();
+    let threads = pool.threads();
+    if threads > 1 && out.rows > 1 && flops >= mcsim_par::min_parallel_work() {
+        let block = out.rows.div_ceil(threads * 2).max(1);
+        let cols = out.cols;
+        pool.parallel_for_chunks_mut(&mut out.data, block * cols, |ci, chunk| {
+            kernel(ci * block, chunk)
+        });
+    } else {
+        kernel(0, &mut out.data);
+    }
+}
+
+/// `out += a * x`, unrolled by 4. Each output element is touched exactly
+/// once, so the unroll factor does not change any accumulation order.
+#[inline]
+fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+    let n = out.len();
+    let (main_o, tail_o) = out.split_at_mut(n - n % 4);
+    let (main_x, tail_x) = x.split_at(n - n % 4);
+    for (o, b) in main_o.chunks_exact_mut(4).zip(main_x.chunks_exact(4)) {
+        o[0] += a * b[0];
+        o[1] += a * b[1];
+        o[2] += a * b[2];
+        o[3] += a * b[3];
+    }
+    for (o, &b) in tail_o.iter_mut().zip(tail_x) {
+        *o += a * b;
+    }
+}
+
+/// Dot product with four independent accumulators (breaks the add-latency
+/// chain); combined as `((s0 + s1) + (s2 + s3)) + tail`, a fixed order used
+/// by serial and parallel paths alike.
+#[inline]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len();
+    let main = n - n % 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (a, b) in x[..main].chunks_exact(4).zip(y[..main].chunks_exact(4)) {
+        s0 += a[0] * b[0];
+        s1 += a[1] * b[1];
+        s2 += a[2] * b[2];
+        s3 += a[3] * b[3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for (&a, &b) in x[main..].iter().zip(&y[main..]) {
+        s += a * b;
+    }
+    s
 }
 
 #[cfg(test)]

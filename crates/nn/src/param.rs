@@ -59,19 +59,42 @@ impl Param {
 
     /// One Adam update. `t` is the 1-based global step (for bias
     /// correction).
+    ///
+    /// Elementwise and therefore order-free: large tensors are updated in
+    /// parallel chunks through the global pool with bit-identical results.
     pub fn adam_step(&mut self, lr: f32, t: u64, cfg: &AdamConfig) {
         let bc1 = 1.0 - cfg.beta1.powi(t as i32);
         let bc2 = 1.0 - cfg.beta2.powi(t as i32);
-        for i in 0..self.value.data.len() {
-            let mut g = self.grad.data[i];
-            if cfg.weight_decay > 0.0 {
-                g += cfg.weight_decay * self.value.data[i];
-            }
-            self.m.data[i] = cfg.beta1 * self.m.data[i] + (1.0 - cfg.beta1) * g;
-            self.v.data[i] = cfg.beta2 * self.v.data[i] + (1.0 - cfg.beta2) * g * g;
-            let mh = self.m.data[i] / bc1;
-            let vh = self.v.data[i] / bc2;
-            self.value.data[i] -= lr * mh / (vh.sqrt() + cfg.eps);
+        let n = self.value.data.len();
+        let pool = mcsim_par::ThreadPool::global();
+        // ~12 flops per element.
+        if pool.threads() > 1 && n > 1 && n * 12 >= mcsim_par::min_parallel_work() {
+            // One job: (value, grad, m, v) chunks covering the same range.
+            type AdamJob<'a> = (&'a mut [f32], &'a [f32], &'a mut [f32], &'a mut [f32]);
+            let chunk = n.div_ceil(pool.threads() * 2).max(1);
+            let jobs: Vec<AdamJob<'_>> = self
+                .value
+                .data
+                .chunks_mut(chunk)
+                .zip(self.grad.data.chunks(chunk))
+                .zip(self.m.data.chunks_mut(chunk))
+                .zip(self.v.data.chunks_mut(chunk))
+                .map(|(((val, g), m), v)| (val, g, m, v))
+                .collect();
+            pool.for_each(jobs, |(val, g, m, v)| {
+                adam_chunk(val, g, m, v, lr, bc1, bc2, cfg)
+            });
+        } else {
+            adam_chunk(
+                &mut self.value.data,
+                &self.grad.data,
+                &mut self.m.data,
+                &mut self.v.data,
+                lr,
+                bc1,
+                bc2,
+                cfg,
+            );
         }
     }
 
@@ -90,6 +113,32 @@ impl Param {
     /// True if the parameter tensor is empty.
     pub fn is_empty(&self) -> bool {
         self.value.data.is_empty()
+    }
+}
+
+/// The Adam update for one aligned chunk of value/grad/moment arrays —
+/// shared by the serial and parallel paths so they are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn adam_chunk(
+    value: &mut [f32],
+    grad: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    bc1: f32,
+    bc2: f32,
+    cfg: &AdamConfig,
+) {
+    for i in 0..value.len() {
+        let mut g = grad[i];
+        if cfg.weight_decay > 0.0 {
+            g += cfg.weight_decay * value[i];
+        }
+        m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * g;
+        v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * g * g;
+        let mh = m[i] / bc1;
+        let vh = v[i] / bc2;
+        value[i] -= lr * mh / (vh.sqrt() + cfg.eps);
     }
 }
 

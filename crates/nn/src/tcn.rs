@@ -132,12 +132,28 @@ impl TreeConvLayer {
 }
 
 /// Rows of `x` gathered by child index (missing child → zero row).
+/// Output rows are disjoint, so row blocks run in parallel for large trees.
 fn gather(x: &Mat, idx: &[Option<usize>]) -> Mat {
     let mut out = Mat::zeros(x.rows, x.cols);
-    for (i, &j) in idx.iter().enumerate() {
-        if let Some(j) = j {
-            out.row_mut(i).copy_from_slice(x.row(j));
+    let cols = x.cols;
+    if cols == 0 || x.rows == 0 {
+        return out;
+    }
+    let gather_block = |i0: usize, block: &mut [f32]| {
+        for (bi, orow) in block.chunks_mut(cols).enumerate() {
+            if let Some(j) = idx[i0 + bi] {
+                orow.copy_from_slice(x.row(j));
+            }
         }
+    };
+    let pool = mcsim_par::ThreadPool::global();
+    if pool.threads() > 1 && x.rows > 1 && x.rows * cols >= mcsim_par::min_parallel_work() {
+        let block_rows = x.rows.div_ceil(pool.threads() * 2).max(1);
+        pool.parallel_for_chunks_mut(&mut out.data, block_rows * cols, |ci, block| {
+            gather_block(ci * block_rows, block)
+        });
+    } else {
+        gather_block(0, &mut out.data);
     }
     out
 }

@@ -132,15 +132,34 @@ impl Transformer {
         let grad_v = c.attn.matmul_tn(&grad_att_out);
         // dAttn = grad_att_out @ vᵀ
         let grad_attn = grad_att_out.matmul_nt(&c.v);
-        // Softmax backward per row: ds = a ⊙ (dA − Σ(dA ⊙ a)).
+        // Softmax backward per row: ds = a ⊙ (dA − Σ(dA ⊙ a)). Rows are
+        // independent, so row blocks fan out across the pool for long
+        // sequences with bit-identical results.
         let mut grad_scores = Mat::zeros(grad_attn.rows, grad_attn.cols);
-        for r in 0..grad_attn.rows {
-            let a = c.attn.row(r);
-            let da = grad_attn.row(r);
-            let dot: f32 = a.iter().zip(da).map(|(x, y)| x * y).sum();
-            for col in 0..grad_attn.cols {
-                grad_scores.set(r, col, a[col] * (da[col] - dot));
+        let cols = grad_attn.cols;
+        let softmax_back_block = |r0: usize, block: &mut [f32]| {
+            for (bi, srow) in block.chunks_mut(cols).enumerate() {
+                let a = c.attn.row(r0 + bi);
+                let da = grad_attn.row(r0 + bi);
+                let dot: f32 = a.iter().zip(da).map(|(x, y)| x * y).sum();
+                for (col, s) in srow.iter_mut().enumerate() {
+                    *s = a[col] * (da[col] - dot);
+                }
             }
+        };
+        let pool = mcsim_par::ThreadPool::global();
+        let work = grad_attn.rows * cols * 3;
+        if pool.threads() > 1
+            && grad_attn.rows > 1
+            && cols > 0
+            && work >= mcsim_par::min_parallel_work()
+        {
+            let block_rows = grad_attn.rows.div_ceil(pool.threads() * 2).max(1);
+            pool.parallel_for_chunks_mut(&mut grad_scores.data, block_rows * cols, |ci, block| {
+                softmax_back_block(ci * block_rows, block)
+            });
+        } else if cols > 0 {
+            softmax_back_block(0, &mut grad_scores.data);
         }
         let scale = 1.0 / (self.d as f32).sqrt();
         grad_scores.scale(scale);

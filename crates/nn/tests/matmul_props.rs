@@ -1,0 +1,131 @@
+//! Property tests: the parallel row-blocked matmul kernels are bit-identical
+//! to the serial path at every thread count, including degenerate shapes
+//! (empty matrices, single rows/columns).
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use tinynn::Mat;
+
+/// Global-knob guard: these tests mutate the process-wide thread count and
+/// work gate, so they serialize on one lock and restore on drop.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+struct KnobGuard {
+    prev_threads: usize,
+    prev_work: usize,
+    _lock: std::sync::MutexGuard<'static, ()>,
+}
+
+impl KnobGuard {
+    fn acquire() -> KnobGuard {
+        let lock = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        KnobGuard {
+            prev_threads: mcsim_par::threads(),
+            prev_work: mcsim_par::min_parallel_work(),
+            _lock: lock,
+        }
+    }
+}
+
+impl Drop for KnobGuard {
+    fn drop(&mut self) {
+        mcsim_par::set_threads(self.prev_threads);
+        mcsim_par::set_min_parallel_work(self.prev_work);
+    }
+}
+
+/// Deterministic pseudo-random matrix from a seed (splitmix64 bits mapped to
+/// a modest range so products stay finite).
+fn mat_from_seed(rows: usize, cols: usize, mut seed: u64) -> Mat {
+    Mat::from_fn(rows, cols, |_, _| {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Map to roughly [-4, 4).
+        (z >> 40) as f32 / (1u64 << 21) as f32 - 4.0
+    })
+}
+
+fn bits(m: &Mat) -> Vec<u32> {
+    m.data.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Computes all three products serially, then at 2 and 8 threads with the
+/// work gate forced open, asserting exact bit equality each time.
+fn assert_parallel_matches_serial(a: &Mat, b_nn: &Mat, b_tn: &Mat, b_nt: &Mat) {
+    let _guard = KnobGuard::acquire();
+
+    mcsim_par::set_threads(1);
+    let serial = (a.matmul(b_nn), a.matmul_tn(b_tn), a.matmul_nt(b_nt));
+
+    mcsim_par::set_min_parallel_work(1);
+    for threads in [2usize, 8] {
+        mcsim_par::set_threads(threads);
+        let par = (a.matmul(b_nn), a.matmul_tn(b_tn), a.matmul_nt(b_nt));
+        assert_eq!(bits(&serial.0), bits(&par.0), "matmul @ {threads} threads");
+        assert_eq!(
+            bits(&serial.1),
+            bits(&par.1),
+            "matmul_tn @ {threads} threads"
+        );
+        assert_eq!(
+            bits(&serial.2),
+            bits(&par.2),
+            "matmul_nt @ {threads} threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_kernels_are_bit_identical(
+        m in 0usize..40,
+        k in 0usize..40,
+        n in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        // A is m×k. matmul takes k×n, matmul_tn treats A as kᵀ (so its
+        // operand is m×n computed from an m-row matrix), matmul_nt takes n×k.
+        let a = mat_from_seed(m, k, seed);
+        let b_nn = mat_from_seed(k, n, seed ^ 0xaaaa);
+        let b_tn = mat_from_seed(m, n, seed ^ 0xbbbb);
+        let b_nt = mat_from_seed(n, k, seed ^ 0xcccc);
+        assert_parallel_matches_serial(&a, &b_nn, &b_tn, &b_nt);
+    }
+}
+
+#[test]
+fn empty_and_single_row_shapes() {
+    for (m, k, n) in [
+        (0, 0, 0),
+        (0, 5, 3),
+        (5, 0, 3),
+        (5, 3, 0),
+        (1, 7, 1),
+        (1, 1, 64),
+        (64, 1, 1),
+        (1, 129, 9),
+    ] {
+        let a = mat_from_seed(m, k, 77);
+        let b_nn = mat_from_seed(k, n, 78);
+        let b_tn = mat_from_seed(m, n, 79);
+        let b_nt = mat_from_seed(n, k, 80);
+        assert_parallel_matches_serial(&a, &b_nn, &b_tn, &b_nt);
+    }
+}
+
+#[test]
+fn k_panel_boundaries_are_seamless() {
+    // Shapes straddling the 64-wide k-panel: 63, 64, 65, 130.
+    for k in [63usize, 64, 65, 130] {
+        let a = mat_from_seed(5, k, k as u64);
+        let b_nn = mat_from_seed(k, 6, 2);
+        let b_tn = mat_from_seed(5, 6, 3);
+        let b_nt = mat_from_seed(6, k, 4);
+        assert_parallel_matches_serial(&a, &b_nn, &b_tn, &b_nt);
+    }
+}
