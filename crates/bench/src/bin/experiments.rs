@@ -21,6 +21,14 @@
 //!
 //!   parallel  serial-vs-pool wall-clock benchmark over the fig5+fig7
 //!             subset; writes BENCH_parallel.json
+//!   trace     one representative query end-to-end under a per-query
+//!             TraceContext; writes trace.json (chrome://tracing) and
+//!             trace_report.txt
+//!
+//! experiments compare <old.json> <new.json> [--threshold <pct>]
+//!
+//!   diff two BENCH_*.json reports; exits 1 if any phase's pool wall-clock
+//!   regressed more than the threshold (default 25%), 2 on parse errors
 //! ```
 
 use loam_bench::exps;
@@ -41,6 +49,21 @@ fn emit_metrics(id: &str, scale: Scale, recorder: &mcsim_obs::InMemoryRecorder) 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let id = args.get(1).map(String::as_str).unwrap_or("all");
+
+    // `compare` is a pure file diff: no project context, no recorder.
+    if id == "compare" {
+        let (Some(old_path), Some(new_path)) = (args.get(2), args.get(3)) else {
+            eprintln!("usage: experiments compare <old.json> <new.json> [--threshold <pct>]");
+            std::process::exit(2);
+        };
+        let threshold = args
+            .iter()
+            .position(|a| a == "--threshold")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(25.0);
+        std::process::exit(exps::compare::run(old_path, new_path, threshold));
+    }
     let scale = args
         .iter()
         .position(|a| a == "--scale")
@@ -66,6 +89,7 @@ fn main() {
         "sec73" => Some(exps::sec73::run),
         "thm1" => Some(exps::thm1::run),
         "parallel" => Some(exps::parallel::run),
+        "trace" => Some(exps::trace::run),
         _ => None,
     };
     if let Some(run) = context_free {

@@ -1,0 +1,232 @@
+//! The `experiments compare` subcommand: a regression gate over two
+//! `BENCH_*.json` reports (as written by `experiments parallel`).
+//!
+//! Diffs per-phase and total wall-clock between an old (baseline) and a new
+//! report and flags any phase whose `parallel_s` regressed past a
+//! configurable percentage threshold. Exit codes: 0 = within threshold,
+//! 1 = regression detected, 2 = unreadable/unparsable input.
+
+use serde::Deserialize;
+
+/// One phase row of a `BENCH_*.json` report.
+#[derive(Debug, Clone, Deserialize)]
+pub struct PhaseRow {
+    /// Phase name (e.g. `fig7_context`).
+    pub name: String,
+    /// Serial-baseline wall-clock seconds.
+    pub serial_s: f64,
+    /// Pool wall-clock seconds (the figure the gate compares).
+    pub parallel_s: f64,
+    /// serial_s / parallel_s.
+    pub speedup: f64,
+}
+
+/// The `total` block of a report.
+#[derive(Debug, Clone, Deserialize)]
+pub struct TotalRow {
+    /// Serial-baseline total seconds.
+    pub serial_s: f64,
+    /// Pool total seconds.
+    pub parallel_s: f64,
+    /// serial_s / parallel_s.
+    pub speedup: f64,
+}
+
+/// A parsed `BENCH_*.json` report.
+#[derive(Debug, Clone, Deserialize)]
+pub struct BenchReport {
+    /// Benchmark id (`parallel`).
+    pub bench: String,
+    /// Scale the report was produced at.
+    pub scale: String,
+    /// Thread count of the serial pass.
+    pub threads_serial: usize,
+    /// Thread count of the pool pass.
+    pub threads_parallel: usize,
+    /// Per-phase timings.
+    pub phases: Vec<PhaseRow>,
+    /// Whole-run timings.
+    pub total: TotalRow,
+}
+
+/// One compared phase: old/new seconds and the relative delta.
+#[derive(Debug, Clone)]
+pub struct PhaseDelta {
+    /// Phase name.
+    pub name: String,
+    /// Baseline pool seconds.
+    pub old_s: f64,
+    /// New pool seconds.
+    pub new_s: f64,
+    /// Percent change ((new − old) / old × 100; positive = slower).
+    pub delta_pct: f64,
+}
+
+/// The comparison outcome.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-phase deltas, in the new report's phase order, plus a final
+    /// `total` row.
+    pub deltas: Vec<PhaseDelta>,
+    /// Phases (or `total`) regressing past the threshold.
+    pub regressions: Vec<String>,
+}
+
+fn pct(old_s: f64, new_s: f64) -> f64 {
+    100.0 * (new_s - old_s) / old_s.max(1e-9)
+}
+
+/// Compares two parsed reports at a regression threshold (percent).
+pub fn compare(old: &BenchReport, new: &BenchReport, threshold_pct: f64) -> Comparison {
+    let mut deltas = Vec::new();
+    let mut regressions = Vec::new();
+    for np in &new.phases {
+        let Some(op) = old.phases.iter().find(|p| p.name == np.name) else {
+            // A phase the baseline never measured can't regress.
+            continue;
+        };
+        let delta_pct = pct(op.parallel_s, np.parallel_s);
+        if delta_pct > threshold_pct {
+            regressions.push(np.name.clone());
+        }
+        deltas.push(PhaseDelta {
+            name: np.name.clone(),
+            old_s: op.parallel_s,
+            new_s: np.parallel_s,
+            delta_pct,
+        });
+    }
+    let total_delta = pct(old.total.parallel_s, new.total.parallel_s);
+    if total_delta > threshold_pct {
+        regressions.push("total".to_string());
+    }
+    deltas.push(PhaseDelta {
+        name: "total".to_string(),
+        old_s: old.total.parallel_s,
+        new_s: new.total.parallel_s,
+        delta_pct: total_delta,
+    });
+    Comparison {
+        deltas,
+        regressions,
+    }
+}
+
+/// Parses a report file. Errors are strings so the caller can decide the
+/// exit code.
+pub fn load_report(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e:?}"))
+}
+
+/// The full subcommand: loads both reports, prints the diff table, and
+/// returns the process exit code (0 ok, 1 regression, 2 parse error).
+pub fn run(old_path: &str, new_path: &str, threshold_pct: f64) -> i32 {
+    let (old, new) = match (load_report(old_path), load_report(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("compare: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "comparing {old_path} (scale {}, {} threads) -> {new_path} (scale {}, {} threads), \
+         threshold {threshold_pct:.0}%",
+        old.scale, old.threads_parallel, new.scale, new.threads_parallel
+    );
+    if old.bench != new.bench {
+        eprintln!(
+            "compare: warning: different benchmarks ({} vs {})",
+            old.bench, new.bench
+        );
+    }
+    let cmp = compare(&old, &new, threshold_pct);
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "phase", "old (s)", "new (s)", "delta"
+    );
+    for d in &cmp.deltas {
+        let flag = if d.delta_pct > threshold_pct {
+            "  REGRESSED"
+        } else {
+            ""
+        };
+        println!(
+            "{:<16} {:>12.3} {:>12.3} {:>+8.1}%{flag}",
+            d.name, d.old_s, d.new_s, d.delta_pct
+        );
+    }
+    if cmp.regressions.is_empty() {
+        println!("ok: no phase regressed more than {threshold_pct:.0}%");
+        0
+    } else {
+        eprintln!(
+            "regression: {} exceeded the {threshold_pct:.0}% threshold",
+            cmp.regressions.join(", ")
+        );
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(phase_s: f64, total_s: f64) -> BenchReport {
+        BenchReport {
+            bench: "parallel".into(),
+            scale: "small".into(),
+            threads_serial: 1,
+            threads_parallel: 8,
+            phases: vec![PhaseRow {
+                name: "fig7_context".into(),
+                serial_s: phase_s * 1.5,
+                parallel_s: phase_s,
+                speedup: 1.5,
+            }],
+            total: TotalRow {
+                serial_s: total_s * 1.5,
+                parallel_s: total_s,
+                speedup: 1.5,
+            },
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes_and_regression_is_flagged() {
+        let old = report(10.0, 12.0);
+        let ok = compare(&old, &report(11.0, 13.0), 25.0);
+        assert!(ok.regressions.is_empty(), "{:?}", ok.regressions);
+        let bad = compare(&old, &report(14.0, 16.0), 25.0);
+        assert_eq!(bad.regressions, vec!["fig7_context", "total"]);
+        // Deltas carry the phase rows plus the total row.
+        assert_eq!(bad.deltas.len(), 2);
+        assert!(bad.deltas[0].delta_pct > 25.0);
+    }
+
+    #[test]
+    fn speedups_are_not_regressions() {
+        let old = report(10.0, 12.0);
+        let fast = compare(&old, &report(5.0, 6.0), 25.0);
+        assert!(fast.regressions.is_empty());
+        assert!(fast.deltas.iter().all(|d| d.delta_pct < 0.0));
+    }
+
+    #[test]
+    fn checked_in_bench_report_parses_against_itself() {
+        // The repository ships BENCH_parallel.json; comparing it against
+        // itself must parse and report zero deltas. Skip silently if the
+        // test runs from an unexpected working directory.
+        let Ok(old) = load_report("../../BENCH_parallel.json") else {
+            return;
+        };
+        let cmp = compare(&old, &old, 25.0);
+        assert!(cmp.regressions.is_empty());
+        assert!(cmp.deltas.iter().all(|d| d.delta_pct.abs() < 1e-9));
+    }
+
+    #[test]
+    fn parse_errors_are_typed_not_panics() {
+        assert!(load_report("/nonexistent/BENCH.json").is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure, plus shared context helpers.
 
 pub mod common;
+pub mod compare;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -17,3 +18,4 @@ pub mod population;
 pub mod sec73;
 pub mod tab1;
 pub mod thm1;
+pub mod trace;

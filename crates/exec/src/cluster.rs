@@ -67,9 +67,9 @@ impl std::fmt::Display for InvalidClusterConfig {
 
 impl std::error::Error for InvalidClusterConfig {}
 
-/// Builder for [`ClusterConfig`] that validates at [`build`]
-/// ([`ClusterConfigBuilder::build`]) instead of panicking deep inside the
-/// simulator.
+/// Builder for [`ClusterConfig`] that validates at
+/// [`build`](ClusterConfigBuilder::build) instead of panicking deep inside
+/// the simulator.
 #[derive(Debug, Clone)]
 pub struct ClusterConfigBuilder {
     config: ClusterConfig,
@@ -250,6 +250,12 @@ impl Cluster {
     /// Direct read access to one machine (tests, diagnostics).
     pub fn machine(&self, i: usize) -> &Machine {
         &self.machines[i]
+    }
+
+    /// Maps allocation indices (as returned by [`Cluster::allocate`]) to the
+    /// stable ids of the underlying machines — what trace timelines key on.
+    pub fn machine_ids(&self, indices: &[usize]) -> Vec<u32> {
+        indices.iter().map(|&i| self.machines[i].id).collect()
     }
 
     /// A seeded, decorrelated RNG derived from the cluster's (for

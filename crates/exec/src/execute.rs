@@ -13,6 +13,7 @@ use crate::envmodel::EnvModel;
 use crate::machine::std_normal;
 use mcsim_catalog::workmodel::{operator_work, WorkContext, WorkParams};
 use mcsim_catalog::{CardinalityModel, Catalog, EnvMetrics};
+use mcsim_obs::trace::{StageExecEvent, TraceContext};
 use mcsim_plan::op::{JoinAlgo, Operator};
 use mcsim_plan::stage::{decompose, StageGraph};
 use mcsim_plan::{NodeId, PlanSignature, PlanTree};
@@ -65,8 +66,22 @@ impl Executor {
     /// Executes `plan` once, advancing the shared cluster, with a fresh
     /// random noise seed.
     pub fn execute(&mut self, plan: &PlanTree, catalog: &Catalog) -> ExecutionOutcome {
+        self.execute_traced(plan, catalog, None)
+    }
+
+    /// Like [`Executor::execute`], but additionally emits a per-stage,
+    /// per-machine scheduling timeline into `trace` (when `Some`): which
+    /// machines Fuxi placed each stage on, over which cluster-tick window,
+    /// with the stage's queueing factor and cost. Tracing does not perturb
+    /// the simulation — costs are bit-identical with and without it.
+    pub fn execute_traced(
+        &mut self,
+        plan: &PlanTree,
+        catalog: &Catalog,
+        trace: Option<&TraceContext>,
+    ) -> ExecutionOutcome {
         let noise_seed = self.rng.gen::<u64>();
-        self.execute_with_noise_seed(plan, catalog, noise_seed)
+        self.execute_with_noise_seed_traced(plan, catalog, noise_seed, trace)
     }
 
     /// Executes `plan` with an explicit noise seed, so that the cost under a
@@ -77,6 +92,19 @@ impl Executor {
         plan: &PlanTree,
         catalog: &Catalog,
         noise_seed: u64,
+    ) -> ExecutionOutcome {
+        self.execute_with_noise_seed_traced(plan, catalog, noise_seed, None)
+    }
+
+    /// The traced core of execution: [`Executor::execute_with_noise_seed`]
+    /// plus the optional per-stage scheduling timeline of
+    /// [`Executor::execute_traced`].
+    pub fn execute_with_noise_seed_traced(
+        &mut self,
+        plan: &PlanTree,
+        catalog: &Catalog,
+        noise_seed: u64,
+        trace: Option<&TraceContext>,
     ) -> ExecutionOutcome {
         let cards = CardinalityModel::new(catalog).annotate(plan);
         let stages = decompose(plan);
@@ -120,6 +148,7 @@ impl Executor {
 
             // The stage runs for a work-dependent number of 20 s ticks; its
             // observed environment is the average over machines and window.
+            let start_tick = self.cluster.tick_count();
             let duration = (((work.max(1.0)).log10() - 3.0).ceil() as u64).clamp(1, 6);
             let mut window = Vec::with_capacity(duration as usize + 1);
             window.push(self.cluster.mean_load_of(&machines));
@@ -156,6 +185,18 @@ impl Executor {
             mcsim_obs::observe("exec.stage.machine_busy", 1.0 - env.cpu_idle);
             mcsim_obs::observe("exec.stage.queue_wait_factor", queue);
             mcsim_obs::observe("exec.stage.cost", cost);
+            if let Some(t) = trace {
+                t.stage_event(StageExecEvent {
+                    stage: s,
+                    machines: self.cluster.machine_ids(&machines),
+                    start_tick,
+                    end_tick: self.cluster.tick_count(),
+                    instances,
+                    queue_wait_factor: queue,
+                    cost,
+                    busy: 1.0 - env.cpu_idle,
+                });
+            }
         }
         if mcsim_obs::enabled() {
             // cluster_mean() walks every machine, so compute it only when a
@@ -312,6 +353,28 @@ mod tests {
         let a = e1.execute_with_noise_seed(&plan, &p.catalog, 42);
         let b = e2.execute_with_noise_seed(&plan, &p.catalog, 42);
         assert_eq!(a.cpu_cost, b.cpu_cost);
+    }
+
+    #[test]
+    fn traced_execution_is_bit_identical_and_emits_timeline() {
+        let (p, exec) = setup();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let q = &p.workload_for_day(0)[0];
+        let plan = opt.optimize(q, &Knobs::default());
+        let mut plain = exec.clone();
+        let mut traced = exec.clone();
+        let ctx = TraceContext::new("exec test");
+        let a = plain.execute_with_noise_seed(&plan, &p.catalog, 42);
+        let b = traced.execute_with_noise_seed_traced(&plan, &p.catalog, 42, Some(&ctx));
+        assert_eq!(a.cpu_cost, b.cpu_cost, "tracing must not perturb costs");
+        let timeline = ctx.timeline();
+        assert_eq!(timeline.len(), a.stage_costs.len(), "one event per stage");
+        for ev in &timeline {
+            assert!(!ev.machines.is_empty());
+            assert!(ev.end_tick > ev.start_tick, "stages advance the cluster");
+            assert!(ev.instances >= 1);
+            assert!((ev.cost - a.stage_costs[ev.stage]).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -79,6 +79,19 @@ impl Flighting {
         catalog: &Catalog,
         rounds: usize,
     ) -> Vec<Vec<f64>> {
+        self.replay_synchronized_traced(plans, catalog, rounds, None)
+    }
+
+    /// Like [`Flighting::replay_synchronized`], but additionally emits every
+    /// replay's per-stage scheduling timeline into `trace` (when `Some`).
+    /// Fan-out warning: the trace receives `rounds × plans × stages` events.
+    pub fn replay_synchronized_traced(
+        &mut self,
+        plans: &[&PlanTree],
+        catalog: &Catalog,
+        rounds: usize,
+        trace: Option<&mcsim_obs::trace::TraceContext>,
+    ) -> Vec<Vec<f64>> {
         mcsim_obs::counter("exec.flighting.synchronized_rounds", rounds as u64);
         mcsim_obs::counter("exec.flighting.replays", (rounds * plans.len()) as u64);
         let mut out = Vec::with_capacity(rounds);
@@ -93,7 +106,7 @@ impl Flighting {
                     let mut snapshot = self.executor.clone();
                     let seed = round_seed ^ PlanSignature::of(plan).0.rotate_left(17);
                     snapshot
-                        .execute_with_noise_seed(plan, catalog, seed)
+                        .execute_with_noise_seed_traced(plan, catalog, seed, trace)
                         .cpu_cost
                 })
                 .collect();

@@ -15,6 +15,7 @@
 use crate::inference::{select_plan_guarded, EnvStrategy, DEFAULT_MARGIN};
 use crate::pipeline::EvaluatedQuery;
 use crate::predictor::baselines::CostModel;
+use mcsim_obs::trace::{Decision, GateVerdict, TraceContext};
 use mcsim_plan::PlanTree;
 use serde::{Deserialize, Serialize};
 
@@ -76,6 +77,23 @@ pub fn validate<M: CostModel + ?Sized>(
     evaluated: &[EvaluatedQuery],
     cfg: &GateConfig,
 ) -> GateReport {
+    validate_traced(model, strategy, evaluated, cfg, None)
+}
+
+/// Like [`validate`], but additionally records a [`Decision::GateVerdict`]
+/// (the three criteria with their measured evidence and the deployment
+/// decision) into `trace` (when `Some`).
+///
+/// # Panics
+///
+/// Panics if `evaluated` is empty (a gate needs evidence).
+pub fn validate_traced<M: CostModel + ?Sized>(
+    model: &M,
+    strategy: &EnvStrategy,
+    evaluated: &[EvaluatedQuery],
+    cfg: &GateConfig,
+    trace: Option<&TraceContext>,
+) -> GateReport {
     assert!(!evaluated.is_empty(), "gate needs at least one test query");
     let mut steered_sum = 0.0;
     let mut native_sum = 0.0;
@@ -97,14 +115,26 @@ pub fn validate<M: CostModel + ?Sized>(
     }
     let avg_ratio = steered_sum / native_sum.max(1e-12);
     let regression_fraction = regressions as f64 / evaluated.len() as f64;
-    GateReport {
+    let report = GateReport {
         avg_ratio,
         worst_tail_ratio: worst_tail,
         regression_fraction,
         passes_avg: avg_ratio <= cfg.max_avg_ratio,
         passes_tail: worst_tail <= cfg.max_tail_ratio,
         passes_regressions: regression_fraction <= cfg.max_regression_fraction,
+    };
+    if let Some(t) = trace {
+        t.decision(Decision::GateVerdict(GateVerdict {
+            avg_ratio: report.avg_ratio,
+            worst_tail_ratio: report.worst_tail_ratio,
+            regression_fraction: report.regression_fraction,
+            passes_avg: report.passes_avg,
+            passes_tail: report.passes_tail,
+            passes_regressions: report.passes_regressions,
+            deploy: report.deploy(),
+        }));
     }
+    report
 }
 
 #[cfg(test)]
@@ -175,6 +205,28 @@ mod tests {
         let report = validate(&SmallestPlan, &strategy, &evaluated, &GateConfig::default());
         assert!(!report.passes_avg);
         assert!(!report.deploy());
+    }
+
+    #[test]
+    fn traced_gate_records_its_verdict_and_evidence() {
+        let evaluated = vec![eq(100.0, 60.0), eq(200.0, 150.0)];
+        let strategy = EnvStrategy::MeanHistorical(EnvMetrics::default());
+        let ctx = mcsim_obs::trace::TraceContext::new("gate");
+        let report = validate_traced(
+            &SmallestPlan,
+            &strategy,
+            &evaluated,
+            &GateConfig::default(),
+            Some(&ctx),
+        );
+        let ds = ctx.decisions();
+        assert_eq!(ds.len(), 1);
+        let Decision::GateVerdict(v) = &ds[0] else {
+            panic!("expected a gate verdict, got {:?}", ds[0]);
+        };
+        assert_eq!(v.avg_ratio, report.avg_ratio);
+        assert_eq!(v.worst_tail_ratio, report.worst_tail_ratio);
+        assert_eq!(v.deploy, report.deploy());
     }
 
     #[test]

@@ -18,7 +18,10 @@ use crate::featurize::EnvSource;
 use crate::predictor::baselines::CostModel;
 use mcsim_catalog::{EnvMetrics, QueryRepository};
 use mcsim_exec::Cluster;
-use mcsim_plan::PlanTree;
+use mcsim_obs::trace::{
+    CandidateScore, Decision, Fallback, PlanSelection, SelectionOutcome, TraceContext,
+};
+use mcsim_plan::{PlanSignature, PlanTree};
 use serde::{Deserialize, Serialize};
 
 /// How the environment block is instantiated at inference time.
@@ -113,17 +116,68 @@ pub fn select_plan_guarded<M: CostModel + Sync + ?Sized>(
     default_idx: usize,
     margin: f64,
 ) -> (usize, Vec<f64>) {
+    select_plan_guarded_traced(model, plans, strategy, default_idx, margin, None, 0)
+}
+
+/// Like [`select_plan_guarded`], but additionally records a
+/// [`Decision::PlanSelection`] (every candidate's signature and predicted
+/// cost, the model's favourite, and the guarded choice) — plus a
+/// [`Decision::Fallback`] when the margin guard overrides the model — into
+/// `trace` (when `Some`). `query_id` labels the records.
+pub fn select_plan_guarded_traced<M: CostModel + Sync + ?Sized>(
+    model: &M,
+    plans: &[&PlanTree],
+    strategy: &EnvStrategy,
+    default_idx: usize,
+    margin: f64,
+    trace: Option<&TraceContext>,
+    query_id: u64,
+) -> (usize, Vec<f64>) {
     let (best, costs) = select_plan(model, plans, strategy);
-    if best == default_idx {
+    let (chosen, outcome) = if best == default_idx {
         mcsim_obs::counter("loam.select.default_best", 1);
-        (best, costs)
+        (best, SelectionOutcome::DefaultBest)
     } else if costs[best] > costs[default_idx] * (1.0 - margin) {
         mcsim_obs::counter("loam.select.rejected", 1);
-        (default_idx, costs)
+        (default_idx, SelectionOutcome::RejectedFallback)
     } else {
         mcsim_obs::counter("loam.select.accepted", 1);
-        (best, costs)
+        (best, SelectionOutcome::Accepted)
+    };
+    if let Some(t) = trace {
+        let candidates: Vec<CandidateScore> = plans
+            .iter()
+            .zip(&costs)
+            .enumerate()
+            .map(|(i, (p, &c))| CandidateScore {
+                signature: PlanSignature::of(p).0,
+                predicted_cost: c,
+                is_default: i == default_idx,
+            })
+            .collect();
+        t.decision(Decision::PlanSelection(PlanSelection {
+            query_id,
+            candidates,
+            default_idx,
+            best_idx: best,
+            chosen_idx: chosen,
+            margin,
+            outcome,
+        }));
+        if outcome == SelectionOutcome::RejectedFallback {
+            t.decision(Decision::Fallback(Fallback {
+                query_id,
+                reason: format!(
+                    "steered candidate #{best} predicted {:.3} vs default {:.3}: \
+                     not {:.0}% cheaper, keeping default plan",
+                    costs[best],
+                    costs[default_idx],
+                    margin * 100.0
+                ),
+            }));
+        }
     }
+    (chosen, costs)
 }
 
 #[cfg(test)]
@@ -168,6 +222,55 @@ mod tests {
         let (idx, costs) = select_plan(&FakeModel, &[&a, &b, &c], &strat);
         assert_eq!(idx, 1);
         assert_eq!(costs.len(), 3);
+    }
+
+    #[test]
+    fn guarded_selection_records_decision_provenance() {
+        let small = chain(1); // cheapest under FakeModel
+        let big = chain(9); // the "default" plan
+        let strat = EnvStrategy::NoEnv;
+        let ctx = TraceContext::new("select");
+        // Winner is far cheaper than the default: accepted.
+        let (choice, costs) = select_plan_guarded_traced(
+            &FakeModel,
+            &[&big, &small],
+            &strat,
+            0,
+            DEFAULT_MARGIN,
+            Some(&ctx),
+            7,
+        );
+        assert_eq!(choice, 1);
+        let ds = ctx.decisions();
+        assert_eq!(ds.len(), 1);
+        let Decision::PlanSelection(sel) = &ds[0] else {
+            panic!("expected a plan-selection record, got {:?}", ds[0]);
+        };
+        assert_eq!(sel.query_id, 7);
+        assert_eq!(sel.candidates.len(), 2);
+        assert_eq!(sel.default_idx, 0);
+        assert_eq!(sel.chosen_idx, 1);
+        assert_eq!(sel.outcome, SelectionOutcome::Accepted);
+        assert!(sel.candidates[0].is_default);
+        assert_eq!(sel.candidates[0].predicted_cost, costs[0]);
+        assert_ne!(sel.candidates[0].signature, sel.candidates[1].signature);
+
+        // Near-tied candidates: the margin guard falls back and says why.
+        let near = chain(8);
+        let ctx2 = TraceContext::new("fallback");
+        let (choice2, _) = select_plan_guarded_traced(
+            &FakeModel,
+            &[&big, &near],
+            &strat,
+            0,
+            DEFAULT_MARGIN,
+            Some(&ctx2),
+            8,
+        );
+        assert_eq!(choice2, 0, "margin guard must keep the default");
+        let ds2 = ctx2.decisions();
+        assert_eq!(ds2.len(), 2, "selection + fallback");
+        assert!(matches!(&ds2[1], Decision::Fallback(f) if f.query_id == 8));
     }
 
     #[test]

@@ -56,8 +56,13 @@ pub mod theory;
 pub use error::LoamError;
 pub use explorer::{Candidate, CandidateSet, ExplorerConfig, PlanExplorer};
 pub use featurize::{CachedFeatures, EnvSource, FeatureCache, PlanFeaturizer, FEATURE_DIM};
-pub use gate::{validate as validate_deployment, GateConfig, GateReport};
-pub use inference::{select_plan, EnvStrategy};
+pub use gate::{
+    validate as validate_deployment, validate_traced as validate_deployment_traced, GateConfig,
+    GateReport,
+};
+pub use inference::{
+    select_plan, select_plan_guarded, select_plan_guarded_traced, EnvStrategy, DEFAULT_MARGIN,
+};
 pub use persist::{load_predictor, load_ranker, save_predictor, save_ranker, PersistError};
 pub use predictor::baselines::{CostModel, GcnPredictor, TransformerPredictor, XgbPredictor};
 pub use predictor::train::{train, TrainConfig, TrainReport, TrainSample};

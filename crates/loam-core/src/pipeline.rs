@@ -5,13 +5,14 @@
 
 use crate::error::LoamError;
 use crate::explorer::{ExplorerConfig, PlanExplorer};
-use crate::inference::{select_plan_guarded, EnvStrategy, DEFAULT_MARGIN};
+use crate::inference::{select_plan_guarded_traced, EnvStrategy, DEFAULT_MARGIN};
 use crate::predictor::baselines::CostModel;
 use crate::predictor::train::{train, TrainConfig, TrainSample};
 use crate::predictor::AdaptiveCostPredictor;
 use crate::theory::deviance::{best_achievable_deviance, deviance_of_choice, Deviance};
 use mcsim_catalog::{EnvMetrics, Project, ProjectId, ProjectProfile, QueryRepository, QuerySpec};
 use mcsim_exec::{build_history, Flighting, HistoryOptions};
+use mcsim_obs::trace::TraceContext;
 use mcsim_optimizer::NativeOptimizer;
 use mcsim_plan::PlanTree;
 use serde::{Deserialize, Serialize};
@@ -397,6 +398,24 @@ pub fn evaluate_candidates(
     prepared: &PreparedProject,
     cfg: &PipelineConfig,
 ) -> Result<Vec<EvaluatedQuery>, LoamError> {
+    evaluate_candidates_traced(prepared, cfg, None)
+}
+
+/// Like [`evaluate_candidates`], but additionally records a per-query span
+/// tree (`query` → `optimize`/`execute`, with query-id and candidate-count
+/// attributes) into `trace` (when `Some`). Replay timelines are deliberately
+/// *not* traced here — candidates × rounds × stages would swamp the trace;
+/// use [`mcsim_exec::Executor::execute_traced`] on one representative query
+/// for a machine-level timeline.
+///
+/// # Errors
+///
+/// Same as [`evaluate_candidates`].
+pub fn evaluate_candidates_traced(
+    prepared: &PreparedProject,
+    cfg: &PipelineConfig,
+    trace: Option<&TraceContext>,
+) -> Result<Vec<EvaluatedQuery>, LoamError> {
     cfg.validate()?;
     if prepared.test_queries.is_empty() {
         return Err(LoamError::EmptyWorkload(
@@ -410,11 +429,20 @@ pub fn evaluate_candidates(
         .test_queries
         .iter()
         .map(|q| {
+            let q_span = trace.map(|t| {
+                let s = t.span("query");
+                s.attr("query_id", q.id);
+                s
+            });
             let set = {
                 let _s = mcsim_obs::span("optimize");
+                let _ts = trace.map(|t| t.span("optimize"));
                 explorer.explore(&optimizer, q)
             };
             let plans: Vec<PlanTree> = set.candidates.iter().map(|c| c.plan.clone()).collect();
+            if let Some(s) = &q_span {
+                s.attr("candidates", plans.len());
+            }
             for p in &plans {
                 p.validate().map_err(|e| {
                     LoamError::PlanInvalid(format!("candidate for query {}: {e}", q.id))
@@ -423,6 +451,11 @@ pub fn evaluate_candidates(
             let refs: Vec<&PlanTree> = plans.iter().collect();
             let costs = {
                 let _s = mcsim_obs::span("execute");
+                let _ts = trace.map(|t| {
+                    let s = t.span("execute");
+                    s.attr("rounds", cfg.eval_rounds);
+                    s
+                });
                 flighting.replay_synchronized(&refs, &prepared.project.catalog, cfg.eval_rounds)
             };
             Ok(EvaluatedQuery {
@@ -462,6 +495,23 @@ pub fn evaluate_model<M: CostModel + Sync + ?Sized>(
     strategy: &EnvStrategy,
     evaluated: &[EvaluatedQuery],
 ) -> Result<ModelEvaluation, LoamError> {
+    evaluate_model_traced(model, strategy, evaluated, None)
+}
+
+/// Like [`evaluate_model`], but additionally records an `infer` span and a
+/// full [plan-selection decision](mcsim_obs::trace::Decision::PlanSelection)
+/// per query into `trace` (when `Some`). Selection still fans out across
+/// the thread pool — worker spans land on their own trace tracks.
+///
+/// # Errors
+///
+/// Same as [`evaluate_model`].
+pub fn evaluate_model_traced<M: CostModel + Sync + ?Sized>(
+    model: &M,
+    strategy: &EnvStrategy,
+    evaluated: &[EvaluatedQuery],
+    trace: Option<&TraceContext>,
+) -> Result<ModelEvaluation, LoamError> {
     if evaluated.is_empty() {
         return Err(LoamError::EmptyWorkload(
             "need at least one evaluated query".into(),
@@ -471,7 +521,21 @@ pub fn evaluate_model<M: CostModel + Sync + ?Sized>(
     let choices: Vec<usize> = mcsim_par::ThreadPool::global().parallel_map(evaluated, |eq| {
         let refs: Vec<&PlanTree> = eq.plans.iter().collect();
         let _s = mcsim_obs::span("infer");
-        select_plan_guarded(model, &refs, strategy, eq.default_idx, DEFAULT_MARGIN).0
+        let _ts = trace.map(|t| {
+            let s = t.span("infer");
+            s.attr("query_id", eq.query_id);
+            s
+        });
+        select_plan_guarded_traced(
+            model,
+            &refs,
+            strategy,
+            eq.default_idx,
+            DEFAULT_MARGIN,
+            trace,
+            eq.query_id,
+        )
+        .0
     });
     let mut per_query = Vec::with_capacity(evaluated.len());
     let mut dev_sum = 0.0;

@@ -10,6 +10,7 @@
 //!   learned from history transfers to future queries.
 
 use mcsim_catalog::Project;
+use mcsim_obs::trace::{Decision, ProjectFilter, TraceContext};
 use serde::{Deserialize, Serialize};
 
 /// Thresholds of the three rules.
@@ -90,6 +91,23 @@ impl FilterReport {
 ///
 /// Panics if the day range is empty.
 pub fn evaluate(project: &Project, from: i64, to: i64, cfg: &FilterConfig) -> FilterReport {
+    evaluate_traced(project, from, to, cfg, None)
+}
+
+/// Like [`evaluate`], but additionally records a
+/// [`Decision::ProjectFilter`] (the three measured metrics, each rule's
+/// verdict, and the conjunction) into `trace` (when `Some`).
+///
+/// # Panics
+///
+/// Panics if the day range is empty.
+pub fn evaluate_traced(
+    project: &Project,
+    from: i64,
+    to: i64,
+    cfg: &FilterConfig,
+    trace: Option<&TraceContext>,
+) -> FilterReport {
     assert!(to > from, "day range must be non-empty");
     let d = (to - from) as f64;
     let mut daily_counts = Vec::with_capacity((to - from) as usize);
@@ -120,14 +138,27 @@ pub fn evaluate(project: &Project, from: i64, to: i64, cfg: &FilterConfig) -> Fi
     } else {
         stable as f64 / total as f64
     };
-    FilterReport {
+    let report = FilterReport {
         n_query,
         query_inc_ratio,
         stable_table_ratio,
         passes_r1: n_query >= cfg.n0,
         passes_r2: query_inc_ratio >= cfg.r,
         passes_r3: stable_table_ratio >= cfg.theta,
+    };
+    if let Some(t) = trace {
+        t.decision(Decision::ProjectFilter(ProjectFilter {
+            project: project.id.0 as u64,
+            n_query: report.n_query,
+            query_inc_ratio: report.query_inc_ratio,
+            stable_table_ratio: report.stable_table_ratio,
+            passes_r1: report.passes_r1,
+            passes_r2: report.passes_r2,
+            passes_r3: report.passes_r3,
+            selected: report.passes(),
+        }));
     }
+    report
 }
 
 #[cfg(test)]

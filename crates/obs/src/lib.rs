@@ -33,6 +33,8 @@
 //! mcsim_obs::uninstall();
 //! ```
 
+pub mod trace;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -282,6 +284,53 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the log₂ buckets:
+    /// walks buckets to the cumulative target and interpolates linearly
+    /// inside the target bucket, clamped to the exact observed `[min, max]`.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if (next as f64) >= target {
+                let (lo, hi) = Self::bucket_bounds(i);
+                // Position of the target within this bucket's occupancy.
+                let frac = if n == 0 {
+                    0.0
+                } else {
+                    ((target - cum as f64) / n as f64).clamp(0.0, 1.0)
+                };
+                let est = lo + frac * (hi - lo);
+                return est.clamp(self.min, self.max);
+            }
+            cum = next;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
 }
 
 // ------------------------------------------------------------- in-memory
@@ -467,6 +516,12 @@ impl MetricsSnapshot {
             push_json_f64(&mut out, if h.count == 0 { 0.0 } else { h.min });
             out.push_str(", \"max\": ");
             push_json_f64(&mut out, if h.count == 0 { 0.0 } else { h.max });
+            out.push_str(", \"p50\": ");
+            push_json_f64(&mut out, h.p50());
+            out.push_str(", \"p95\": ");
+            push_json_f64(&mut out, h.p95());
+            out.push_str(", \"p99\": ");
+            push_json_f64(&mut out, h.p99());
             out.push_str(", \"log2_buckets\": {");
             let mut first = true;
             for (b, &n) in h.buckets.iter().enumerate() {
@@ -516,7 +571,7 @@ fn close_obj(out: &mut String, had_entries: bool, indent: &str) {
     out.push('}');
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -532,7 +587,7 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn push_json_f64(out: &mut String, x: f64) {
+pub(crate) fn push_json_f64(out: &mut String, x: f64) {
     if x.is_finite() {
         out.push_str(&format!("{x:?}"));
     } else {
@@ -580,6 +635,50 @@ mod tests {
         assert_eq!(h.min, 1.0);
         assert_eq!(h.max, 100.0);
         assert!((h.mean() - 26.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let empty = Histogram::default();
+        assert_eq!(empty.p50(), 0.0);
+        assert_eq!(empty.percentile(0.99), 0.0);
+
+        // A single value: every percentile clamps to it exactly.
+        let mut one = Histogram::default();
+        one.record(5.0);
+        assert_eq!(one.p50(), 5.0);
+        assert_eq!(one.p99(), 5.0);
+
+        // 100 values spread over [1, 2) ... [512, 1024): percentile walks
+        // buckets in order and stays within the observed range.
+        let mut h = Histogram::default();
+        for i in 0..100u32 {
+            h.record(2f64.powi((i % 10) as i32) * 1.5);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 >= h.min && p50 <= h.max);
+        assert!(p95 >= p50 && p99 >= p95, "monotone: {p50} {p95} {p99}");
+        assert!(p99 <= h.max);
+        // The top decile lives in the [512, 1024) bucket.
+        assert!(p95 >= 512.0, "p95 = {p95}");
+        // p0/p100 clamp to the exact extremes.
+        assert_eq!(h.percentile(0.0), h.min);
+        assert_eq!(h.percentile(1.0), h.max);
+    }
+
+    #[test]
+    fn snapshot_json_includes_percentiles() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let rec = Arc::new(InMemoryRecorder::new());
+        install(rec.clone());
+        for v in [1.0, 2.0, 4.0, 8.0] {
+            observe("pct.hist", v);
+        }
+        uninstall();
+        let json = rec.snapshot().to_json();
+        for needle in ["\"p50\":", "\"p95\":", "\"p99\":"] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
     }
 
     #[test]

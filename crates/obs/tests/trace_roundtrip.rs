@@ -1,0 +1,255 @@
+//! Round-trip tests for the Chrome trace-event export: the JSON written by
+//! [`TraceContext::to_chrome_json`] must parse back through the vendored
+//! serde shim into typed structs, and the exported complete ("X") events
+//! must form a properly nested span forest on every thread track — Chrome's
+//! renderer silently draws garbage for partially overlapping X events, so
+//! interleaving is a correctness bug, not a style issue.
+
+#![allow(non_snake_case)]
+
+use mcsim_obs::trace::{
+    CandidateScore, Decision, GateVerdict, PlanSelection, SelectionOutcome, StageExecEvent,
+    TraceContext,
+};
+use proptest::prelude::*;
+use serde::Deserialize;
+
+/// The uniform per-event shape: every event class (metadata, span, decision
+/// instant, executor stage) carries exactly these keys, so one typed struct
+/// parses the whole stream. `args`/`s` vary per class and are ignored.
+#[derive(Debug, Clone, Deserialize)]
+struct Event {
+    name: String,
+    cat: String,
+    ph: String,
+    pid: u32,
+    tid: u64,
+    ts: u64,
+    dur: u64,
+}
+
+#[derive(Debug, Deserialize)]
+struct OtherData {
+    label: String,
+}
+
+#[derive(Debug, Deserialize)]
+struct ChromeTrace {
+    displayTimeUnit: String,
+    otherData: OtherData,
+    traceEvents: Vec<Event>,
+}
+
+fn parse(ctx: &TraceContext) -> ChromeTrace {
+    let json = ctx.to_chrome_json();
+    serde_json::from_str(&json).expect("chrome export must parse as typed JSON")
+}
+
+/// Builds a context exercising every event class.
+fn sample_context() -> TraceContext {
+    let ctx = TraceContext::new("roundtrip");
+    {
+        let outer = ctx.span("evaluate");
+        outer.attr("queries", 2u64);
+        {
+            let s = ctx.span("optimize");
+            s.attr("candidates", 7u64);
+        }
+        {
+            let _s = ctx.span("execute");
+        }
+    }
+    ctx.decision(Decision::PlanSelection(PlanSelection {
+        query_id: 11,
+        candidates: vec![
+            CandidateScore {
+                signature: 0xdead_beef,
+                predicted_cost: 10.0,
+                is_default: true,
+            },
+            CandidateScore {
+                signature: 0xfeed_f00d,
+                predicted_cost: 4.0,
+                is_default: false,
+            },
+        ],
+        default_idx: 0,
+        best_idx: 1,
+        chosen_idx: 1,
+        margin: 0.4,
+        outcome: SelectionOutcome::Accepted,
+    }));
+    ctx.decision(Decision::GateVerdict(GateVerdict {
+        avg_ratio: 0.9,
+        worst_tail_ratio: 1.1,
+        regression_fraction: 0.05,
+        passes_avg: true,
+        passes_tail: true,
+        passes_regressions: true,
+        deploy: true,
+    }));
+    ctx.stage_event(StageExecEvent {
+        stage: 0,
+        machines: vec![3, 9],
+        start_tick: 5,
+        end_tick: 8,
+        instances: 2,
+        queue_wait_factor: 1.2,
+        cost: 1e6,
+        busy: 0.4,
+    });
+    ctx
+}
+
+/// Asserts that intervals on one track form a forest: any two either nest
+/// or are disjoint (ties count as containment — the export's µs resolution
+/// legitimately collapses fast sibling spans onto equal timestamps).
+fn assert_properly_nested(mut spans: Vec<(u64, u64)>) {
+    // Sort by start ascending, then end descending, so a parent always
+    // precedes the children it contains.
+    spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    let mut stack: Vec<(u64, u64)> = Vec::new();
+    for &(start, end) in &spans {
+        while let Some(&(_, top_end)) = stack.last() {
+            if start >= top_end {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(top_start, top_end)) = stack.last() {
+            assert!(
+                top_start <= start && end <= top_end,
+                "partial overlap: ({start},{end}) vs open ({top_start},{top_end})"
+            );
+        }
+        stack.push((start, end));
+    }
+}
+
+#[test]
+fn export_parses_into_typed_events_with_uniform_keys() {
+    let ctx = sample_context();
+    let trace = parse(&ctx);
+    assert_eq!(trace.displayTimeUnit, "ms");
+    assert_eq!(trace.otherData.label, "roundtrip");
+    assert!(!trace.traceEvents.is_empty());
+
+    // Every phase is one of metadata / complete / instant.
+    for e in &trace.traceEvents {
+        assert!(
+            matches!(e.ph.as_str(), "M" | "X" | "I"),
+            "unexpected phase {:?} on {:?}",
+            e.ph,
+            e.name
+        );
+    }
+    // Metadata names both processes and every track that carries events.
+    let meta: Vec<&Event> = trace.traceEvents.iter().filter(|e| e.ph == "M").collect();
+    assert!(meta
+        .iter()
+        .any(|e| e.name == "process_name" && e.pid == 1 && e.dur == 0));
+    assert!(meta.iter().any(|e| e.name == "process_name" && e.pid == 2));
+    assert!(meta
+        .iter()
+        .any(|e| e.name == "thread_name" && e.pid == 2 && e.tid == 9));
+
+    // The three spans land on pid 1 as complete events.
+    let spans: Vec<&Event> = trace
+        .traceEvents
+        .iter()
+        .filter(|e| e.cat == "span")
+        .collect();
+    assert_eq!(spans.len(), 3);
+    assert!(spans.iter().all(|e| e.ph == "X" && e.pid == 1));
+
+    // Both decisions are pid-1 instants with their typed kind as the name.
+    let decisions: Vec<&Event> = trace
+        .traceEvents
+        .iter()
+        .filter(|e| e.cat == "decision")
+        .collect();
+    assert_eq!(decisions.len(), 2);
+    assert!(decisions
+        .iter()
+        .all(|e| e.ph == "I" && e.pid == 1 && e.dur == 0));
+    assert!(decisions
+        .iter()
+        .any(|e| e.name == "decision.plan_selection"));
+    assert!(decisions.iter().any(|e| e.name == "decision.gate_verdict"));
+
+    // The stage event fans out to one executor X event per machine, on
+    // sim-time pid 2, 1 tick = 1000 µs.
+    let exec: Vec<&Event> = trace
+        .traceEvents
+        .iter()
+        .filter(|e| e.cat == "executor")
+        .collect();
+    assert_eq!(exec.len(), 2);
+    for e in &exec {
+        assert_eq!(e.ph, "X");
+        assert_eq!(e.pid, 2);
+        assert_eq!(e.ts, 5000);
+        assert_eq!(e.dur, 3000);
+        assert!(e.tid == 3 || e.tid == 9);
+    }
+}
+
+#[test]
+fn exported_spans_nest_on_every_track() {
+    let ctx = sample_context();
+    let trace = parse(&ctx);
+    let mut tids: Vec<u64> = trace
+        .traceEvents
+        .iter()
+        .filter(|e| e.cat == "span")
+        .map(|e| e.tid)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(!tids.is_empty());
+    for tid in tids {
+        let intervals: Vec<(u64, u64)> = trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.cat == "span" && e.tid == tid)
+            .map(|e| (e.ts, e.ts + e.dur))
+            .collect();
+        assert_properly_nested(intervals);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random open/leaf/close scripts never produce interleaving X events:
+    /// 0 opens a span, 1 closes the deepest open span, 2 emits a leaf.
+    /// Closing is LIFO by construction (a `Vec` of live guards), which is
+    /// exactly the discipline the RAII API enforces.
+    #[test]
+    fn random_span_trees_never_interleave(ops in proptest::collection::vec(0u8..3, 1..40)) {
+        let ctx = TraceContext::new("prop");
+        {
+            let mut open = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                match op {
+                    0 => open.push(ctx.span(format!("open{i}"))),
+                    1 => {
+                        drop(open.pop());
+                    }
+                    _ => drop(ctx.span(format!("leaf{i}"))),
+                }
+            }
+            // Remaining guards drop here, deepest first.
+        }
+        let trace = parse(&ctx);
+        let intervals: Vec<(u64, u64)> = trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.cat == "span")
+            .map(|e| (e.ts, e.ts + e.dur))
+            .collect();
+        prop_assert!(!intervals.is_empty());
+        assert_properly_nested(intervals);
+    }
+}

@@ -47,27 +47,33 @@ pub use tinynn;
 /// The most commonly used types, re-exported flat.
 ///
 /// Everything a pipeline driver needs — configuration builders, the
-/// `Result`-based entry points with their [`LoamError`] error type, the
+/// `Result`-based entry points with their [`LoamError`](loam_core::LoamError)
+/// error type, the
 /// deployment gate, persistence, and the observability recorder — is
 /// reachable from here without `loam_core::...` paths.
 pub mod prelude {
     pub use loam_core::error::LoamError;
     pub use loam_core::explorer::{Candidate, CandidateSet, ExplorerConfig, PlanExplorer};
     pub use loam_core::gate::{GateConfig, GateReport};
-    pub use loam_core::inference::{select_plan, select_plan_guarded, EnvStrategy, DEFAULT_MARGIN};
+    pub use loam_core::inference::{
+        select_plan, select_plan_guarded, select_plan_guarded_traced, EnvStrategy, DEFAULT_MARGIN,
+    };
     pub use loam_core::persist::{
         load_predictor, load_ranker, save_predictor, save_ranker, PersistError,
     };
     pub use loam_core::pipeline::{
-        evaluate_best_achievable, evaluate_candidates, evaluate_model, evaluate_native,
-        prepare_project, project_improvement_space, train_loam, EvaluatedQuery, ModelEvaluation,
-        PipelineConfig, PipelineConfigBuilder, PreparedProject,
+        evaluate_best_achievable, evaluate_candidates, evaluate_candidates_traced, evaluate_model,
+        evaluate_model_traced, evaluate_native, prepare_project, project_improvement_space,
+        train_loam, EvaluatedQuery, ModelEvaluation, PipelineConfig, PipelineConfigBuilder,
+        PreparedProject,
     };
     pub use loam_core::predictor::baselines::CostModel;
     pub use loam_core::predictor::train::{train, TrainConfig, TrainReport, TrainSample};
-    pub use loam_core::selector::{evaluate_filter, ranker_features, FilterConfig, Ranker};
+    pub use loam_core::selector::{
+        evaluate_filter, evaluate_filter_traced, ranker_features, FilterConfig, Ranker,
+    };
     pub use loam_core::theory::{Deviance, KsTest, LogNormal};
-    pub use loam_core::validate_deployment;
+    pub use loam_core::{validate_deployment, validate_deployment_traced};
     pub use loam_core::{AdaptiveCostPredictor, EnvSource, PlanFeaturizer};
     pub use mcsim_catalog::{
         Catalog, EnvMetrics, Project, ProjectId, ProjectProfile, QueryRepository, QuerySpec,
@@ -75,6 +81,10 @@ pub mod prelude {
     pub use mcsim_exec::{
         build_history, Cluster, ClusterConfig, ClusterConfigBuilder, Executor, Flighting,
         HistoryOptions, InvalidClusterConfig,
+    };
+    pub use mcsim_obs::trace::{
+        CandidateScore, Decision, Fallback, GateVerdict, PlanSelection, ProjectFilter,
+        ProjectRanking, SelectionOutcome, StageExecEvent, TraceContext, TraceSpan,
     };
     pub use mcsim_obs::{InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder};
     pub use mcsim_optimizer::{Knobs, NativeOptimizer, OptimizerFlags};

@@ -136,6 +136,54 @@ fn pipeline_run_emits_span_tree_and_counters() {
 }
 
 #[test]
+fn traced_pipeline_captures_spans_decisions_and_the_chrome_export() {
+    // Tracing is independent of the recorder slot: no install/uninstall
+    // needed, the context is an explicit handle.
+    let cfg = tiny_cfg();
+    let prepared = prepare_project(&tiny_profile(), ProjectId(79), &cfg).unwrap();
+    let predictor = train_loam(&prepared, &cfg).unwrap();
+    let ctx = TraceContext::new("integration");
+    let evaluated = evaluate_candidates_traced(&prepared, &cfg, Some(&ctx)).unwrap();
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    let eval = evaluate_model_traced(&predictor, &strategy, &evaluated, Some(&ctx)).unwrap();
+    assert!(eval.avg_cost > 0.0);
+    validate_deployment_traced(
+        &predictor,
+        &strategy,
+        &evaluated,
+        &GateConfig::default(),
+        Some(&ctx),
+    );
+
+    // Every steered query left a typed plan-selection record carrying all
+    // candidate scores; the gate left its verdict.
+    let decisions = ctx.decisions();
+    let selections: Vec<&PlanSelection> = decisions
+        .iter()
+        .filter_map(|d| match d {
+            Decision::PlanSelection(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(selections.len(), evaluated.len());
+    for s in &selections {
+        assert!(!s.candidates.is_empty());
+        assert!(s.chosen_idx < s.candidates.len());
+        assert!(s.candidates.iter().any(|c| c.is_default));
+    }
+    assert!(decisions
+        .iter()
+        .any(|d| matches!(d, Decision::GateVerdict(_))));
+
+    // The chrome export renders and names both decision classes.
+    let json = ctx.to_chrome_json();
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("decision.plan_selection"));
+    assert!(json.contains("decision.gate_verdict"));
+    assert!(ctx.span_count() > 0);
+}
+
+#[test]
 fn disabled_recorder_means_inert_instrumentation() {
     // With no recorder installed the pipeline still runs, and the free
     // functions / spans are no-ops (this is the <5% overhead design).
