@@ -1,8 +1,10 @@
 //! Criterion micro-benchmarks for the hot paths of the reproduction:
 //! plan featurization (hash encoding included), TCN inference, native
 //! optimization with join-order DP, simulated execution, candidate
-//! exploration, GBDT prediction, and the parallel compute layer (serial vs.
-//! pool matmul, dense vs. sparse inputs, cached vs. uncached featurization).
+//! exploration, GBDT prediction, the parallel compute layer (serial vs.
+//! pool matmul, dense vs. sparse inputs, cached vs. uncached featurization),
+//! and the training hot path (fused vs. unfused linear+ReLU, workspace-reuse
+//! vs. allocating MLP train step).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use loam_core::explorer::PlanExplorer;
@@ -135,6 +137,57 @@ fn benches(c: &mut Criterion) {
     let cache = FeatureCache::new();
     c.bench_function("featurize_cached", |b| {
         b.iter(|| cache.featurize(&featurizer, black_box(&plan), EnvSource::Uniform(env)))
+    });
+
+    // Fused vs. unfused linear+ReLU forward: one fused output pass
+    // (matmul+bias+ReLU) against the three-pass sequence over the same
+    // reused buffer, so the difference is purely the fusion.
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+    let lin = tinynn::Linear::new(128, 128, &mut rng);
+    let lx = Mat::from_fn(64, 128, |i, j| ((i * 13 + j * 5) % 23) as f32 / 23.0 - 0.5);
+    let mut ly = Mat::default();
+    c.bench_function("linear_relu_fused_64x128", |b| {
+        b.iter(|| lin.forward_relu_into(black_box(&lx), &mut ly))
+    });
+    c.bench_function("linear_relu_unfused_64x128", |b| {
+        b.iter(|| {
+            black_box(&lx).matmul_nt_into(&lin.w.value, &mut ly);
+            ly.add_row_broadcast(&lin.b.value.data);
+            for v in &mut ly.data {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        })
+    });
+
+    // Workspace-reuse vs. allocating MLP train step (forward + MSE +
+    // backward): the ws leg keeps its activation buffers, gradient set, and
+    // scratch arena alive across iterations and allocates nothing once warm.
+    let mut mlp = tinynn::Mlp::new(&[32, 16, 1], &mut rng);
+    let mx = Mat::from_fn(16, 32, |i, j| ((i * 7 + j * 3) % 19) as f32 / 19.0 - 0.5);
+    let target = Mat::from_fn(16, 1, |i, _| (i % 4) as f32 / 4.0);
+    c.bench_function("mlp_step_allocating", |b| {
+        b.iter(|| {
+            let (y, mlp_cache) = mlp.forward(black_box(&mx));
+            let (loss, grad) = tinynn::mse(&y, &target);
+            mlp.zero_grad();
+            mlp.backward(&mlp_cache, &grad);
+            loss
+        })
+    });
+    let mut ws = tinynn::MlpWs::default();
+    let mut grads = tinynn::GradSet::from_shapes(&mlp.grad_shapes());
+    let mut grad = Mat::default();
+    let mut scratch = tinynn::Workspace::new();
+    c.bench_function("mlp_step_workspace", |b| {
+        b.iter(|| {
+            mlp.forward_ws(black_box(&mx), &mut ws);
+            let loss = tinynn::mse_into(ws.out(), &target, &mut grad);
+            grads.zero();
+            mlp.backward_ws(&mx, &ws, &grad, &mut grads.mats, None, &mut scratch);
+            loss
+        })
     });
 }
 

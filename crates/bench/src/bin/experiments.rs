@@ -2,7 +2,7 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! experiments <id|all> [--scale small|medium|full]
+//! experiments <id|all> [--scale small|medium|full] [--threads N]
 //!
 //!   fig1   cost variance of recurring queries
 //!   fig5   cost vs machine load
@@ -21,20 +21,36 @@
 //!
 //!   parallel  serial-vs-pool wall-clock benchmark over the fig5+fig7
 //!             subset; writes BENCH_parallel.json
+//!   train     training hot-path benchmark (legacy allocating vs the
+//!             workspace engine, serial vs microbatch pool, allocations
+//!             per step); writes BENCH_train.json
 //!   trace     one representative query end-to-end under a per-query
 //!             TraceContext; writes trace.json (chrome://tracing) and
 //!             trace_report.txt
 //!
 //! experiments compare <old.json> <new.json> [--threshold <pct>]
 //!
-//!   diff two BENCH_*.json reports; exits 1 if any phase's pool wall-clock
-//!   regressed more than the threshold (default 25%), 2 on parse errors
+//!   diff two BENCH_*.json reports (BENCH_parallel.json and
+//!   BENCH_train.json share the phase schema); exits 1 if any phase's pool
+//!   wall-clock regressed more than the threshold (default 25%), 2 on
+//!   parse errors
+//!
+//! `--threads N` overrides the mcsim-par pool size for the whole run
+//! (equivalent to MCSIM_PAR_THREADS=N).
 //! ```
 
 use loam_bench::exps;
 use loam_bench::exps::common::{run_all_projects, ProjectRun};
 use loam_bench::Scale;
 use std::sync::Arc;
+
+// Count every heap allocation so `experiments train` can prove the workspace
+// engine's steady state allocates nothing per optimizer step. The probe is a
+// relaxed atomic increment around the system allocator — noise-level
+// overhead for every other experiment.
+#[global_allocator]
+static ALLOC: tinynn::workspace::alloc_probe::CountingAllocator =
+    tinynn::workspace::alloc_probe::CountingAllocator;
 
 /// Prints the harness-wide metrics snapshot as a single JSON line.
 fn emit_metrics(id: &str, scale: Scale, recorder: &mcsim_obs::InMemoryRecorder) {
@@ -70,6 +86,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| Scale::parse(s))
         .unwrap_or(Scale::Small);
+    if let Some(n) = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        mcsim_par::set_threads(n);
+        eprintln!("pool size overridden: {n} thread(s)");
+    }
 
     // Collect pipeline metrics (phase timings, counters, histograms) for the
     // whole run; dumped as JSON at the end.
@@ -90,6 +115,7 @@ fn main() {
         "thm1" => Some(exps::thm1::run),
         "parallel" => Some(exps::parallel::run),
         "trace" => Some(exps::trace::run),
+        "train" => Some(exps::train::run),
         _ => None,
     };
     if let Some(run) = context_free {

@@ -54,7 +54,10 @@ pub fn run_project(n: usize, scale: Scale) -> ProjectRun {
 /// (order-preserving, so `runs[i]` is always project `i + 1`).
 pub fn run_all_projects(scale: Scale) -> Vec<ProjectRun> {
     let ns: Vec<usize> = (1..=5).collect();
-    mcsim_par::ThreadPool::global().parallel_map(&ns, |&n| run_project(n, scale))
+    // Each project is seconds of prepare+train+replay — far above any
+    // sensible work gate, so this fan-out always parallelizes when the pool
+    // has threads to spare.
+    mcsim_par::ThreadPool::global().parallel_map_gated(&ns, 1 << 24, |&n| run_project(n, scale))
 }
 
 /// Percentage gain of `model_cost` relative to `baseline_cost`.

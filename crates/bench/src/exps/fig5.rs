@@ -54,7 +54,12 @@ pub fn sweep(scale: Scale) -> Vec<(f64, f64, f64, f64)> {
     let query = &project.workload_for_day(0)[0];
     let plan = optimizer.optimize(query, &Knobs::default());
     let steps: Vec<usize> = (0..8).collect();
-    mcsim_par::ThreadPool::global().parallel_map(&steps, |&step| run_step(step, &plan, &project))
+    // Per-step work estimate: 12 replay runs over the plan's stages. At
+    // small scale this falls below the pool's min-parallel-work gate and the
+    // sweep runs serially, avoiding pool overhead on a ~100ms phase.
+    let step_work = plan.len() * 12 * 2_000;
+    mcsim_par::ThreadPool::global()
+        .parallel_map_gated(&steps, step_work, |&step| run_step(step, &plan, &project))
 }
 
 /// Runs the experiment: sweeps the cluster's baseline busy fraction and

@@ -19,3 +19,4 @@ pub mod sec73;
 pub mod tab1;
 pub mod thm1;
 pub mod trace;
+pub mod train;

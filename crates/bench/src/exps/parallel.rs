@@ -45,9 +45,11 @@ fn run_phases(scale: Scale) -> PhaseTimes {
     PhaseTimes { phases }
 }
 
-/// Renders the report as a JSON document.
+/// Renders the report as a JSON document. Both thread counts are the ones
+/// the legs actually ran with, not assumptions.
 fn report_json(
     scale: Scale,
+    serial_threads: usize,
     parallel_threads: usize,
     serial: &PhaseTimes,
     parallel: &PhaseTimes,
@@ -66,11 +68,12 @@ fn report_json(
     format!(
         concat!(
             "{{\"bench\":\"parallel\",\"scale\":\"{}\",",
-            "\"threads_serial\":1,\"threads_parallel\":{},",
+            "\"threads_serial\":{},\"threads_parallel\":{},",
             "\"phases\":[{}],",
             "\"total\":{{\"serial_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.4}}}}}"
         ),
         scale_name,
+        serial_threads,
         parallel_threads,
         phases,
         serial.total(),
@@ -83,10 +86,19 @@ fn report_json(
 /// directory.
 pub fn run(scale: Scale) {
     println!("Parallel-compute benchmark — fig5+fig7 subset, serial vs pool\n");
-    let parallel_threads = mcsim_par::default_threads();
+    // The pool-configured count (--threads / MCSIM_PAR_THREADS / core
+    // count), not a fresh default_threads() that would ignore overrides.
+    let parallel_threads = mcsim_par::threads();
+    let serial_threads = 1;
+    if parallel_threads == serial_threads {
+        eprintln!(
+            "warning: both legs will run with {serial_threads} thread(s) — the speedup \
+             column is meaningless; pass --threads N or set MCSIM_PAR_THREADS"
+        );
+    }
 
-    eprintln!("serial baseline (1 thread)...");
-    let prev = mcsim_par::set_threads(1);
+    eprintln!("serial baseline ({serial_threads} thread)...");
+    let prev = mcsim_par::set_threads(serial_threads);
     let serial = run_phases(scale);
 
     eprintln!("parallel run ({parallel_threads} threads)...");
@@ -110,9 +122,9 @@ pub fn run(scale: Scale) {
         format!("{:.2}x", serial.total() / parallel.total().max(1e-9)),
     ]);
     println!("{}", t.render());
-    println!("threads: serial=1, parallel={parallel_threads}");
+    println!("threads: serial={serial_threads}, parallel={parallel_threads}");
 
-    let json = report_json(scale, parallel_threads, &serial, &parallel);
+    let json = report_json(scale, serial_threads, parallel_threads, &serial, &parallel);
     let path = "BENCH_parallel.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
@@ -158,7 +170,7 @@ mod tests {
         let parallel = PhaseTimes {
             phases: vec![("a", 1.0), ("b", 2.0)],
         };
-        let json = report_json(Scale::Small, 8, &serial, &parallel);
+        let json = report_json(Scale::Small, 1, 8, &serial, &parallel);
         let r: Report = serde_json::from_str(&json).expect("valid json");
         assert_eq!(r.bench, "parallel");
         assert_eq!(r.scale, "small");

@@ -65,7 +65,7 @@ pub use inference::{
 };
 pub use persist::{load_predictor, load_ranker, save_predictor, save_ranker, PersistError};
 pub use predictor::baselines::{CostModel, GcnPredictor, TransformerPredictor, XgbPredictor};
-pub use predictor::train::{train, TrainConfig, TrainReport, TrainSample};
+pub use predictor::train::{train, train_reference, TrainConfig, TrainReport, TrainSample};
 pub use predictor::AdaptiveCostPredictor;
 pub use selector::{FilterConfig, FilterReport, Ranker};
 pub use theory::{Deviance, KsTest, LogNormal};

@@ -7,16 +7,39 @@
 //! domain-invariant representations and CostPred generalizes to candidate
 //! plans without conventional refinement. Loss weights `w_c`, `w_d` are
 //! re-balanced automatically from the running loss magnitudes.
+//!
+//! ## Hot path
+//!
+//! Each optimizer step splits its minibatch into fixed-boundary *microbatch
+//! slots* (`TrainConfig::microbatches`). Every slot owns a reusable
+//! [`SlotState`] — gradient buffers, layer workspaces, and scratch — so the
+//! per-sample forward/backward work runs through tinynn's allocation-free
+//! `_ws` kernels and performs zero heap allocation after the first step.
+//! Plan-feature rows are ~90% zeros, so `prepare` also builds a CSR nonzero
+//! index per plan ([`SparseRows`]) and the encoder's first conv layer — the
+//! dominant share of a step's multiply-accumulates — runs its sparse
+//! kernels, which are bit-identical to the dense ones.
+//! Slots are distributed over persistent worker threads (spawned once per
+//! `train` call, synchronized with barriers) and their gradients are folded
+//! in slot-index order, so the final weights are bit-identical regardless of
+//! thread count — and identical to [`train_reference`], the legacy
+//! allocating path kept as a cross-check.
 
 use super::AdaptiveCostPredictor;
-use crate::featurize::{EnvSource, FeatureCache};
+use crate::featurize::{CachedFeatures, EnvSource, FeatureCache};
 use mcsim_catalog::EnvMetrics;
 use mcsim_plan::PlanTree;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tinynn::{cross_entropy_logits, lambda_schedule, mse, reverse_gradient, AdamConfig, Mat};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
+use tinynn::workspace::alloc_probe;
+use tinynn::{
+    cross_entropy_logits, cross_entropy_logits_into, lambda_schedule, mse, mse_into,
+    reverse_gradient, AdamConfig, GradSet, Mat, MlpWs, SparseRows, TcnWs, Workspace,
+};
 
 /// One labeled training sample: a historical default plan, its logged
 /// per-stage environments, and its observed CPU cost.
@@ -46,6 +69,10 @@ pub struct TrainConfig {
     pub adaptive: bool,
     /// RNG seed for shuffling.
     pub seed: u64,
+    /// Microbatch slots per optimizer step. Slot boundaries depend only on
+    /// the batch length and this value, and slot gradients are folded in
+    /// slot-index order, so results are bit-identical at any thread count.
+    pub microbatches: usize,
 }
 
 impl Default for TrainConfig {
@@ -57,6 +84,7 @@ impl Default for TrainConfig {
             lr_decay: 0.99,
             adaptive: true,
             seed: 0x10a0,
+            microbatches: 8,
         }
     }
 }
@@ -70,86 +98,285 @@ pub struct TrainReport {
     pub domain_loss: Vec<f64>,
     /// Wall-clock training time in seconds.
     pub seconds: f64,
+    /// Wall-clock seconds per epoch.
+    pub epoch_seconds: Vec<f64>,
+    /// Heap allocations performed inside the optimizer steps of each epoch
+    /// (0 without the counting allocator installed; with it, warmup
+    /// allocations land in the first epoch and steady-state epochs are 0).
+    pub epoch_allocs: Vec<u64>,
+    /// Total optimizer steps taken.
+    pub steps: u64,
 }
 
-/// Trains `predictor` in place.
-///
-/// `candidates` are knob-steered plans generated by the plan explorer for a
-/// sample of queries; they are *never executed* — only their features feed
-/// the domain classifier (the paper stresses their generation overhead is
-/// negligible).
-pub fn train(
-    predictor: &mut AdaptiveCostPredictor,
-    samples: &[TrainSample],
-    candidates: &[PlanTree],
-    mean_env: EnvMetrics,
+impl TrainReport {
+    fn with_capacity(epochs: usize) -> TrainReport {
+        TrainReport {
+            cost_loss: Vec::with_capacity(epochs),
+            domain_loss: Vec::with_capacity(epochs),
+            seconds: 0.0,
+            epoch_seconds: Vec::with_capacity(epochs),
+            epoch_allocs: Vec::with_capacity(epochs),
+            steps: 0,
+        }
+    }
+}
+
+/// Immutable per-call context shared by every engine.
+struct Ctx<'a> {
+    feats: &'a [CachedFeatures],
+    labels: &'a [f32],
+    cand_feats: &'a [CachedFeatures],
+    /// CSR nonzero indexes of the sample feature matrices (built once in
+    /// `prepare`; the features are static across epochs). Feature rows are
+    /// ~90% zeros, so conv1 — the dominant share of a step's
+    /// multiply-accumulates — runs on these instead of the dense rows,
+    /// bit-identically.
+    nz: &'a [SparseRows],
+    /// CSR indexes of the candidate feature matrices.
+    cand_nz: &'a [SparseRows],
+    /// Adversarial objective active (adaptive AND candidates present).
+    dann: bool,
+}
+
+/// Reusable per-slot buffers: gradient accumulators in canonical layout
+/// (PlanEmb 0..10, CostPred 10..14, DomClf 14..18), layer workspaces, and
+/// generic scratch. One per microbatch slot; workers lock a slot for the
+/// duration of its samples.
+struct SlotState {
+    grads: GradSet,
+    tcn_ws: TcnWs,
+    cost_ws: MlpWs,
+    dom_ws: MlpWs,
+    scratch: Workspace,
+    target: Mat,
+    gc: Mat,
+    gd: Mat,
+    gdom: Mat,
+    gemb: Mat,
+    lc: f32,
+    ld: f32,
+}
+
+impl SlotState {
+    fn new(p: &AdaptiveCostPredictor) -> SlotState {
+        let mut shapes = p.plan_emb.grad_shapes();
+        shapes.extend(p.cost_head.grad_shapes());
+        shapes.extend(p.dom_head.grad_shapes());
+        SlotState {
+            grads: GradSet::from_shapes(&shapes),
+            tcn_ws: TcnWs::default(),
+            cost_ws: MlpWs::default(),
+            dom_ws: MlpWs::default(),
+            scratch: Workspace::new(),
+            target: Mat::default(),
+            gc: Mat::default(),
+            gd: Mat::default(),
+            gdom: Mat::default(),
+            gemb: Mat::default(),
+            lc: 0.0,
+            ld: 0.0,
+        }
+    }
+
+    /// Steady-state bytes held by this slot's buffers.
+    fn bytes(&self) -> usize {
+        self.grads.bytes()
+            + self.tcn_ws.bytes()
+            + self.cost_ws.bytes()
+            + self.dom_ws.bytes()
+            + self.scratch.bytes()
+            + 4 * (self.target.data.len()
+                + self.gc.data.len()
+                + self.gd.data.len()
+                + self.gdom.data.len()
+                + self.gemb.data.len())
+    }
+}
+
+/// Per-step work descriptor, filled by the driver, read by the workers.
+#[derive(Default)]
+struct StepDesc {
+    /// Sample indices of this minibatch.
+    batch: Vec<usize>,
+    /// Pre-drawn candidate index per batch position (empty when the
+    /// adversarial objective is off). Drawing on the driver thread in sample
+    /// order keeps the RNG stream identical at any thread count.
+    cand: Vec<usize>,
+    lambda: f64,
+    w_d: f32,
+    inv: f32,
+    /// Samples per slot (`batch.len().div_ceil(microbatches)`).
+    chunk: usize,
+    /// Number of populated slots this step.
+    nslots: usize,
+}
+
+impl StepDesc {
+    fn fill(&mut self, batch: &[usize], cand: &[usize], lambda: f64, w_d: f32, inv: f32, m: usize) {
+        self.batch.clear();
+        self.batch.extend_from_slice(batch);
+        self.cand.clear();
+        self.cand.extend_from_slice(cand);
+        self.lambda = lambda;
+        self.w_d = w_d;
+        self.inv = inv;
+        self.chunk = batch.len().div_ceil(m.max(1)).max(1);
+        self.nslots = batch.len().div_ceil(self.chunk);
+    }
+}
+
+/// Runs one microbatch slot: per-sample forward/backward through the
+/// allocation-free kernels, gradients accumulated into the slot's buffers.
+fn process_slot(
+    p: &AdaptiveCostPredictor,
+    ctx: &Ctx<'_>,
+    desc: &StepDesc,
+    s: usize,
+    slot: &mut SlotState,
+) {
+    let start = s * desc.chunk;
+    let end = (start + desc.chunk).min(desc.batch.len());
+    slot.grads.zero();
+    slot.lc = 0.0;
+    slot.ld = 0.0;
+    let SlotState {
+        grads,
+        tcn_ws,
+        cost_ws,
+        dom_ws,
+        scratch,
+        target,
+        gc,
+        gd,
+        gdom,
+        gemb,
+        lc,
+        ld,
+    } = slot;
+    let (pe, rest) = grads.mats.split_at_mut(10);
+    let (ch, dh) = rest.split_at_mut(4);
+    let lam = -(desc.lambda as f32);
+    for pos in start..end {
+        let i = desc.batch[pos];
+        let (_, tree) = &*ctx.feats[i];
+        let nz = &ctx.nz[i];
+        p.plan_emb.forward_ws_sparse(nz, tree, tcn_ws);
+
+        // Cost objective on the default plan.
+        p.cost_head.forward_ws(tcn_ws.emb(), cost_ws);
+        target.resize_in_place(1, 1);
+        target.data[0] = ctx.labels[i];
+        *lc += mse_into(cost_ws.out(), target, gc);
+        gc.scale(desc.inv);
+        p.cost_head
+            .backward_ws(tcn_ws.emb(), cost_ws, gc, ch, Some(gemb), scratch);
+
+        if ctx.dann {
+            // Domain objective: this is a default plan (label 0).
+            p.dom_head.forward_ws(tcn_ws.emb(), dom_ws);
+            *ld += cross_entropy_logits_into(dom_ws.out(), &[0], gd);
+            gd.scale(desc.w_d * desc.inv);
+            p.dom_head
+                .backward_ws(tcn_ws.emb(), dom_ws, gd, dh, Some(gdom), scratch);
+            // GRL: reversed gradient into PlanEmb.
+            gemb.add_scaled(gdom, lam);
+        }
+
+        p.plan_emb
+            .backward_ws_sparse(nz, tree, tcn_ws, gemb, pe, scratch);
+
+        if ctx.dann {
+            // One candidate plan per default plan (label 1).
+            let (_, ctree) = &*ctx.cand_feats[desc.cand[pos]];
+            let cnz = &ctx.cand_nz[desc.cand[pos]];
+            p.plan_emb.forward_ws_sparse(cnz, ctree, tcn_ws);
+            p.dom_head.forward_ws(tcn_ws.emb(), dom_ws);
+            *ld += cross_entropy_logits_into(dom_ws.out(), &[1], gd);
+            gd.scale(desc.w_d * desc.inv);
+            p.dom_head
+                .backward_ws(tcn_ws.emb(), dom_ws, gd, dh, Some(gdom), scratch);
+            gemb.copy_scaled_from(gdom, lam);
+            p.plan_emb
+                .backward_ws_sparse(cnz, ctree, tcn_ws, gemb, pe, scratch);
+        }
+    }
+}
+
+/// Folds the populated slots' gradients into the model in slot-index order
+/// and applies Adam. Returns the summed `(L_c, L_d)` of the step.
+fn fold_and_step(
+    p: &mut AdaptiveCostPredictor,
+    slots: &[Mutex<SlotState>],
+    nslots: usize,
+    lr: f32,
+    t: u64,
+    adam: &AdamConfig,
+    adaptive: bool,
+) -> (f32, f32) {
+    let reduce_started = std::time::Instant::now();
+    p.plan_emb.zero_grad();
+    p.cost_head.zero_grad();
+    p.dom_head.zero_grad();
+    let mut lc = 0.0f32;
+    let mut ld = 0.0f32;
+    for slot in slots.iter().take(nslots) {
+        let slot = slot.lock().unwrap();
+        let (pe, rest) = slot.grads.mats.split_at(10);
+        let (ch, dh) = rest.split_at(4);
+        p.plan_emb.add_grads(pe);
+        p.cost_head.add_grads(ch);
+        p.dom_head.add_grads(dh);
+        lc += slot.lc;
+        ld += slot.ld;
+    }
+    p.plan_emb.adam_step(lr, t, adam);
+    p.cost_head.adam_step(lr, t, adam);
+    if adaptive {
+        p.dom_head.adam_step(lr, t, adam);
+    }
+    mcsim_obs::observe(
+        "train.reduce_ns",
+        reduce_started.elapsed().as_nanos() as f64,
+    );
+    (lc, ld)
+}
+
+/// The epoch/batch schedule shared by every engine: shuffling, learning-rate
+/// decay, the λ ramp, `w_d` re-balancing, candidate pre-draws, and all
+/// bookkeeping. `do_step` runs one optimizer step — arguments are the batch
+/// indices, pre-drawn candidate indices, λ, `w_d`, `1/|B|`, the decayed
+/// learning rate, and the (1-based) Adam timestep — and returns the step's
+/// summed `(L_c, L_d)`.
+#[allow(clippy::too_many_arguments)]
+fn drive(
     cfg: &TrainConfig,
-) -> TrainReport {
-    assert!(!samples.is_empty(), "training set must be non-empty");
-    let started = std::time::Instant::now();
-
-    // Label statistics in log space.
-    let logs: Vec<f32> = samples
-        .iter()
-        .map(|s| s.cost.max(1e-9).ln() as f32)
-        .collect();
-    let mean = logs.iter().sum::<f32>() / logs.len() as f32;
-    let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f32>() / logs.len() as f32;
-    predictor.label_mean = mean;
-    predictor.label_std = var.sqrt().max(1e-3);
-
-    // Pre-featurize everything once, in parallel, through the identity-keyed
-    // cache: duplicate plans (within samples, or between samples and
-    // candidates under the same environment) featurize exactly once, and the
-    // per-plan work fans out across the pool.
-    let (feats, labels, cand_feats) = {
-        let _span = mcsim_obs::span("featurize");
-        let cache = FeatureCache::new();
-        let featurizer = predictor.featurizer;
-        let pool = mcsim_par::ThreadPool::global();
-        let feats: Vec<_> = pool.parallel_map(samples, |s| {
-            cache.featurize(&featurizer, &s.plan, EnvSource::PerStage(&s.stage_envs))
-        });
-        let labels: Vec<f32> = samples
-            .iter()
-            .map(|s| predictor.normalize(s.cost))
-            .collect();
-        let cand_feats: Vec<_> = pool.parallel_map(candidates, |p| {
-            cache.featurize(&featurizer, p, EnvSource::Uniform(mean_env))
-        });
-        (feats, labels, cand_feats)
-    };
-
+    nsamples: usize,
+    cand_len: usize,
+    dann: bool,
+    feat_count: u64,
+    report: &mut TrainReport,
+    mut do_step: impl FnMut(&[usize], &[usize], f64, f32, f32, f32, u64) -> (f32, f32),
+) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let adam = AdamConfig {
-        weight_decay: 1e-4,
-        ..AdamConfig::default()
-    };
     let mut t_step: u64 = 0;
-    let mut report = TrainReport {
-        cost_loss: Vec::with_capacity(cfg.epochs),
-        domain_loss: Vec::with_capacity(cfg.epochs),
-        seconds: 0.0,
-    };
-
     // Automatic loss balancing: w_d tracks the magnitude ratio of the two
     // losses (w_c fixed to 1).
     let mut w_d: f32 = 0.1;
-    let total_steps = (cfg.epochs * samples.len().div_ceil(cfg.batch_size)).max(1);
+    let total_steps = (cfg.epochs * nsamples.div_ceil(cfg.batch_size)).max(1);
 
     let _train_span = mcsim_obs::span("train");
-    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut order: Vec<usize> = (0..nsamples).collect();
+    let mut cand_buf: Vec<usize> = Vec::with_capacity(cfg.batch_size);
     for epoch in 0..cfg.epochs {
+        let epoch_started = std::time::Instant::now();
+        let mut epoch_allocs: u64 = 0;
         let _epoch_span = mcsim_obs::span("epoch");
         mcsim_obs::counter("loam.train.epochs", 1);
         // Epochs after the first reuse the pre-featurized vectors: count the
         // reuse so the snapshot shows how much featurization work the cache
         // saved.
         if epoch > 0 {
-            mcsim_obs::counter(
-                "loam.featurize.cache_hits",
-                (samples.len() + candidates.len()) as u64,
-            );
+            mcsim_obs::counter("loam.featurize.cache_hits", feat_count);
         }
         order.shuffle(&mut rng);
         let lr = cfg.lr * cfg.lr_decay.powi(epoch as i32);
@@ -158,71 +385,28 @@ pub fn train(
         let mut n_batches = 0.0;
 
         for batch in order.chunks(cfg.batch_size) {
-            predictor.plan_emb.zero_grad();
-            predictor.cost_head.zero_grad();
-            predictor.dom_head.zero_grad();
             let progress = t_step as f64 / total_steps as f64;
             // The full DANN schedule saturates at 1; with a compact encoder
             // that destabilizes the regression head, so the reversal
             // strength is capped.
             let lambda = 0.15 * lambda_schedule(progress);
-            mcsim_obs::gauge("loam.train.grl_lambda", lambda as f64);
+            mcsim_obs::gauge("loam.train.grl_lambda", lambda);
             let inv = 1.0 / batch.len() as f32;
-
-            let mut batch_lc = 0.0f32;
-            let mut batch_ld = 0.0f32;
-
-            for &i in batch {
-                let (x, tree) = &*feats[i];
-                let (emb, cache) = predictor.plan_emb.forward(x, tree);
-
-                // Cost objective on the default plan.
-                let (pred, cost_cache) = predictor.cost_head.forward(&emb);
-                let target = Mat::from_vec(1, 1, vec![labels[i]]);
-                let (lc, gc) = mse(&pred, &target);
-                batch_lc += lc;
-                let mut gc = gc;
-                gc.scale(inv);
-                let mut grad_emb = predictor.cost_head.backward(&cost_cache, &gc);
-
-                if cfg.adaptive && !cand_feats.is_empty() {
-                    // Domain objective: this is a default plan (label 0).
-                    let (logits, dom_cache) = predictor.dom_head.forward(&emb);
-                    let (ld, gd) = cross_entropy_logits(&logits, &[0]);
-                    batch_ld += ld;
-                    let mut gd = gd;
-                    gd.scale(w_d * inv);
-                    let gdom = predictor.dom_head.backward(&dom_cache, &gd);
-                    // GRL: reversed gradient into PlanEmb.
-                    grad_emb.add_assign(&reverse_gradient(&gdom, lambda));
-                }
-
-                predictor.plan_emb.backward(&cache, tree, &grad_emb);
-
-                if cfg.adaptive && !cand_feats.is_empty() {
-                    // One candidate plan per default plan (label 1).
-                    let j = rand::Rng::gen_range(&mut rng, 0..cand_feats.len());
-                    let (cx, ctree) = &*cand_feats[j];
-                    let (cemb, ccache) = predictor.plan_emb.forward(cx, ctree);
-                    let (logits, dom_cache) = predictor.dom_head.forward(&cemb);
-                    let (ld, gd) = cross_entropy_logits(&logits, &[1]);
-                    batch_ld += ld;
-                    let mut gd = gd;
-                    gd.scale(w_d * inv);
-                    let gdom = predictor.dom_head.backward(&dom_cache, &gd);
-                    let grad_cemb = reverse_gradient(&gdom, lambda);
-                    predictor.plan_emb.backward(&ccache, ctree, &grad_cemb);
+            cand_buf.clear();
+            if dann {
+                for _ in 0..batch.len() {
+                    cand_buf.push(rand::Rng::gen_range(&mut rng, 0..cand_len));
                 }
             }
+
+            let step_started = std::time::Instant::now();
+            let allocs_before = alloc_probe::allocation_count();
+            let (batch_lc, batch_ld) = do_step(batch, &cand_buf, lambda, w_d, inv, lr, t_step + 1);
+            epoch_allocs += alloc_probe::allocation_count() - allocs_before;
+            mcsim_obs::observe("train.step_ns", step_started.elapsed().as_nanos() as f64);
 
             t_step += 1;
             mcsim_obs::counter("loam.train.steps", 1);
-            predictor.plan_emb.adam_step(lr, t_step, &adam);
-            predictor.cost_head.adam_step(lr, t_step, &adam);
-            if cfg.adaptive {
-                predictor.dom_head.adam_step(lr, t_step, &adam);
-            }
-
             epoch_lc += (batch_lc / batch.len() as f32) as f64;
             epoch_ld += (batch_ld / (2 * batch.len()) as f32) as f64;
             n_batches += 1.0;
@@ -240,7 +424,342 @@ pub fn train(
                 w_d = (0.2 * lc_avg / ld_avg).clamp(0.02, 0.3) as f32;
             }
         }
+        report
+            .epoch_seconds
+            .push(epoch_started.elapsed().as_secs_f64());
+        report.epoch_allocs.push(epoch_allocs);
     }
+    report.steps = t_step;
+}
+
+/// Computes label statistics and pre-featurizes samples and candidates.
+fn prepare(
+    predictor: &mut AdaptiveCostPredictor,
+    samples: &[TrainSample],
+    candidates: &[PlanTree],
+    mean_env: EnvMetrics,
+) -> (Vec<CachedFeatures>, Vec<f32>, Vec<CachedFeatures>) {
+    assert!(!samples.is_empty(), "training set must be non-empty");
+
+    // Label statistics in log space.
+    let logs: Vec<f32> = samples
+        .iter()
+        .map(|s| s.cost.max(1e-9).ln() as f32)
+        .collect();
+    let mean = logs.iter().sum::<f32>() / logs.len() as f32;
+    let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f32>() / logs.len() as f32;
+    predictor.label_mean = mean;
+    predictor.label_std = var.sqrt().max(1e-3);
+
+    // Pre-featurize everything once, in parallel, through the identity-keyed
+    // cache: duplicate plans (within samples, or between samples and
+    // candidates under the same environment) featurize exactly once, and the
+    // per-plan work fans out across the pool.
+    let _span = mcsim_obs::span("featurize");
+    let cache = FeatureCache::new();
+    let featurizer = predictor.featurizer;
+    let pool = mcsim_par::ThreadPool::global();
+    let feats: Vec<_> = pool.parallel_map(samples, |s| {
+        cache.featurize(&featurizer, &s.plan, EnvSource::PerStage(&s.stage_envs))
+    });
+    let labels: Vec<f32> = samples
+        .iter()
+        .map(|s| predictor.normalize(s.cost))
+        .collect();
+    let cand_feats: Vec<_> = pool.parallel_map(candidates, |p| {
+        cache.featurize(&featurizer, p, EnvSource::Uniform(mean_env))
+    });
+    (feats, labels, cand_feats)
+}
+
+/// Trains `predictor` in place.
+///
+/// `candidates` are knob-steered plans generated by the plan explorer for a
+/// sample of queries; they are *never executed* — only their features feed
+/// the domain classifier (the paper stresses their generation overhead is
+/// negligible).
+///
+/// Microbatch slots run on persistent worker threads when the global pool
+/// has more than one thread; the serial engine runs the same slot code in
+/// slot order. Both produce bit-identical weights (see the `train_determinism`
+/// integration test).
+pub fn train(
+    predictor: &mut AdaptiveCostPredictor,
+    samples: &[TrainSample],
+    candidates: &[PlanTree],
+    mean_env: EnvMetrics,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let started = std::time::Instant::now();
+    let (feats, labels, cand_feats) = prepare(predictor, samples, candidates, mean_env);
+    // Index the static feature matrices' nonzeros once; every epoch's conv1
+    // work then touches only stored entries.
+    let pool = mcsim_par::ThreadPool::global();
+    let nz: Vec<SparseRows> = pool.parallel_map(&feats, |f| SparseRows::from_dense(&f.0));
+    let cand_nz: Vec<SparseRows> = pool.parallel_map(&cand_feats, |f| SparseRows::from_dense(&f.0));
+    let ctx = Ctx {
+        feats: &feats,
+        labels: &labels,
+        cand_feats: &cand_feats,
+        nz: &nz,
+        cand_nz: &cand_nz,
+        dann: cfg.adaptive && !cand_feats.is_empty(),
+    };
+    let adam = AdamConfig {
+        weight_decay: 1e-4,
+        ..AdamConfig::default()
+    };
+    let mut report = TrainReport::with_capacity(cfg.epochs);
+
+    let m = cfg.microbatches.max(1);
+    let max_slots = m.min(cfg.batch_size.max(1));
+    let slots: Vec<Mutex<SlotState>> = (0..max_slots)
+        .map(|_| Mutex::new(SlotState::new(predictor)))
+        .collect();
+    let workers = pool.threads().min(max_slots);
+    let feat_count = (samples.len() + candidates.len()) as u64;
+
+    if workers > 1 {
+        train_parallel(
+            predictor,
+            &ctx,
+            cfg,
+            &adam,
+            &slots,
+            workers,
+            feat_count,
+            &mut report,
+        );
+    } else {
+        // Serial engine: same slot code, run in slot order on this thread.
+        let mut desc = StepDesc::default();
+        drive(
+            cfg,
+            samples.len(),
+            cand_feats.len(),
+            ctx.dann,
+            feat_count,
+            &mut report,
+            |batch, cand, lambda, w_d, inv, lr, t| {
+                desc.fill(batch, cand, lambda, w_d, inv, m);
+                for (s, slot) in slots.iter().enumerate().take(desc.nslots) {
+                    let mut slot = slot.lock().unwrap();
+                    process_slot(predictor, &ctx, &desc, s, &mut slot);
+                }
+                fold_and_step(predictor, &slots, desc.nslots, lr, t, &adam, cfg.adaptive)
+            },
+        );
+    }
+
+    let ws_bytes: usize = slots.iter().map(|s| s.lock().unwrap().bytes()).sum();
+    mcsim_obs::gauge("train.ws_bytes", ws_bytes as f64);
+
+    report.seconds = started.elapsed().as_secs_f64();
+    report
+}
+
+/// Shared state between the driver thread and the persistent workers. The
+/// driver holds the write side while folding gradients and stepping Adam;
+/// workers hold the read side while computing slot gradients.
+struct Shared<'p> {
+    predictor: &'p mut AdaptiveCostPredictor,
+    desc: StepDesc,
+}
+
+/// The parallel engine: `workers` persistent threads, spawned once, woken
+/// per step with a barrier, assigned slots round-robin (`slot % workers`),
+/// and joined when training ends. No allocation per step after warmup.
+#[allow(clippy::too_many_arguments)]
+fn train_parallel(
+    predictor: &mut AdaptiveCostPredictor,
+    ctx: &Ctx<'_>,
+    cfg: &TrainConfig,
+    adam: &AdamConfig,
+    slots: &[Mutex<SlotState>],
+    workers: usize,
+    feat_count: u64,
+    report: &mut TrainReport,
+) {
+    let m = cfg.microbatches.max(1);
+    let nsamples = ctx.feats.len();
+    let cand_len = ctx.cand_feats.len();
+    let shared = RwLock::new(Shared {
+        predictor,
+        desc: StepDesc::default(),
+    });
+    let start = Barrier::new(workers + 1);
+    let done = Barrier::new(workers + 1);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shared = &shared;
+            let start = &start;
+            let done = &done;
+            let stop = &stop;
+            scope.spawn(move || {
+                // Inner kernels must not fan out again from a training
+                // worker: nested scoped spawns would allocate every step and
+                // oversubscribe the pool.
+                let _worker = mcsim_par::enter_worker();
+                loop {
+                    start.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    {
+                        let guard = shared.read().unwrap();
+                        let p: &AdaptiveCostPredictor = guard.predictor;
+                        let desc = &guard.desc;
+                        let mut s = w;
+                        while s < desc.nslots {
+                            let mut slot = slots[s].lock().unwrap();
+                            process_slot(p, ctx, desc, s, &mut slot);
+                            s += workers;
+                        }
+                    }
+                    done.wait();
+                }
+            });
+        }
+
+        drive(
+            cfg,
+            nsamples,
+            cand_len,
+            ctx.dann,
+            feat_count,
+            report,
+            |batch, cand, lambda, w_d, inv, lr, t| {
+                let nslots = {
+                    let mut guard = shared.write().unwrap();
+                    guard.desc.fill(batch, cand, lambda, w_d, inv, m);
+                    guard.desc.nslots
+                };
+                start.wait();
+                done.wait();
+                let mut guard = shared.write().unwrap();
+                fold_and_step(guard.predictor, slots, nslots, lr, t, adam, cfg.adaptive)
+            },
+        );
+
+        stop.store(true, Ordering::Release);
+        start.wait();
+    });
+}
+
+/// The legacy allocating training path, kept as a bit-exact cross-check and
+/// benchmark baseline: every sample runs through the allocating wrapper
+/// APIs (`forward`/`backward` with per-call caches and temporaries), with
+/// the same microbatch fold staging and RNG schedule as [`train`], so its
+/// final weights are bit-identical to the workspace engine's.
+pub fn train_reference(
+    predictor: &mut AdaptiveCostPredictor,
+    samples: &[TrainSample],
+    candidates: &[PlanTree],
+    mean_env: EnvMetrics,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    let started = std::time::Instant::now();
+    let (feats, labels, cand_feats) = prepare(predictor, samples, candidates, mean_env);
+    let dann = cfg.adaptive && !cand_feats.is_empty();
+    let adam = AdamConfig {
+        weight_decay: 1e-4,
+        ..AdamConfig::default()
+    };
+    let mut report = TrainReport::with_capacity(cfg.epochs);
+    let m = cfg.microbatches.max(1);
+    let feat_count = (samples.len() + candidates.len()) as u64;
+
+    drive(
+        cfg,
+        samples.len(),
+        cand_feats.len(),
+        dann,
+        feat_count,
+        &mut report,
+        |batch, cand, lambda, w_d, inv, lr, t| {
+            let chunk = batch.len().div_ceil(m).max(1);
+            let mut lc = 0.0f32;
+            let mut ld = 0.0f32;
+            // Stage per-slot gradients through the parameter accumulators:
+            // compute each slot with zeroed grads, snapshot, then fold the
+            // snapshots in slot order — the same reduction as `train`.
+            let mut staged: Vec<Vec<Mat>> = Vec::new();
+            for (s, slot_batch) in batch.chunks(chunk).enumerate() {
+                predictor.plan_emb.zero_grad();
+                predictor.cost_head.zero_grad();
+                predictor.dom_head.zero_grad();
+                // Stage losses per slot as well: the workspace engine folds
+                // slot-local sums, and f32 addition is order-sensitive.
+                let mut slot_lc = 0.0f32;
+                let mut slot_ld = 0.0f32;
+                for (k, &i) in slot_batch.iter().enumerate() {
+                    let pos = s * chunk + k;
+                    let (x, tree) = &*feats[i];
+                    let (emb, cache) = predictor.plan_emb.forward(x, tree);
+
+                    // Cost objective on the default plan.
+                    let (pred, cost_cache) = predictor.cost_head.forward(&emb);
+                    let target = Mat::from_vec(1, 1, vec![labels[i]]);
+                    let (sample_lc, mut gc) = mse(&pred, &target);
+                    slot_lc += sample_lc;
+                    gc.scale(inv);
+                    let mut grad_emb = predictor.cost_head.backward(&cost_cache, &gc);
+
+                    if dann {
+                        // Domain objective: default plan (label 0).
+                        let (logits, dom_cache) = predictor.dom_head.forward(&emb);
+                        let (sample_ld, mut gd) = cross_entropy_logits(&logits, &[0]);
+                        slot_ld += sample_ld;
+                        gd.scale(w_d * inv);
+                        let gdom = predictor.dom_head.backward(&dom_cache, &gd);
+                        grad_emb.add_assign(&reverse_gradient(&gdom, lambda));
+                    }
+
+                    predictor.plan_emb.backward(&cache, tree, &grad_emb);
+
+                    if dann {
+                        // One candidate plan per default plan (label 1).
+                        let (cx, ctree) = &*cand_feats[cand[pos]];
+                        let (cemb, ccache) = predictor.plan_emb.forward(cx, ctree);
+                        let (logits, dom_cache) = predictor.dom_head.forward(&cemb);
+                        let (sample_ld, mut gd) = cross_entropy_logits(&logits, &[1]);
+                        slot_ld += sample_ld;
+                        gd.scale(w_d * inv);
+                        let gdom = predictor.dom_head.backward(&dom_cache, &gd);
+                        let grad_cemb = reverse_gradient(&gdom, lambda);
+                        predictor.plan_emb.backward(&ccache, ctree, &grad_cemb);
+                    }
+                }
+                lc += slot_lc;
+                ld += slot_ld;
+                let snapshot: Vec<Mat> = predictor
+                    .plan_emb
+                    .params()
+                    .into_iter()
+                    .chain(predictor.cost_head.params())
+                    .chain(predictor.dom_head.params())
+                    .map(|p| p.grad.clone())
+                    .collect();
+                staged.push(snapshot);
+            }
+            predictor.plan_emb.zero_grad();
+            predictor.cost_head.zero_grad();
+            predictor.dom_head.zero_grad();
+            for snapshot in &staged {
+                predictor.plan_emb.add_grads(&snapshot[0..10]);
+                predictor.cost_head.add_grads(&snapshot[10..14]);
+                predictor.dom_head.add_grads(&snapshot[14..18]);
+            }
+            predictor.plan_emb.adam_step(lr, t, &adam);
+            predictor.cost_head.adam_step(lr, t, &adam);
+            if cfg.adaptive {
+                predictor.dom_head.adam_step(lr, t, &adam);
+            }
+            (lc, ld)
+        },
+    );
 
     report.seconds = started.elapsed().as_secs_f64();
     report
@@ -290,6 +809,8 @@ mod tests {
         let report = train(&mut p, &samples, &[], EnvMetrics::default(), &cfg);
         assert!(report.cost_loss.first().unwrap() > report.cost_loss.last().unwrap());
         assert!(*report.cost_loss.last().unwrap() < 0.5);
+        assert_eq!(report.epoch_seconds.len(), 40);
+        assert_eq!(report.steps, 40 * 80_u64.div_ceil(16));
     }
 
     #[test]
@@ -351,6 +872,25 @@ mod tests {
         assert_eq!(report.domain_loss.len(), 4);
         assert!(report.domain_loss.iter().all(|&l| l.is_finite()));
         assert!(report.seconds > 0.0);
+    }
+
+    #[test]
+    fn reference_path_produces_identical_weights_and_losses() {
+        let samples = make_samples(48, 11);
+        let candidates: Vec<PlanTree> = make_samples(12, 12).into_iter().map(|s| s.plan).collect();
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
+        let mut a = AdaptiveCostPredictor::new(21, true);
+        let mut b = AdaptiveCostPredictor::new(21, true);
+        let ra = train(&mut a, &samples, &candidates, EnvMetrics::default(), &cfg);
+        let rb = train_reference(&mut b, &samples, &candidates, EnvMetrics::default(), &cfg);
+        assert_eq!(ra.cost_loss, rb.cost_loss);
+        assert_eq!(ra.domain_loss, rb.domain_loss);
+        for (pa, pb) in a.plan_emb.params().iter().zip(b.plan_emb.params()) {
+            assert_eq!(pa.value.data, pb.value.data, "plan_emb weights diverged");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! bit-identical per-epoch losses no matter how many pool threads run the
 //! kernels underneath it.
 
-use loam_core::predictor::train::{train, TrainConfig, TrainSample};
+use loam_core::predictor::train::{train, train_reference, TrainConfig, TrainSample};
 use loam_core::AdaptiveCostPredictor;
 use mcsim_catalog::EnvMetrics;
 use mcsim_plan::{Operator, PlanTree};
@@ -70,6 +70,85 @@ fn same_seed_same_losses_at_any_thread_count() {
         assert_eq!(
             reference, run,
             "loss curve changed at {threads} threads — parallel kernels are not bit-identical"
+        );
+    }
+
+    mcsim_par::set_threads(prev_threads);
+    mcsim_par::set_min_parallel_work(prev_work);
+}
+
+/// Candidate plans for the adversarial (DANN) branch: simple chains that
+/// differ in shape from the training plans.
+fn make_candidates(n: usize) -> Vec<PlanTree> {
+    (0..n)
+        .map(|i| {
+            let mut plan = PlanTree::new();
+            let mut cur = plan.leaf(Operator::table_scan((i % 3) as u32, 1, 1, vec![0]));
+            for _ in 0..(1 + i % 4) {
+                cur = plan.unary(Operator::Limit { n: 5 }, cur);
+            }
+            let s = plan.unary(Operator::Sink, cur);
+            plan.set_root(s);
+            plan
+        })
+        .collect()
+}
+
+/// Every model weight as its bit pattern, so comparisons are exact.
+fn weight_bits(p: &AdaptiveCostPredictor) -> Vec<u32> {
+    p.plan_emb
+        .params()
+        .into_iter()
+        .chain(p.cost_head.params())
+        .chain(p.dom_head.params())
+        .flat_map(|prm| prm.value.data.iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+fn train_weights(
+    samples: &[TrainSample],
+    candidates: &[PlanTree],
+    cfg: &TrainConfig,
+    reference: bool,
+) -> Vec<u32> {
+    let mut p = AdaptiveCostPredictor::new(7, true);
+    let f = if reference { train_reference } else { train };
+    f(&mut p, samples, candidates, EnvMetrics::default(), cfg);
+    weight_bits(&p)
+}
+
+/// The microbatched workspace engine yields bit-identical FINAL WEIGHTS at
+/// 1, 2, and 8 threads — and those weights match the legacy allocating path
+/// (`train_reference`) on the same seed. Runs the full adaptive (DANN)
+/// configuration so the candidate branch is exercised too.
+#[test]
+fn microbatched_weights_are_bit_identical_across_engines_and_threads() {
+    let samples = make_samples(48);
+    let candidates = make_candidates(12);
+    let cfg = TrainConfig {
+        epochs: 3,
+        adaptive: true,
+        seed: 0xd5eed,
+        ..TrainConfig::default()
+    };
+
+    let prev_threads = mcsim_par::threads();
+    let prev_work = mcsim_par::set_min_parallel_work(1);
+
+    mcsim_par::set_threads(1);
+    let serial = train_weights(&samples, &candidates, &cfg, false);
+    let legacy = train_weights(&samples, &candidates, &cfg, true);
+    assert_eq!(
+        serial, legacy,
+        "workspace engine diverged from the legacy allocating path"
+    );
+
+    for threads in [2usize, 8] {
+        mcsim_par::set_threads(threads);
+        let run = train_weights(&samples, &candidates, &cfg, false);
+        assert_eq!(
+            serial, run,
+            "final weights changed at {threads} threads — microbatch reduction is not deterministic"
         );
     }
 

@@ -4,12 +4,14 @@
 //! Plans are viewed as undirected graphs (tree edges + self loops); each
 //! layer aggregates mean-normalized neighbor features before a linear map
 //! and ReLU, and the node representations are mean-pooled into a plan
-//! embedding.
+//! embedding. The workspace (`_ws`) pair reuses caller-provided buffers;
+//! the legacy `forward`/`backward` pair delegates to it.
 
-use crate::linear::{relu, relu_backward, Linear};
+use crate::linear::Linear;
 use crate::mat::Mat;
 use crate::param::AdamConfig;
 use crate::tcn::TreeStructure;
+use crate::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -35,8 +37,9 @@ impl Graph {
     }
 
     /// Mean aggregation `agg[i] = mean_{j ∈ N(i)} x[j]`.
-    fn aggregate(&self, x: &Mat) -> Mat {
-        let mut out = Mat::zeros(x.rows, x.cols);
+    fn aggregate_into(&self, x: &Mat, out: &mut Mat) {
+        out.resize_in_place(x.rows, x.cols);
+        out.fill(0.0);
         for (i, ns) in self.neighbors.iter().enumerate() {
             let inv = 1.0 / ns.len() as f32;
             for &j in ns {
@@ -45,12 +48,12 @@ impl Graph {
                 }
             }
         }
-        out
     }
 
     /// Transpose of the aggregation (for backward): scatter grad back.
-    fn aggregate_backward(&self, grad: &Mat) -> Mat {
-        let mut out = Mat::zeros(grad.rows, grad.cols);
+    fn aggregate_backward_into(&self, grad: &Mat, out: &mut Mat) {
+        out.resize_in_place(grad.rows, grad.cols);
+        out.fill(0.0);
         for (i, ns) in self.neighbors.iter().enumerate() {
             let inv = 1.0 / ns.len() as f32;
             for &j in ns {
@@ -59,7 +62,6 @@ impl Graph {
                 }
             }
         }
-        out
     }
 }
 
@@ -69,13 +71,6 @@ pub struct GcnLayer {
     lin: Linear,
 }
 
-/// Backward cache for one GCN layer.
-#[derive(Debug, Clone)]
-pub struct GcnLayerCache {
-    agg: Mat,
-    pre: Mat,
-}
-
 impl GcnLayer {
     /// He-initialized layer.
     pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
@@ -83,20 +78,30 @@ impl GcnLayer {
             lin: Linear::new(in_dim, out_dim, rng),
         }
     }
+}
 
-    /// Forward pass.
-    pub fn forward(&self, x: &Mat, g: &Graph) -> (Mat, GcnLayerCache) {
-        let agg = g.aggregate(x);
-        let pre = self.lin.forward(&agg);
-        (relu(&pre), GcnLayerCache { agg, pre })
-    }
+/// Reusable forward buffers for the workspace pair.
+#[derive(Debug, Clone, Default)]
+pub struct GcnWs {
+    agg1: Mat,
+    h1: Mat,
+    agg2: Mat,
+    h2: Mat,
+    pooled: Mat,
+    emb: Mat,
+}
 
-    /// Backward pass.
-    pub fn backward(&mut self, cache: &GcnLayerCache, g: &Graph, grad_out: &Mat) -> Mat {
-        let gpre = relu_backward(&cache.pre, grad_out);
-        let gagg = self.lin.backward(&cache.agg, &gpre);
-        g.aggregate_backward(&gagg)
+impl GcnWs {
+    /// The embedding produced by the last `forward_ws` call.
+    pub fn emb(&self) -> &Mat {
+        &self.emb
     }
+}
+
+/// Backward cache for the full encoder.
+#[derive(Debug, Clone)]
+pub struct GcnCache {
+    ws: GcnWs,
 }
 
 /// A two-layer GCN encoder with mean pooling and a projection head.
@@ -105,16 +110,6 @@ pub struct Gcn {
     l1: GcnLayer,
     l2: GcnLayer,
     proj: Linear,
-}
-
-/// Backward cache for the full encoder.
-#[derive(Debug, Clone)]
-pub struct GcnCache {
-    c1: GcnLayerCache,
-    h1: Mat,
-    c2: GcnLayerCache,
-    h2: Mat,
-    pooled: Mat,
 }
 
 impl Gcn {
@@ -134,47 +129,104 @@ impl Gcn {
     }
 
     /// Encodes a plan graph into a 1×emb embedding.
+    ///
+    /// Thin allocating wrapper over [`Gcn::forward_ws`].
     pub fn forward(&self, x: &Mat, g: &Graph) -> (Mat, GcnCache) {
-        let (h1, c1) = self.l1.forward(x, g);
-        let (h2, c2) = self.l2.forward(&h1, g);
+        let mut ws = GcnWs::default();
+        self.forward_ws(x, g, &mut ws);
+        let emb = ws.emb.clone();
+        (emb, GcnCache { ws })
+    }
+
+    /// Allocation-free encoding: aggregation, fused matmul+bias+ReLU, mean
+    /// pool, and projection all write into the workspace's reusable buffers.
+    pub fn forward_ws(&self, x: &Mat, g: &Graph, ws: &mut GcnWs) {
+        let GcnWs {
+            agg1,
+            h1,
+            agg2,
+            h2,
+            pooled,
+            emb,
+        } = ws;
+        g.aggregate_into(x, agg1);
+        self.l1.lin.forward_relu_into(agg1, h1);
+        g.aggregate_into(h1, agg2);
+        self.l2.lin.forward_relu_into(agg2, h2);
         // Mean pooling over nodes.
-        let mut pooled = Mat::zeros(1, h2.cols);
+        pooled.resize_in_place(1, h2.cols);
+        pooled.fill(0.0);
         for r in 0..h2.rows {
             for c in 0..h2.cols {
                 pooled.data[c] += h2.get(r, c) / h2.rows as f32;
             }
         }
-        let emb = self.proj.forward(&pooled);
-        (
-            emb,
-            GcnCache {
-                c1,
-                h1,
-                c2,
-                h2,
-                pooled,
-            },
-        )
+        self.proj.forward_into(pooled, emb);
     }
 
     /// Inference-only encoding.
     pub fn infer(&self, x: &Mat, g: &Graph) -> Mat {
-        self.forward(x, g).0
+        let mut ws = GcnWs::default();
+        self.forward_ws(x, g, &mut ws);
+        ws.emb
     }
 
     /// Backward from an embedding gradient.
+    ///
+    /// Thin allocating wrapper over [`Gcn::backward_ws`].
     pub fn backward(&mut self, cache: &GcnCache, g: &Graph, grad_emb: &Mat) {
-        let grad_pooled = self.proj.backward(&cache.pooled, grad_emb);
-        let n = cache.h2.rows as f32;
-        let mut grad_h2 = Mat::zeros(cache.h2.rows, cache.h2.cols);
-        for r in 0..cache.h2.rows {
-            for c in 0..cache.h2.cols {
-                grad_h2.set(r, c, grad_pooled.data[c] / n);
-            }
-        }
-        let grad_h1 = self.l2.backward(&cache.c2, g, &grad_h2);
-        let _ = self.l1.backward(&cache.c1, g, &grad_h1);
-        let _ = &cache.h1;
+        let mut scratch = Workspace::new();
+        self.backward_ws(g, &cache.ws, grad_emb, &mut scratch);
+    }
+
+    /// Allocation-free backward; accumulates directly into the parameter
+    /// gradients. The first layer's input gradient (gradient w.r.t. the node
+    /// features) is never computed — no caller uses it.
+    pub fn backward_ws(&mut self, g: &Graph, ws: &GcnWs, grad_emb: &Mat, scratch: &mut Workspace) {
+        scratch.with(1, ws.pooled.cols, |scratch, grad_pooled| {
+            Linear::backward_into(
+                &self.proj.w.value,
+                &ws.pooled,
+                grad_emb,
+                &mut self.proj.w.grad,
+                &mut self.proj.b.grad,
+                Some(grad_pooled),
+                scratch,
+            );
+            let n = ws.h2.rows as f32;
+            scratch.with(ws.h2.rows, ws.h2.cols, |scratch, grad_h2| {
+                for r in 0..ws.h2.rows {
+                    for c in 0..ws.h2.cols {
+                        grad_h2.set(r, c, grad_pooled.data[c] / n);
+                    }
+                }
+                scratch.with(ws.h2.rows, ws.h2.cols, |scratch, gagg2| {
+                    Linear::backward_relu_into(
+                        &self.l2.lin.w.value,
+                        &ws.agg2,
+                        &ws.h2,
+                        grad_h2,
+                        &mut self.l2.lin.w.grad,
+                        &mut self.l2.lin.b.grad,
+                        Some(gagg2),
+                        scratch,
+                    );
+                    scratch.with(ws.h1.rows, ws.h1.cols, |scratch, grad_h1| {
+                        g.aggregate_backward_into(gagg2, grad_h1);
+                        Linear::backward_relu_into(
+                            &self.l1.lin.w.value,
+                            &ws.agg1,
+                            &ws.h1,
+                            grad_h1,
+                            &mut self.l1.lin.w.grad,
+                            &mut self.l1.lin.b.grad,
+                            None,
+                            scratch,
+                        );
+                    });
+                });
+            });
+        });
     }
 
     /// Clears gradients.
@@ -228,8 +280,10 @@ mod tests {
         let g = Graph::from_tree(&tiny_tree());
         let x = Mat::randn(3, 4, 1.0, &mut rng);
         let y = Mat::randn(3, 4, 1.0, &mut rng);
-        let ax = g.aggregate(&x);
-        let aty = g.aggregate_backward(&y);
+        let mut ax = Mat::default();
+        g.aggregate_into(&x, &mut ax);
+        let mut aty = Mat::default();
+        g.aggregate_backward_into(&y, &mut aty);
         let lhs: f32 = ax.data.iter().zip(&y.data).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.data.iter().zip(&aty.data).map(|(a, b)| a * b).sum();
         assert!((lhs - rhs).abs() < 1e-4);

@@ -18,9 +18,14 @@ pub fn lambda_schedule(progress: f64) -> f64 {
 
 /// Applies the backward side of the GRL: returns `−λ · grad`.
 pub fn reverse_gradient(grad: &Mat, lambda: f64) -> Mat {
-    let mut out = grad.clone();
-    out.scale(-(lambda as f32));
+    let mut out = Mat::default();
+    reverse_gradient_into(grad, lambda, &mut out);
     out
+}
+
+/// [`reverse_gradient`] writing into a reusable buffer.
+pub fn reverse_gradient_into(grad: &Mat, lambda: f64, out: &mut Mat) {
+    out.copy_scaled_from(grad, -(lambda as f32));
 }
 
 #[cfg(test)]

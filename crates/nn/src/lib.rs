@@ -11,6 +11,16 @@
 //! activations; gradient correctness is enforced by finite-difference tests
 //! in each module.
 //!
+//! ## Workspaces
+//!
+//! Each layer also exposes allocation-free `*_ws`/`*_into` variants that
+//! write into caller-owned, reusable buffers (see [`workspace::Workspace`]
+//! and per-layer workspace structs such as [`MlpWs`] and [`TcnWs`]). The
+//! allocating entry points are thin wrappers over these, so both paths share
+//! one implementation and produce bit-identical results. Training loops that
+//! keep a `Workspace` plus the layer workspaces alive across steps perform
+//! zero heap allocation after warmup.
+//!
 //! ## Example
 //!
 //! ```
@@ -35,16 +45,20 @@ pub mod mat;
 pub mod metrics;
 pub mod mlp;
 pub mod param;
+pub mod sparse;
 pub mod tcn;
 pub mod transformer;
+pub mod workspace;
 
-pub use gcn::{Gcn, GcnCache, Graph};
-pub use grl::{lambda_schedule, reverse_gradient};
-pub use linear::{relu, relu_backward, softmax_rows, Linear};
-pub use loss::{accuracy, cross_entropy_logits, mse};
+pub use gcn::{Gcn, GcnCache, GcnWs, Graph};
+pub use grl::{lambda_schedule, reverse_gradient, reverse_gradient_into};
+pub use linear::{relu, relu_backward, relu_mask_into, softmax_rows, softmax_rows_into, Linear};
+pub use loss::{accuracy, cross_entropy_logits, cross_entropy_logits_into, mse, mse_into};
 pub use mat::Mat;
 pub use metrics::{concordance, mean_abs_log_ratio, r2, spearman};
-pub use mlp::{Mlp, MlpCache};
+pub use mlp::{Mlp, MlpCache, MlpWs};
 pub use param::{AdamConfig, Param};
-pub use tcn::{Tcn, TcnCache, TreeConvLayer, TreeStructure};
-pub use transformer::{Transformer, TransformerCache};
+pub use sparse::SparseRows;
+pub use tcn::{Tcn, TcnCache, TcnWs, TreeConvLayer, TreeStructure};
+pub use transformer::{Transformer, TransformerCache, TransformerWs};
+pub use workspace::{alloc_probe, GradSet, Workspace};

@@ -2,6 +2,7 @@
 
 use crate::mat::Mat;
 use crate::param::{AdamConfig, Param};
+use crate::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -36,23 +37,87 @@ impl Linear {
 
     /// Forward: `x` is n×in, result n×out.
     pub fn forward(&self, x: &Mat) -> Mat {
-        let mut y = x.matmul_nt(&self.w.value);
-        y.add_row_broadcast(&self.b.value.data);
+        let mut y = Mat::default();
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// Forward into a reusable buffer via the fused matmul+bias kernel.
+    pub fn forward_into(&self, x: &Mat, y: &mut Mat) {
+        x.matmul_nt_bias_into(&self.w.value, &self.b.value.data, false, y);
+    }
+
+    /// Forward followed by ReLU, fused into one output pass.
+    pub fn forward_relu_into(&self, x: &Mat, y: &mut Mat) {
+        x.matmul_nt_bias_into(&self.w.value, &self.b.value.data, true, y);
     }
 
     /// Backward: given the input `x` used in forward and `grad_out` (n×out),
     /// accumulates parameter gradients and returns `grad_in` (n×in).
     pub fn backward(&mut self, x: &Mat, grad_out: &Mat) -> Mat {
-        // dW = grad_outᵀ @ x  (out×in)
-        let dw = grad_out.matmul_tn(x);
-        self.w.grad.add_assign(&dw);
-        let db = grad_out.col_sums();
-        for (g, d) in self.b.grad.data.iter_mut().zip(db) {
-            *g += d;
+        let mut scratch = Workspace::new();
+        let mut grad_in = Mat::default();
+        Linear::backward_into(
+            &self.w.value,
+            x,
+            grad_out,
+            &mut self.w.grad,
+            &mut self.b.grad,
+            Some(&mut grad_in),
+            &mut scratch,
+        );
+        grad_in
+    }
+
+    /// Allocation-free backward. `w` is the forward weight matrix; parameter
+    /// gradients are computed into workspace scratch and then added to the
+    /// `gw`/`gb` accumulators (so wrapper and workspace paths share one
+    /// accumulation order); `grad_in`, when requested, is overwritten with
+    /// `grad_out @ W`. Associated function (not `&mut self`) so callers can
+    /// split value/grad borrows across `Param` fields.
+    pub fn backward_into(
+        w: &Mat,
+        x: &Mat,
+        grad_out: &Mat,
+        gw: &mut Mat,
+        gb: &mut Mat,
+        grad_in: Option<&mut Mat>,
+        scratch: &mut Workspace,
+    ) {
+        scratch.with(w.rows, w.cols, |scratch, dw| {
+            // dW = grad_outᵀ @ x  (out×in)
+            grad_out.matmul_tn_into(x, dw);
+            gw.add_assign(dw);
+            scratch.with(1, w.rows, |_, db| {
+                grad_out.col_sums_into(db);
+                gb.add_assign(db);
+            });
+        });
+        if let Some(gi) = grad_in {
+            // dX = grad_out @ W (n×in)
+            grad_out.matmul_into(w, gi);
         }
-        // dX = grad_out @ W (n×in)
-        grad_out.matmul(&self.w.value)
+    }
+
+    /// Fused ReLU+linear backward: masks `grad_out` against the post-ReLU
+    /// output `y` (equivalent to masking on the pre-activation, since
+    /// `y = max(pre, 0)` is positive exactly where `pre` is) and then runs
+    /// [`Linear::backward_into`] on the masked gradient.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_relu_into(
+        w: &Mat,
+        x: &Mat,
+        y: &Mat,
+        grad_out: &Mat,
+        gw: &mut Mat,
+        gb: &mut Mat,
+        grad_in: Option<&mut Mat>,
+        scratch: &mut Workspace,
+    ) {
+        scratch.with(grad_out.rows, grad_out.cols, |scratch, gpre| {
+            relu_mask_into(y, grad_out, gpre);
+            Linear::backward_into(w, x, gpre, gw, gb, grad_in, scratch);
+        });
     }
 
     /// Clears accumulated gradients.
@@ -128,12 +193,31 @@ pub fn relu_backward(input: &Mat, grad: &Mat) -> Mat {
     out
 }
 
+/// Writes `grad` masked by the post-ReLU output `y` into `out`:
+/// `out[i] = grad[i]` where `y[i] > 0`, else `0`. Masking on the output is
+/// bit-equivalent to [`relu_backward`]'s masking on the pre-activation.
+pub fn relu_mask_into(y: &Mat, grad: &Mat, out: &mut Mat) {
+    assert_eq!(y.data.len(), grad.data.len());
+    out.resize_in_place(grad.rows, grad.cols);
+    for ((o, &g), &v) in out.data.iter_mut().zip(&grad.data).zip(&y.data) {
+        *o = if v <= 0.0 { 0.0 } else { g };
+    }
+}
+
 /// Row-wise softmax. Rows are independent, so row blocks run in parallel
 /// with bit-identical results.
 pub fn softmax_rows(x: &Mat) -> Mat {
-    let mut out = x.clone();
+    let mut out = Mat::default();
+    softmax_rows_into(x, &mut out);
+    out
+}
+
+/// Row-wise softmax into a reusable buffer; kernel shared with
+/// [`softmax_rows`].
+pub fn softmax_rows_into(x: &Mat, out: &mut Mat) {
+    out.copy_from(x);
     if out.cols == 0 {
-        return out;
+        return;
     }
     let softmax_block = |block: &mut [f32], cols: usize| {
         for row in block.chunks_mut(cols) {
@@ -159,7 +243,6 @@ pub fn softmax_rows(x: &Mat) -> Mat {
     } else {
         softmax_block(&mut out.data, cols);
     }
-    out
 }
 
 #[cfg(test)]
@@ -247,6 +330,46 @@ mod tests {
             assert!((sum - 1.0).abs() < 1e-6);
             assert!(s.row(r).iter().all(|&p| p >= 0.0));
         }
+    }
+
+    #[test]
+    fn relu_mask_on_output_matches_legacy_mask_on_input() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let pre = Mat::randn(3, 5, 1.0, &mut rng);
+        let grad = Mat::randn(3, 5, 1.0, &mut rng);
+        let y = relu(&pre);
+        let want = relu_backward(&pre, &grad);
+        let mut got = Mat::default();
+        relu_mask_into(&y, &grad, &mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn backward_into_matches_wrapper_bitwise() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut layer = Linear::new(6, 4, &mut rng);
+        let x = Mat::randn(3, 6, 1.0, &mut rng);
+        let g = Mat::randn(3, 4, 1.0, &mut rng);
+        layer.zero_grad();
+        let gi_wrap = layer.backward(&x, &g);
+        let (gw_wrap, gb_wrap) = (layer.w.grad.clone(), layer.b.grad.clone());
+
+        let mut gw = Mat::zeros(4, 6);
+        let mut gb = Mat::zeros(1, 4);
+        let mut gi = Mat::default();
+        let mut ws = crate::workspace::Workspace::new();
+        Linear::backward_into(
+            &layer.w.value,
+            &x,
+            &g,
+            &mut gw,
+            &mut gb,
+            Some(&mut gi),
+            &mut ws,
+        );
+        assert_eq!(gw, gw_wrap);
+        assert_eq!(gb, gb_wrap);
+        assert_eq!(gi, gi_wrap);
     }
 
     #[test]

@@ -3,39 +3,53 @@
 //! LOAM uses mean squared error for the cost-prediction loss `L_c` and
 //! cross-entropy for the domain-classification loss `L_d` (Equation 1).
 
-use crate::linear::softmax_rows;
+use crate::linear::softmax_rows_into;
 use crate::mat::Mat;
 
 /// Mean squared error over all elements; returns `(loss, grad)` where
 /// `grad = 2 (pred − target) / n`.
 pub fn mse(pred: &Mat, target: &Mat) -> (f32, Mat) {
+    let mut grad = Mat::default();
+    let loss = mse_into(pred, target, &mut grad);
+    (loss, grad)
+}
+
+/// [`mse`] writing the gradient into a reusable buffer.
+pub fn mse_into(pred: &Mat, target: &Mat, grad: &mut Mat) -> f32 {
     assert_eq!(pred.data.len(), target.data.len());
     let n = pred.data.len().max(1) as f32;
-    let mut grad = Mat::zeros(pred.rows, pred.cols);
+    grad.resize_in_place(pred.rows, pred.cols);
     let mut loss = 0.0;
     for i in 0..pred.data.len() {
         let d = pred.data[i] - target.data[i];
         loss += d * d;
         grad.data[i] = 2.0 * d / n;
     }
-    (loss / n, grad)
+    loss / n
 }
 
 /// Softmax cross-entropy with integer class labels; returns `(loss, grad)`
 /// where `grad` is w.r.t. the logits (already divided by batch size).
 pub fn cross_entropy_logits(logits: &Mat, labels: &[usize]) -> (f32, Mat) {
+    let mut grad = Mat::default();
+    let loss = cross_entropy_logits_into(logits, labels, &mut grad);
+    (loss, grad)
+}
+
+/// [`cross_entropy_logits`] writing the gradient into a reusable buffer
+/// (the softmax probabilities are computed in place inside it).
+pub fn cross_entropy_logits_into(logits: &Mat, labels: &[usize], grad: &mut Mat) -> f32 {
     assert_eq!(logits.rows, labels.len());
-    let probs = softmax_rows(logits);
+    softmax_rows_into(logits, grad);
     let n = labels.len().max(1) as f32;
-    let mut grad = probs.clone();
     let mut loss = 0.0;
     for (r, &y) in labels.iter().enumerate() {
-        let p = probs.get(r, y).max(1e-9);
-        loss -= p.ln();
-        grad.set(r, y, grad.get(r, y) - 1.0);
+        let p = grad.get(r, y);
+        loss -= p.max(1e-9).ln();
+        grad.set(r, y, p - 1.0);
     }
     grad.scale(1.0 / n);
-    (loss / n, grad)
+    loss / n
 }
 
 /// Binary classification accuracy for 2-logit outputs.

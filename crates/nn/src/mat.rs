@@ -46,6 +46,44 @@ impl Mat {
         Mat { rows, cols, data }
     }
 
+    /// Reshapes in place to `rows × cols`, reusing the existing buffer when
+    /// its capacity allows. Element values after the call are unspecified —
+    /// callers must overwrite (or [`Mat::fill`]) before reading. Never
+    /// shrinks capacity, so a warmed-up scratch matrix stops allocating.
+    pub fn resize_in_place(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        // `resize` only allocates when n exceeds capacity.
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Sets every element to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Becomes an element-wise copy of `other` (resizing in place).
+    pub fn copy_from(&mut self, other: &Mat) {
+        self.resize_in_place(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Becomes `s * other` (resizing in place).
+    pub fn copy_scaled_from(&mut self, other: &Mat, s: f32) {
+        self.resize_in_place(other.rows, other.cols);
+        for (o, &x) in self.data.iter_mut().zip(&other.data) {
+            *o = s * x;
+        }
+    }
+
+    /// `self += s * other`, element-wise.
+    pub fn add_scaled(&mut self, other: &Mat, s: f32) {
+        assert_eq!(self.data.len(), other.data.len());
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
     /// A single row as a 1×n matrix view copy.
     pub fn row(&self, r: usize) -> &[f32] {
         &self.data[r * self.cols..(r + 1) * self.cols]
@@ -88,13 +126,21 @@ impl Mat {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Mat) -> Mat {
+        let mut out = Mat::default();
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// `self @ other` written into a reusable output buffer (resized in
+    /// place, no allocation once warm). Same kernel as [`Mat::matmul`].
+    pub fn matmul_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Mat::zeros(self.rows, other.cols);
+        out.resize_in_place(self.rows, other.cols);
+        out.fill(0.0);
         let flops = 2 * self.rows * self.cols * other.cols;
-        run_row_blocked(&mut out, flops, |i0, chunk| {
+        run_row_blocked(out, flops, |i0, chunk| {
             self.matmul_rows_into(other, i0, chunk)
         });
-        out
     }
 
     /// `selfᵀ @ other` (k×m · k×n → m×n) without materializing the transpose.
@@ -102,13 +148,21 @@ impl Mat {
     /// Blocked/parallelized like [`Mat::matmul`]; bit-identical at any
     /// thread count.
     pub fn matmul_tn(&self, other: &Mat) -> Mat {
+        let mut out = Mat::default();
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// `selfᵀ @ other` into a reusable buffer; kernel shared with
+    /// [`Mat::matmul_tn`].
+    pub fn matmul_tn_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
-        let mut out = Mat::zeros(self.cols, other.cols);
+        out.resize_in_place(self.cols, other.cols);
+        out.fill(0.0);
         let flops = 2 * self.rows * self.cols * other.cols;
-        run_row_blocked(&mut out, flops, |i0, chunk| {
+        run_row_blocked(out, flops, |i0, chunk| {
             self.matmul_tn_rows_into(other, i0, chunk)
         });
-        out
     }
 
     /// `self @ otherᵀ` (m×k · n×k → m×n) without materializing the transpose.
@@ -116,13 +170,57 @@ impl Mat {
     /// Blocked/parallelized like [`Mat::matmul`]; bit-identical at any
     /// thread count.
     pub fn matmul_nt(&self, other: &Mat) -> Mat {
+        let mut out = Mat::default();
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `self @ otherᵀ` into a reusable buffer; kernel shared with
+    /// [`Mat::matmul_nt`].
+    pub fn matmul_nt_into(&self, other: &Mat, out: &mut Mat) {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
-        let mut out = Mat::zeros(self.rows, other.rows);
+        // No zero-fill: the nt kernel overwrites every output element.
+        out.resize_in_place(self.rows, other.rows);
         let flops = 2 * self.rows * self.cols * other.rows;
-        run_row_blocked(&mut out, flops, |i0, chunk| {
+        run_row_blocked(out, flops, |i0, chunk| {
             self.matmul_nt_rows_into(other, i0, chunk)
         });
-        out
+    }
+
+    /// Fused `self @ otherᵀ + bias`, optionally ReLU-clamped, into a
+    /// reusable buffer. One pass over the output instead of three
+    /// (matmul_nt → add_row_broadcast → relu); each element is
+    /// `dot(row, wrow) + bias[j]` then `max(0)` — the same dot kernel and
+    /// operation order as the unfused sequence, so results are bit-identical
+    /// to it at any thread count.
+    pub fn matmul_nt_bias_into(&self, other: &Mat, bias: &[f32], relu: bool, out: &mut Mat) {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        assert_eq!(bias.len(), other.rows, "bias length mismatch");
+        out.resize_in_place(self.rows, other.rows);
+        let n = other.rows;
+        let flops = 2 * self.rows * self.cols * n;
+        run_row_blocked(out, flops, |i0, chunk| {
+            let rows = chunk.len() / n;
+            for bi in 0..rows {
+                let arow = self.row(i0 + bi);
+                let orow = &mut chunk[bi * n..(bi + 1) * n];
+                for (j, (o, &b)) in orow.iter_mut().zip(bias).enumerate() {
+                    let s = dot(arow, &other.data[j * other.cols..(j + 1) * other.cols]) + b;
+                    *o = if relu { s.max(0.0) } else { s };
+                }
+            }
+        });
+    }
+
+    /// Sum of each column written into a reusable 1×cols buffer.
+    pub fn col_sums_into(&self, out: &mut Mat) {
+        out.resize_in_place(1, self.cols);
+        out.fill(0.0);
+        for r in 0..self.rows {
+            for (o, &x) in out.data.iter_mut().zip(self.row(r)) {
+                *o += x;
+            }
+        }
     }
 
     /// Computes output rows starting at `i0` of `self @ other` into `chunk`
@@ -227,7 +325,11 @@ const K_PANEL: usize = 64;
 /// every output element is computed entirely by one worker with the shared
 /// kernel, so results are bit-identical regardless of thread count or block
 /// boundaries.
-fn run_row_blocked(out: &mut Mat, flops: usize, kernel: impl Fn(usize, &mut [f32]) + Sync) {
+pub(crate) fn run_row_blocked(
+    out: &mut Mat,
+    flops: usize,
+    kernel: impl Fn(usize, &mut [f32]) + Sync,
+) {
     if out.rows == 0 || out.cols == 0 {
         return;
     }
@@ -247,7 +349,7 @@ fn run_row_blocked(out: &mut Mat, flops: usize, kernel: impl Fn(usize, &mut [f32
 /// `out += a * x`, unrolled by 4. Each output element is touched exactly
 /// once, so the unroll factor does not change any accumulation order.
 #[inline]
-fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+pub(crate) fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
     let n = out.len();
     let (main_o, tail_o) = out.split_at_mut(n - n % 4);
     let (main_x, tail_x) = x.split_at(n - n % 4);
@@ -266,7 +368,7 @@ fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
 /// chain); combined as `((s0 + s1) + (s2 + s3)) + tail`, a fixed order used
 /// by serial and parallel paths alike.
 #[inline]
-fn dot(x: &[f32], y: &[f32]) -> f32 {
+pub(crate) fn dot(x: &[f32], y: &[f32]) -> f32 {
     let n = x.len();
     let main = n - n % 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
@@ -336,6 +438,58 @@ mod tests {
         let a = Mat::zeros(2, 3);
         let b = Mat::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Mat::randn(5, 7, 1.0, &mut rng);
+        let b = Mat::randn(7, 4, 1.0, &mut rng);
+        let c = Mat::randn(5, 4, 1.0, &mut rng);
+        let d = Mat::randn(4, 7, 1.0, &mut rng);
+        // Start from a deliberately wrong-shaped dirty buffer to prove the
+        // resize-in-place path leaves no stale state behind.
+        let mut out = Mat::from_vec(2, 2, vec![9.0; 4]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        a.matmul_tn_into(&c, &mut out);
+        assert_eq!(out, a.matmul_tn(&c));
+        a.matmul_nt_into(&d, &mut out);
+        assert_eq!(out, a.matmul_nt(&d));
+        c.col_sums_into(&mut out);
+        assert_eq!(out.data, c.col_sums());
+    }
+
+    #[test]
+    fn fused_bias_relu_matches_unfused_sequence_bitwise() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Mat::randn(6, 9, 1.0, &mut rng);
+        let w = Mat::randn(5, 9, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..5).map(|i| (i as f32) - 2.0).collect();
+        let mut want = x.matmul_nt(&w);
+        want.add_row_broadcast(&bias);
+        let mut fused = Mat::default();
+        x.matmul_nt_bias_into(&w, &bias, false, &mut fused);
+        assert_eq!(fused, want);
+        for v in want.data.iter_mut() {
+            *v = v.max(0.0);
+        }
+        x.matmul_nt_bias_into(&w, &bias, true, &mut fused);
+        assert_eq!(fused, want);
+    }
+
+    #[test]
+    fn copy_and_scale_helpers() {
+        let a = Mat::from_vec(2, 2, vec![1.0, -2.0, 3.0, -4.0]);
+        let mut b = Mat::default();
+        b.copy_scaled_from(&a, -0.5);
+        assert_eq!(b.data, vec![-0.5, 1.0, -1.5, 2.0]);
+        b.add_scaled(&a, 0.5);
+        assert_eq!(b.data, vec![0.0, 0.0, 0.0, 0.0]);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.fill(7.0);
+        assert_eq!(b.data, vec![7.0; 4]);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Multi-layer perceptrons (ReLU hidden layers, linear output).
 
-use crate::linear::{relu, relu_backward, Linear};
+use crate::linear::Linear;
 use crate::mat::Mat;
-use crate::param::AdamConfig;
+use crate::param::{AdamConfig, Param};
+use crate::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -13,13 +14,37 @@ pub struct Mlp {
     pub layers: Vec<Linear>,
 }
 
+/// Reusable per-model activation buffers for the workspace forward/backward
+/// pair. One warm instance per training worker; never reallocates once every
+/// batch shape has been seen.
+#[derive(Debug, Clone, Default)]
+pub struct MlpWs {
+    /// Post-activation output of each layer (final layer: raw output).
+    acts: Vec<Mat>,
+}
+
+impl MlpWs {
+    /// The network output of the last `forward_ws` call.
+    pub fn out(&self) -> &Mat {
+        self.acts.last().expect("forward_ws not called yet")
+    }
+
+    /// Bytes held by the activation buffers.
+    pub fn bytes(&self) -> usize {
+        self.acts
+            .iter()
+            .map(|m| m.data.capacity() * std::mem::size_of::<f32>())
+            .sum()
+    }
+}
+
 /// Forward-pass cache needed for backward.
 #[derive(Debug, Clone)]
 pub struct MlpCache {
-    /// Input to each layer.
-    inputs: Vec<Mat>,
-    /// Pre-activation output of each hidden layer (for the ReLU mask).
-    pre_acts: Vec<Mat>,
+    /// The forward input.
+    x: Mat,
+    /// Activation buffers from the forward pass.
+    ws: MlpWs,
 }
 
 impl Mlp {
@@ -39,48 +64,178 @@ impl Mlp {
     }
 
     /// Forward pass returning the output and a cache for backward.
+    ///
+    /// Thin allocating wrapper over [`Mlp::forward_ws`].
     pub fn forward(&self, x: &Mat) -> (Mat, MlpCache) {
-        let mut inputs = Vec::with_capacity(self.layers.len());
-        let mut pre_acts = Vec::with_capacity(self.layers.len().saturating_sub(1));
-        let mut cur = x.clone();
+        let mut ws = MlpWs::default();
+        self.forward_ws(x, &mut ws);
+        let out = ws.out().clone();
+        (out, MlpCache { x: x.clone(), ws })
+    }
+
+    /// Allocation-free forward: fused matmul+bias(+ReLU) per layer into the
+    /// workspace's reusable activation buffers.
+    pub fn forward_ws(&self, x: &Mat, ws: &mut MlpWs) {
+        let n = self.layers.len();
+        ws.acts.resize_with(n, Mat::default);
         for (i, layer) in self.layers.iter().enumerate() {
-            inputs.push(cur.clone());
-            let pre = layer.forward(&cur);
-            if i + 1 < self.layers.len() {
-                pre_acts.push(pre.clone());
-                cur = relu(&pre);
+            let (done, rest) = ws.acts.split_at_mut(i);
+            let input: &Mat = if i == 0 { x } else { &done[i - 1] };
+            if i + 1 < n {
+                layer.forward_relu_into(input, &mut rest[0]);
             } else {
-                cur = pre;
+                layer.forward_into(input, &mut rest[0]);
             }
         }
-        (cur, MlpCache { inputs, pre_acts })
     }
 
     /// Inference-only forward (no cache).
     pub fn infer(&self, x: &Mat) -> Mat {
-        let mut cur = x.clone();
-        for (i, layer) in self.layers.iter().enumerate() {
-            let pre = layer.forward(&cur);
-            cur = if i + 1 < self.layers.len() {
-                relu(&pre)
-            } else {
-                pre
-            };
-        }
-        cur
+        let mut ws = MlpWs::default();
+        self.forward_ws(x, &mut ws);
+        ws.acts.pop().expect("at least one layer")
     }
 
     /// Backward pass: accumulates parameter gradients, returns the gradient
     /// w.r.t. the MLP input.
+    ///
+    /// Thin allocating wrapper over [`Mlp::backward_ws`].
     pub fn backward(&mut self, cache: &MlpCache, grad_out: &Mat) -> Mat {
-        let mut grad = grad_out.clone();
-        for i in (0..self.layers.len()).rev() {
-            if i + 1 < self.layers.len() {
-                grad = relu_backward(&cache.pre_acts[i], &grad);
+        let mut grads: Vec<Mat> = self
+            .grad_shapes()
+            .iter()
+            .map(|&(r, c)| Mat::zeros(r, c))
+            .collect();
+        let mut scratch = Workspace::new();
+        let mut grad_in = Mat::default();
+        self.backward_ws(
+            &cache.x,
+            &cache.ws,
+            grad_out,
+            &mut grads,
+            Some(&mut grad_in),
+            &mut scratch,
+        );
+        self.add_grads(&grads);
+        grad_in
+    }
+
+    /// Allocation-free backward. Parameter gradients are added into `grads`
+    /// (layout per [`Mlp::grad_shapes`]); `grad_in`, when requested, is
+    /// overwritten with the gradient w.r.t. the forward input. Intermediate
+    /// gradients live in `scratch`.
+    pub fn backward_ws(
+        &self,
+        x: &Mat,
+        ws: &MlpWs,
+        grad_out: &Mat,
+        grads: &mut [Mat],
+        grad_in: Option<&mut Mat>,
+        scratch: &mut Workspace,
+    ) {
+        assert_eq!(grads.len(), 2 * self.layers.len(), "grad buffer layout");
+        self.backward_from(
+            self.layers.len() - 1,
+            x,
+            ws,
+            grad_out,
+            grads,
+            grad_in,
+            scratch,
+        );
+    }
+
+    /// Processes layer `i` with `incoming` (the gradient w.r.t. that layer's
+    /// post-activation output) and recurses toward layer 0; recursion keeps
+    /// the chain's intermediate buffers properly nested in `scratch`.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_from(
+        &self,
+        i: usize,
+        x: &Mat,
+        ws: &MlpWs,
+        incoming: &Mat,
+        grads: &mut [Mat],
+        grad_in: Option<&mut Mat>,
+        scratch: &mut Workspace,
+    ) {
+        let layer = &self.layers[i];
+        let input: &Mat = if i == 0 { x } else { &ws.acts[i - 1] };
+        let hidden = i + 1 < self.layers.len();
+        if i == 0 {
+            let (gw, gb) = two_muts(grads, 2 * i);
+            if hidden {
+                Linear::backward_relu_into(
+                    &layer.w.value,
+                    input,
+                    &ws.acts[i],
+                    incoming,
+                    gw,
+                    gb,
+                    grad_in,
+                    scratch,
+                );
+            } else {
+                Linear::backward_into(&layer.w.value, input, incoming, gw, gb, grad_in, scratch);
             }
-            grad = self.layers[i].backward(&cache.inputs[i], &grad);
+        } else {
+            scratch.with(input.rows, layer.in_dim(), |scratch, gin| {
+                {
+                    let (gw, gb) = two_muts(grads, 2 * i);
+                    if hidden {
+                        Linear::backward_relu_into(
+                            &layer.w.value,
+                            input,
+                            &ws.acts[i],
+                            incoming,
+                            gw,
+                            gb,
+                            Some(gin),
+                            scratch,
+                        );
+                    } else {
+                        Linear::backward_into(
+                            &layer.w.value,
+                            input,
+                            incoming,
+                            gw,
+                            gb,
+                            Some(gin),
+                            scratch,
+                        );
+                    }
+                }
+                self.backward_from(i - 1, x, ws, gin, grads, grad_in, scratch);
+            });
         }
-        grad
+    }
+
+    /// Parameters in canonical order: `[w0, b0, w1, b1, ...]`.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| [&l.w, &l.b]).collect()
+    }
+
+    /// Shapes of the gradient buffers in [`Mlp::params`] order.
+    pub fn grad_shapes(&self) -> Vec<(usize, usize)> {
+        self.layers
+            .iter()
+            .flat_map(|l| {
+                [
+                    (l.w.value.rows, l.w.value.cols),
+                    (l.b.value.rows, l.b.value.cols),
+                ]
+            })
+            .collect()
+    }
+
+    /// Adds externally accumulated gradients (in [`Mlp::params`] order) into
+    /// the layers' gradient accumulators.
+    pub fn add_grads(&mut self, mats: &[Mat]) {
+        assert_eq!(mats.len(), 2 * self.layers.len(), "grad buffer layout");
+        for (i, l) in self.layers.iter_mut().enumerate() {
+            l.w.grad.add_assign(&mats[2 * i]);
+            l.b.grad.add_assign(&mats[2 * i + 1]);
+        }
     }
 
     /// Clears all gradients.
@@ -101,6 +256,12 @@ impl Mlp {
     pub fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
+}
+
+/// Two adjacent `&mut` elements of a slice (the w/b gradient pair).
+fn two_muts(mats: &mut [Mat], at: usize) -> (&mut Mat, &mut Mat) {
+    let (a, b) = mats[at..at + 2].split_at_mut(1);
+    (&mut a[0], &mut b[0])
 }
 
 #[cfg(test)]
@@ -197,6 +358,35 @@ mod tests {
         let (y1, _) = mlp.forward(&x);
         let y2 = mlp.infer(&x);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn workspace_path_matches_wrapper_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&[4, 8, 3, 2], &mut rng);
+        let x = Mat::randn(5, 4, 1.0, &mut rng);
+        let g = Mat::randn(5, 2, 1.0, &mut rng);
+
+        let (y_wrap, cache) = mlp.forward(&x);
+        mlp.zero_grad();
+        let gi_wrap = mlp.backward(&cache, &g);
+        let wrap_grads: Vec<Mat> = mlp.params().iter().map(|p| p.grad.clone()).collect();
+
+        let mut ws = MlpWs::default();
+        mlp.forward_ws(&x, &mut ws);
+        assert_eq!(*ws.out(), y_wrap);
+        let mut grads: Vec<Mat> = mlp
+            .grad_shapes()
+            .iter()
+            .map(|&(r, c)| Mat::zeros(r, c))
+            .collect();
+        let mut gi = Mat::default();
+        let mut scratch = Workspace::new();
+        mlp.backward_ws(&x, &ws, &g, &mut grads, Some(&mut gi), &mut scratch);
+        assert_eq!(gi, gi_wrap);
+        for (got, want) in grads.iter().zip(&wrap_grads) {
+            assert_eq!(got, want);
+        }
     }
 
     #[test]

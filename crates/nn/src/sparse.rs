@@ -1,0 +1,195 @@
+//! Compressed sparse row views of static feature matrices.
+//!
+//! Plan-feature rows are mostly zeros (one-hot operator slots plus hashed
+//! table/column encodings leave ~90% of the feature width empty), and the
+//! features of a cached plan never change across training epochs. Indexing
+//! the nonzeros once lets the first tree-conv layer — the dominant share of
+//! a training step's multiply-accumulates — iterate only the stored entries.
+//!
+//! ## Bit-identity with the dense kernels
+//!
+//! The sparse kernels are drop-in replacements for their dense counterparts,
+//! not approximations: [`sparse_dot`] reproduces the dense `dot`'s exact
+//! accumulation shape (four position-indexed lanes, `c % 4`, combined as
+//! `((s0 + s1) + (s2 + s3)) + tail`), and the sparse weight-gradient kernels
+//! accumulate per output element in the same ascending-`k` order as
+//! `Mat::matmul_tn`. A skipped term is a product with a stored `+0.0`, which
+//! under round-to-nearest leaves every partial sum bitwise unchanged
+//! (`s + ±0.0 == s` for nonzero `s`, and `+0.0 + ±0.0 == +0.0`), so results
+//! match the dense kernels bit for bit whenever every row carries at least
+//! one nonzero — which plan-feature matrices always do (the operator one-hot
+//! slot is 1.0 on every node). The only conceivable divergence is the sign
+//! of an exactly-zero result of an all-zero row, which no consumer of these
+//! kernels can observe through ReLU and nonzero-weight sums.
+
+use crate::mat::Mat;
+
+/// CSR-style index of the nonzero entries of a dense matrix. Column indices
+/// within each row are ascending; `±0.0` entries are treated as zeros and
+/// dropped.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseRows {
+    /// Row `i` occupies `cols[starts[i]..starts[i + 1]]` / `vals[...]`.
+    starts: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+    rows: usize,
+    dim: usize,
+}
+
+impl SparseRows {
+    /// Indexes the nonzeros of `x` (rows × dim).
+    pub fn from_dense(x: &Mat) -> SparseRows {
+        let mut starts = Vec::with_capacity(x.rows + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        starts.push(0);
+        for r in 0..x.rows {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    cols.push(c as u32);
+                    vals.push(v);
+                }
+            }
+            starts.push(cols.len() as u32);
+        }
+        SparseRows {
+            starts,
+            cols,
+            vals,
+            rows: x.rows,
+            dim: x.cols,
+        }
+    }
+
+    /// Number of rows in the underlying matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Dense column count of the underlying matrix.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The nonzeros of row `i` as parallel `(columns, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let (a, b) = (self.starts[i] as usize, self.starts[i + 1] as usize);
+        (&self.cols[a..b], &self.vals[a..b])
+    }
+
+    /// Reconstructs the dense matrix (tests and debugging).
+    pub fn to_dense(&self) -> Mat {
+        let mut out = Mat::zeros(self.rows, self.dim);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.data[r * self.dim + c as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// Heap bytes held by the index.
+    pub fn bytes(&self) -> usize {
+        self.starts.capacity() * std::mem::size_of::<u32>()
+            + self.cols.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Sparse · dense dot product, bitwise identical to `dot(x_dense, w)`: the
+/// four-lane accumulation of the dense kernel is replicated by routing each
+/// stored entry to the lane its column occupies there (`c % 4` within the
+/// unrolled head, sequential tail for `c >= len - len % 4`).
+#[inline]
+pub(crate) fn sparse_dot(cols: &[u32], vals: &[f32], w: &[f32]) -> f32 {
+    let main = w.len() - w.len() % 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    let mut i = 0;
+    while i < cols.len() {
+        let c = cols[i] as usize;
+        if c >= main {
+            break;
+        }
+        let p = vals[i] * w[c];
+        match c % 4 {
+            0 => s0 += p,
+            1 => s1 += p,
+            2 => s2 += p,
+            _ => s3 += p,
+        }
+        i += 1;
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for (&c, &v) in cols[i..].iter().zip(&vals[i..]) {
+        s += v * w[c as usize];
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mat::dot;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A mostly-zero matrix shaped like plan features: every row has at
+    /// least one nonzero (the "one-hot" slot) plus a few random entries.
+    fn featurelike(rows: usize, dim: usize, rng: &mut StdRng) -> Mat {
+        let mut x = Mat::zeros(rows, dim);
+        for r in 0..rows {
+            x.set(r, r % dim, 1.0);
+            for _ in 0..dim / 8 {
+                let c = rng.gen_range(0..dim);
+                x.set(r, c, rng.gen_range(-2.0..2.0f32));
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn from_dense_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = featurelike(7, 19, &mut rng);
+        let s = SparseRows::from_dense(&x);
+        assert_eq!((s.rows(), s.dim()), (7, 19));
+        assert_eq!(s.to_dense(), x);
+        assert!(s.nnz() < 7 * 19 / 2, "feature-like rows must stay sparse");
+    }
+
+    #[test]
+    fn negative_zero_entries_are_dropped() {
+        let x = Mat::from_vec(1, 4, vec![0.0, -0.0, 3.0, 0.0]);
+        let s = SparseRows::from_dense(&x);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.row(0), (&[2u32][..], &[3.0f32][..]));
+    }
+
+    /// The lane-replicating sparse dot is bitwise identical to the dense
+    /// four-lane dot across widths that exercise every head/tail split.
+    #[test]
+    fn sparse_dot_matches_dense_dot_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for dim in [1usize, 3, 4, 5, 8, 17, 64, 192] {
+            for _ in 0..20 {
+                let x = featurelike(1, dim, &mut rng);
+                let w: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let s = SparseRows::from_dense(&x);
+                let (cols, vals) = s.row(0);
+                assert_eq!(
+                    sparse_dot(cols, vals, &w).to_bits(),
+                    dot(x.row(0), &w).to_bits(),
+                    "dim {dim}"
+                );
+            }
+        }
+    }
+}

@@ -6,10 +6,19 @@
 //! information from deeper subtrees. The resulting node representations are
 //! pooled and then passed through a fully connected layer" (Section 4,
 //! Predictive Module Design) — exactly the PlanEmb architecture of Bao/Neo.
+//!
+//! The workspace (`_ws`) entry points are the training hot path: the
+//! per-node convolution is fused (self/left/right dot products + bias +
+//! ReLU in one output pass, no gathered child matrices are materialized)
+//! and every buffer is caller-provided, so a warm training step performs no
+//! heap allocation. The legacy `forward`/`backward` pair delegates to the
+//! same kernels.
 
-use crate::linear::{relu, relu_backward, Linear};
-use crate::mat::Mat;
+use crate::linear::{relu_mask_into, Linear};
+use crate::mat::{axpy, dot, run_row_blocked, Mat};
 use crate::param::{AdamConfig, Param};
+use crate::sparse::{sparse_dot, SparseRows};
+use crate::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -49,7 +58,7 @@ pub struct TreeConvLayer {
 #[derive(Debug, Clone)]
 pub struct TreeConvCache {
     input: Mat,
-    pre: Mat,
+    out: Mat,
 }
 
 impl TreeConvLayer {
@@ -70,43 +79,221 @@ impl TreeConvLayer {
     }
 
     /// Forward over all nodes at once (`x`: nodes×in).
+    ///
+    /// Thin allocating wrapper over [`TreeConvLayer::forward_ws`].
     pub fn forward(&self, x: &Mat, tree: &TreeStructure) -> (Mat, TreeConvCache) {
-        let gathered_l = gather(x, &tree.left);
-        let gathered_r = gather(x, &tree.right);
-        let mut pre = x.matmul_nt(&self.w_self.value);
-        pre.add_assign(&gathered_l.matmul_nt(&self.w_left.value));
-        pre.add_assign(&gathered_r.matmul_nt(&self.w_right.value));
-        pre.add_row_broadcast(&self.b.value.data);
-        let out = relu(&pre);
+        let mut out = Mat::default();
+        self.forward_ws(x, tree, &mut out);
         (
-            out,
+            out.clone(),
             TreeConvCache {
                 input: x.clone(),
-                pre,
+                out,
             },
         )
     }
 
+    /// Fused allocation-free forward: for each node, the self/left/right
+    /// dot products, bias, and ReLU happen in one pass over the output row —
+    /// no gathered child matrices are materialized. Missing children
+    /// contribute nothing (a zero row's dot product). Row-parallel above the
+    /// work gate with a fixed per-element accumulation order
+    /// (self + left + right + bias), so results are bit-identical at any
+    /// thread count.
+    pub fn forward_ws(&self, x: &Mat, tree: &TreeStructure, out: &mut Mat) {
+        let n = x.rows;
+        let id = x.cols;
+        let od = self.out_dim();
+        assert_eq!(id, self.w_self.value.cols, "tree conv input width");
+        assert_eq!(n, tree.len(), "tree/feature row mismatch");
+        out.resize_in_place(n, od);
+        let (ws, wl, wr) = (&self.w_self.value, &self.w_left.value, &self.w_right.value);
+        let bias = &self.b.value.data;
+        let flops = 6 * n * id * od;
+        run_row_blocked(out, flops, |i0, chunk| {
+            for (bi, orow) in chunk.chunks_mut(od).enumerate() {
+                let i = i0 + bi;
+                let xi = x.row(i);
+                let xl = tree.left[i].map(|j| x.row(j));
+                let xr = tree.right[i].map(|j| x.row(j));
+                for (j, (o, &bj)) in orow.iter_mut().zip(bias).enumerate() {
+                    let mut s = dot(xi, &ws.data[j * id..(j + 1) * id]);
+                    if let Some(xl) = xl {
+                        s += dot(xl, &wl.data[j * id..(j + 1) * id]);
+                    }
+                    if let Some(xr) = xr {
+                        s += dot(xr, &wr.data[j * id..(j + 1) * id]);
+                    }
+                    *o = (s + bj).max(0.0);
+                }
+            }
+        });
+    }
+
+    /// Fused forward over a sparse input view; bitwise identical to
+    /// [`TreeConvLayer::forward_ws`] on the dense matrix (see the
+    /// [`crate::sparse`] module docs for the argument). Feature rows are
+    /// ~90% zeros, so this is the main single-thread win of the training
+    /// hot path: only stored nonzeros are multiplied.
+    pub fn forward_ws_sparse(&self, x: &SparseRows, tree: &TreeStructure, out: &mut Mat) {
+        let n = x.rows();
+        let id = x.dim();
+        let od = self.out_dim();
+        assert_eq!(id, self.w_self.value.cols, "tree conv input width");
+        assert_eq!(n, tree.len(), "tree/feature row mismatch");
+        out.resize_in_place(n, od);
+        let (ws, wl, wr) = (&self.w_self.value, &self.w_left.value, &self.w_right.value);
+        let bias = &self.b.value.data;
+        let flops = 6 * x.nnz() * od;
+        run_row_blocked(out, flops, |i0, chunk| {
+            for (bi, orow) in chunk.chunks_mut(od).enumerate() {
+                let i = i0 + bi;
+                let xi = x.row(i);
+                let xl = tree.left[i].map(|j| x.row(j));
+                let xr = tree.right[i].map(|j| x.row(j));
+                for (j, (o, &bj)) in orow.iter_mut().zip(bias).enumerate() {
+                    let mut s = sparse_dot(xi.0, xi.1, &ws.data[j * id..(j + 1) * id]);
+                    if let Some((cl, vl)) = xl {
+                        s += sparse_dot(cl, vl, &wl.data[j * id..(j + 1) * id]);
+                    }
+                    if let Some((cr, vr)) = xr {
+                        s += sparse_dot(cr, vr, &wr.data[j * id..(j + 1) * id]);
+                    }
+                    *o = (s + bj).max(0.0);
+                }
+            }
+        });
+    }
+
     /// Backward: accumulates parameter grads, returns grad w.r.t. `x`.
+    ///
+    /// Thin allocating wrapper over [`TreeConvLayer::backward_ws`].
     pub fn backward(&mut self, cache: &TreeConvCache, tree: &TreeStructure, grad_out: &Mat) -> Mat {
-        let gpre = relu_backward(&cache.pre, grad_out);
-        let gathered_l = gather(&cache.input, &tree.left);
-        let gathered_r = gather(&cache.input, &tree.right);
-
-        self.w_self.grad.add_assign(&gpre.matmul_tn(&cache.input));
-        self.w_left.grad.add_assign(&gpre.matmul_tn(&gathered_l));
-        self.w_right.grad.add_assign(&gpre.matmul_tn(&gathered_r));
-        for (g, d) in self.b.grad.data.iter_mut().zip(gpre.col_sums()) {
-            *g += d;
+        let mut grads: Vec<Mat> = self
+            .grad_shapes()
+            .iter()
+            .map(|&(r, c)| Mat::zeros(r, c))
+            .collect();
+        let mut scratch = Workspace::new();
+        let mut grad_x = Mat::default();
+        self.backward_ws(
+            &cache.input,
+            &cache.out,
+            tree,
+            grad_out,
+            &mut grads,
+            Some(&mut grad_x),
+            &mut scratch,
+        );
+        for (p, g) in self.params_mut().into_iter().zip(&grads) {
+            p.grad.add_assign(g);
         }
-
-        // grad_x: self term + scattered child terms.
-        let mut grad_x = gpre.matmul(&self.w_self.value);
-        let via_left = gpre.matmul(&self.w_left.value);
-        scatter_add(&mut grad_x, &via_left, &tree.left);
-        let via_right = gpre.matmul(&self.w_right.value);
-        scatter_add(&mut grad_x, &via_right, &tree.right);
         grad_x
+    }
+
+    /// Allocation-free backward. `h` is the forward output (its zeros mask
+    /// the ReLU); per-parameter gradients go into zeroed scratch first and
+    /// are then added to `grads` (layout per [`TreeConvLayer::grad_shapes`]),
+    /// keeping one accumulation order for wrapper and workspace callers.
+    /// Skipping `grad_in` skips the three input-gradient matmuls entirely —
+    /// the first layer of an encoder never needs them.
+    #[allow(clippy::too_many_arguments)]
+    pub fn backward_ws(
+        &self,
+        x: &Mat,
+        h: &Mat,
+        tree: &TreeStructure,
+        grad_out: &Mat,
+        grads: &mut [Mat],
+        grad_in: Option<&mut Mat>,
+        scratch: &mut Workspace,
+    ) {
+        assert_eq!(grads.len(), 4, "tree conv grad layout");
+        let od = self.out_dim();
+        let id = x.cols;
+        scratch.with(grad_out.rows, grad_out.cols, |scratch, gpre| {
+            relu_mask_into(h, grad_out, gpre);
+            scratch.with(od, id, |scratch, dw| {
+                gpre.matmul_tn_into(x, dw);
+                grads[0].add_assign(dw);
+                tn_gather_into(gpre, x, &tree.left, dw);
+                grads[1].add_assign(dw);
+                tn_gather_into(gpre, x, &tree.right, dw);
+                grads[2].add_assign(dw);
+                scratch.with(1, od, |_, db| {
+                    gpre.col_sums_into(db);
+                    grads[3].add_assign(db);
+                });
+            });
+            if let Some(grad_x) = grad_in {
+                // grad_x: self term + scattered child terms.
+                gpre.matmul_into(&self.w_self.value, grad_x);
+                scratch.with(gpre.rows, id, |_, via| {
+                    gpre.matmul_into(&self.w_left.value, via);
+                    scatter_add(grad_x, via, &tree.left);
+                    gpre.matmul_into(&self.w_right.value, via);
+                    scatter_add(grad_x, via, &tree.right);
+                });
+            }
+        });
+    }
+
+    /// Allocation-free backward over a sparse input view; bitwise identical
+    /// to [`TreeConvLayer::backward_ws`] with `grad_in: None` (the sparse
+    /// path serves the encoder's first layer, whose input never needs a
+    /// gradient). The weight-gradient kernels touch only stored nonzeros of
+    /// `x` while keeping the dense kernels' per-element ascending-node
+    /// accumulation order.
+    pub fn backward_ws_sparse(
+        &self,
+        x: &SparseRows,
+        h: &Mat,
+        tree: &TreeStructure,
+        grad_out: &Mat,
+        grads: &mut [Mat],
+        scratch: &mut Workspace,
+    ) {
+        assert_eq!(grads.len(), 4, "tree conv grad layout");
+        let od = self.out_dim();
+        let id = x.dim();
+        scratch.with(grad_out.rows, grad_out.cols, |scratch, gpre| {
+            relu_mask_into(h, grad_out, gpre);
+            scratch.with(od, id, |scratch, dw| {
+                tn_sparse_into(gpre, x, dw);
+                grads[0].add_assign(dw);
+                tn_gather_sparse_into(gpre, x, &tree.left, dw);
+                grads[1].add_assign(dw);
+                tn_gather_sparse_into(gpre, x, &tree.right, dw);
+                grads[2].add_assign(dw);
+                scratch.with(1, od, |_, db| {
+                    gpre.col_sums_into(db);
+                    grads[3].add_assign(db);
+                });
+            });
+        });
+    }
+
+    /// Parameters in canonical order: `[w_self, w_left, w_right, b]`.
+    pub fn params(&self) -> [&Param; 4] {
+        [&self.w_self, &self.w_left, &self.w_right, &self.b]
+    }
+
+    /// Mutable parameter access in canonical order.
+    pub fn params_mut(&mut self) -> [&mut Param; 4] {
+        [
+            &mut self.w_self,
+            &mut self.w_left,
+            &mut self.w_right,
+            &mut self.b,
+        ]
+    }
+
+    /// Gradient-buffer shapes in [`TreeConvLayer::params`] order.
+    pub fn grad_shapes(&self) -> Vec<(usize, usize)> {
+        self.params()
+            .iter()
+            .map(|p| (p.value.rows, p.value.cols))
+            .collect()
     }
 
     /// Clears gradients.
@@ -131,31 +318,60 @@ impl TreeConvLayer {
     }
 }
 
-/// Rows of `x` gathered by child index (missing child → zero row).
-/// Output rows are disjoint, so row blocks run in parallel for large trees.
-fn gather(x: &Mat, idx: &[Option<usize>]) -> Mat {
-    let mut out = Mat::zeros(x.rows, x.cols);
-    let cols = x.cols;
-    if cols == 0 || x.rows == 0 {
-        return out;
+/// `out = gpreᵀ @ gather(x, idx)` without materializing the gather: the
+/// weight gradient of one child filter. Accumulation per output element is
+/// ascending node order, the same k-outer order as [`Mat::matmul_tn`];
+/// nodes without the child are skipped (a zero row contributes nothing).
+fn tn_gather_into(gpre: &Mat, x: &Mat, idx: &[Option<usize>], out: &mut Mat) {
+    out.resize_in_place(gpre.cols, x.cols);
+    out.fill(0.0);
+    for (k, &j) in idx.iter().enumerate() {
+        let Some(j) = j else { continue };
+        let xrow = &x.data[j * x.cols..(j + 1) * x.cols];
+        let grow = gpre.row(k);
+        for (r, &g) in grow.iter().enumerate() {
+            axpy(out.row_mut(r), g, xrow);
+        }
     }
-    let gather_block = |i0: usize, block: &mut [f32]| {
-        for (bi, orow) in block.chunks_mut(cols).enumerate() {
-            if let Some(j) = idx[i0 + bi] {
-                orow.copy_from_slice(x.row(j));
+}
+
+/// `out = gpreᵀ @ x` over the sparse view: per output element the
+/// accumulation is ascending node order with one add per node, the same
+/// order as [`Mat::matmul_tn`] — nodes where `x` stores no value for a
+/// column are skipped (their dense product is an exact zero).
+fn tn_sparse_into(gpre: &Mat, x: &SparseRows, out: &mut Mat) {
+    out.resize_in_place(gpre.cols, x.dim());
+    out.fill(0.0);
+    let id = x.dim();
+    for k in 0..x.rows() {
+        let (cols, vals) = x.row(k);
+        let grow = gpre.row(k);
+        for (r, &g) in grow.iter().enumerate() {
+            let orow = &mut out.data[r * id..(r + 1) * id];
+            for (&c, &v) in cols.iter().zip(vals) {
+                orow[c as usize] += g * v;
             }
         }
-    };
-    let pool = mcsim_par::ThreadPool::global();
-    if pool.threads() > 1 && x.rows > 1 && x.rows * cols >= mcsim_par::min_parallel_work() {
-        let block_rows = x.rows.div_ceil(pool.threads() * 2).max(1);
-        pool.parallel_for_chunks_mut(&mut out.data, block_rows * cols, |ci, block| {
-            gather_block(ci * block_rows, block)
-        });
-    } else {
-        gather_block(0, &mut out.data);
     }
-    out
+}
+
+/// Sparse analog of [`tn_gather_into`]: the child-filter weight gradient
+/// without materializing the gather, iterating only stored nonzeros.
+fn tn_gather_sparse_into(gpre: &Mat, x: &SparseRows, idx: &[Option<usize>], out: &mut Mat) {
+    out.resize_in_place(gpre.cols, x.dim());
+    out.fill(0.0);
+    let id = x.dim();
+    for (k, &j) in idx.iter().enumerate() {
+        let Some(j) = j else { continue };
+        let (cols, vals) = x.row(j);
+        let grow = gpre.row(k);
+        for (r, &g) in grow.iter().enumerate() {
+            let orow = &mut out.data[r * id..(r + 1) * id];
+            for (&c, &v) in cols.iter().zip(vals) {
+                orow[c as usize] += g * v;
+            }
+        }
+    }
 }
 
 /// `target[idx[i]] += src[i]` for present children.
@@ -173,10 +389,11 @@ fn scatter_add(target: &mut Mat, src: &Mat, idx: &[Option<usize>]) {
 /// Dynamic pooling over node representations: concatenated max and mean
 /// pools plus a log node count. Max pooling captures dominant operators;
 /// mean pooling (≈ sum / n) matches the additive structure of plan cost.
-fn pool(h: &Mat) -> (Mat, Vec<usize>) {
+fn pool_into(h: &Mat, pooled: &mut Mat, arg: &mut Vec<usize>) {
     let d = h.cols;
-    let mut pooled = Mat::zeros(1, 2 * d + 1);
-    let mut arg = vec![0usize; d];
+    pooled.resize_in_place(1, 2 * d + 1);
+    arg.clear();
+    arg.resize(d, 0);
     for (c, arg_c) in arg.iter_mut().enumerate() {
         let mut best = f32::MIN;
         let mut sum = 0.0;
@@ -192,7 +409,6 @@ fn pool(h: &Mat) -> (Mat, Vec<usize>) {
         pooled.data[d + c] = sum / h.rows.max(1) as f32;
     }
     pooled.data[2 * d] = (1.0 + h.rows as f32).ln();
-    (pooled, arg)
 }
 
 /// The full PlanEmb tree-convolutional encoder: two tree-conv layers,
@@ -204,15 +420,40 @@ pub struct Tcn {
     proj: Linear,
 }
 
+/// Reusable per-model activation buffers for the workspace forward/backward
+/// pair.
+#[derive(Debug, Clone, Default)]
+pub struct TcnWs {
+    h1: Mat,
+    h2: Mat,
+    pooled: Mat,
+    argmax: Vec<usize>,
+    emb: Mat,
+}
+
+impl TcnWs {
+    /// The embedding produced by the last `forward_ws` call.
+    pub fn emb(&self) -> &Mat {
+        &self.emb
+    }
+
+    /// Bytes held by the activation buffers.
+    pub fn bytes(&self) -> usize {
+        let f = std::mem::size_of::<f32>();
+        (self.h1.data.capacity()
+            + self.h2.data.capacity()
+            + self.pooled.data.capacity()
+            + self.emb.data.capacity())
+            * f
+            + self.argmax.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
 /// Backward cache for one encoded tree.
 #[derive(Debug, Clone)]
 pub struct TcnCache {
-    c1: TreeConvCache,
-    h1: Mat,
-    c2: TreeConvCache,
-    h2: Mat,
-    argmax: Vec<usize>,
-    pooled: Mat,
+    x: Mat,
+    ws: TcnWs,
 }
 
 impl Tcn {
@@ -237,48 +478,229 @@ impl Tcn {
     }
 
     /// Encodes one tree (`x`: nodes×in) into a 1×emb embedding.
+    ///
+    /// Thin allocating wrapper over [`Tcn::forward_ws`].
     pub fn forward(&self, x: &Mat, tree: &TreeStructure) -> (Mat, TcnCache) {
-        let (h1, c1) = self.conv1.forward(x, tree);
-        let (h2, c2) = self.conv2.forward(&h1, tree);
-        let (pooled, argmax) = pool(&h2);
-        let emb = self.proj.forward(&pooled);
-        (
+        let mut ws = TcnWs::default();
+        self.forward_ws(x, tree, &mut ws);
+        let emb = ws.emb.clone();
+        (emb, TcnCache { x: x.clone(), ws })
+    }
+
+    /// Allocation-free encoding into the workspace's reusable buffers; the
+    /// embedding lands in `ws.emb()`.
+    pub fn forward_ws(&self, x: &Mat, tree: &TreeStructure, ws: &mut TcnWs) {
+        let TcnWs {
+            h1,
+            h2,
+            pooled,
+            argmax,
             emb,
-            TcnCache {
-                c1,
-                h1,
-                c2,
-                h2,
-                argmax,
-                pooled,
-            },
-        )
+        } = ws;
+        self.conv1.forward_ws(x, tree, h1);
+        self.conv2.forward_ws(h1, tree, h2);
+        pool_into(h2, pooled, argmax);
+        self.proj.forward_into(pooled, emb);
+    }
+
+    /// Allocation-free encoding from a sparse feature view: conv1 consumes
+    /// the CSR index directly (bitwise identical to [`Tcn::forward_ws`] on
+    /// the dense matrix), and the dense downstream layers are unchanged.
+    pub fn forward_ws_sparse(&self, x: &SparseRows, tree: &TreeStructure, ws: &mut TcnWs) {
+        let TcnWs {
+            h1,
+            h2,
+            pooled,
+            argmax,
+            emb,
+        } = ws;
+        self.conv1.forward_ws_sparse(x, tree, h1);
+        self.conv2.forward_ws(h1, tree, h2);
+        pool_into(h2, pooled, argmax);
+        self.proj.forward_into(pooled, emb);
     }
 
     /// Inference-only encoding.
     pub fn infer(&self, x: &Mat, tree: &TreeStructure) -> Mat {
-        self.forward(x, tree).0
+        let mut ws = TcnWs::default();
+        self.forward_ws(x, tree, &mut ws);
+        ws.emb
     }
 
     /// Backward from an embedding gradient; accumulates parameter grads.
+    ///
+    /// Thin allocating wrapper over the workspace kernels that preserves the
+    /// legacy engine's full cost profile: it also computes conv1's input
+    /// gradient (into discarded scratch), exactly as the original
+    /// per-layer `backward` chain did — three matmuls plus two scatters per
+    /// tree that the `_ws` training path skips.
     pub fn backward(&mut self, cache: &TcnCache, tree: &TreeStructure, grad_emb: &Mat) {
-        let grad_pooled = self.proj.backward(&cache.pooled, grad_emb);
-        // Un-pool: max gradients route to argmax rows, mean gradients spread
-        // over all rows. The node-count term has no input gradient.
-        let d = cache.h2.cols;
-        let n = cache.h2.rows.max(1) as f32;
-        let mut grad_h2 = Mat::zeros(cache.h2.rows, cache.h2.cols);
-        for c in 0..d {
-            let r = cache.argmax[c];
-            grad_h2.data[r * d + c] += grad_pooled.data[c];
-            let gm = grad_pooled.data[d + c] / n;
-            for row in 0..cache.h2.rows {
-                grad_h2.data[row * d + c] += gm;
-            }
+        let mut grads: Vec<Mat> = self
+            .grad_shapes()
+            .iter()
+            .map(|&(r, c)| Mat::zeros(r, c))
+            .collect();
+        let mut scratch = Workspace::new();
+        let (x, ws) = (&cache.x, &cache.ws);
+        self.backward_ws_with(
+            tree,
+            ws,
+            grad_emb,
+            &mut grads,
+            &mut scratch,
+            |conv1, grad_h1, g1, scratch| {
+                scratch.with(x.rows, x.cols, |scratch, gx| {
+                    conv1.backward_ws(x, &ws.h1, tree, grad_h1, g1, Some(gx), scratch);
+                });
+            },
+        );
+        self.add_grads(&grads);
+    }
+
+    /// Allocation-free backward: parameter gradients are added into `grads`
+    /// (layout per [`Tcn::grad_shapes`]). The first conv layer's input
+    /// gradient is never computed — the encoder input needs no gradient, and
+    /// the legacy path wasted three matmuls plus two scatters per tree on it.
+    pub fn backward_ws(
+        &self,
+        x: &Mat,
+        tree: &TreeStructure,
+        ws: &TcnWs,
+        grad_emb: &Mat,
+        grads: &mut [Mat],
+        scratch: &mut Workspace,
+    ) {
+        self.backward_ws_with(
+            tree,
+            ws,
+            grad_emb,
+            grads,
+            scratch,
+            |conv1, grad_h1, g1, scratch| {
+                conv1.backward_ws(x, &ws.h1, tree, grad_h1, g1, None, scratch);
+            },
+        );
+    }
+
+    /// Sparse-input backward: conv1's weight gradients are accumulated from
+    /// the CSR view (bitwise identical to the dense path); everything
+    /// downstream is shared with [`Tcn::backward_ws`].
+    pub fn backward_ws_sparse(
+        &self,
+        x: &SparseRows,
+        tree: &TreeStructure,
+        ws: &TcnWs,
+        grad_emb: &Mat,
+        grads: &mut [Mat],
+        scratch: &mut Workspace,
+    ) {
+        self.backward_ws_with(
+            tree,
+            ws,
+            grad_emb,
+            grads,
+            scratch,
+            |conv1, grad_h1, g1, scratch| {
+                conv1.backward_ws_sparse(x, &ws.h1, tree, grad_h1, g1, scratch);
+            },
+        );
+    }
+
+    /// Shared backward skeleton: proj → un-pool → conv2, then hands conv1's
+    /// upstream gradient to the caller-chosen first-layer kernel.
+    fn backward_ws_with(
+        &self,
+        tree: &TreeStructure,
+        ws: &TcnWs,
+        grad_emb: &Mat,
+        grads: &mut [Mat],
+        scratch: &mut Workspace,
+        conv1_back: impl FnOnce(&TreeConvLayer, &Mat, &mut [Mat], &mut Workspace),
+    ) {
+        assert_eq!(grads.len(), 10, "tcn grad layout");
+        let (g1, rest) = grads.split_at_mut(4);
+        let (g2, gp) = rest.split_at_mut(4);
+        let (gpw, gpb) = {
+            let (a, b) = gp.split_at_mut(1);
+            (&mut a[0], &mut b[0])
+        };
+        scratch.with(1, ws.pooled.cols, |scratch, grad_pooled| {
+            Linear::backward_into(
+                &self.proj.w.value,
+                &ws.pooled,
+                grad_emb,
+                gpw,
+                gpb,
+                Some(grad_pooled),
+                scratch,
+            );
+            // Un-pool: max gradients route to argmax rows, mean gradients
+            // spread over all rows. The node-count term has no input
+            // gradient.
+            let d = ws.h2.cols;
+            let n = ws.h2.rows.max(1) as f32;
+            scratch.with_zeroed(ws.h2.rows, ws.h2.cols, |scratch, grad_h2| {
+                for c in 0..d {
+                    let r = ws.argmax[c];
+                    grad_h2.data[r * d + c] += grad_pooled.data[c];
+                    let gm = grad_pooled.data[d + c] / n;
+                    for row in 0..ws.h2.rows {
+                        grad_h2.data[row * d + c] += gm;
+                    }
+                }
+                scratch.with(ws.h1.rows, ws.h1.cols, |scratch, grad_h1| {
+                    self.conv2.backward_ws(
+                        &ws.h1,
+                        &ws.h2,
+                        tree,
+                        grad_h2,
+                        g2,
+                        Some(grad_h1),
+                        scratch,
+                    );
+                    conv1_back(&self.conv1, grad_h1, g1, scratch);
+                });
+            });
+        });
+    }
+
+    /// Parameters in canonical order: conv1's four, conv2's four, then the
+    /// projection's weight and bias.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut out: Vec<&Param> = Vec::with_capacity(10);
+        out.extend(self.conv1.params());
+        out.extend(self.conv2.params());
+        out.push(&self.proj.w);
+        out.push(&self.proj.b);
+        out
+    }
+
+    /// Mutable parameter access in [`Tcn::params`] order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out: Vec<&mut Param> = Vec::with_capacity(10);
+        out.extend(self.conv1.params_mut());
+        out.extend(self.conv2.params_mut());
+        out.push(&mut self.proj.w);
+        out.push(&mut self.proj.b);
+        out
+    }
+
+    /// Gradient-buffer shapes in [`Tcn::params`] order.
+    pub fn grad_shapes(&self) -> Vec<(usize, usize)> {
+        self.params()
+            .iter()
+            .map(|p| (p.value.rows, p.value.cols))
+            .collect()
+    }
+
+    /// Adds externally accumulated gradients (in [`Tcn::params`] order) into
+    /// the parameters' gradient accumulators.
+    pub fn add_grads(&mut self, mats: &[Mat]) {
+        let params = self.params_mut();
+        assert_eq!(mats.len(), params.len(), "tcn grad layout");
+        for (p, g) in params.into_iter().zip(mats) {
+            p.grad.add_assign(g);
         }
-        let grad_h1 = self.conv2.backward(&cache.c2, tree, &grad_h2);
-        let _ = self.conv1.backward(&cache.c1, tree, &grad_h1);
-        let _ = &cache.h1;
     }
 
     /// Clears all gradients.
@@ -371,6 +793,115 @@ mod tests {
             assert!(
                 (num - ana).abs() < 5e-2,
                 "conv1.w_left[{idx}] num {num} vs ana {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_path_matches_wrapper_bitwise() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut tcn = Tcn::new(5, 7, 6, 3, &mut rng);
+        let tree = TreeStructure {
+            left: vec![Some(1), Some(3), None, None, None],
+            right: vec![Some(2), Some(4), None, None, None],
+        };
+        let x = Mat::randn(5, 5, 1.0, &mut rng);
+        let g = Mat::randn(1, 3, 1.0, &mut rng);
+
+        let (emb_wrap, cache) = tcn.forward(&x, &tree);
+        tcn.zero_grad();
+        tcn.backward(&cache, &tree, &g);
+        let wrap_grads: Vec<Mat> = tcn.params().iter().map(|p| p.grad.clone()).collect();
+
+        let mut ws = TcnWs::default();
+        tcn.forward_ws(&x, &tree, &mut ws);
+        assert_eq!(*ws.emb(), emb_wrap);
+        let mut grads: Vec<Mat> = tcn
+            .grad_shapes()
+            .iter()
+            .map(|&(r, c)| Mat::zeros(r, c))
+            .collect();
+        let mut scratch = Workspace::new();
+        tcn.backward_ws(&x, &tree, &ws, &g, &mut grads, &mut scratch);
+        for (got, want) in grads.iter().zip(&wrap_grads) {
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_path_bitwise() {
+        // Feature-like sparse input (every node row keeps a one-hot slot,
+        // most other entries zero): forward embeddings AND all ten parameter
+        // gradients must be bit-identical between the dense and sparse
+        // kernels.
+        let mut rng = StdRng::seed_from_u64(21);
+        let tcn = Tcn::new(24, 9, 7, 3, &mut rng);
+        let tree = TreeStructure {
+            left: vec![Some(1), Some(3), None, None, Some(4)],
+            right: vec![Some(2), None, Some(4), None, None],
+        };
+        let mut x = Mat::zeros(5, 24);
+        for r in 0..5 {
+            x.set(r, r % 24, 1.0);
+            for k in 0..4 {
+                x.set(r, (r * 7 + k * 5) % 24, rng.gen_range(-1.5..1.5f32));
+            }
+        }
+        let g = Mat::randn(1, 3, 1.0, &mut rng);
+
+        let mut ws_d = TcnWs::default();
+        tcn.forward_ws(&x, &tree, &mut ws_d);
+        let sx = SparseRows::from_dense(&x);
+        let mut ws_s = TcnWs::default();
+        tcn.forward_ws_sparse(&sx, &tree, &mut ws_s);
+        assert_eq!(ws_d.emb(), ws_s.emb(), "sparse forward diverged");
+        assert_eq!(ws_d.h1, ws_s.h1, "sparse conv1 activations diverged");
+
+        let shapes = tcn.grad_shapes();
+        let zeroed = || -> Vec<Mat> { shapes.iter().map(|&(r, c)| Mat::zeros(r, c)).collect() };
+        let mut scratch = Workspace::new();
+        let mut gd = zeroed();
+        tcn.backward_ws(&x, &tree, &ws_d, &g, &mut gd, &mut scratch);
+        let mut gs = zeroed();
+        tcn.backward_ws_sparse(&sx, &tree, &ws_s, &g, &mut gs, &mut scratch);
+        for (i, (d, s)) in gd.iter().zip(&gs).enumerate() {
+            let (db, sb): (Vec<u32>, Vec<u32>) = (
+                d.data.iter().map(|v| v.to_bits()).collect(),
+                s.data.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(db, sb, "grad {i} diverged between dense and sparse");
+        }
+    }
+
+    #[test]
+    fn tree_conv_input_gradient_check() {
+        // The conv input gradient feeds conv1 during stacked backward; check
+        // it against finite differences through a single layer.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = TreeConvLayer::new(4, 3, &mut rng);
+        let tree = tiny_tree();
+        let x = Mat::randn(3, 4, 1.0, &mut rng);
+        let target = Mat::randn(3, 3, 1.0, &mut rng);
+        let (h, cache) = layer.forward(&x, &tree);
+        let (_, grad) = mse(&h, &target);
+        layer.zero_grad();
+        let gx = layer.backward(&cache, &tree, &grad);
+
+        let loss_of = |x: &Mat| {
+            let (h, _) = layer.forward(x, &tree);
+            mse(&h, &target).0
+        };
+        let eps = 1e-2;
+        for idx in [0usize, 5, 9] {
+            let mut xp = x.clone();
+            xp.data[idx] += eps;
+            let mut xm = x.clone();
+            xm.data[idx] -= eps;
+            let num = (loss_of(&xp) - loss_of(&xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.data[idx]).abs() < 5e-2,
+                "dX[{idx}] num {num} vs {}",
+                gx.data[idx]
             );
         }
     }

@@ -3,11 +3,14 @@
 //!
 //! Nodes are treated as a sequence (pre-order), passed through one
 //! self-attention block with a residual connection and a two-layer
-//! feed-forward, mean-pooled, and projected to the embedding.
+//! feed-forward, mean-pooled, and projected to the embedding. The
+//! workspace (`_ws`) pair reuses caller-provided buffers; the legacy
+//! `forward`/`backward` pair delegates to it.
 
-use crate::linear::{relu, relu_backward, softmax_rows, Linear};
-use crate::mat::Mat;
+use crate::linear::{softmax_rows_into, Linear};
+use crate::mat::{run_row_blocked, Mat};
 use crate::param::AdamConfig;
+use crate::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -24,21 +27,38 @@ pub struct Transformer {
     d: usize,
 }
 
-/// Backward cache.
-#[derive(Debug, Clone)]
-pub struct TransformerCache {
-    x: Mat,
-    pre0: Mat,
+/// Reusable forward buffers for the workspace pair. Activations are stored
+/// post-ReLU (`h0`, `ff_hidden`); the backward pass masks on the outputs,
+/// which is equivalent to masking on the pre-activations since
+/// `h = max(pre, 0)`.
+#[derive(Debug, Clone, Default)]
+pub struct TransformerWs {
     h0: Mat,
     q: Mat,
     k: Mat,
     v: Mat,
     attn: Mat,
     h1: Mat,
-    pre_ff: Mat,
     ff_hidden: Mat,
     h2: Mat,
     pooled: Mat,
+    emb: Mat,
+    scores: Mat,
+    mix: Mat,
+}
+
+impl TransformerWs {
+    /// The embedding produced by the last `forward_ws` call.
+    pub fn emb(&self) -> &Mat {
+        &self.emb
+    }
+}
+
+/// Backward cache.
+#[derive(Debug, Clone)]
+pub struct TransformerCache {
+    x: Mat,
+    ws: TransformerWs,
 }
 
 impl Transformer {
@@ -57,123 +77,211 @@ impl Transformer {
     }
 
     /// Encodes a node sequence (`x`: nodes×in) into a 1×emb embedding.
+    ///
+    /// Thin allocating wrapper over [`Transformer::forward_ws`].
     pub fn forward(&self, x: &Mat) -> (Mat, TransformerCache) {
-        let pre0 = self.in_proj.forward(x);
-        let h0 = relu(&pre0);
-        let q = self.wq.forward(&h0);
-        let k = self.wk.forward(&h0);
-        let v = self.wv.forward(&h0);
+        let mut ws = TransformerWs::default();
+        self.forward_ws(x, &mut ws);
+        let emb = ws.emb.clone();
+        (emb, TransformerCache { x: x.clone(), ws })
+    }
+
+    /// Allocation-free encoding into the workspace's reusable buffers.
+    pub fn forward_ws(&self, x: &Mat, ws: &mut TransformerWs) {
+        let TransformerWs {
+            h0,
+            q,
+            k,
+            v,
+            attn,
+            h1,
+            ff_hidden,
+            h2,
+            pooled,
+            emb,
+            scores,
+            mix,
+        } = ws;
+        self.in_proj.forward_relu_into(x, h0);
+        self.wq.forward_into(h0, q);
+        self.wk.forward_into(h0, k);
+        self.wv.forward_into(h0, v);
         let scale = 1.0 / (self.d as f32).sqrt();
-        let mut scores = q.matmul_nt(&k);
+        q.matmul_nt_into(k, scores);
         scores.scale(scale);
-        let attn = softmax_rows(&scores);
-        let att_out = attn.matmul(&v);
+        softmax_rows_into(scores, attn);
+        attn.matmul_into(v, mix);
         // Residual.
-        let mut h1 = h0.clone();
-        h1.add_assign(&att_out);
-        // Feed-forward with residual.
-        let pre_ff = self.ff1.forward(&h1);
-        let ff_hidden = relu(&pre_ff);
-        let ff_out = self.ff2.forward(&ff_hidden);
-        let mut h2 = h1.clone();
-        h2.add_assign(&ff_out);
+        h1.copy_from(h0);
+        h1.add_assign(mix);
+        // Feed-forward with residual (`mix` is reused for the ff output).
+        self.ff1.forward_relu_into(h1, ff_hidden);
+        self.ff2.forward_into(ff_hidden, mix);
+        h2.copy_from(h1);
+        h2.add_assign(mix);
         // Mean pool.
-        let mut pooled = Mat::zeros(1, h2.cols);
+        pooled.resize_in_place(1, h2.cols);
+        pooled.fill(0.0);
         for r in 0..h2.rows {
             for c in 0..h2.cols {
                 pooled.data[c] += h2.get(r, c) / h2.rows as f32;
             }
         }
-        let emb = self.out_proj.forward(&pooled);
-        (
-            emb,
-            TransformerCache {
-                x: x.clone(),
-                pre0,
-                h0,
-                q,
-                k,
-                v,
-                attn,
-                h1,
-                pre_ff,
-                ff_hidden,
-                h2,
-                pooled,
-            },
-        )
+        self.out_proj.forward_into(pooled, emb);
     }
 
     /// Inference-only encoding.
     pub fn infer(&self, x: &Mat) -> Mat {
-        self.forward(x).0
+        let mut ws = TransformerWs::default();
+        self.forward_ws(x, &mut ws);
+        ws.emb
     }
 
     /// Backward from an embedding gradient; accumulates parameter grads.
+    ///
+    /// Thin allocating wrapper over [`Transformer::backward_ws`].
     pub fn backward(&mut self, c: &TransformerCache, grad_emb: &Mat) {
-        let grad_pooled = self.out_proj.backward(&c.pooled, grad_emb);
-        let n = c.h2.rows as f32;
-        let mut grad_h2 = Mat::zeros(c.h2.rows, c.h2.cols);
-        for r in 0..c.h2.rows {
-            for col in 0..c.h2.cols {
-                grad_h2.set(r, col, grad_pooled.data[col] / n);
-            }
-        }
-        // h2 = h1 + ff2(relu(ff1(h1)))
-        let grad_ff_out = grad_h2.clone();
-        let grad_ff_hidden = self.ff2.backward(&c.ff_hidden, &grad_ff_out);
-        let grad_pre_ff = relu_backward(&c.pre_ff, &grad_ff_hidden);
-        let mut grad_h1 = self.ff1.backward(&c.h1, &grad_pre_ff);
-        grad_h1.add_assign(&grad_h2); // residual path
+        let mut scratch = Workspace::new();
+        self.backward_ws(&c.x, &c.ws, grad_emb, &mut scratch);
+    }
 
-        // h1 = h0 + attn @ v
-        let grad_att_out = grad_h1.clone();
-        // dV = attnᵀ @ grad_att_out
-        let grad_v = c.attn.matmul_tn(&grad_att_out);
-        // dAttn = grad_att_out @ vᵀ
-        let grad_attn = grad_att_out.matmul_nt(&c.v);
-        // Softmax backward per row: ds = a ⊙ (dA − Σ(dA ⊙ a)). Rows are
-        // independent, so row blocks fan out across the pool for long
-        // sequences with bit-identical results.
-        let mut grad_scores = Mat::zeros(grad_attn.rows, grad_attn.cols);
-        let cols = grad_attn.cols;
-        let softmax_back_block = |r0: usize, block: &mut [f32]| {
-            for (bi, srow) in block.chunks_mut(cols).enumerate() {
-                let a = c.attn.row(r0 + bi);
-                let da = grad_attn.row(r0 + bi);
-                let dot: f32 = a.iter().zip(da).map(|(x, y)| x * y).sum();
-                for (col, s) in srow.iter_mut().enumerate() {
-                    *s = a[col] * (da[col] - dot);
+    /// Allocation-free backward; every intermediate lives in `scratch`.
+    pub fn backward_ws(
+        &mut self,
+        x: &Mat,
+        ws: &TransformerWs,
+        grad_emb: &Mat,
+        scratch: &mut Workspace,
+    ) {
+        let rows = ws.h2.rows;
+        let n = rows as f32;
+        let d = self.d;
+        let scale = 1.0 / (d as f32).sqrt();
+        scratch.with(1, ws.pooled.cols, |scratch, grad_pooled| {
+            Linear::backward_into(
+                &self.out_proj.w.value,
+                &ws.pooled,
+                grad_emb,
+                &mut self.out_proj.w.grad,
+                &mut self.out_proj.b.grad,
+                Some(grad_pooled),
+                scratch,
+            );
+            scratch.with(rows, ws.h2.cols, |scratch, grad_h2| {
+                for r in 0..rows {
+                    for col in 0..ws.h2.cols {
+                        grad_h2.set(r, col, grad_pooled.data[col] / n);
+                    }
                 }
-            }
-        };
-        let pool = mcsim_par::ThreadPool::global();
-        let work = grad_attn.rows * cols * 3;
-        if pool.threads() > 1
-            && grad_attn.rows > 1
-            && cols > 0
-            && work >= mcsim_par::min_parallel_work()
-        {
-            let block_rows = grad_attn.rows.div_ceil(pool.threads() * 2).max(1);
-            pool.parallel_for_chunks_mut(&mut grad_scores.data, block_rows * cols, |ci, block| {
-                softmax_back_block(ci * block_rows, block)
+                // h2 = h1 + ff2(relu(ff1(h1)))
+                scratch.with(rows, 2 * d, |scratch, gffh| {
+                    Linear::backward_into(
+                        &self.ff2.w.value,
+                        &ws.ff_hidden,
+                        grad_h2,
+                        &mut self.ff2.w.grad,
+                        &mut self.ff2.b.grad,
+                        Some(gffh),
+                        scratch,
+                    );
+                    scratch.with(rows, d, |scratch, grad_h1| {
+                        Linear::backward_relu_into(
+                            &self.ff1.w.value,
+                            &ws.h1,
+                            &ws.ff_hidden,
+                            gffh,
+                            &mut self.ff1.w.grad,
+                            &mut self.ff1.b.grad,
+                            Some(grad_h1),
+                            scratch,
+                        );
+                        grad_h1.add_assign(grad_h2); // residual path
+
+                        // h1 = h0 + attn @ v
+                        scratch.with(rows, d, |scratch, grad_v| {
+                            // dV = attnᵀ @ grad_att_out (= grad_h1)
+                            ws.attn.matmul_tn_into(grad_h1, grad_v);
+                            scratch.with(rows, rows, |scratch, grad_scores| {
+                                scratch.with(rows, rows, |scratch, grad_attn| {
+                                    // dAttn = grad_att_out @ vᵀ
+                                    grad_h1.matmul_nt_into(&ws.v, grad_attn);
+                                    // Softmax backward per row:
+                                    // ds = a ⊙ (dA − Σ(dA ⊙ a)). Rows are
+                                    // independent, so row blocks fan out
+                                    // across the pool for long sequences
+                                    // with bit-identical results.
+                                    let cols = grad_attn.cols;
+                                    let attn = &ws.attn;
+                                    let ga = &*grad_attn;
+                                    run_row_blocked(grad_scores, rows * cols * 3, |r0, block| {
+                                        for (bi, srow) in block.chunks_mut(cols).enumerate() {
+                                            let a = attn.row(r0 + bi);
+                                            let da = ga.row(r0 + bi);
+                                            let dot: f32 =
+                                                a.iter().zip(da).map(|(x, y)| x * y).sum();
+                                            for (col, s) in srow.iter_mut().enumerate() {
+                                                *s = a[col] * (da[col] - dot);
+                                            }
+                                        }
+                                    });
+                                    let _ = scratch;
+                                });
+                                grad_scores.scale(scale);
+                                // scores = q kᵀ ⇒ dq = ds @ k ; dk = dsᵀ @ q
+                                scratch.with(rows, d, |scratch, grad_qk| {
+                                    scratch.with(rows, d, |scratch, grad_h0| {
+                                        grad_scores.matmul_into(&ws.k, grad_qk);
+                                        Linear::backward_into(
+                                            &self.wq.w.value,
+                                            &ws.h0,
+                                            grad_qk,
+                                            &mut self.wq.w.grad,
+                                            &mut self.wq.b.grad,
+                                            Some(grad_h0),
+                                            scratch,
+                                        );
+                                        grad_scores.matmul_tn_into(&ws.q, grad_qk);
+                                        scratch.with(rows, d, |scratch, tmp| {
+                                            Linear::backward_into(
+                                                &self.wk.w.value,
+                                                &ws.h0,
+                                                grad_qk,
+                                                &mut self.wk.w.grad,
+                                                &mut self.wk.b.grad,
+                                                Some(tmp),
+                                                scratch,
+                                            );
+                                            grad_h0.add_assign(tmp);
+                                            Linear::backward_into(
+                                                &self.wv.w.value,
+                                                &ws.h0,
+                                                grad_v,
+                                                &mut self.wv.w.grad,
+                                                &mut self.wv.b.grad,
+                                                Some(tmp),
+                                                scratch,
+                                            );
+                                            grad_h0.add_assign(tmp);
+                                        });
+                                        grad_h0.add_assign(grad_h1); // residual path
+                                        Linear::backward_relu_into(
+                                            &self.in_proj.w.value,
+                                            x,
+                                            &ws.h0,
+                                            grad_h0,
+                                            &mut self.in_proj.w.grad,
+                                            &mut self.in_proj.b.grad,
+                                            None,
+                                            scratch,
+                                        );
+                                    });
+                                });
+                            });
+                        });
+                    });
+                });
             });
-        } else if cols > 0 {
-            softmax_back_block(0, &mut grad_scores.data);
-        }
-        let scale = 1.0 / (self.d as f32).sqrt();
-        grad_scores.scale(scale);
-        // scores = q kᵀ ⇒ dq = ds @ k ; dk = dsᵀ @ q
-        let grad_q = grad_scores.matmul(&c.k);
-        let grad_k = grad_scores.matmul_tn(&c.q);
-
-        let mut grad_h0 = self.wq.backward(&c.h0, &grad_q);
-        grad_h0.add_assign(&self.wk.backward(&c.h0, &grad_k));
-        grad_h0.add_assign(&self.wv.backward(&c.h0, &grad_v));
-        grad_h0.add_assign(&grad_h1); // residual path
-
-        let grad_pre0 = relu_backward(&c.pre0, &grad_h0);
-        let _ = self.in_proj.backward(&c.x, &grad_pre0);
+        });
     }
 
     /// Clears all gradients.
@@ -237,6 +345,25 @@ mod tests {
         let x = Mat::randn(4, 5, 1.0, &mut rng);
         let (emb, _) = tr.forward(&x);
         assert_eq!((emb.rows, emb.cols), (1, 3));
+    }
+
+    #[test]
+    fn workspace_forward_reuses_buffers_and_matches_wrapper() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let tr = Transformer::new(5, 8, 3, &mut rng);
+        let mut ws = TransformerWs::default();
+        // Larger input first so the second call reuses dirty, oversized
+        // buffers.
+        let big = Mat::randn(6, 5, 1.0, &mut rng);
+        self_check(&tr, &big, &mut ws);
+        let small = Mat::randn(2, 5, 1.0, &mut rng);
+        self_check(&tr, &small, &mut ws);
+
+        fn self_check(tr: &Transformer, x: &Mat, ws: &mut TransformerWs) {
+            let (emb, _) = tr.forward(x);
+            tr.forward_ws(x, ws);
+            assert_eq!(emb.data, ws.emb().data);
+        }
     }
 
     #[test]

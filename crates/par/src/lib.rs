@@ -30,7 +30,9 @@
 //! bound, no unsafe), each fan-out costs a few tens of microseconds; callers
 //! gate on [`min_parallel_work`] so only operations with enough work fan
 //! out. Tests lower the gate with [`set_min_parallel_work`] to force the
-//! parallel path on tiny inputs.
+//! parallel path on tiny inputs. Fan-outs issued *from* a worker thread (or
+//! any thread marked via [`enter_worker`]) run inline — nested parallelism
+//! never spawns.
 //!
 //! # Observability
 //!
@@ -40,6 +42,7 @@
 //! the worker count (`par.threads` gauge), and a per-worker busy-time
 //! histogram (`par.worker_busy_s`).
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -99,6 +102,43 @@ pub fn set_threads(n: usize) -> usize {
 /// [`set_min_parallel_work`]).
 pub fn min_parallel_work() -> usize {
     MIN_PARALLEL_WORK.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// True while this thread is executing work on behalf of a fan-out (a
+    /// pool worker, or any thread marked via [`enter_worker`]).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True on a thread currently executing fan-out work. Pool primitives run
+/// inline on such threads instead of spawning nested workers.
+pub fn on_worker_thread() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Marks the current thread as a compute worker until the guard drops:
+/// every pool primitive called from it runs inline instead of spawning.
+/// The pool marks its own workers automatically; external engines that
+/// spawn long-lived compute threads (e.g. a training loop's microbatch
+/// workers) should mark them too, so inner kernels never oversubscribe the
+/// machine with nested thread spawns. Results are unaffected — the pool's
+/// serial and parallel paths are bit-identical by construction.
+pub fn enter_worker() -> WorkerGuard {
+    let prev = IN_WORKER.with(|f| f.replace(true));
+    WorkerGuard { prev }
+}
+
+/// Restores the thread's previous worker marking on drop (see
+/// [`enter_worker`]).
+#[must_use = "the worker marking lasts until the guard drops"]
+pub struct WorkerGuard {
+    prev: bool,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        IN_WORKER.with(|f| f.set(self.prev));
+    }
 }
 
 /// Sets the work gate. Tests set 1 to force parallel execution on tiny
@@ -200,6 +240,23 @@ impl ThreadPool {
             .collect()
     }
 
+    /// [`ThreadPool::parallel_map`] behind the global work gate: stays on
+    /// the calling thread when `items.len() × item_work` (caller-estimated
+    /// units, typically FLOPs or elements) is below [`min_parallel_work`],
+    /// so small fan-outs don't pay the thread-spawn cost. Results are
+    /// identical either way — only the scheduling changes.
+    pub fn parallel_map_gated<T, U, F>(&self, items: &[T], item_work: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        if items.len().saturating_mul(item_work) < min_parallel_work() {
+            return items.iter().map(f).collect();
+        }
+        self.parallel_map(items, f)
+    }
+
     /// Splits `data` into consecutive chunks of `chunk_len` elements (the
     /// last may be shorter) and runs `f(chunk_index, chunk)` on each. The
     /// chunks are disjoint `&mut` views, so workers write results in place
@@ -271,7 +328,10 @@ where
     if n == 0 {
         return;
     }
-    if threads <= 1 || n == 1 {
+    // Nested fan-outs run inline: a kernel called from a worker thread (or
+    // any thread marked via `enter_worker`) already has its share of the
+    // machine, so spawning more threads only oversubscribes and allocates.
+    if threads <= 1 || n == 1 || on_worker_thread() {
         for job in jobs {
             f(job);
         }
@@ -309,8 +369,12 @@ where
     };
     std::thread::scope(|s| {
         for _ in 1..threads.min(n) {
-            s.spawn(|| drain(false));
+            s.spawn(|| {
+                let _worker = enter_worker();
+                drain(false);
+            });
         }
+        let _worker = enter_worker();
         drain(true);
     });
 }
@@ -384,6 +448,53 @@ mod tests {
         for (i, &v) in data.iter().enumerate() {
             assert_eq!(v, 1 + (i / 100) as u32, "element {i}");
         }
+    }
+
+    #[test]
+    fn gated_map_stays_serial_below_the_work_gate() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = set_min_parallel_work(1_000_000);
+        let main_id = std::thread::current().id();
+        let items: Vec<u64> = (0..64).collect();
+        // 64 × 100 work units is far below the gate: every item must run on
+        // the calling thread.
+        let out = ThreadPool::new(8).parallel_map_gated(&items, 100, |&x| {
+            assert_eq!(std::thread::current().id(), main_id, "fan-out despite gate");
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        // Above the gate it still produces the same results.
+        let out = ThreadPool::new(8).parallel_map_gated(&items, 1_000_000, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        set_min_parallel_work(prev);
+    }
+
+    #[test]
+    fn nested_fan_outs_run_inline_on_worker_threads() {
+        // A map dispatched from inside a pool job must not spawn further
+        // threads: each inner item runs on the thread that called it.
+        let items: Vec<u64> = (0..4).collect();
+        let out = ThreadPool::new(4).parallel_map(&items, |&x| {
+            let me = std::thread::current().id();
+            let inner: Vec<u64> = ThreadPool::new(4).parallel_map(&items, |&y| {
+                assert_eq!(std::thread::current().id(), me, "nested spawn");
+                x * 10 + y
+            });
+            inner.iter().sum::<u64>()
+        });
+        assert_eq!(out, vec![6, 46, 86, 126]);
+
+        // The same holds for threads explicitly marked via enter_worker.
+        let me = std::thread::current().id();
+        let guard = enter_worker();
+        assert!(on_worker_thread());
+        ThreadPool::new(8).parallel_for(16, 1, |r| {
+            for _ in r {
+                assert_eq!(std::thread::current().id(), me, "spawn despite marking");
+            }
+        });
+        drop(guard);
+        assert!(!on_worker_thread());
     }
 
     #[test]
