@@ -27,6 +27,10 @@
 //!   trace     one representative query end-to-end under a per-query
 //!             TraceContext; writes trace.json (chrome://tracing) and
 //!             trace_report.txt
+//!   chaos     robust serving under fault injection at increasing fault
+//!             rates (completion rate, retries, wasted work, cost
+//!             overhead); `--quick` restricts to the 0x/1x levels; writes
+//!             BENCH_chaos.json
 //!
 //! experiments compare <old.json> <new.json> [--threshold <pct>]
 //!
@@ -103,6 +107,14 @@ fn main() {
 
     let started = std::time::Instant::now();
     eprintln!("running `{id}` at {scale:?} scale");
+
+    // `chaos` is context-free too, but takes the extra `--quick` flag.
+    if id == "chaos" {
+        let quick = args.iter().any(|a| a == "--quick");
+        exps::chaos::run(scale, quick);
+        emit_metrics(id, scale, &recorder);
+        return;
+    }
 
     // Experiments that do not need the five evaluation-project runs.
     let context_free: Option<fn(Scale)> = match id {

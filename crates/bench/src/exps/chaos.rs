@@ -1,0 +1,285 @@
+//! The `experiments chaos` subcommand: graceful degradation under fault
+//! injection.
+//!
+//! Trains a small LOAM pipeline once, then serves the evaluated test
+//! queries through [`run_robust_serving`] against chaos executors armed at
+//! increasing fault rates (0×, 1×, 2×, 4× the default
+//! [`FaultConfig::chaos`](mcsim_exec::FaultConfig::chaos) probabilities).
+//! Reports completion rate, degraded
+//! queries, retry counts, wasted work, and the cost overhead versus the
+//! fault-free baseline, and writes `BENCH_chaos.json` in the same
+//! `BenchReport` phase schema as `BENCH_parallel.json` / `BENCH_train.json`
+//! (the `compare` subcommand's parser ignores the chaos-specific extras).
+
+use crate::report::Table;
+use crate::scale::{scaled_eval_profile, Scale};
+use loam_core::inference::EnvStrategy;
+use loam_core::pipeline::{evaluate_candidates, prepare_project, train_loam, PipelineConfig};
+use loam_core::robust::{run_robust_serving, RobustConfig, RobustRunReport};
+use loam_core::TrainConfig;
+use mcsim_catalog::ProjectId;
+use mcsim_exec::ChaosScenario;
+
+/// A pipeline configuration small enough that the full fault-rate sweep
+/// (and the CI smoke built on it) finishes in seconds: the sweep's value is
+/// the degradation behaviour, not its statistical power.
+fn chaos_config(scale: Scale) -> PipelineConfig {
+    let f = scale.fraction();
+    PipelineConfig {
+        train_days: 6,
+        test_days: 2,
+        max_train: ((1200.0 * f) as usize).max(120),
+        max_test: ((60.0 * f) as usize).max(12),
+        eval_rounds: 3,
+        da_queries: 12,
+        train_cfg: TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// One fault-rate level's outcome.
+pub struct LevelOutcome {
+    /// Phase name (`fault_x0`, `fault_x1`, ...).
+    pub name: String,
+    /// Multiplier applied to the default chaos probabilities.
+    pub fault_scale: f64,
+    /// Wall-clock seconds for serving the whole test set at this level.
+    pub wall_s: f64,
+    /// The robust serving report.
+    pub report: RobustRunReport,
+}
+
+/// Trains the pipeline once and serves the evaluated queries at every fault
+/// level. Returned for inspection — the acceptance tests use this directly
+/// instead of going through the filesystem.
+pub fn run_levels(scale: Scale, levels: &[f64]) -> Vec<LevelOutcome> {
+    let profile = scaled_eval_profile(1, scale);
+    let cfg = chaos_config(scale);
+    eprintln!("preparing + training the chaos pipeline...");
+    let prepared =
+        prepare_project(&profile, ProjectId(1), &cfg).expect("project preparation failed");
+    let predictor = train_loam(&prepared, &cfg).expect("LOAM training failed");
+    let evaluated = evaluate_candidates(&prepared, &cfg).expect("candidate evaluation failed");
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+
+    levels
+        .iter()
+        .map(|&lvl| {
+            // A fresh chaos executor per level: every level replays the same
+            // warmed cluster trajectory, differing only in the armed faults.
+            let mut exec = ChaosScenario::new(cfg.seed ^ 0xc405)
+                .fault_scale(lvl)
+                .build();
+            let t = std::time::Instant::now();
+            let report = run_robust_serving(
+                &predictor,
+                &strategy,
+                &evaluated,
+                &mut exec,
+                &prepared.project.catalog,
+                &RobustConfig::default(),
+                None,
+            )
+            .expect("robust serving must terminate with a report");
+            LevelOutcome {
+                name: format!("fault_x{}", lvl as u32),
+                fault_scale: lvl,
+                wall_s: t.elapsed().as_secs_f64(),
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Runs the sweep and writes `BENCH_chaos.json`. `quick` restricts the
+/// sweep to the 0× / 1× levels (the CI smoke).
+pub fn run(scale: Scale, quick: bool) {
+    println!("Chaos benchmark — robust serving under increasing fault rates\n");
+    let levels: &[f64] = if quick {
+        &[0.0, 1.0]
+    } else {
+        &[0.0, 1.0, 2.0, 4.0]
+    };
+    let outcomes = run_levels(scale, levels);
+    let base_cost = outcomes[0].report.total_cost().max(1e-9);
+
+    let mut t = Table::new([
+        "level",
+        "queries",
+        "completed",
+        "degraded",
+        "retries",
+        "speculative",
+        "wasted cost",
+        "cost overhead",
+        "wall (s)",
+    ]);
+    for o in &outcomes {
+        let r = &o.report;
+        t.row([
+            o.name.clone(),
+            r.results.len().to_string(),
+            format!("{:.1}%", r.completion_rate() * 100.0),
+            r.degraded_count().to_string(),
+            r.total_retries().to_string(),
+            r.results
+                .iter()
+                .map(|q| q.speculative_launches)
+                .sum::<u32>()
+                .to_string(),
+            format!("{:.0}", r.total_wasted_cost()),
+            format!("{:+.1}%", (r.total_cost() / base_cost - 1.0) * 100.0),
+            format!("{:.3}", o.wall_s),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "gate deployed: {}; fallback ladder armed at every level",
+        outcomes[0].report.gate_deployed
+    );
+
+    let json = report_json(scale, &outcomes);
+    let path = "BENCH_chaos.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// Renders the sweep as a JSON document in the `BenchReport` shape: the
+/// fault-free level is every phase's `serial_s` baseline, the level's own
+/// wall-clock is `parallel_s`, so `compare` gates on serving-time blowup
+/// under faults. Chaos-specific fields ride along unparsed.
+fn report_json(scale: Scale, outcomes: &[LevelOutcome]) -> String {
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let base_wall = outcomes[0].wall_s.max(1e-9);
+    let base_cost = outcomes[0].report.total_cost().max(1e-9);
+    let threads = 1; // robust serving is a serial loop per level
+    let phases = outcomes
+        .iter()
+        .map(|o| {
+            format!(
+                "{{\"name\":\"{}\",\"serial_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.4}}}",
+                o.name,
+                base_wall,
+                o.wall_s,
+                base_wall / o.wall_s.max(1e-9)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let total_wall: f64 = outcomes.iter().map(|o| o.wall_s).sum();
+    let levels = outcomes
+        .iter()
+        .map(|o| {
+            let r = &o.report;
+            format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"fault_scale\":{:.2},\"queries\":{},",
+                    "\"completion_rate\":{:.6},\"degraded\":{},\"retries\":{},",
+                    "\"speculative\":{},\"wasted_cost\":{:.3},\"total_cost\":{:.3},",
+                    "\"cost_overhead_pct\":{:.3}}}"
+                ),
+                o.name,
+                o.fault_scale,
+                r.results.len(),
+                r.completion_rate(),
+                r.degraded_count(),
+                r.total_retries(),
+                r.results
+                    .iter()
+                    .map(|q| q.speculative_launches)
+                    .sum::<u32>(),
+                r.total_wasted_cost(),
+                r.total_cost(),
+                (r.total_cost() / base_cost - 1.0) * 100.0
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        concat!(
+            "{{\"bench\":\"chaos\",\"scale\":\"{}\",",
+            "\"threads_serial\":{},\"threads_parallel\":{},",
+            "\"phases\":[{}],",
+            "\"total\":{{\"serial_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.4}}},",
+            "\"gate_deployed\":{},",
+            "\"levels\":[{}]}}"
+        ),
+        scale_name,
+        threads,
+        threads,
+        phases,
+        base_wall * outcomes.len() as f64,
+        total_wall,
+        base_wall * outcomes.len() as f64 / total_wall.max(1e-9),
+        outcomes[0].report.gate_deployed,
+        levels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exps::compare::BenchReport;
+    use loam_core::robust::Resolution;
+
+    /// The acceptance criterion of the chaos harness: at the default fault
+    /// rate the fallback ladder keeps ≥ 99% of queries completing, while
+    /// the fault-free level stays a clean 100% with zero retries and zero
+    /// wasted work.
+    #[test]
+    fn default_fault_rate_completes_at_least_99_percent() {
+        let outcomes = run_levels(Scale::Small, &[0.0, 1.0]);
+        let clean = &outcomes[0].report;
+        assert!(
+            (clean.completion_rate() - 1.0).abs() < 1e-12,
+            "fault-free serving must complete everything"
+        );
+        assert_eq!(clean.total_retries(), 0);
+        assert_eq!(clean.total_wasted_cost(), 0.0);
+        assert!(clean
+            .results
+            .iter()
+            .all(|r| !matches!(r.resolution, Resolution::ExecFallback | Resolution::Failed)));
+
+        let chaotic = &outcomes[1].report;
+        assert!(
+            chaotic.completion_rate() >= 0.99,
+            "completion rate {:.4} under default chaos must stay >= 0.99",
+            chaotic.completion_rate()
+        );
+    }
+
+    /// The emitted JSON parses as a `BenchReport` (so `experiments compare`
+    /// can gate on it) and carries one phase per level.
+    #[test]
+    fn report_json_is_compare_compatible() {
+        let outcomes = run_levels(Scale::Small, &[0.0, 1.0]);
+        let json = report_json(Scale::Small, &outcomes);
+        let r: BenchReport = serde_json::from_str(&json).expect("BenchReport-compatible JSON");
+        assert_eq!(r.bench, "chaos");
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].name, "fault_x0");
+        assert_eq!(r.phases[1].name, "fault_x1");
+        assert!(r.total.parallel_s > 0.0);
+    }
+
+    /// The checked-in repo-root report stays parseable and in sync with the
+    /// schema (mirrors the `BENCH_train.json` test).
+    #[test]
+    fn checked_in_bench_chaos_report_parses() {
+        let json = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_chaos.json"
+        ))
+        .expect("BENCH_chaos.json must be checked in at the repo root");
+        let r: BenchReport = serde_json::from_str(&json).expect("parseable report");
+        assert_eq!(r.bench, "chaos");
+        assert!(!r.phases.is_empty());
+        assert!(r.phases.iter().all(|p| p.name.starts_with("fault_x")));
+    }
+}

@@ -1,5 +1,6 @@
 //! One module per reproduced table/figure, plus shared context helpers.
 
+pub mod chaos;
 pub mod common;
 pub mod compare;
 pub mod fig1;

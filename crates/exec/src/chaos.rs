@@ -1,0 +1,168 @@
+//! A reusable chaos-test harness: declaratively build a fault-armed,
+//! warmed-up [`Executor`] that replays byte-for-byte from one seed.
+//!
+//! Integration tests (and `experiments chaos`) describe a failure scenario —
+//! cluster shape, fault rates, retry policy, warm-up — once, then `build()`
+//! as many identical executors as they need:
+//!
+//! ```
+//! use mcsim_exec::{ChaosScenario, FaultConfig};
+//!
+//! let scenario = ChaosScenario::new(0xc4a0).fault_scale(2.0);
+//! let a = scenario.build();
+//! let b = scenario.build();
+//! assert_eq!(a.cluster.fault_log(), b.cluster.fault_log()); // both empty, same state
+//! ```
+
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::execute::Executor;
+use crate::fault::{FaultConfig, RetryPolicy};
+
+/// Builder for deterministic fault-injection scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosScenario {
+    seed: u64,
+    cluster: ClusterConfig,
+    fault: FaultConfig,
+    retry: RetryPolicy,
+    noise_sigma: f64,
+    warmup_ticks: u64,
+}
+
+impl ChaosScenario {
+    /// A scenario at the reference chaos rates ([`FaultConfig::chaos`]),
+    /// default cluster and retry policy, and a 120-tick warm-up. Everything
+    /// — loads, faults, noise — derives from `seed`.
+    pub fn new(seed: u64) -> ChaosScenario {
+        ChaosScenario {
+            seed,
+            cluster: ClusterConfig::default(),
+            fault: FaultConfig::chaos(seed ^ 0xc0a5),
+            retry: RetryPolicy::default(),
+            noise_sigma: 0.2,
+            warmup_ticks: 120,
+        }
+    }
+
+    /// The scenario seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Overrides the cluster configuration.
+    pub fn cluster(mut self, config: ClusterConfig) -> Self {
+        self.cluster = config;
+        self
+    }
+
+    /// Overrides the fault configuration wholesale.
+    pub fn fault(mut self, config: FaultConfig) -> Self {
+        self.fault = config;
+        self
+    }
+
+    /// Scales every fault probability (`0.0` disables injection entirely —
+    /// the resulting executor is bit-identical to a fault-free one).
+    pub fn fault_scale(mut self, factor: f64) -> Self {
+        self.fault = self.fault.scaled(factor);
+        self
+    }
+
+    /// Overrides the retry/speculation/deadline policy.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Overrides the log-normal execution-noise σ.
+    pub fn noise_sigma(mut self, sigma: f64) -> Self {
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Overrides how many ticks the cluster runs before the scenario starts
+    /// (so loads and history buffers are realistic).
+    pub fn warmup_ticks(mut self, ticks: u64) -> Self {
+        self.warmup_ticks = ticks;
+        self
+    }
+
+    /// Builds the scenario's executor: seeded cluster, armed fault
+    /// injection, retry policy installed, warm-up applied. Two `build()`s of
+    /// the same scenario yield executors that evolve identically.
+    pub fn build(&self) -> Executor {
+        let mut cluster = Cluster::new(self.seed ^ 0xc11a05, self.cluster.clone());
+        cluster.set_fault_config(self.fault.clone());
+        let mut exec = Executor::new(self.seed ^ 0xc11a06, cluster, self.noise_sigma);
+        exec.retry = self.retry.clone();
+        exec.cluster.advance(self.warmup_ticks);
+        exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcsim_catalog::{ProjectId, ProjectProfile};
+    use mcsim_optimizer::{Knobs, NativeOptimizer};
+
+    fn project() -> mcsim_catalog::Project {
+        let mut prof = ProjectProfile::evaluation_project(1).unwrap();
+        prof.n_tables = 20;
+        prof.n_temp_tables = 2;
+        prof.n_columns = 160;
+        prof.n_templates = 10;
+        prof.generate(ProjectId(1))
+    }
+
+    #[test]
+    fn same_scenario_builds_identical_executors() {
+        let p = project();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let plan = opt.optimize(&p.workload_for_day(0)[0], &Knobs::default());
+        let scenario = ChaosScenario::new(0xabc).fault_scale(2.0);
+        let mut a = scenario.build();
+        let mut b = scenario.build();
+        for _ in 0..10 {
+            let ra = a.try_execute(&plan, &p.catalog);
+            let rb = b.try_execute(&plan, &p.catalog);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.cluster.fault_log(), b.cluster.fault_log());
+        assert_eq!(a.cluster.tick_count(), b.cluster.tick_count());
+    }
+
+    #[test]
+    fn fault_scale_zero_is_bit_identical_to_fault_free() {
+        let p = project();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let plan = opt.optimize(&p.workload_for_day(0)[0], &Knobs::default());
+        let scenario = ChaosScenario::new(99);
+        let mut off = scenario.clone().fault_scale(0.0).build();
+        let mut plain = scenario.clone().fault(FaultConfig::disabled()).build();
+        for _ in 0..5 {
+            let a = off.try_execute(&plan, &p.catalog).unwrap();
+            let b = plain.try_execute(&plan, &p.catalog).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.retries, 0);
+            assert_eq!(a.wasted_cost, 0.0);
+            assert_eq!(a.speculative_launches, 0);
+        }
+        assert!(off.cluster.fault_log().is_empty());
+    }
+
+    #[test]
+    fn armed_scenario_eventually_injects_faults() {
+        let p = project();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let plan = opt.optimize(&p.workload_for_day(0)[0], &Knobs::default());
+        let mut exec = ChaosScenario::new(0xfee1).fault_scale(4.0).build();
+        for _ in 0..40 {
+            let _ = exec.try_execute(&plan, &p.catalog);
+        }
+        assert!(
+            !exec.cluster.fault_log().is_empty(),
+            "4x chaos rates over 40 queries must inject something"
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! poor predictor of the environment a query actually experiences
 //! (Section 7.2.5, analysis of LOAM-CE/CB).
 
+use crate::fault::{FaultConfig, FaultEvent, FaultState};
 use crate::machine::{std_normal, LoadDynamics, Machine};
 use mcsim_catalog::EnvMetrics;
 use rand::rngs::StdRng;
@@ -139,22 +140,74 @@ pub struct Cluster {
     rng: StdRng,
     tick: u64,
     history: VecDeque<EnvMetrics>,
+    faults: FaultState,
 }
 
 impl Cluster {
     /// Creates a cluster with seeded initial loads.
     pub fn new(seed: u64, config: ClusterConfig) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let machines = (0..config.n_machines)
+        let machines: Vec<Machine> = (0..config.n_machines)
             .map(|i| Machine::new(i as u32, config.base_busy, &mut rng))
             .collect();
+        let n = machines.len();
         Cluster {
             machines,
             config,
             rng,
             tick: 0,
             history: VecDeque::new(),
+            faults: FaultState::new(FaultConfig::disabled(), n),
         }
+    }
+
+    /// Arms (or disarms) fault injection. Resets the fault state — the fault
+    /// RNG stream, blacklist, and event log all restart from `config.seed`,
+    /// so a given (cluster, fault) seed pair replays identically.
+    pub fn set_fault_config(&mut self, config: FaultConfig) {
+        self.faults = FaultState::new(config, self.machines.len());
+    }
+
+    /// True if any fault class can fire.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.enabled()
+    }
+
+    /// The live fault-injection state (blacklist, config).
+    pub fn fault_state(&self) -> &FaultState {
+        &self.faults
+    }
+
+    /// The replayable fault log, in injection order.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.log()
+    }
+
+    /// How many machines are blacklisted right now.
+    pub fn down_count(&self) -> usize {
+        self.faults.down_count(self.tick)
+    }
+
+    /// Samples whether a stage attempt straggles (fault path only).
+    pub(crate) fn sample_straggler(&mut self, stage: usize, attempt: u32) -> Option<f64> {
+        self.faults.sample_straggler(stage, attempt)
+    }
+
+    /// Samples whether a stage attempt is killed (fault path only).
+    pub(crate) fn sample_stage_kill(&mut self, stage: usize, attempt: u32) -> Option<f64> {
+        let tick = self.tick;
+        self.faults.sample_stage_kill(stage, attempt, tick)
+    }
+
+    /// Records a speculative backup launch in the fault log.
+    pub(crate) fn record_speculative(&mut self, stage: usize, attempt: u32) {
+        let tick = self.tick;
+        self.faults.record_speculative(stage, attempt, tick);
+    }
+
+    /// Records a scheduled retry in the fault log.
+    pub(crate) fn record_retry(&mut self, stage: usize, attempt: u32, backoff_ticks: u64) {
+        self.faults.record_retry(stage, attempt, backoff_ticks);
     }
 
     /// Current tick (each tick is 20 simulated seconds).
@@ -181,6 +234,11 @@ impl Cluster {
 
     /// Advances the whole cluster by one 20-second tick.
     pub fn step(&mut self) {
+        if self.faults.enabled() {
+            // Machine failures/recoveries draw from the dedicated fault RNG,
+            // so the load processes below are unperturbed by injection.
+            self.faults.tick_machines(self.tick);
+        }
         let baseline = self.baseline_busy();
         // Slight per-tick jitter in the shared baseline models tenant churn.
         let jitter = 0.02 * std_normal(&mut self.rng);
@@ -223,10 +281,25 @@ impl Cluster {
     }
 
     /// Fuxi-like allocation: pick the `n` most idle machines, and register
-    /// the placed work so their load rises while the stage runs.
+    /// the placed work so their load rises while the stage runs. Machines
+    /// blacklisted by the fault injector are skipped (unless the whole pool
+    /// is down, in which case allocation degrades to the full pool rather
+    /// than deadlocking the simulation).
     pub fn allocate(&mut self, n: usize, work_intensity: f64) -> Vec<usize> {
-        let n = n.clamp(1, self.machines.len());
-        let mut idx: Vec<usize> = (0..self.machines.len()).collect();
+        let mut idx: Vec<usize> = if self.faults.enabled() {
+            let tick = self.tick;
+            let up: Vec<usize> = (0..self.machines.len())
+                .filter(|&i| !self.faults.is_down(i, tick))
+                .collect();
+            if up.is_empty() {
+                (0..self.machines.len()).collect()
+            } else {
+                up
+            }
+        } else {
+            (0..self.machines.len()).collect()
+        };
+        let n = n.clamp(1, idx.len());
         idx.sort_by(|&a, &b| {
             self.machines[b]
                 .load

@@ -10,6 +10,7 @@
 
 use crate::cluster::Cluster;
 use crate::envmodel::EnvModel;
+use crate::fault::{ExecFailure, RetryPolicy};
 use crate::machine::std_normal;
 use mcsim_catalog::workmodel::{operator_work, WorkContext, WorkParams};
 use mcsim_catalog::{CardinalityModel, Catalog, EnvMetrics};
@@ -30,10 +31,17 @@ pub struct ExecutionOutcome {
     /// Per-stage observed environment (metrics averaged over the stage's
     /// machines and execution window), indexed like the stage graph.
     pub stage_envs: Vec<EnvMetrics>,
-    /// Per-stage CPU cost contribution.
+    /// Per-stage CPU cost contribution (including wasted work from killed
+    /// attempts, which the cluster still paid for).
     pub stage_costs: Vec<f64>,
     /// Total intrinsic work (cost before environment and noise).
     pub intrinsic_work: f64,
+    /// How many stage retries the fault injector forced (0 when disabled).
+    pub retries: u32,
+    /// CPU cost burnt by killed attempts (0 when fault injection is off).
+    pub wasted_cost: f64,
+    /// Speculative backups launched against stragglers (0 when off).
+    pub speculative_launches: u32,
 }
 
 /// The execution simulator: owns the cluster and the physics constants.
@@ -48,6 +56,9 @@ pub struct Executor {
     pub params: WorkParams,
     /// Log-normal execution-noise σ (per-project, from the profile).
     pub noise_sigma: f64,
+    /// Retry, speculation, and deadline policy (inert while the cluster's
+    /// fault injection is disabled and no deadline is set).
+    pub retry: RetryPolicy,
     rng: StdRng,
 }
 
@@ -59,14 +70,30 @@ impl Executor {
             env_model: EnvModel::default(),
             params: WorkParams::default(),
             noise_sigma,
+            retry: RetryPolicy::default(),
             rng: StdRng::seed_from_u64(seed ^ 0xeeee_aaaa),
         }
     }
 
     /// Executes `plan` once, advancing the shared cluster, with a fresh
     /// random noise seed.
+    ///
+    /// Panics if fault injection makes the execution fail (impossible while
+    /// it is disabled, which it is by default) — fault-armed callers should
+    /// use [`Executor::try_execute`] instead.
     pub fn execute(&mut self, plan: &PlanTree, catalog: &Catalog) -> ExecutionOutcome {
         self.execute_traced(plan, catalog, None)
+    }
+
+    /// Fallible execution: like [`Executor::execute`] but surfaces retry
+    /// exhaustion and deadline overruns as [`ExecFailure`] values instead of
+    /// panicking. While fault injection is disabled this never fails.
+    pub fn try_execute(
+        &mut self,
+        plan: &PlanTree,
+        catalog: &Catalog,
+    ) -> Result<ExecutionOutcome, ExecFailure> {
+        self.try_execute_traced(plan, catalog, None)
     }
 
     /// Like [`Executor::execute`], but additionally emits a per-stage,
@@ -81,7 +108,21 @@ impl Executor {
         trace: Option<&TraceContext>,
     ) -> ExecutionOutcome {
         let noise_seed = self.rng.gen::<u64>();
-        self.execute_with_noise_seed_traced(plan, catalog, noise_seed, trace)
+        self.try_execute_with_noise_seed_traced(plan, catalog, noise_seed, trace)
+            .unwrap_or_else(|e| {
+                panic!("execution failed under fault injection ({e}); use try_execute*")
+            })
+    }
+
+    /// The fallible, traced flavour of [`Executor::execute_traced`].
+    pub fn try_execute_traced(
+        &mut self,
+        plan: &PlanTree,
+        catalog: &Catalog,
+        trace: Option<&TraceContext>,
+    ) -> Result<ExecutionOutcome, ExecFailure> {
+        let noise_seed = self.rng.gen::<u64>();
+        self.try_execute_with_noise_seed_traced(plan, catalog, noise_seed, trace)
     }
 
     /// Executes `plan` with an explicit noise seed, so that the cost under a
@@ -96,9 +137,8 @@ impl Executor {
         self.execute_with_noise_seed_traced(plan, catalog, noise_seed, None)
     }
 
-    /// The traced core of execution: [`Executor::execute_with_noise_seed`]
-    /// plus the optional per-stage scheduling timeline of
-    /// [`Executor::execute_traced`].
+    /// The infallible wrapper over the execution core (kept for the
+    /// fault-free replay paths, which cannot fail).
     pub fn execute_with_noise_seed_traced(
         &mut self,
         plan: &PlanTree,
@@ -106,6 +146,25 @@ impl Executor {
         noise_seed: u64,
         trace: Option<&TraceContext>,
     ) -> ExecutionOutcome {
+        self.try_execute_with_noise_seed_traced(plan, catalog, noise_seed, trace)
+            .unwrap_or_else(|e| {
+                panic!("execution failed under fault injection ({e}); use try_execute*")
+            })
+    }
+
+    /// The core of execution: stage-by-stage cost physics, plus — when the
+    /// cluster's fault injection is armed — straggler slowdowns, speculative
+    /// backups, mid-flight kills with exponential-backoff retries under a
+    /// per-stage budget, and an optional per-query deadline. With faults
+    /// disabled and no deadline this is bit-identical to the historical
+    /// fault-free path: no extra RNG draws, a single attempt per stage.
+    pub fn try_execute_with_noise_seed_traced(
+        &mut self,
+        plan: &PlanTree,
+        catalog: &Catalog,
+        noise_seed: u64,
+        trace: Option<&TraceContext>,
+    ) -> Result<ExecutionOutcome, ExecFailure> {
         let cards = CardinalityModel::new(catalog).annotate(plan);
         let stages = decompose(plan);
         let skewed = detect_skew(plan, &stages, catalog);
@@ -118,6 +177,11 @@ impl Executor {
         let mut stage_costs = vec![0.0; stages.len()];
         let mut total_work = 0.0;
         let mut latency = 0.0;
+        let mut retries = 0u32;
+        let mut wasted_cost = 0.0;
+        let mut speculative_launches = 0u32;
+        let faults_on = self.cluster.faults_enabled();
+        let query_start_tick = self.cluster.tick_count();
 
         for s in stages.execution_order() {
             let stage = &stages.stages[s];
@@ -143,59 +207,151 @@ impl Executor {
 
             // Fuxi allocation: parallel instances scale with work volume.
             let instances = ((work / 1.0e6).ceil() as usize).clamp(1, 256);
-            let machines = self.cluster.allocate(instances, 0.15);
-            mcsim_obs::observe("exec.alloc.instances", instances as f64);
-
-            // The stage runs for a work-dependent number of 20 s ticks; its
-            // observed environment is the average over machines and window.
-            let start_tick = self.cluster.tick_count();
-            let duration = (((work.max(1.0)).log10() - 3.0).ceil() as u64).clamp(1, 6);
-            let mut window = Vec::with_capacity(duration as usize + 1);
-            window.push(self.cluster.mean_load_of(&machines));
-            for _ in 0..duration {
-                self.cluster.step();
-                window.push(self.cluster.mean_load_of(&machines));
-            }
-            let env = EnvMetrics::mean(window.iter());
-
-            // Environment multiplier (spooled stages are dampened) + noise.
             let has_spool = stage
                 .nodes
                 .iter()
                 .any(|&id| matches!(plan.op(id), Operator::Spool { .. }));
-            let (mult, sigma) = if has_spool {
-                (
-                    self.env_model.spooled_multiplier(&env),
-                    self.noise_sigma * 0.85,
-                )
-            } else {
-                (self.env_model.multiplier(&env), self.noise_sigma)
-            };
-            let noise = (sigma * std_normal(&mut noise_rng) - 0.5 * sigma * sigma).exp();
+            let base_duration = (((work.max(1.0)).log10() - 3.0).ceil() as u64).clamp(1, 6);
 
-            let cost = work * mult * noise * self.params.work_to_cost;
-            stage_envs[s] = env;
-            stage_costs[s] = cost;
-            // Latency: stage wall time plus queueing jitter.
-            let queue = (0.5 * std_normal(&mut noise_rng)).exp();
-            latency += cost / instances as f64 * 1.2 * queue;
-            // Stage-granular observability (never per machine-tick): the
-            // utilization of the machines this stage actually ran on, and
-            // the queueing multiplier it suffered.
-            mcsim_obs::observe("exec.stage.machine_busy", 1.0 - env.cpu_idle);
-            mcsim_obs::observe("exec.stage.queue_wait_factor", queue);
-            mcsim_obs::observe("exec.stage.cost", cost);
-            if let Some(t) = trace {
-                t.stage_event(StageExecEvent {
-                    stage: s,
-                    machines: self.cluster.machine_ids(&machines),
-                    start_tick,
-                    end_tick: self.cluster.tick_count(),
-                    instances,
-                    queue_wait_factor: queue,
-                    cost,
-                    busy: 1.0 - env.cpu_idle,
-                });
+            let mut attempt = 0u32;
+            loop {
+                let machines = self.cluster.allocate(instances, 0.15);
+                mcsim_obs::observe("exec.alloc.instances", instances as f64);
+
+                // The stage runs for a work-dependent number of 20 s ticks;
+                // its observed environment is the average over machines and
+                // window. A straggling attempt holds its slots longer (the
+                // simulated instances crawl) — unless a speculative backup
+                // caps the slowdown at the policy threshold, for an extra
+                // share of duplicated CPU work.
+                let mut straggle = 1.0;
+                let mut spec_this_attempt = false;
+                if faults_on {
+                    if let Some(mut factor) = self.cluster.sample_straggler(s, attempt) {
+                        if self.retry.speculative && factor > self.retry.speculative_threshold {
+                            self.cluster.record_speculative(s, attempt);
+                            speculative_launches += 1;
+                            spec_this_attempt = true;
+                            mcsim_obs::counter("exec.retry.speculative_launches", 1);
+                            factor = self.retry.speculative_threshold;
+                        }
+                        mcsim_obs::counter("exec.fault.stragglers", 1);
+                        mcsim_obs::observe("exec.fault.straggle_factor", factor);
+                        straggle = factor;
+                    }
+                }
+                let duration = if straggle > 1.0 {
+                    ((base_duration as f64 * straggle).ceil() as u64).clamp(1, 24)
+                } else {
+                    base_duration
+                };
+
+                let start_tick = self.cluster.tick_count();
+                let mut window = Vec::with_capacity(duration as usize + 1);
+                window.push(self.cluster.mean_load_of(&machines));
+                for _ in 0..duration {
+                    self.cluster.step();
+                    window.push(self.cluster.mean_load_of(&machines));
+                }
+                let env = EnvMetrics::mean(window.iter());
+
+                // Environment multiplier (spooled stages are dampened) +
+                // noise.
+                let (mult, sigma) = if has_spool {
+                    (
+                        self.env_model.spooled_multiplier(&env),
+                        self.noise_sigma * 0.85,
+                    )
+                } else {
+                    (self.env_model.multiplier(&env), self.noise_sigma)
+                };
+                let noise = (sigma * std_normal(&mut noise_rng) - 0.5 * sigma * sigma).exp();
+
+                let mut cost = work * mult * noise * self.params.work_to_cost;
+                if spec_this_attempt {
+                    cost *= 1.0 + self.retry.speculative_overhead;
+                }
+                let queue = (0.5 * std_normal(&mut noise_rng)).exp();
+
+                // Mid-flight kill: the attempt dies part-way through, its
+                // partial work is burnt, and the stage retries after an
+                // exponential backoff — until the retry budget runs out.
+                if faults_on {
+                    if let Some(progress) = self.cluster.sample_stage_kill(s, attempt) {
+                        let wasted = cost * progress;
+                        wasted_cost += wasted;
+                        stage_costs[s] += wasted;
+                        latency += wasted / instances as f64 * 1.2;
+                        mcsim_obs::counter("exec.fault.stage_kills", 1);
+                        mcsim_obs::observe("exec.fault.wasted_cost", wasted);
+                        if let Some(t) = trace {
+                            t.stage_event(StageExecEvent {
+                                stage: s,
+                                machines: self.cluster.machine_ids(&machines),
+                                start_tick,
+                                end_tick: self.cluster.tick_count(),
+                                instances,
+                                queue_wait_factor: queue,
+                                cost: wasted,
+                                busy: 1.0 - env.cpu_idle,
+                                attempt,
+                                killed: true,
+                            });
+                        }
+                        if attempt >= self.retry.max_retries {
+                            mcsim_obs::counter("exec.fault.stage_failures", 1);
+                            return Err(ExecFailure::StageFailed {
+                                stage: s,
+                                attempts: attempt + 1,
+                            });
+                        }
+                        let backoff = self.retry.backoff_ticks(attempt);
+                        self.cluster.record_retry(s, attempt + 1, backoff);
+                        self.cluster.advance(backoff);
+                        mcsim_obs::counter("exec.retry.attempts", 1);
+                        retries += 1;
+                        attempt += 1;
+                        continue;
+                    }
+                }
+
+                stage_envs[s] = env;
+                stage_costs[s] += cost;
+                // Latency: stage wall time (stretched by any straggler)
+                // plus queueing jitter.
+                latency += cost / instances as f64 * 1.2 * queue * straggle;
+                // Stage-granular observability (never per machine-tick):
+                // the utilization of the machines this stage actually ran
+                // on, and the queueing multiplier it suffered.
+                mcsim_obs::observe("exec.stage.machine_busy", 1.0 - env.cpu_idle);
+                mcsim_obs::observe("exec.stage.queue_wait_factor", queue);
+                mcsim_obs::observe("exec.stage.cost", cost);
+                if let Some(t) = trace {
+                    t.stage_event(StageExecEvent {
+                        stage: s,
+                        machines: self.cluster.machine_ids(&machines),
+                        start_tick,
+                        end_tick: self.cluster.tick_count(),
+                        instances,
+                        queue_wait_factor: queue,
+                        cost,
+                        busy: 1.0 - env.cpu_idle,
+                        attempt,
+                        killed: false,
+                    });
+                }
+                break;
+            }
+
+            if let Some(deadline) = self.retry.deadline_ticks {
+                let elapsed = self.cluster.tick_count() - query_start_tick;
+                if elapsed > deadline {
+                    mcsim_obs::counter("exec.deadline.exceeded", 1);
+                    return Err(ExecFailure::DeadlineExceeded {
+                        deadline_ticks: deadline,
+                        elapsed_ticks: elapsed,
+                    });
+                }
             }
         }
         if mcsim_obs::enabled() {
@@ -207,13 +363,16 @@ impl Executor {
             );
         }
 
-        ExecutionOutcome {
+        Ok(ExecutionOutcome {
             cpu_cost: stage_costs.iter().sum(),
             latency,
             stage_envs,
             stage_costs,
             intrinsic_work: total_work,
-        }
+            retries,
+            wasted_cost,
+            speculative_launches,
+        })
     }
 
     /// The intrinsic (environment-free, noise-free) cost of a plan: the

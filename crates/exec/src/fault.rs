@@ -1,0 +1,441 @@
+//! Seeded, deterministic fault injection for the simulated cluster.
+//!
+//! Production clusters fail in ways load noise never captures: machines die
+//! and get blacklisted by Fuxi until they recover, individual stages straggle
+//! behind their siblings, and preemption kills stage attempts outright. This
+//! module injects all three, driven by a dedicated RNG stream seeded from
+//! [`FaultConfig::seed`] — so every chaos scenario replays byte-for-byte
+//! from its seed, and a disabled config draws *nothing* from any RNG,
+//! leaving the fault-free simulation bit-identical to a build without this
+//! module.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault-injection rates and magnitudes. The default config is fully
+/// disabled (all probabilities zero); [`FaultConfig::chaos`] is the
+/// reference "default fault rate" used by `experiments chaos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// Per-machine, per-tick probability of failing (and being blacklisted).
+    pub machine_fail_prob: f64,
+    /// Mean blacklist duration in cluster ticks; actual downtimes are drawn
+    /// uniformly in `[downtime/2, downtime*3/2)`.
+    pub machine_downtime_ticks: u64,
+    /// Per-stage-attempt probability of the attempt being killed mid-flight
+    /// (Fuxi preemption, container OOM, node loss under the stage).
+    pub stage_kill_prob: f64,
+    /// Per-stage-attempt probability of straggling.
+    pub straggler_prob: f64,
+    /// Upper bound of the straggler slowdown factor (drawn in
+    /// `[1.2, straggler_slowdown)`).
+    pub straggler_slowdown: f64,
+    /// Seed of the fault RNG stream (independent from cluster/noise RNGs).
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            machine_fail_prob: 0.0,
+            machine_downtime_ticks: 90,
+            stage_kill_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_slowdown: 3.0,
+            seed: 0xfa_017,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A fully disabled config: injects nothing, draws nothing.
+    pub fn disabled() -> FaultConfig {
+        FaultConfig::default()
+    }
+
+    /// The reference chaos rates (the "default fault rate" of
+    /// `experiments chaos`): a few machine failures per simulated hour on a
+    /// 200-machine pool, and a few percent of stage attempts killed or
+    /// straggling.
+    pub fn chaos(seed: u64) -> FaultConfig {
+        FaultConfig {
+            machine_fail_prob: 2.0e-4,
+            machine_downtime_ticks: 90,
+            stage_kill_prob: 0.03,
+            straggler_prob: 0.08,
+            straggler_slowdown: 3.0,
+            seed,
+        }
+    }
+
+    /// Scales every fault *probability* by `factor` (magnitudes and the seed
+    /// are unchanged); probabilities are clamped to 0.95. `scaled(0.0)` is a
+    /// disabled config.
+    pub fn scaled(mut self, factor: f64) -> FaultConfig {
+        let f = factor.max(0.0);
+        self.machine_fail_prob = (self.machine_fail_prob * f).min(0.95);
+        self.stage_kill_prob = (self.stage_kill_prob * f).min(0.95);
+        self.straggler_prob = (self.straggler_prob * f).min(0.95);
+        self
+    }
+
+    /// True if any fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.machine_fail_prob > 0.0 || self.stage_kill_prob > 0.0 || self.straggler_prob > 0.0
+    }
+}
+
+/// One entry of the canonical fault log — the replayable record the
+/// determinism property tests compare byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// A machine failed and was blacklisted until `until`.
+    MachineDown { machine: u32, tick: u64, until: u64 },
+    /// A blacklisted machine recovered and rejoined the pool.
+    MachineUp { machine: u32, tick: u64 },
+    /// A stage attempt straggled by `factor`.
+    StageStraggled {
+        stage: usize,
+        attempt: u32,
+        factor: f64,
+    },
+    /// A speculative backup was launched for a straggling attempt.
+    SpeculativeLaunch {
+        stage: usize,
+        attempt: u32,
+        tick: u64,
+    },
+    /// A stage attempt was killed mid-flight.
+    StageKilled {
+        stage: usize,
+        attempt: u32,
+        tick: u64,
+    },
+    /// The executor scheduled retry number `attempt` after backing off.
+    StageRetried {
+        stage: usize,
+        attempt: u32,
+        backoff_ticks: u64,
+    },
+}
+
+/// The live fault-injection state a [`crate::Cluster`] carries: the config,
+/// the dedicated fault RNG, per-machine blacklist deadlines, and the
+/// append-only event log.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    config: FaultConfig,
+    rng: StdRng,
+    /// Blacklist deadline per machine; 0 = up.
+    down_until: Vec<u64>,
+    log: Vec<FaultEvent>,
+}
+
+impl FaultState {
+    /// Creates the state for an `n_machines`-wide pool.
+    pub fn new(config: FaultConfig, n_machines: usize) -> FaultState {
+        let rng = StdRng::seed_from_u64(config.seed ^ 0xfa17_0bad);
+        FaultState {
+            config,
+            rng,
+            down_until: vec![0; n_machines],
+            log: Vec::new(),
+        }
+    }
+
+    /// True if any fault class can fire.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// True if machine `i` is blacklisted at `tick`.
+    pub fn is_down(&self, i: usize, tick: u64) -> bool {
+        self.down_until.get(i).is_some_and(|&u| u > tick)
+    }
+
+    /// How many machines are blacklisted at `tick`.
+    pub fn down_count(&self, tick: u64) -> usize {
+        self.down_until.iter().filter(|&&u| u > tick).count()
+    }
+
+    /// The replayable fault log, in injection order.
+    pub fn log(&self) -> &[FaultEvent] {
+        &self.log
+    }
+
+    /// Samples machine failures and recoveries for one cluster tick.
+    pub(crate) fn tick_machines(&mut self, tick: u64) {
+        for i in 0..self.down_until.len() {
+            if self.down_until[i] != 0 {
+                if tick >= self.down_until[i] {
+                    self.down_until[i] = 0;
+                    self.log.push(FaultEvent::MachineUp {
+                        machine: i as u32,
+                        tick,
+                    });
+                    mcsim_obs::counter("exec.fault.machine_recoveries", 1);
+                }
+            } else if self.config.machine_fail_prob > 0.0
+                && self.rng.gen_bool(self.config.machine_fail_prob)
+            {
+                let lo = (self.config.machine_downtime_ticks / 2).max(1);
+                let hi = (self.config.machine_downtime_ticks.saturating_mul(3) / 2).max(lo + 1);
+                let until = tick + self.rng.gen_range(lo..hi);
+                self.down_until[i] = until;
+                self.log.push(FaultEvent::MachineDown {
+                    machine: i as u32,
+                    tick,
+                    until,
+                });
+                mcsim_obs::counter("exec.fault.machine_failures", 1);
+            }
+        }
+    }
+
+    /// Samples whether a stage attempt straggles; returns the slowdown.
+    pub(crate) fn sample_straggler(&mut self, stage: usize, attempt: u32) -> Option<f64> {
+        if self.config.straggler_prob <= 0.0 || !self.rng.gen_bool(self.config.straggler_prob) {
+            return None;
+        }
+        let hi = self.config.straggler_slowdown.max(1.2 + 1e-9);
+        let factor = self.rng.gen_range(1.2..hi);
+        self.log.push(FaultEvent::StageStraggled {
+            stage,
+            attempt,
+            factor,
+        });
+        Some(factor)
+    }
+
+    /// Samples whether a stage attempt is killed; returns the fraction of
+    /// the attempt's work already done (and therefore wasted).
+    pub(crate) fn sample_stage_kill(
+        &mut self,
+        stage: usize,
+        attempt: u32,
+        tick: u64,
+    ) -> Option<f64> {
+        if self.config.stage_kill_prob <= 0.0 || !self.rng.gen_bool(self.config.stage_kill_prob) {
+            return None;
+        }
+        let progress = self.rng.gen_range(0.05..0.95);
+        self.log.push(FaultEvent::StageKilled {
+            stage,
+            attempt,
+            tick,
+        });
+        Some(progress)
+    }
+
+    /// Records a speculative backup launch.
+    pub(crate) fn record_speculative(&mut self, stage: usize, attempt: u32, tick: u64) {
+        self.log.push(FaultEvent::SpeculativeLaunch {
+            stage,
+            attempt,
+            tick,
+        });
+    }
+
+    /// Records a scheduled retry.
+    pub(crate) fn record_retry(&mut self, stage: usize, attempt: u32, backoff_ticks: u64) {
+        self.log.push(FaultEvent::StageRetried {
+            stage,
+            attempt,
+            backoff_ticks,
+        });
+    }
+}
+
+/// Retry, speculation, and deadline policy of an [`crate::Executor`]. The
+/// default policy retries killed stages with exponential backoff, launches
+/// speculative backups for severe stragglers, and imposes no deadline — all
+/// of which is inert while fault injection is disabled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retry budget per stage (0 = fail on the first kill).
+    pub max_retries: u32,
+    /// Backoff before retry number 1, in cluster ticks.
+    pub backoff_base_ticks: u64,
+    /// Backoff growth per retry (exponential).
+    pub backoff_multiplier: f64,
+    /// Backoff ceiling, in cluster ticks.
+    pub max_backoff_ticks: u64,
+    /// Per-query deadline in cluster ticks (`None` = unbounded). Checked
+    /// after every stage; exceeding it fails the query.
+    pub deadline_ticks: Option<u64>,
+    /// Launch a speculative backup when a straggler exceeds the threshold.
+    pub speculative: bool,
+    /// Straggle factor beyond which a backup launches; the backup caps the
+    /// effective slowdown at this threshold.
+    pub speculative_threshold: f64,
+    /// Extra CPU-cost fraction the duplicate attempt burns.
+    pub speculative_overhead: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_base_ticks: 4,
+            backoff_multiplier: 2.0,
+            max_backoff_ticks: 240,
+            deadline_ticks: None,
+            speculative: true,
+            speculative_threshold: 1.8,
+            speculative_overhead: 0.35,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries, never speculates, never times out.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            speculative: false,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry `attempt + 1` (attempts are 0-based), clamped to
+    /// `[1, max_backoff_ticks]`.
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        let raw = self.backoff_base_ticks as f64 * self.backoff_multiplier.powi(attempt as i32);
+        (raw as u64).clamp(1, self.max_backoff_ticks.max(1))
+    }
+}
+
+/// Why a fallible execution gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecFailure {
+    /// A stage exhausted its retry budget.
+    StageFailed { stage: usize, attempts: u32 },
+    /// The query blew through its deadline.
+    DeadlineExceeded {
+        deadline_ticks: u64,
+        elapsed_ticks: u64,
+    },
+}
+
+impl std::fmt::Display for ExecFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecFailure::StageFailed { stage, attempts } => {
+                write!(f, "stage {stage} failed after {attempts} attempt(s)")
+            }
+            ExecFailure::DeadlineExceeded {
+                deadline_ticks,
+                elapsed_ticks,
+            } => write!(
+                f,
+                "query deadline of {deadline_ticks} ticks exceeded ({elapsed_ticks} elapsed)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_disabled_and_chaos_is_not() {
+        assert!(!FaultConfig::default().enabled());
+        assert!(!FaultConfig::disabled().enabled());
+        assert!(FaultConfig::chaos(1).enabled());
+        assert!(!FaultConfig::chaos(1).scaled(0.0).enabled());
+    }
+
+    #[test]
+    fn scaling_multiplies_probabilities_and_clamps() {
+        let c = FaultConfig::chaos(7).scaled(2.0);
+        assert!((c.stage_kill_prob - 0.06).abs() < 1e-12);
+        assert!((c.straggler_prob - 0.16).abs() < 1e-12);
+        let extreme = FaultConfig::chaos(7).scaled(1e9);
+        assert_eq!(extreme.stage_kill_prob, 0.95);
+        assert_eq!(extreme.seed, 7, "scaling must not touch the seed");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_clamps() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_ticks(0), 4);
+        assert_eq!(p.backoff_ticks(1), 8);
+        assert_eq!(p.backoff_ticks(2), 16);
+        assert_eq!(p.backoff_ticks(30), p.max_backoff_ticks);
+        assert!(RetryPolicy::none().max_retries == 0);
+    }
+
+    #[test]
+    fn same_seed_same_tick_sequence_gives_identical_logs() {
+        let cfg = FaultConfig {
+            machine_fail_prob: 0.05,
+            ..FaultConfig::chaos(42)
+        };
+        let mut a = FaultState::new(cfg.clone(), 16);
+        let mut b = FaultState::new(cfg, 16);
+        for t in 0..500 {
+            a.tick_machines(t);
+            b.tick_machines(t);
+        }
+        let _ = a.sample_straggler(0, 0);
+        let _ = b.sample_straggler(0, 0);
+        assert!(!a.log().is_empty(), "5% per-tick failures must fire");
+        assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn machines_go_down_and_come_back() {
+        let cfg = FaultConfig {
+            machine_fail_prob: 0.2,
+            machine_downtime_ticks: 10,
+            ..FaultConfig::chaos(3)
+        };
+        let mut s = FaultState::new(cfg, 8);
+        let mut saw_down = false;
+        let mut saw_up = false;
+        for t in 0..200 {
+            s.tick_machines(t);
+            saw_down |= s.down_count(t) > 0;
+        }
+        for ev in s.log() {
+            saw_up |= matches!(ev, FaultEvent::MachineUp { .. });
+        }
+        assert!(saw_down && saw_up, "down={saw_down} up={saw_up}");
+        // After a long quiet period every blacklist deadline has passed.
+        assert_eq!(s.down_count(1_000_000), 0);
+    }
+
+    #[test]
+    fn disabled_state_never_logs_or_draws() {
+        let mut s = FaultState::new(FaultConfig::disabled(), 8);
+        for t in 0..100 {
+            s.tick_machines(t);
+        }
+        assert!(s.sample_straggler(0, 0).is_none());
+        assert!(s.sample_stage_kill(0, 0, 0).is_none());
+        assert!(s.log().is_empty());
+        assert_eq!(s.down_count(50), 0);
+    }
+
+    #[test]
+    fn exec_failure_displays_are_informative() {
+        let e = ExecFailure::StageFailed {
+            stage: 3,
+            attempts: 4,
+        };
+        assert!(e.to_string().contains("stage 3"));
+        let e = ExecFailure::DeadlineExceeded {
+            deadline_ticks: 100,
+            elapsed_ticks: 140,
+        };
+        assert!(e.to_string().contains("deadline"));
+    }
+}

@@ -131,20 +131,25 @@ mod tests {
     use mcsim_catalog::{ProjectId, ProjectProfile};
     use mcsim_optimizer::{Knobs, NativeOptimizer};
 
-    fn setup() -> (mcsim_catalog::Project, Flighting) {
+    /// The shared optimize-and-replay fixture: a small project, a flighting
+    /// environment, and the default plan of the project's first query —
+    /// everything the replay tests previously set up by hand, each slightly
+    /// differently.
+    fn fixture() -> (mcsim_catalog::Project, Flighting, PlanTree) {
         let mut prof = ProjectProfile::evaluation_project(1).unwrap();
         prof.n_tables = 20;
         prof.n_temp_tables = 2;
         prof.n_columns = 160;
         prof.n_templates = 10;
-        (prof.generate(ProjectId(1)), Flighting::new(5, 0.2))
+        let project = prof.generate(ProjectId(1));
+        let opt = NativeOptimizer::new(&project.catalog);
+        let plan = opt.optimize(&project.workload_for_day(0)[0], &Knobs::default());
+        (project, Flighting::new(5, 0.2), plan)
     }
 
     #[test]
     fn replay_returns_requested_rounds() {
-        let (p, mut fl) = setup();
-        let opt = NativeOptimizer::new(&p.catalog);
-        let plan = opt.optimize(&p.workload_for_day(0)[0], &Knobs::default());
+        let (p, mut fl, plan) = fixture();
         let outs = fl.replay(&plan, &p.catalog, 7);
         assert_eq!(outs.len(), 7);
         // Environments vary between rounds.
@@ -155,10 +160,7 @@ mod tests {
 
     #[test]
     fn synchronized_replay_shares_environment_within_round() {
-        let (p, mut fl) = setup();
-        let opt = NativeOptimizer::new(&p.catalog);
-        let q = &p.workload_for_day(0)[0];
-        let plan = opt.optimize(q, &Knobs::default());
+        let (p, mut fl, plan) = fixture();
         // Same plan listed twice must yield the exact same cost each round
         // (same environment snapshot + same deterministic noise seed).
         let costs = fl.replay_synchronized(&[&plan, &plan], &p.catalog, 5);
@@ -169,11 +171,9 @@ mod tests {
 
     #[test]
     fn replays_do_not_disturb_each_other_across_plans() {
-        let (p, mut fl) = setup();
+        let (p, mut fl, plan_a) = fixture();
         let opt = NativeOptimizer::new(&p.catalog);
-        let queries = p.workload_for_day(0);
-        let plan_a = opt.optimize(&queries[0], &Knobs::default());
-        let plan_b = opt.optimize(&queries[1], &Knobs::default());
+        let plan_b = opt.optimize(&p.workload_for_day(0)[1], &Knobs::default());
         let rows = fl.replay_synchronized(&[&plan_a, &plan_b], &p.catalog, 3);
         assert_eq!(rows.len(), 3);
         assert!(rows.iter().all(|r| r.len() == 2));
@@ -182,14 +182,62 @@ mod tests {
 
     #[test]
     fn average_cost_is_between_min_and_max() {
-        let (p, mut fl) = setup();
-        let opt = NativeOptimizer::new(&p.catalog);
-        let plan = opt.optimize(&p.workload_for_day(0)[0], &Knobs::default());
+        let (p, mut fl, plan) = fixture();
         let mut fl2 = fl.clone();
         let avg = fl.average_cost(&plan, &p.catalog, 9);
         let outs = fl2.replay(&plan, &p.catalog, 9);
         let min = outs.iter().map(|o| o.cpu_cost).fold(f64::MAX, f64::min);
         let max = outs.iter().map(|o| o.cpu_cost).fold(f64::MIN, f64::max);
         assert!(avg >= min && avg <= max);
+    }
+
+    #[test]
+    fn replay_leaves_history_repository_unmutated() {
+        use crate::history::{build_history, HistoryOptions};
+        let (p, mut fl, _plan) = fixture();
+        let repo = build_history(
+            &p,
+            &HistoryOptions {
+                days: 1,
+                max_queries: 8,
+                ..HistoryOptions::default()
+            },
+        );
+        let snapshot: Vec<(u64, f64, f64)> = repo
+            .records()
+            .iter()
+            .map(|r| (r.signature.0, r.cpu_cost, r.latency))
+            .collect();
+        // Replay every logged plan through flighting, both modes.
+        for r in repo.records() {
+            let _ = fl.replay(&r.plan, &p.catalog, 2);
+        }
+        let plans: Vec<&PlanTree> = repo.records().iter().map(|r| &r.plan).collect();
+        let _ = fl.replay_synchronized(&plans, &p.catalog, 2);
+        let after: Vec<(u64, f64, f64)> = repo
+            .records()
+            .iter()
+            .map(|r| (r.signature.0, r.cpu_cost, r.latency))
+            .collect();
+        assert_eq!(snapshot, after, "flighting must never rewrite history");
+    }
+
+    #[test]
+    fn synchronized_replay_does_not_mutate_shared_executor_state_across_clones() {
+        // The snapshot-per-plan discipline means two flighting clones that
+        // replay the same candidate set stay in lockstep — no hidden state
+        // leaks from one plan's execution into the next.
+        let (p, fl, plan_a) = fixture();
+        let opt = NativeOptimizer::new(&p.catalog);
+        let plan_b = opt.optimize(&p.workload_for_day(0)[1], &Knobs::default());
+        let mut fl1 = fl.clone();
+        let mut fl2 = fl.clone();
+        let rows1 = fl1.replay_synchronized(&[&plan_a, &plan_b], &p.catalog, 4);
+        let rows2 = fl2.replay_synchronized(&[&plan_a, &plan_b], &p.catalog, 4);
+        assert_eq!(rows1, rows2);
+        assert_eq!(
+            fl1.executor().cluster.tick_count(),
+            fl2.executor().cluster.tick_count()
+        );
     }
 }

@@ -29,18 +29,22 @@
 //! assert!(outcome.cpu_cost > 0.0);
 //! ```
 
+pub mod chaos;
 pub mod cluster;
 pub mod envmodel;
 pub mod execute;
+pub mod fault;
 pub mod flighting;
 pub mod history;
 pub mod machine;
 
+pub use chaos::ChaosScenario;
 pub use cluster::{
     Cluster, ClusterConfig, ClusterConfigBuilder, InvalidClusterConfig, TICKS_PER_DAY,
 };
 pub use envmodel::EnvModel;
 pub use execute::{ExecutionOutcome, Executor};
+pub use fault::{ExecFailure, FaultConfig, FaultEvent, FaultState, RetryPolicy};
 pub use flighting::Flighting;
 pub use history::{build_history, execute_and_log, HistoryOptions};
 pub use machine::{LoadDynamics, Machine};

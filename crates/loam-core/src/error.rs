@@ -5,7 +5,7 @@
 //! invalid configurations and degenerate workloads surface as values the
 //! caller can match on.
 
-use mcsim_exec::InvalidClusterConfig;
+use mcsim_exec::{ExecFailure, InvalidClusterConfig};
 
 /// Everything that can go wrong in the public pipeline API.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,6 +18,9 @@ pub enum LoamError {
     TrainingDiverged(String),
     /// A generated or supplied plan failed structural validation.
     PlanInvalid(String),
+    /// Execution failed even after retries and the default-plan fallback
+    /// (only reachable with fault injection armed).
+    ExecutionFailed(String),
 }
 
 impl std::fmt::Display for LoamError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for LoamError {
             LoamError::EmptyWorkload(m) => write!(f, "empty workload: {m}"),
             LoamError::TrainingDiverged(m) => write!(f, "training diverged: {m}"),
             LoamError::PlanInvalid(m) => write!(f, "invalid plan: {m}"),
+            LoamError::ExecutionFailed(m) => write!(f, "execution failed: {m}"),
         }
     }
 }
@@ -36,6 +40,12 @@ impl std::error::Error for LoamError {}
 impl From<InvalidClusterConfig> for LoamError {
     fn from(e: InvalidClusterConfig) -> Self {
         LoamError::InvalidConfig(e.0)
+    }
+}
+
+impl From<ExecFailure> for LoamError {
+    fn from(e: ExecFailure) -> Self {
+        LoamError::ExecutionFailed(e.to_string())
     }
 }
 
@@ -55,5 +65,16 @@ mod tests {
     fn cluster_config_errors_convert() {
         let e: LoamError = InvalidClusterConfig("n_machines must be >= 1".into()).into();
         assert!(matches!(e, LoamError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn exec_failures_convert() {
+        let e: LoamError = ExecFailure::StageFailed {
+            stage: 1,
+            attempts: 4,
+        }
+        .into();
+        assert!(matches!(e, LoamError::ExecutionFailed(_)));
+        assert!(e.to_string().contains("stage 1"));
     }
 }

@@ -134,6 +134,25 @@ pub fn select_plan_guarded_traced<M: CostModel + Sync + ?Sized>(
     query_id: u64,
 ) -> (usize, Vec<f64>) {
     let (best, costs) = select_plan(model, plans, strategy);
+    let chosen = guarded_choice_traced(plans, &costs, best, default_idx, margin, trace, query_id);
+    (chosen, costs)
+}
+
+/// The margin guard over an already-scored candidate set: picks between the
+/// model's favourite `best` and `default_idx`, records the provenance, and
+/// returns the guarded choice. Factored out of
+/// [`select_plan_guarded_traced`] so callers that must inspect the predicted
+/// costs first (e.g. the robust serving path, which checks them for
+/// non-finite values) do not have to score the candidates twice.
+pub fn guarded_choice_traced(
+    plans: &[&PlanTree],
+    costs: &[f64],
+    best: usize,
+    default_idx: usize,
+    margin: f64,
+    trace: Option<&TraceContext>,
+    query_id: u64,
+) -> usize {
     let (chosen, outcome) = if best == default_idx {
         mcsim_obs::counter("loam.select.default_best", 1);
         (best, SelectionOutcome::DefaultBest)
@@ -147,7 +166,7 @@ pub fn select_plan_guarded_traced<M: CostModel + Sync + ?Sized>(
     if let Some(t) = trace {
         let candidates: Vec<CandidateScore> = plans
             .iter()
-            .zip(&costs)
+            .zip(costs)
             .enumerate()
             .map(|(i, (p, &c))| CandidateScore {
                 signature: PlanSignature::of(p).0,
@@ -177,7 +196,7 @@ pub fn select_plan_guarded_traced<M: CostModel + Sync + ?Sized>(
             }));
         }
     }
-    (chosen, costs)
+    chosen
 }
 
 #[cfg(test)]

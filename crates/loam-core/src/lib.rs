@@ -50,6 +50,7 @@ pub mod inference;
 pub mod persist;
 pub mod pipeline;
 pub mod predictor;
+pub mod robust;
 pub mod selector;
 pub mod theory;
 
@@ -61,11 +62,16 @@ pub use gate::{
     GateReport,
 };
 pub use inference::{
-    select_plan, select_plan_guarded, select_plan_guarded_traced, EnvStrategy, DEFAULT_MARGIN,
+    guarded_choice_traced, select_plan, select_plan_guarded, select_plan_guarded_traced,
+    EnvStrategy, DEFAULT_MARGIN,
 };
 pub use persist::{load_predictor, load_ranker, save_predictor, save_ranker, PersistError};
 pub use predictor::baselines::{CostModel, GcnPredictor, TransformerPredictor, XgbPredictor};
 pub use predictor::train::{train, train_reference, TrainConfig, TrainReport, TrainSample};
 pub use predictor::AdaptiveCostPredictor;
+pub use robust::{
+    execute_with_fallback, run_robust_serving, select_plan_robust, Resolution, RobustConfig,
+    RobustQueryResult, RobustRunReport,
+};
 pub use selector::{FilterConfig, FilterReport, Ranker};
 pub use theory::{Deviance, KsTest, LogNormal};

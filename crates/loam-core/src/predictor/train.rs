@@ -12,7 +12,7 @@
 //!
 //! Each optimizer step splits its minibatch into fixed-boundary *microbatch
 //! slots* (`TrainConfig::microbatches`). Every slot owns a reusable
-//! [`SlotState`] — gradient buffers, layer workspaces, and scratch — so the
+//! `SlotState` — gradient buffers, layer workspaces, and scratch — so the
 //! per-sample forward/backward work runs through tinynn's allocation-free
 //! `_ws` kernels and performs zero heap allocation after the first step.
 //! Plan-feature rows are ~90% zeros, so `prepare` also builds a CSR nonzero

@@ -1,0 +1,431 @@
+//! Graceful degradation: the fallback ladder that keeps queries completing
+//! when the predictor, the deployment gate, or the cluster itself misbehaves.
+//!
+//! Production steering is only shippable if every failure mode degrades to
+//! the native optimizer's default plan instead of taking the query down
+//! (what Microsoft's steering deployment and Bao both insist on). The ladder
+//! here, from least to most degraded:
+//!
+//! 1. **Steered** — the model's choice survives the margin guard and
+//!    executes (possibly with fault-injected retries along the way).
+//! 2. **Predictor fallback** — a candidate scored non-finite: serve the
+//!    default plan, record a [`Decision::Fallback`].
+//! 3. **Gate fallback** — the deployment gate held the model: every query
+//!    serves the default plan, each with a fallback record.
+//! 4. **Execution fallback** — the steered plan exhausted its retry budget
+//!    or deadline: replay the default plan.
+//! 5. **Failed** — even the default plan failed; the query is counted
+//!    against the completion rate and surfaces a
+//!    [`LoamError::ExecutionFailed`]-equivalent result entry.
+//!
+//! Every degradation leaves a typed [`Decision::Fallback`] provenance record
+//! in the trace and bumps a `loam.fallback.*` counter.
+
+use crate::error::LoamError;
+use crate::gate::{validate_traced, GateConfig};
+use crate::inference::{guarded_choice_traced, EnvStrategy, DEFAULT_MARGIN};
+use crate::pipeline::EvaluatedQuery;
+use crate::predictor::baselines::CostModel;
+use mcsim_catalog::Catalog;
+use mcsim_exec::{ExecutionOutcome, Executor};
+use mcsim_obs::trace::{Decision, Fallback, TraceContext};
+use mcsim_plan::PlanTree;
+
+/// Configuration of the robust serving loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustConfig {
+    /// Margin of the guarded selection (see
+    /// [`DEFAULT_MARGIN`]).
+    pub margin: f64,
+    /// Whether the fallback ladder is armed. With it off, gate holds are
+    /// ignored and execution failures are terminal — the configuration the
+    /// chaos benchmark contrasts against.
+    pub fallback_enabled: bool,
+    /// Deployment-gate thresholds.
+    pub gate: GateConfig,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        RobustConfig {
+            margin: DEFAULT_MARGIN,
+            fallback_enabled: true,
+            gate: GateConfig::default(),
+        }
+    }
+}
+
+/// How a query was ultimately resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// The steered (non-default) plan executed successfully.
+    Steered,
+    /// The model or margin guard itself preferred the default plan — the
+    /// normal conservative outcome, not a degradation.
+    Default,
+    /// Non-finite prediction ⇒ default plan.
+    PredictorFallback,
+    /// Deployment gate held the model ⇒ default plan.
+    GateFallback,
+    /// Steered execution failed ⇒ default plan replayed.
+    ExecFallback,
+    /// Both steered and default execution failed.
+    Failed,
+}
+
+impl Resolution {
+    /// True for the degraded rungs of the ladder (everything below a clean
+    /// steered/default serve).
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            Resolution::PredictorFallback
+                | Resolution::GateFallback
+                | Resolution::ExecFallback
+                | Resolution::Failed
+        )
+    }
+}
+
+/// Per-query outcome of the robust serving loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustQueryResult {
+    /// The query.
+    pub query_id: u64,
+    /// How the query was resolved.
+    pub resolution: Resolution,
+    /// Observed CPU cost (0 for failed queries).
+    pub cost: f64,
+    /// Fault-injected retries the execution survived.
+    pub retries: u32,
+    /// CPU cost burnt by killed attempts.
+    pub wasted_cost: f64,
+    /// Speculative backups launched.
+    pub speculative_launches: u32,
+}
+
+/// The robust serving loop's report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustRunReport {
+    /// Whether the gate deployed the model.
+    pub gate_deployed: bool,
+    /// One entry per evaluated query, in input order.
+    pub results: Vec<RobustQueryResult>,
+}
+
+impl RobustRunReport {
+    /// Fraction of queries that completed (any rung above `Failed`).
+    pub fn completion_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 1.0;
+        }
+        let ok = self
+            .results
+            .iter()
+            .filter(|r| r.resolution != Resolution::Failed)
+            .count();
+        ok as f64 / self.results.len() as f64
+    }
+
+    /// How many queries took any degraded rung of the ladder.
+    pub fn degraded_count(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| r.resolution.is_degraded())
+            .count()
+    }
+
+    /// Total fault-injected retries across all queries.
+    pub fn total_retries(&self) -> u32 {
+        self.results.iter().map(|r| r.retries).sum()
+    }
+
+    /// Total observed CPU cost of completed queries.
+    pub fn total_cost(&self) -> f64 {
+        self.results.iter().map(|r| r.cost).sum()
+    }
+
+    /// Total CPU cost burnt by killed attempts.
+    pub fn total_wasted_cost(&self) -> f64 {
+        self.results.iter().map(|r| r.wasted_cost).sum()
+    }
+}
+
+/// Robust plan selection: like
+/// [`select_plan_guarded_traced`](crate::inference::select_plan_guarded_traced),
+/// but a non-finite prediction degrades to the default plan (with a
+/// [`Decision::Fallback`] record) instead of poisoning the argmin. Returns
+/// the chosen index and, when the predictor misbehaved, the reason.
+pub fn select_plan_robust<M: CostModel + Sync + ?Sized>(
+    model: &M,
+    plans: &[&PlanTree],
+    strategy: &EnvStrategy,
+    default_idx: usize,
+    margin: f64,
+    trace: Option<&TraceContext>,
+    query_id: u64,
+) -> (usize, Option<String>) {
+    assert!(!plans.is_empty(), "candidate set must be non-empty");
+    let costs: Vec<f64> = mcsim_par::ThreadPool::global()
+        .parallel_map(plans, |p| model.predict(p, strategy.env_source()));
+    if let Some((i, c)) = costs.iter().enumerate().find(|(_, c)| !c.is_finite()) {
+        let reason =
+            format!("predictor returned non-finite cost {c} for candidate #{i}; serving default");
+        mcsim_obs::counter("loam.fallback.predictor_error", 1);
+        if let Some(t) = trace {
+            t.decision(Decision::Fallback(Fallback {
+                query_id,
+                reason: reason.clone(),
+            }));
+        }
+        return (default_idx, Some(reason));
+    }
+    let best = costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(default_idx);
+    let chosen = guarded_choice_traced(plans, &costs, best, default_idx, margin, trace, query_id);
+    (chosen, None)
+}
+
+/// Executes `steered`, and on failure replays `default_plan` (recording a
+/// [`Decision::Fallback`]). Returns the outcome and whether the fallback
+/// fired; errs only if the default plan failed too.
+pub fn execute_with_fallback(
+    exec: &mut Executor,
+    steered: &PlanTree,
+    default_plan: &PlanTree,
+    catalog: &Catalog,
+    trace: Option<&TraceContext>,
+    query_id: u64,
+) -> Result<(ExecutionOutcome, bool), LoamError> {
+    match exec.try_execute_traced(steered, catalog, trace) {
+        Ok(out) => Ok((out, false)),
+        Err(e) => {
+            mcsim_obs::counter("loam.fallback.exec_failed", 1);
+            if let Some(t) = trace {
+                t.decision(Decision::Fallback(Fallback {
+                    query_id,
+                    reason: format!("steered execution failed ({e}); replaying default plan"),
+                }));
+            }
+            match exec.try_execute_traced(default_plan, catalog, trace) {
+                Ok(out) => Ok((out, true)),
+                Err(e2) => {
+                    mcsim_obs::counter("loam.robust.queries_failed", 1);
+                    Err(LoamError::ExecutionFailed(format!(
+                        "default plan failed too ({e2}) after steered failure ({e})"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// The robust serving loop: gate the model, then select and execute every
+/// evaluated query down the fallback ladder. Never panics and always
+/// terminates — every query lands on some [`Resolution`], and every degraded
+/// query carries a [`Decision::Fallback`] record in `trace`.
+pub fn run_robust_serving<M: CostModel + Sync + ?Sized>(
+    model: &M,
+    strategy: &EnvStrategy,
+    evaluated: &[EvaluatedQuery],
+    exec: &mut Executor,
+    catalog: &Catalog,
+    cfg: &RobustConfig,
+    trace: Option<&TraceContext>,
+) -> Result<RobustRunReport, LoamError> {
+    if evaluated.is_empty() {
+        return Err(LoamError::EmptyWorkload(
+            "robust serving needs at least one evaluated query".into(),
+        ));
+    }
+    let gate = validate_traced(model, strategy, evaluated, &cfg.gate, trace);
+    let gate_deployed = gate.deploy();
+
+    let mut results = Vec::with_capacity(evaluated.len());
+    for eq in evaluated {
+        let (choice, base) = if !gate_deployed && cfg.fallback_enabled {
+            mcsim_obs::counter("loam.fallback.gate_hold", 1);
+            if let Some(t) = trace {
+                t.decision(Decision::Fallback(Fallback {
+                    query_id: eq.query_id,
+                    reason: "deployment gate held the model; serving default plan".into(),
+                }));
+            }
+            (eq.default_idx, Resolution::GateFallback)
+        } else {
+            let refs: Vec<&PlanTree> = eq.plans.iter().collect();
+            let (choice, predictor_error) = select_plan_robust(
+                model,
+                &refs,
+                strategy,
+                eq.default_idx,
+                cfg.margin,
+                trace,
+                eq.query_id,
+            );
+            match predictor_error {
+                Some(_) => (choice, Resolution::PredictorFallback),
+                None if choice == eq.default_idx => (choice, Resolution::Default),
+                None => (choice, Resolution::Steered),
+            }
+        };
+
+        let steered = &eq.plans[choice];
+        let default_plan = &eq.plans[eq.default_idx];
+        let resolved = if cfg.fallback_enabled {
+            match execute_with_fallback(exec, steered, default_plan, catalog, trace, eq.query_id) {
+                Ok((out, fell_back)) => Some((
+                    out,
+                    if fell_back {
+                        Resolution::ExecFallback
+                    } else {
+                        base
+                    },
+                )),
+                Err(_) => None,
+            }
+        } else {
+            match exec.try_execute_traced(steered, catalog, trace) {
+                Ok(out) => Some((out, base)),
+                Err(_) => {
+                    mcsim_obs::counter("loam.robust.queries_failed", 1);
+                    None
+                }
+            }
+        };
+
+        match resolved {
+            Some((out, resolution)) => {
+                mcsim_obs::counter("loam.robust.queries_completed", 1);
+                results.push(RobustQueryResult {
+                    query_id: eq.query_id,
+                    resolution,
+                    cost: out.cpu_cost,
+                    retries: out.retries,
+                    wasted_cost: out.wasted_cost,
+                    speculative_launches: out.speculative_launches,
+                });
+            }
+            None => results.push(RobustQueryResult {
+                query_id: eq.query_id,
+                resolution: Resolution::Failed,
+                cost: 0.0,
+                retries: 0,
+                wasted_cost: 0.0,
+                speculative_launches: 0,
+            }),
+        }
+    }
+
+    Ok(RobustRunReport {
+        gate_deployed,
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::featurize::EnvSource;
+    use mcsim_plan::Operator;
+
+    /// Charges per node; optionally returns NaN for every non-trivial plan.
+    struct FakeModel {
+        nan_for_big: bool,
+    }
+    impl CostModel for FakeModel {
+        fn name(&self) -> &'static str {
+            "fake"
+        }
+        fn predict(&self, plan: &PlanTree, _env: EnvSource<'_>) -> f64 {
+            if self.nan_for_big && plan.len() > 2 {
+                f64::NAN
+            } else {
+                plan.len() as f64
+            }
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    fn chain(n: usize) -> PlanTree {
+        let mut t = PlanTree::new();
+        let mut cur = t.leaf(Operator::table_scan(0, 1, 1, vec![0]));
+        for _ in 0..n {
+            cur = t.unary(Operator::Limit { n: 1 }, cur);
+        }
+        t.set_root(cur);
+        t
+    }
+
+    #[test]
+    fn non_finite_predictions_fall_back_to_default_with_provenance() {
+        let model = FakeModel { nan_for_big: true };
+        let small = chain(1);
+        let big = chain(9);
+        let strat = EnvStrategy::NoEnv;
+        let ctx = TraceContext::new("robust");
+        let (choice, reason) =
+            select_plan_robust(&model, &[&small, &big], &strat, 0, 0.1, Some(&ctx), 42);
+        assert_eq!(choice, 0);
+        assert!(reason.is_some(), "NaN prediction must surface a reason");
+        let ds = ctx.decisions();
+        assert!(
+            matches!(&ds[0], Decision::Fallback(f) if f.query_id == 42),
+            "fallback record expected, got {ds:?}"
+        );
+    }
+
+    #[test]
+    fn finite_predictions_delegate_to_the_margin_guard() {
+        let model = FakeModel { nan_for_big: false };
+        let small = chain(1);
+        let big = chain(9);
+        let strat = EnvStrategy::NoEnv;
+        // Winner far cheaper than default ⇒ steered, no reason.
+        let (choice, reason) = select_plan_robust(&model, &[&big, &small], &strat, 0, 0.4, None, 1);
+        assert_eq!(choice, 1);
+        assert!(reason.is_none());
+    }
+
+    #[test]
+    fn resolution_degradation_classes_are_consistent() {
+        assert!(!Resolution::Steered.is_degraded());
+        assert!(!Resolution::Default.is_degraded());
+        assert!(Resolution::PredictorFallback.is_degraded());
+        assert!(Resolution::GateFallback.is_degraded());
+        assert!(Resolution::ExecFallback.is_degraded());
+        assert!(Resolution::Failed.is_degraded());
+    }
+
+    #[test]
+    fn report_rates_are_computed_over_all_queries() {
+        let mk = |resolution, cost| RobustQueryResult {
+            query_id: 0,
+            resolution,
+            cost,
+            retries: 1,
+            wasted_cost: 0.5,
+            speculative_launches: 0,
+        };
+        let report = RobustRunReport {
+            gate_deployed: true,
+            results: vec![
+                mk(Resolution::Steered, 10.0),
+                mk(Resolution::ExecFallback, 20.0),
+                mk(Resolution::Failed, 0.0),
+                mk(Resolution::Default, 5.0),
+            ],
+        };
+        assert!((report.completion_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(report.degraded_count(), 2);
+        assert_eq!(report.total_retries(), 4);
+        assert!((report.total_cost() - 35.0).abs() < 1e-12);
+        assert!((report.total_wasted_cost() - 2.0).abs() < 1e-12);
+    }
+}

@@ -9,7 +9,7 @@
 //! ## Bit-identity with the dense kernels
 //!
 //! The sparse kernels are drop-in replacements for their dense counterparts,
-//! not approximations: [`sparse_dot`] reproduces the dense `dot`'s exact
+//! not approximations: `sparse_dot` reproduces the dense `dot`'s exact
 //! accumulation shape (four position-indexed lanes, `c % 4`, combined as
 //! `((s0 + s1) + (s2 + s3)) + tail`), and the sparse weight-gradient kernels
 //! accumulate per output element in the same ascending-`k` order as

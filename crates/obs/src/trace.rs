@@ -358,6 +358,12 @@ pub struct StageExecEvent {
     pub cost: f64,
     /// Mean busy fraction of the stage's machines over its window.
     pub busy: f64,
+    /// Which execution attempt this is (0 = first run, ≥ 1 = retry after a
+    /// fault-injected kill).
+    pub attempt: u32,
+    /// True if the attempt was killed mid-flight by the fault injector; the
+    /// event's cost is then the work wasted before the kill.
+    pub killed: bool,
 }
 
 // ---------------------------------------------------------------- context
@@ -604,17 +610,14 @@ impl TraceContext {
         for ev in &inner.timeline {
             let ts = ev.start_tick * 1000;
             let dur = (ev.end_tick.saturating_sub(ev.start_tick)).max(1) * 1000;
+            let name = if ev.killed {
+                format!("stage {} (killed)", ev.stage)
+            } else {
+                format!("stage {}", ev.stage)
+            };
             for &m in &ev.machines {
                 push_event_prefix(
-                    &mut out,
-                    &mut first,
-                    &format!("stage {}", ev.stage),
-                    "executor",
-                    "X",
-                    2,
-                    m as u64,
-                    ts,
-                    dur,
+                    &mut out, &mut first, &name, "executor", "X", 2, m as u64, ts, dur,
                 );
                 out.push_str(",\"args\":{\"stage\":");
                 out.push_str(&ev.stage.to_string());
@@ -632,6 +635,10 @@ impl TraceContext {
                 push_json_f64(&mut out, ev.cost);
                 out.push_str(",\"busy\":");
                 push_json_f64(&mut out, ev.busy);
+                out.push_str(",\"attempt\":");
+                out.push_str(&ev.attempt.to_string());
+                out.push_str(",\"killed\":");
+                out.push_str(if ev.killed { "true" } else { "false" });
                 out.push_str("}}");
             }
         }
@@ -782,9 +789,16 @@ impl TraceContext {
             } else {
                 String::new()
             };
+            let mut fate = String::new();
+            if ev.attempt > 0 {
+                fate.push_str(&format!(" (attempt {})", ev.attempt + 1));
+            }
+            if ev.killed {
+                fate.push_str(" KILLED");
+            }
             out.push_str(&format!(
                 "stage {:>3}: ticks {}..{} ({} tick{}), {} instance{} on machines [{}{}], \
-                 queue ×{:.3}, busy {:.3}, cost {:.1}\n",
+                 queue ×{:.3}, busy {:.3}, cost {:.1}{fate}\n",
                 ev.stage,
                 ev.start_tick,
                 ev.end_tick,
@@ -988,6 +1002,8 @@ mod tests {
             queue_wait_factor: 1.2,
             cost: 10.0,
             busy: 0.4,
+            attempt: 0,
+            killed: false,
         });
         assert_eq!(ctx.decision_count(), 2);
         assert_eq!(ctx.timeline_len(), 1);
@@ -1032,6 +1048,8 @@ mod tests {
             queue_wait_factor: 1.0,
             cost: 5.0,
             busy: 0.3,
+            attempt: 1,
+            killed: true,
         });
         let json = ctx.to_chrome_json();
         for needle in [
@@ -1041,7 +1059,9 @@ mod tests {
             "\"decision.plan_selection\"",
             "\"outcome\":\"accepted\"",
             "\"0x00000000deadbeef\"",
-            "\"stage 2\"",
+            "\"stage 2 (killed)\"",
+            "\"killed\":true",
+            "\"attempt\":1",
             "\"machine 11\"",
             "\"ph\":\"X\"",
             "\"ph\":\"I\"",
@@ -1079,6 +1099,8 @@ mod tests {
             queue_wait_factor: 1.1,
             cost: 99.0,
             busy: 0.5,
+            attempt: 0,
+            killed: false,
         });
         let report = ctx.to_text_report();
         for needle in [

@@ -97,6 +97,8 @@ fn sample_context() -> TraceContext {
         queue_wait_factor: 1.2,
         cost: 1e6,
         busy: 0.4,
+        attempt: 0,
+        killed: false,
     });
     ctx
 }

@@ -69,6 +69,10 @@ pub mod prelude {
     };
     pub use loam_core::predictor::baselines::CostModel;
     pub use loam_core::predictor::train::{train, TrainConfig, TrainReport, TrainSample};
+    pub use loam_core::robust::{
+        execute_with_fallback, run_robust_serving, select_plan_robust, Resolution, RobustConfig,
+        RobustQueryResult, RobustRunReport,
+    };
     pub use loam_core::selector::{
         evaluate_filter, evaluate_filter_traced, ranker_features, FilterConfig, Ranker,
     };
@@ -79,8 +83,9 @@ pub mod prelude {
         Catalog, EnvMetrics, Project, ProjectId, ProjectProfile, QueryRepository, QuerySpec,
     };
     pub use mcsim_exec::{
-        build_history, Cluster, ClusterConfig, ClusterConfigBuilder, Executor, Flighting,
-        HistoryOptions, InvalidClusterConfig,
+        build_history, ChaosScenario, Cluster, ClusterConfig, ClusterConfigBuilder, ExecFailure,
+        Executor, FaultConfig, FaultEvent, Flighting, HistoryOptions, InvalidClusterConfig,
+        RetryPolicy,
     };
     pub use mcsim_obs::trace::{
         CandidateScore, Decision, Fallback, GateVerdict, PlanSelection, ProjectFilter,

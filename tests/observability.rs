@@ -194,3 +194,170 @@ fn disabled_recorder_means_inert_instrumentation() {
     let prepared = prepare_project(&tiny_profile(), ProjectId(78), &cfg).unwrap();
     assert!(!prepared.train_samples.is_empty());
 }
+
+/// A broken predictor: every score is NaN, so every query must take the
+/// predictor-error rung of the fallback ladder.
+struct NanModel;
+impl CostModel for NanModel {
+    fn name(&self) -> &'static str {
+        "nan"
+    }
+    fn predict(&self, _plan: &PlanTree, _env: EnvSource<'_>) -> f64 {
+        f64::NAN
+    }
+    fn size_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[test]
+fn chaos_serving_emits_fault_retry_and_fallback_counters() {
+    let _guard = RECORDER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let recorder = Arc::new(InMemoryRecorder::new());
+    mcsim_obs::install(recorder.clone());
+
+    let cfg = tiny_cfg();
+    let prepared = prepare_project(&tiny_profile(), ProjectId(81), &cfg).unwrap();
+    let evaluated = evaluate_candidates(&prepared, &cfg).unwrap();
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    // Aggressive kills + frequent machine failures so every fault counter
+    // actually fires, and a permissive gate so serving reaches execution.
+    let mut exec = ChaosScenario::new(0x0b5f_eed1)
+        .fault(FaultConfig {
+            machine_fail_prob: 1e-3,
+            stage_kill_prob: 0.25,
+            ..FaultConfig::chaos(0x0b5f_eed1)
+        })
+        .build();
+    let robust_cfg = RobustConfig {
+        gate: GateConfig {
+            max_avg_ratio: 1e9,
+            max_tail_ratio: 1e9,
+            max_regression_fraction: 1.0,
+        },
+        ..RobustConfig::default()
+    };
+    let report = run_robust_serving(
+        &NanModel,
+        &strategy,
+        &evaluated,
+        &mut exec,
+        &prepared.project.catalog,
+        &robust_cfg,
+        None,
+    )
+    .expect("robust serving terminates");
+
+    mcsim_obs::uninstall();
+    let snap = recorder.snapshot();
+
+    // The fault-injection layer's counters.
+    for name in [
+        "exec.fault.machine_failures",
+        "exec.fault.stage_kills",
+        "exec.retry.attempts",
+    ] {
+        assert!(snap.counter(name) > 0, "counter `{name}` is zero");
+    }
+    // Retries observed by the serving report and by the recorder agree on
+    // having happened.
+    assert!(report.total_retries() > 0 || snap.counter("exec.retry.attempts") > 0);
+    // Every query degraded on the NaN predictor, and the counter says so.
+    assert_eq!(
+        snap.counter("loam.fallback.predictor_error") as usize,
+        evaluated.len()
+    );
+    assert!(snap.histogram("exec.fault.wasted_cost").is_some());
+}
+
+/// The per-event shape of the Chrome export (see
+/// `crates/obs/tests/trace_roundtrip.rs` for the full round-trip suite).
+#[derive(Debug, serde::Deserialize)]
+struct ChromeEvent {
+    name: String,
+    cat: String,
+    ts: u64,
+    dur: u64,
+    tid: u64,
+}
+
+#[derive(Debug, serde::Deserialize)]
+#[allow(non_snake_case)]
+struct ChromeTrace {
+    traceEvents: Vec<ChromeEvent>,
+}
+
+/// Any two intervals on one track must nest or be disjoint (ties count as
+/// containment) — Chrome draws garbage for partially overlapping X events.
+fn assert_properly_nested(mut spans: Vec<(u64, u64)>) {
+    spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    let mut stack: Vec<(u64, u64)> = Vec::new();
+    for &(start, end) in &spans {
+        while let Some(&(_, top_end)) = stack.last() {
+            if start >= top_end {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&(top_start, top_end)) = stack.last() {
+            assert!(
+                top_start <= start && end <= top_end,
+                "partial overlap: ({start},{end}) vs open ({top_start},{top_end})"
+            );
+        }
+        stack.push((start, end));
+    }
+}
+
+#[test]
+fn chrome_export_stays_well_nested_when_stages_are_killed_mid_flight() {
+    // Execute under heavy stage kills with tracing on: the export must keep
+    // the killed attempts and their retries from interleaving on any track.
+    let cfg = tiny_cfg();
+    let prepared = prepare_project(&tiny_profile(), ProjectId(82), &cfg).unwrap();
+    let mut exec = ChaosScenario::new(0xdead_0f10)
+        .fault(FaultConfig {
+            stage_kill_prob: 0.30,
+            ..FaultConfig::chaos(0xdead_0f10)
+        })
+        .build();
+    let ctx = TraceContext::new("kill-nesting");
+    let mut killed_seen = false;
+    for rec in prepared.repo.records().iter().take(12) {
+        let _ = exec.try_execute_traced(&rec.plan, &prepared.project.catalog, Some(&ctx));
+    }
+    for ev in ctx.timeline() {
+        killed_seen |= ev.killed;
+    }
+    assert!(killed_seen, "the kill probability must actually fire");
+
+    let json = ctx.to_chrome_json();
+    assert!(json.contains("(killed)"), "killed stages must be labelled");
+    assert!(json.contains("\"killed\":true"));
+
+    let trace: ChromeTrace = serde_json::from_str(&json).expect("export must stay parseable");
+    let mut tids: Vec<u64> = trace
+        .traceEvents
+        .iter()
+        .filter(|e| e.cat == "executor")
+        .map(|e| e.tid)
+        .collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert!(!tids.is_empty());
+    for tid in tids {
+        let intervals: Vec<(u64, u64)> = trace
+            .traceEvents
+            .iter()
+            .filter(|e| e.cat == "executor" && e.tid == tid)
+            .map(|e| (e.ts, e.ts + e.dur))
+            .collect();
+        assert_properly_nested(intervals);
+    }
+    // Killed events carry the marker in their name; live ones never do.
+    assert!(trace
+        .traceEvents
+        .iter()
+        .any(|e| e.cat == "executor" && e.name.ends_with("(killed)")));
+}
