@@ -31,6 +31,11 @@
 //!             rates (completion rate, retries, wasted work, cost
 //!             overhead); `--quick` restricts to the 0x/1x levels; writes
 //!             BENCH_chaos.json
+//!   serve     high-throughput serving sessions: batched + cached vs
+//!             single-query QPS on the same seeded arrival trace, with
+//!             latency percentiles, shed rate, and cache hit rates;
+//!             `--quick` restricts to the single/batched pair; writes
+//!             BENCH_serve.json
 //!
 //! experiments compare <old.json> <new.json> [--threshold <pct>]
 //!
@@ -108,10 +113,15 @@ fn main() {
     let started = std::time::Instant::now();
     eprintln!("running `{id}` at {scale:?} scale");
 
-    // `chaos` is context-free too, but takes the extra `--quick` flag.
-    if id == "chaos" {
+    // `chaos` and `serve` are context-free too, but take the extra
+    // `--quick` flag.
+    if id == "chaos" || id == "serve" {
         let quick = args.iter().any(|a| a == "--quick");
-        exps::chaos::run(scale, quick);
+        if id == "chaos" {
+            exps::chaos::run(scale, quick);
+        } else {
+            exps::serve::run(scale, quick);
+        }
         emit_metrics(id, scale, &recorder);
         return;
     }

@@ -2,7 +2,7 @@
 //! injection.
 //!
 //! Trains a small LOAM pipeline once, then serves the evaluated test
-//! queries through [`run_robust_serving`] against chaos executors armed at
+//! queries through [`RobustServer::serve_all`] against chaos executors armed at
 //! increasing fault rates (0×, 1×, 2×, 4× the default
 //! [`FaultConfig::chaos`](mcsim_exec::FaultConfig::chaos) probabilities).
 //! Reports completion rate, degraded
@@ -15,7 +15,8 @@ use crate::report::Table;
 use crate::scale::{scaled_eval_profile, Scale};
 use loam_core::inference::EnvStrategy;
 use loam_core::pipeline::{evaluate_candidates, prepare_project, train_loam, PipelineConfig};
-use loam_core::robust::{run_robust_serving, RobustConfig, RobustRunReport};
+use loam_core::robust::{RobustConfig, RobustRunReport};
+use loam_core::serving::RobustServer;
 use loam_core::TrainConfig;
 use mcsim_catalog::ProjectId;
 use mcsim_exec::ChaosScenario;
@@ -74,16 +75,16 @@ pub fn run_levels(scale: Scale, levels: &[f64]) -> Vec<LevelOutcome> {
                 .fault_scale(lvl)
                 .build();
             let t = std::time::Instant::now();
-            let report = run_robust_serving(
-                &predictor,
-                &strategy,
-                &evaluated,
-                &mut exec,
-                &prepared.project.catalog,
-                &RobustConfig::default(),
-                None,
-            )
-            .expect("robust serving must terminate with a report");
+            let report = RobustServer::new(strategy, RobustConfig::default())
+                .expect("default margin is valid")
+                .serve_all(
+                    &predictor,
+                    &evaluated,
+                    &mut exec,
+                    &prepared.project.catalog,
+                    None,
+                )
+                .expect("robust serving must terminate with a report");
             LevelOutcome {
                 name: format!("fault_x{}", lvl as u32),
                 fault_scale: lvl,

@@ -17,6 +17,7 @@ pub mod fig9;
 pub mod parallel;
 pub mod population;
 pub mod sec73;
+pub mod serve;
 pub mod tab1;
 pub mod thm1;
 pub mod trace;

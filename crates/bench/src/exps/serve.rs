@@ -1,0 +1,350 @@
+//! The `experiments serve` subcommand: serving throughput under traffic.
+//!
+//! Trains a small LOAM pipeline once, then drives the evaluated query
+//! templates through a [`ServeSession`] under several serving
+//! configurations at the *same* arrival seed:
+//!
+//! * `single`  — batch size 1, both caches off: the per-query baseline
+//!   every request pays full featurization + inference;
+//! * `batched` — batch size 32 with the sharded feature cache and the
+//!   plan-signature decision cache: the production configuration;
+//! * (full scale) `bursty` / `diurnal` — the batched configuration under
+//!   the other arrival shapes, plus `shed`, an overloaded point with the
+//!   queue-bound admission control armed.
+//!
+//! Because the arrival trace, the guarded selection, and the per-request
+//! executors are all seeded, `single` and `batched` make bit-identical
+//! decisions — the phases differ only in wall-clock, so the QPS ratio is
+//! a pure measurement of batching + caching. Writes `BENCH_serve.json` in
+//! the `BenchReport` phase schema (`single` is every phase's `serial_s`
+//! baseline, so for the equal-traffic phases `speedup` *is* the QPS
+//! ratio); serve-specific fields (latency percentiles, shed rate, cache
+//! hit rates) ride along unparsed.
+
+use crate::report::Table;
+use crate::scale::{scaled_eval_profile, Scale};
+use loam_core::inference::EnvStrategy;
+use loam_core::pipeline::{evaluate_candidates, prepare_project, train_loam, PipelineConfig};
+use loam_core::TrainConfig;
+use mcsim_catalog::ProjectId;
+use mcsim_serve::{ArrivalProfile, ServeConfig, ServeReport, ServeSession, ShedPolicy};
+
+/// A pipeline configuration small enough that training is a footnote next
+/// to the serving sweep itself.
+fn serve_pipeline_config(scale: Scale) -> PipelineConfig {
+    let f = scale.fraction();
+    PipelineConfig {
+        train_days: 6,
+        test_days: 2,
+        max_train: ((1200.0 * f) as usize).max(120),
+        max_test: ((60.0 * f) as usize).max(12),
+        eval_rounds: 3,
+        da_queries: 12,
+        train_cfg: TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// Shared serving knobs: every phase serves the same trace against the
+/// same small execution clusters, so inference-side batching/caching is
+/// the only variable.
+fn base_config(scale: Scale, requests: usize) -> mcsim_serve::ServeConfigBuilder {
+    let _ = scale;
+    ServeConfig::builder()
+        .arrival(ArrivalProfile::Poisson { rate_qps: 64.0 })
+        .tenants(8)
+        .requests(requests)
+        .machines(8)
+        .warmup_ticks(2)
+        .seed(0x5e12_7e55)
+}
+
+/// One serving configuration's outcome.
+pub struct PhaseOutcome {
+    /// Phase name (`single`, `batched`, ...).
+    pub name: &'static str,
+    /// The phase's arrival shape (`poisson`, `bursty`, `diurnal`).
+    pub arrival: &'static str,
+    /// The session report (carries its own wall-clock).
+    pub report: ServeReport,
+}
+
+/// Trains the pipeline once and serves every phase. Returned directly for
+/// the acceptance tests.
+pub fn run_phases(scale: Scale, quick: bool) -> Vec<PhaseOutcome> {
+    let profile = scaled_eval_profile(1, scale);
+    let cfg = serve_pipeline_config(scale);
+    eprintln!("preparing + training the serving pipeline...");
+    let prepared =
+        prepare_project(&profile, ProjectId(1), &cfg).expect("project preparation failed");
+    let predictor = train_loam(&prepared, &cfg).expect("LOAM training failed");
+    let evaluated = evaluate_candidates(&prepared, &cfg).expect("candidate evaluation failed");
+    let strategy = EnvStrategy::MeanHistorical(prepared.mean_env);
+    let catalog = &prepared.project.catalog;
+    let requests = ((512.0 * scale.fraction()) as usize).max(192);
+
+    let single = base_config(scale, requests)
+        .batch_size(1)
+        .feature_cache(false)
+        .decision_cache(false)
+        .strategy(strategy)
+        .build()
+        .expect("single-query config is valid");
+    let batched = base_config(scale, requests)
+        .batch_size(32)
+        .strategy(strategy)
+        .build()
+        .expect("batched config is valid");
+
+    let mut phases: Vec<(&'static str, ServeConfig)> =
+        vec![("single", single), ("batched", batched.clone())];
+    if !quick {
+        // Decision cache off: recurring templates re-score every time, so
+        // this phase isolates what the sharded feature cache contributes.
+        phases.push((
+            "feat_cache",
+            ServeConfig {
+                decision_cache: false,
+                ..batched.clone()
+            },
+        ));
+        phases.push((
+            "bursty",
+            ServeConfig {
+                arrival: ArrivalProfile::Bursty {
+                    rate_qps: 64.0,
+                    burst_factor: 8.0,
+                    burst_fraction: 0.25,
+                },
+                ..batched.clone()
+            },
+        ));
+        phases.push((
+            "diurnal",
+            ServeConfig {
+                arrival: ArrivalProfile::Diurnal {
+                    rate_qps: 64.0,
+                    amplitude: 0.6,
+                    period_s: 4.0,
+                },
+                ..batched.clone()
+            },
+        ));
+        phases.push((
+            "shed",
+            ServeConfig {
+                arrival: ArrivalProfile::Poisson { rate_qps: 512.0 },
+                shed: ShedPolicy::QueueBound {
+                    capacity: 32,
+                    drain_qps: 128.0,
+                },
+                ..batched
+            },
+        ));
+    }
+
+    phases
+        .into_iter()
+        .map(|(name, cfg)| {
+            eprintln!("serving `{name}`...");
+            let arrival = cfg.arrival.name();
+            let session = ServeSession::new(cfg).expect("serve config is valid");
+            let report = session
+                .run(&predictor, &evaluated, catalog, None)
+                .expect("serving must terminate with a report");
+            PhaseOutcome {
+                name,
+                arrival,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Runs the sweep and writes `BENCH_serve.json`. `quick` restricts the
+/// sweep to the `single` / `batched` pair (the CI smoke).
+pub fn run(scale: Scale, quick: bool) {
+    println!("Serving benchmark — batched + cached sessions vs single-query\n");
+    let outcomes = run_phases(scale, quick);
+    let base_qps = outcomes[0].report.qps().max(1e-9);
+
+    let mut t = Table::new([
+        "phase",
+        "requests",
+        "shed",
+        "completed",
+        "qps",
+        "vs single",
+        "p50 (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+        "feat hit",
+        "dec hit",
+    ]);
+    for o in &outcomes {
+        let r = &o.report;
+        t.row([
+            o.name.to_string(),
+            r.requests.to_string(),
+            format!("{:.1}%", r.shed_rate() * 100.0),
+            r.completed.to_string(),
+            format!("{:.0}", r.qps()),
+            format!("{:.2}x", r.qps() / base_qps),
+            format!("{:.3}", r.latency.p50() * 1e3),
+            format!("{:.3}", r.latency.p95() * 1e3),
+            format!("{:.3}", r.latency.p99() * 1e3),
+            format!("{:.0}%", r.feature_hit_rate() * 100.0),
+            format!("{:.0}%", r.decision_hit_rate() * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "gate deployed: {}; decisions identical across phases at equal seed",
+        outcomes[0].report.gate_deployed
+    );
+
+    let json = report_json(scale, &outcomes);
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// Renders the sweep as `BenchReport`-shaped JSON: the `single` phase is
+/// every phase's `serial_s` baseline and each phase's own wall-clock is
+/// `parallel_s`, so `speedup` is the QPS ratio and `compare` gates on
+/// serving-throughput regressions.
+fn report_json(scale: Scale, outcomes: &[PhaseOutcome]) -> String {
+    let scale_name = format!("{scale:?}").to_lowercase();
+    let base_wall = outcomes[0].report.wall_s.max(1e-9);
+    let threads = mcsim_par::ThreadPool::global().threads();
+    let phases = outcomes
+        .iter()
+        .map(|o| {
+            let r = &o.report;
+            format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"serial_s\":{:.6},\"parallel_s\":{:.6},",
+                    "\"speedup\":{:.4},\"serve\":{{\"arrival\":\"{}\",\"requests\":{},",
+                    "\"shed\":{},\"shed_rate\":{:.6},\"completed\":{},\"failed\":{},",
+                    "\"batches\":{},\"qps\":{:.3},\"p50_ms\":{:.6},\"p95_ms\":{:.6},",
+                    "\"p99_ms\":{:.6},\"feature_hit_rate\":{:.6},",
+                    "\"decision_hit_rate\":{:.6}}}}}"
+                ),
+                o.name,
+                base_wall,
+                r.wall_s,
+                base_wall / r.wall_s.max(1e-9),
+                o.arrival,
+                r.requests,
+                r.shed,
+                r.shed_rate(),
+                r.completed,
+                r.failed,
+                r.batches,
+                r.qps(),
+                r.latency.p50() * 1e3,
+                r.latency.p95() * 1e3,
+                r.latency.p99() * 1e3,
+                r.feature_hit_rate(),
+                r.decision_hit_rate(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    let total_wall: f64 = outcomes.iter().map(|o| o.report.wall_s).sum();
+    format!(
+        concat!(
+            "{{\"bench\":\"serve\",\"scale\":\"{}\",",
+            "\"threads_serial\":{},\"threads_parallel\":{},",
+            "\"phases\":[{}],",
+            "\"total\":{{\"serial_s\":{:.6},\"parallel_s\":{:.6},\"speedup\":{:.4}}},",
+            "\"gate_deployed\":{}}}"
+        ),
+        scale_name,
+        threads,
+        threads,
+        phases,
+        base_wall * outcomes.len() as f64,
+        total_wall,
+        base_wall * outcomes.len() as f64 / total_wall.max(1e-9),
+        outcomes[0].report.gate_deployed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exps::compare::BenchReport;
+
+    /// The headline acceptance criterion: batching + caching at least
+    /// doubles sustained QPS over the single-query baseline while making
+    /// the *same decisions* on the same arrival trace.
+    #[test]
+    fn batched_cached_serving_at_least_doubles_qps() {
+        let outcomes = run_phases(Scale::Small, true);
+        let (single, batched) = (&outcomes[0].report, &outcomes[1].report);
+        assert_eq!(single.requests, batched.requests);
+        assert_eq!(single.decision_log.len(), batched.decision_log.len());
+        for (s, b) in single.decision_log.iter().zip(&batched.decision_log) {
+            assert!(
+                s.same_decision(b),
+                "phases must decide identically: {s:?} vs {b:?}"
+            );
+        }
+        let ratio = batched.qps() / single.qps().max(1e-9);
+        assert!(
+            ratio >= 2.0,
+            "batched+cached serving must at least double QPS, got {ratio:.2}x \
+             ({:.0} vs {:.0})",
+            batched.qps(),
+            single.qps()
+        );
+        assert!(batched.decision_cache_hits > 0);
+        assert!(batched.feature_cache_misses > 0);
+    }
+
+    /// The emitted JSON parses as a `BenchReport` (so `experiments
+    /// compare` can gate on it) and the phase speedup is the QPS ratio.
+    #[test]
+    fn report_json_is_compare_compatible() {
+        let outcomes = run_phases(Scale::Small, true);
+        let json = report_json(Scale::Small, &outcomes);
+        let r: BenchReport = serde_json::from_str(&json).expect("BenchReport-compatible JSON");
+        assert_eq!(r.bench, "serve");
+        assert_eq!(r.phases.len(), 2);
+        assert_eq!(r.phases[0].name, "single");
+        assert_eq!(r.phases[1].name, "batched");
+        assert!((r.phases[0].speedup - 1.0).abs() < 1e-9);
+        assert!(r.total.parallel_s > 0.0);
+    }
+
+    /// The checked-in repo-root report stays parseable and in sync with
+    /// the schema (mirrors the `BENCH_chaos.json` test).
+    #[test]
+    fn checked_in_bench_serve_report_parses() {
+        let json = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_serve.json"
+        ))
+        .expect("BENCH_serve.json must be checked in at the repo root");
+        let r: BenchReport = serde_json::from_str(&json).expect("parseable report");
+        assert_eq!(r.bench, "serve");
+        assert!(!r.phases.is_empty());
+        assert_eq!(r.phases[0].name, "single");
+        let batched = r
+            .phases
+            .iter()
+            .find(|p| p.name == "batched")
+            .expect("a batched phase");
+        assert!(
+            batched.speedup >= 2.0,
+            "checked-in report must show >= 2x QPS, got {:.2}x",
+            batched.speedup
+        );
+    }
+}

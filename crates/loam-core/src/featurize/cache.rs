@@ -13,16 +13,29 @@
 //! `Arc`, so hits cost one hash lookup plus a reference-count bump, and the
 //! cache is `Sync` — workers of the parallel featurization paths share one
 //! instance.
+//!
+//! The map is **sharded** by the key hash: under concurrent serving traffic
+//! every worker of a batch used to serialize on one global mutex, so lookups
+//! of *different* plans contended even though they never touch the same
+//! entry. Each shard has its own lock and its own hit/miss counters
+//! ([`FeatureCache::shard_stats`]); the process-wide
+//! `loam.featurize.cache_hits` / `loam.featurize.cache_misses` counters are
+//! unchanged.
 
 use super::plan_vec::{EnvSource, PlanFeaturizer};
 use mcsim_plan::{PlanSignature, PlanTree};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tinynn::tcn::TreeStructure;
 use tinynn::Mat;
 
 /// A cached featurization: node-feature matrix plus tree structure.
 pub type CachedFeatures = Arc<(Mat, TreeStructure)>;
+
+/// Default shard count: enough that a dozen concurrent workers rarely
+/// collide, small enough that an idle cache stays cheap.
+pub const DEFAULT_CACHE_SHARDS: usize = 16;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct CacheKey {
@@ -31,16 +44,53 @@ struct CacheKey {
     env: u64,
 }
 
-/// Identity-keyed, thread-safe featurization cache.
+impl CacheKey {
+    /// The shard a key lands in: an FNV-style remix of the plan signature
+    /// with the environment fingerprint, so plans that differ only in their
+    /// environment block still spread across shards.
+    fn shard(&self, mask: usize) -> usize {
+        let mut h = self.plan.0 ^ self.env ^ (self.use_env as u64);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        (h as usize) & mask
+    }
+}
+
 #[derive(Debug, Default)]
-pub struct FeatureCache {
+struct Shard {
     map: Mutex<HashMap<CacheKey, CachedFeatures>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Identity-keyed, thread-safe, hash-sharded featurization cache.
+#[derive(Debug)]
+pub struct FeatureCache {
+    shards: Box<[Shard]>,
+    mask: usize,
+}
+
+impl Default for FeatureCache {
+    fn default() -> Self {
+        FeatureCache::with_shards(DEFAULT_CACHE_SHARDS)
+    }
 }
 
 impl FeatureCache {
-    /// An empty cache.
+    /// An empty cache with [`DEFAULT_CACHE_SHARDS`] shards.
     pub fn new() -> FeatureCache {
         FeatureCache::default()
+    }
+
+    /// An empty cache with at least `n` shards (rounded up to a power of
+    /// two so the shard index is a mask, never a division).
+    pub fn with_shards(n: usize) -> FeatureCache {
+        let n = n.max(1).next_power_of_two();
+        FeatureCache {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            mask: n - 1,
+        }
     }
 
     /// Featurizes `plan` through the cache: returns the stored features on
@@ -57,9 +107,11 @@ impl FeatureCache {
             use_env: featurizer.use_env,
             env: env_fingerprint(&env),
         };
+        let shard = &self.shards[key.shard(self.mask)];
         {
-            let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            let map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(hit) = map.get(&key) {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 mcsim_obs::counter("loam.featurize.cache_hits", 1);
                 return Arc::clone(hit);
             }
@@ -67,15 +119,59 @@ impl FeatureCache {
         // Compute outside the lock so concurrent misses on different plans
         // featurize in parallel; a duplicate concurrent miss on the same
         // plan just overwrites with an identical value.
+        shard.misses.fetch_add(1, Ordering::Relaxed);
         mcsim_obs::counter("loam.featurize.cache_misses", 1);
         let features = Arc::new(featurizer.featurize(plan, env));
-        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = shard.map.lock().unwrap_or_else(|e| e.into_inner());
         Arc::clone(map.entry(key).or_insert(features))
     }
 
-    /// Number of cached plans.
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cumulative `(cache_hits, cache_misses)` of shard `i`.
+    pub fn shard_stats(&self, i: usize) -> (u64, u64) {
+        let s = &self.shards[i];
+        (
+            s.hits.load(Ordering::Relaxed),
+            s.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Cumulative hits across all shards.
+    pub fn hits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Cumulative misses across all shards.
+    pub fn misses(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Fraction of lookups that hit, `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits(), self.misses());
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Number of cached plans across all shards.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.shards
+            .iter()
+            .map(|s| s.map.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
     }
 
     /// True if nothing is cached.
@@ -84,9 +180,12 @@ impl FeatureCache {
     }
 
     /// Drops all entries (e.g. when the environment regime changes
-    /// wholesale and keys would only accumulate).
+    /// wholesale and keys would only accumulate). Hit/miss counters keep
+    /// accumulating across clears.
     pub fn clear(&self) {
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        for s in self.shards.iter() {
+            s.map.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
     }
 }
 
@@ -201,5 +300,36 @@ mod tests {
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shard_counters_sum_to_the_totals() {
+        let cache = FeatureCache::with_shards(4);
+        assert_eq!(cache.shard_count(), 4);
+        let f = PlanFeaturizer::default();
+        // 8 distinct plans, each looked up twice: 8 misses + 8 hits.
+        for table in 0..8 {
+            let plan = chain_plan(2, table);
+            cache.featurize(&f, &plan, EnvSource::None);
+            cache.featurize(&f, &plan, EnvSource::None);
+        }
+        assert_eq!(cache.hits(), 8);
+        assert_eq!(cache.misses(), 8);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        let (sh, sm) = (0..4).fold((0, 0), |(h, m), i| {
+            let (a, b) = cache.shard_stats(i);
+            (h + a, m + b)
+        });
+        assert_eq!((sh, sm), (8, 8));
+        // Distinct plans must not all land in one shard.
+        let occupied = (0..4).filter(|&i| cache.shard_stats(i).1 > 0).count();
+        assert!(occupied > 1, "8 plans across 4 shards can't all collide");
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_a_power_of_two() {
+        assert_eq!(FeatureCache::with_shards(1).shard_count(), 1);
+        assert_eq!(FeatureCache::with_shards(3).shard_count(), 4);
+        assert_eq!(FeatureCache::with_shards(0).shard_count(), 1);
     }
 }

@@ -12,7 +12,7 @@
 //! systems can tolerate a mild average regression long before they tolerate
 //! a 20× disaster query).
 
-use crate::inference::{select_plan_guarded, EnvStrategy, DEFAULT_MARGIN};
+use crate::inference::{guarded_choice_traced, select_plan, EnvStrategy, DEFAULT_MARGIN};
 use crate::pipeline::EvaluatedQuery;
 use crate::predictor::baselines::CostModel;
 use mcsim_obs::trace::{Decision, GateVerdict, TraceContext};
@@ -101,8 +101,9 @@ pub fn validate_traced<M: CostModel + ?Sized>(
     let mut regressions = 0usize;
     for eq in evaluated {
         let refs: Vec<&PlanTree> = eq.plans.iter().collect();
-        let (choice, _) =
-            select_plan_guarded(model, &refs, strategy, eq.default_idx, DEFAULT_MARGIN);
+        let (best, costs) = select_plan(model, &refs, strategy);
+        let choice =
+            guarded_choice_traced(&refs, &costs, best, eq.default_idx, DEFAULT_MARGIN, None, 0);
         let chosen = eq.mean_cost(choice);
         let default = eq.default_cost();
         steered_sum += chosen;

@@ -109,6 +109,7 @@ pub fn select_plan<M: CostModel + Sync + ?Sized>(
 /// improvement costs little, a confident-but-wrong switch is a regression a
 /// multi-tenant system cannot afford — so deviations from the native
 /// optimizer require a confidence margin.
+#[deprecated(note = "use `serving::RobustServer::select_guarded` instead")]
 pub fn select_plan_guarded<M: CostModel + Sync + ?Sized>(
     model: &M,
     plans: &[&PlanTree],
@@ -116,7 +117,9 @@ pub fn select_plan_guarded<M: CostModel + Sync + ?Sized>(
     default_idx: usize,
     margin: f64,
 ) -> (usize, Vec<f64>) {
-    select_plan_guarded_traced(model, plans, strategy, default_idx, margin, None, 0)
+    let (best, costs) = select_plan(model, plans, strategy);
+    let chosen = guarded_choice_traced(plans, &costs, best, default_idx, margin, None, 0);
+    (chosen, costs)
 }
 
 /// Like [`select_plan_guarded`], but additionally records a
@@ -124,6 +127,7 @@ pub fn select_plan_guarded<M: CostModel + Sync + ?Sized>(
 /// cost, the model's favourite, and the guarded choice) — plus a
 /// [`Decision::Fallback`] when the margin guard overrides the model — into
 /// `trace` (when `Some`). `query_id` labels the records.
+#[deprecated(note = "use `serving::RobustServer::select_guarded` instead")]
 pub fn select_plan_guarded_traced<M: CostModel + Sync + ?Sized>(
     model: &M,
     plans: &[&PlanTree],
@@ -244,6 +248,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn guarded_selection_records_decision_provenance() {
         let small = chain(1); // cheapest under FakeModel
         let big = chain(9); // the "default" plan

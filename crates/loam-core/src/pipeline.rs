@@ -5,7 +5,7 @@
 
 use crate::error::LoamError;
 use crate::explorer::{ExplorerConfig, PlanExplorer};
-use crate::inference::{select_plan_guarded_traced, EnvStrategy, DEFAULT_MARGIN};
+use crate::inference::{guarded_choice_traced, select_plan, EnvStrategy, DEFAULT_MARGIN};
 use crate::predictor::baselines::CostModel;
 use crate::predictor::train::{train, TrainConfig, TrainSample};
 use crate::predictor::AdaptiveCostPredictor;
@@ -526,16 +526,16 @@ pub fn evaluate_model_traced<M: CostModel + Sync + ?Sized>(
             s.attr("query_id", eq.query_id);
             s
         });
-        select_plan_guarded_traced(
-            model,
+        let (best, costs) = select_plan(model, &refs, strategy);
+        guarded_choice_traced(
             &refs,
-            strategy,
+            &costs,
+            best,
             eq.default_idx,
             DEFAULT_MARGIN,
             trace,
             eq.query_id,
         )
-        .0
     });
     let mut per_query = Vec::with_capacity(evaluated.len());
     let mut dev_sum = 0.0;

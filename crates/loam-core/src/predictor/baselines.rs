@@ -9,7 +9,7 @@
 
 use super::train::{TrainConfig, TrainSample};
 use super::AdaptiveCostPredictor;
-use crate::featurize::{EnvSource, PlanFeaturizer, FEATURE_DIM};
+use crate::featurize::{EnvSource, FeatureCache, PlanFeaturizer, FEATURE_DIM};
 use mcsim_plan::PlanTree;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -25,6 +25,20 @@ pub trait CostModel: Send + Sync {
     /// Predicted CPU cost of `plan` with the environment block filled from
     /// `env`.
     fn predict(&self, plan: &PlanTree, env: EnvSource<'_>) -> f64;
+    /// Predicted costs for a batch of plans under one environment. The
+    /// default is a per-plan [`predict`](Self::predict) loop (the `cache`
+    /// is a featurization hint models may ignore); models with a batched
+    /// forward override this so one padded inference amortizes over the
+    /// whole batch. Implementations must return bit-identical values to
+    /// per-plan `predict`.
+    fn predict_batch(
+        &self,
+        plans: &[&PlanTree],
+        env: EnvSource<'_>,
+        _cache: Option<&FeatureCache>,
+    ) -> Vec<f64> {
+        plans.iter().map(|p| self.predict(p, env.clone())).collect()
+    }
     /// Approximate model size in bytes.
     fn size_bytes(&self) -> usize;
 }
@@ -35,6 +49,14 @@ impl CostModel for AdaptiveCostPredictor {
     }
     fn predict(&self, plan: &PlanTree, env: EnvSource<'_>) -> f64 {
         AdaptiveCostPredictor::predict(self, plan, env)
+    }
+    fn predict_batch(
+        &self,
+        plans: &[&PlanTree],
+        env: EnvSource<'_>,
+        cache: Option<&FeatureCache>,
+    ) -> Vec<f64> {
+        AdaptiveCostPredictor::predict_batch(self, plans, env, cache)
     }
     fn size_bytes(&self) -> usize {
         AdaptiveCostPredictor::size_bytes(self)

@@ -5,12 +5,13 @@
 pub mod baselines;
 pub mod train;
 
-use crate::featurize::{EnvSource, PlanFeaturizer};
+use crate::featurize::{CachedFeatures, EnvSource, FeatureCache, PlanFeaturizer};
 use mcsim_plan::PlanTree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use tinynn::{Mat, Mlp, Tcn};
+use std::sync::Arc;
+use tinynn::{ForestWs, Mat, Mlp, Tcn};
 
 /// Width of the intermediate plan embedding `e_P`.
 pub const EMB_DIM: usize = 32;
@@ -76,6 +77,39 @@ impl AdaptiveCostPredictor {
         self.denormalize(out.data[0])
     }
 
+    /// Predicts the costs of a whole batch of plans with one forest
+    /// forward: all trees are stacked into a single node matrix, the two
+    /// convolution layers and the cost head each run once, and every output
+    /// row is bit-identical to what [`predict`](Self::predict) returns for
+    /// that plan alone. With a [`FeatureCache`], featurization of recurring
+    /// plans collapses to a lookup, which is where serving throughput comes
+    /// from.
+    pub fn predict_batch(
+        &self,
+        plans: &[&PlanTree],
+        env: EnvSource<'_>,
+        cache: Option<&FeatureCache>,
+    ) -> Vec<f64> {
+        if plans.is_empty() {
+            return Vec::new();
+        }
+        let feats: Vec<CachedFeatures> = plans
+            .iter()
+            .map(|p| match cache {
+                Some(c) => c.featurize(&self.featurizer, p, env.clone()),
+                None => Arc::new(self.featurizer.featurize(p, env.clone())),
+            })
+            .collect();
+        let items: Vec<(&Mat, &tinynn::TreeStructure)> =
+            feats.iter().map(|f| (&f.0, &f.1)).collect();
+        let mut ws = ForestWs::default();
+        self.plan_emb.forward_forest_ws(&items, &mut ws);
+        let out = self.cost_head.infer(ws.emb());
+        debug_assert_eq!(out.rows, plans.len());
+        debug_assert_eq!(out.cols, 1);
+        out.data.iter().map(|&s| self.denormalize(s)).collect()
+    }
+
     /// Converts a raw head output back to a cost.
     pub fn denormalize(&self, standardized: f32) -> f64 {
         ((standardized * self.label_std + self.label_mean) as f64).exp()
@@ -136,6 +170,38 @@ mod tests {
         let e1 = p.embed(&tiny_plan(1), EnvSource::None);
         let e2 = p.embed(&tiny_plan(2), EnvSource::None);
         assert_ne!(e1.data, e2.data);
+    }
+
+    #[test]
+    fn batched_prediction_is_bitwise_equal_to_single() {
+        use mcsim_catalog::EnvMetrics;
+        let p = AdaptiveCostPredictor::new(7, true);
+        let mut chain = PlanTree::new();
+        let mut cur = chain.leaf(Operator::table_scan(3, 1, 1, vec![0]));
+        for _ in 0..4 {
+            cur = chain.unary(Operator::Limit { n: 5 }, cur);
+        }
+        let s = chain.unary(Operator::Sink, cur);
+        chain.set_root(s);
+        let plans = [tiny_plan(1), tiny_plan(2), chain, tiny_plan(1)];
+        let refs: Vec<&PlanTree> = plans.iter().collect();
+        let env = EnvMetrics::new(0.6, 0.05, 4.0, 0.5);
+        for cache in [None, Some(crate::featurize::FeatureCache::new())] {
+            let batch = p.predict_batch(&refs, EnvSource::Uniform(env), cache.as_ref());
+            assert_eq!(batch.len(), refs.len());
+            for (b, plan) in refs.iter().enumerate() {
+                let single = p.predict(plan, EnvSource::Uniform(env));
+                assert_eq!(
+                    batch[b].to_bits(),
+                    single.to_bits(),
+                    "plan {b} diverges (cache: {})",
+                    cache.is_some()
+                );
+            }
+        }
+        assert!(p
+            .predict_batch(&[], EnvSource::Uniform(env), None)
+            .is_empty());
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! 1. **Steered** — the model's choice survives the margin guard and
 //!    executes (possibly with fault-injected retries along the way).
 //! 2. **Predictor fallback** — a candidate scored non-finite: serve the
-//!    default plan, record a [`Decision::Fallback`].
+//!    default plan, record a
+//!    [`Decision::Fallback`](mcsim_obs::trace::Decision::Fallback).
 //! 3. **Gate fallback** — the deployment gate held the model: every query
 //!    serves the default plan, each with a fallback record.
 //! 4. **Execution fallback** — the steered plan exhausted its retry budget
@@ -18,17 +19,19 @@
 //!    against the completion rate and surfaces a
 //!    [`LoamError::ExecutionFailed`]-equivalent result entry.
 //!
-//! Every degradation leaves a typed [`Decision::Fallback`] provenance record
+//! Every degradation leaves a typed
+//! [`Decision::Fallback`](mcsim_obs::trace::Decision::Fallback) provenance record
 //! in the trace and bumps a `loam.fallback.*` counter.
 
 use crate::error::LoamError;
-use crate::gate::{validate_traced, GateConfig};
-use crate::inference::{guarded_choice_traced, EnvStrategy, DEFAULT_MARGIN};
+use crate::gate::GateConfig;
+use crate::inference::{EnvStrategy, DEFAULT_MARGIN};
 use crate::pipeline::EvaluatedQuery;
 use crate::predictor::baselines::CostModel;
+use crate::serving::RobustServer;
 use mcsim_catalog::Catalog;
 use mcsim_exec::{ExecutionOutcome, Executor};
-use mcsim_obs::trace::{Decision, Fallback, TraceContext};
+use mcsim_obs::trace::TraceContext;
 use mcsim_plan::PlanTree;
 
 /// Configuration of the robust serving loop.
@@ -151,11 +154,8 @@ impl RobustRunReport {
     }
 }
 
-/// Robust plan selection: like
-/// [`select_plan_guarded_traced`](crate::inference::select_plan_guarded_traced),
-/// but a non-finite prediction degrades to the default plan (with a
-/// [`Decision::Fallback`] record) instead of poisoning the argmin. Returns
-/// the chosen index and, when the predictor misbehaved, the reason.
+/// Robust plan selection.
+#[deprecated(note = "use `serving::RobustServer::select_robust` instead")]
 pub fn select_plan_robust<M: CostModel + Sync + ?Sized>(
     model: &M,
     plans: &[&PlanTree],
@@ -165,34 +165,21 @@ pub fn select_plan_robust<M: CostModel + Sync + ?Sized>(
     trace: Option<&TraceContext>,
     query_id: u64,
 ) -> (usize, Option<String>) {
-    assert!(!plans.is_empty(), "candidate set must be non-empty");
-    let costs: Vec<f64> = mcsim_par::ThreadPool::global()
-        .parallel_map(plans, |p| model.predict(p, strategy.env_source()));
-    if let Some((i, c)) = costs.iter().enumerate().find(|(_, c)| !c.is_finite()) {
-        let reason =
-            format!("predictor returned non-finite cost {c} for candidate #{i}; serving default");
-        mcsim_obs::counter("loam.fallback.predictor_error", 1);
-        if let Some(t) = trace {
-            t.decision(Decision::Fallback(Fallback {
-                query_id,
-                reason: reason.clone(),
-            }));
-        }
-        return (default_idx, Some(reason));
-    }
-    let best = costs
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-        .map(|(i, _)| i)
-        .unwrap_or(default_idx);
-    let chosen = guarded_choice_traced(plans, &costs, best, default_idx, margin, trace, query_id);
-    (chosen, None)
+    let cfg = RobustConfig {
+        margin,
+        ..RobustConfig::default()
+    };
+    RobustServer::unchecked(*strategy, cfg).select_robust(
+        model,
+        plans,
+        default_idx,
+        trace,
+        query_id,
+    )
 }
 
-/// Executes `steered`, and on failure replays `default_plan` (recording a
-/// [`Decision::Fallback`]). Returns the outcome and whether the fallback
-/// fired; errs only if the default plan failed too.
+/// Executes `steered`, replaying `default_plan` on failure.
+#[deprecated(note = "use `serving::RobustServer::execute_with_fallback` instead")]
 pub fn execute_with_fallback(
     exec: &mut Executor,
     steered: &PlanTree,
@@ -201,33 +188,18 @@ pub fn execute_with_fallback(
     trace: Option<&TraceContext>,
     query_id: u64,
 ) -> Result<(ExecutionOutcome, bool), LoamError> {
-    match exec.try_execute_traced(steered, catalog, trace) {
-        Ok(out) => Ok((out, false)),
-        Err(e) => {
-            mcsim_obs::counter("loam.fallback.exec_failed", 1);
-            if let Some(t) = trace {
-                t.decision(Decision::Fallback(Fallback {
-                    query_id,
-                    reason: format!("steered execution failed ({e}); replaying default plan"),
-                }));
-            }
-            match exec.try_execute_traced(default_plan, catalog, trace) {
-                Ok(out) => Ok((out, true)),
-                Err(e2) => {
-                    mcsim_obs::counter("loam.robust.queries_failed", 1);
-                    Err(LoamError::ExecutionFailed(format!(
-                        "default plan failed too ({e2}) after steered failure ({e})"
-                    )))
-                }
-            }
-        }
-    }
+    RobustServer::unchecked(EnvStrategy::NoEnv, RobustConfig::default()).execute_with_fallback(
+        exec,
+        steered,
+        default_plan,
+        catalog,
+        trace,
+        query_id,
+    )
 }
 
-/// The robust serving loop: gate the model, then select and execute every
-/// evaluated query down the fallback ladder. Never panics and always
-/// terminates — every query lands on some [`Resolution`], and every degraded
-/// query carries a [`Decision::Fallback`] record in `trace`.
+/// The robust serving loop.
+#[deprecated(note = "use `serving::RobustServer::serve_all` instead")]
 pub fn run_robust_serving<M: CostModel + Sync + ?Sized>(
     model: &M,
     strategy: &EnvStrategy,
@@ -237,94 +209,8 @@ pub fn run_robust_serving<M: CostModel + Sync + ?Sized>(
     cfg: &RobustConfig,
     trace: Option<&TraceContext>,
 ) -> Result<RobustRunReport, LoamError> {
-    if evaluated.is_empty() {
-        return Err(LoamError::EmptyWorkload(
-            "robust serving needs at least one evaluated query".into(),
-        ));
-    }
-    let gate = validate_traced(model, strategy, evaluated, &cfg.gate, trace);
-    let gate_deployed = gate.deploy();
-
-    let mut results = Vec::with_capacity(evaluated.len());
-    for eq in evaluated {
-        let (choice, base) = if !gate_deployed && cfg.fallback_enabled {
-            mcsim_obs::counter("loam.fallback.gate_hold", 1);
-            if let Some(t) = trace {
-                t.decision(Decision::Fallback(Fallback {
-                    query_id: eq.query_id,
-                    reason: "deployment gate held the model; serving default plan".into(),
-                }));
-            }
-            (eq.default_idx, Resolution::GateFallback)
-        } else {
-            let refs: Vec<&PlanTree> = eq.plans.iter().collect();
-            let (choice, predictor_error) = select_plan_robust(
-                model,
-                &refs,
-                strategy,
-                eq.default_idx,
-                cfg.margin,
-                trace,
-                eq.query_id,
-            );
-            match predictor_error {
-                Some(_) => (choice, Resolution::PredictorFallback),
-                None if choice == eq.default_idx => (choice, Resolution::Default),
-                None => (choice, Resolution::Steered),
-            }
-        };
-
-        let steered = &eq.plans[choice];
-        let default_plan = &eq.plans[eq.default_idx];
-        let resolved = if cfg.fallback_enabled {
-            match execute_with_fallback(exec, steered, default_plan, catalog, trace, eq.query_id) {
-                Ok((out, fell_back)) => Some((
-                    out,
-                    if fell_back {
-                        Resolution::ExecFallback
-                    } else {
-                        base
-                    },
-                )),
-                Err(_) => None,
-            }
-        } else {
-            match exec.try_execute_traced(steered, catalog, trace) {
-                Ok(out) => Some((out, base)),
-                Err(_) => {
-                    mcsim_obs::counter("loam.robust.queries_failed", 1);
-                    None
-                }
-            }
-        };
-
-        match resolved {
-            Some((out, resolution)) => {
-                mcsim_obs::counter("loam.robust.queries_completed", 1);
-                results.push(RobustQueryResult {
-                    query_id: eq.query_id,
-                    resolution,
-                    cost: out.cpu_cost,
-                    retries: out.retries,
-                    wasted_cost: out.wasted_cost,
-                    speculative_launches: out.speculative_launches,
-                });
-            }
-            None => results.push(RobustQueryResult {
-                query_id: eq.query_id,
-                resolution: Resolution::Failed,
-                cost: 0.0,
-                retries: 0,
-                wasted_cost: 0.0,
-                speculative_launches: 0,
-            }),
-        }
-    }
-
-    Ok(RobustRunReport {
-        gate_deployed,
-        results,
-    })
+    RobustServer::unchecked(*strategy, cfg.clone())
+        .serve_all(model, evaluated, exec, catalog, trace)
 }
 
 #[cfg(test)]
@@ -364,33 +250,30 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_predictions_fall_back_to_default_with_provenance() {
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_session_engine() {
         let model = FakeModel { nan_for_big: true };
         let small = chain(1);
         let big = chain(9);
         let strat = EnvStrategy::NoEnv;
-        let ctx = TraceContext::new("robust");
+        // NaN candidate ⇒ default, with a reason — same ladder as the new API.
         let (choice, reason) =
-            select_plan_robust(&model, &[&small, &big], &strat, 0, 0.1, Some(&ctx), 42);
-        assert_eq!(choice, 0);
-        assert!(reason.is_some(), "NaN prediction must surface a reason");
-        let ds = ctx.decisions();
-        assert!(
-            matches!(&ds[0], Decision::Fallback(f) if f.query_id == 42),
-            "fallback record expected, got {ds:?}"
-        );
-    }
-
-    #[test]
-    fn finite_predictions_delegate_to_the_margin_guard() {
-        let model = FakeModel { nan_for_big: false };
-        let small = chain(1);
-        let big = chain(9);
-        let strat = EnvStrategy::NoEnv;
-        // Winner far cheaper than default ⇒ steered, no reason.
-        let (choice, reason) = select_plan_robust(&model, &[&big, &small], &strat, 0, 0.4, None, 1);
-        assert_eq!(choice, 1);
-        assert!(reason.is_none());
+            select_plan_robust(&model, &[&small, &big], &strat, 0, 0.1, None, 42);
+        let (new_choice, new_reason) = RobustServer::unchecked(
+            strat,
+            RobustConfig {
+                margin: 0.1,
+                ..RobustConfig::default()
+            },
+        )
+        .select_robust(&model, &[&small, &big], 0, None, 42);
+        assert_eq!(choice, new_choice);
+        assert_eq!(reason.is_some(), new_reason.is_some());
+        // Finite candidates ⇒ margin guard, same winner.
+        let ok = FakeModel { nan_for_big: false };
+        let (c1, r1) = select_plan_robust(&ok, &[&big, &small], &strat, 0, 0.4, None, 1);
+        assert_eq!(c1, 1);
+        assert!(r1.is_none());
     }
 
     #[test]

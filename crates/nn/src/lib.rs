@@ -59,6 +59,6 @@ pub use metrics::{concordance, mean_abs_log_ratio, r2, spearman};
 pub use mlp::{Mlp, MlpCache, MlpWs};
 pub use param::{AdamConfig, Param};
 pub use sparse::SparseRows;
-pub use tcn::{Tcn, TcnCache, TcnWs, TreeConvLayer, TreeStructure};
+pub use tcn::{ForestWs, Tcn, TcnCache, TcnWs, TreeConvLayer, TreeStructure};
 pub use transformer::{Transformer, TransformerCache, TransformerWs};
 pub use workspace::{alloc_probe, GradSet, Workspace};

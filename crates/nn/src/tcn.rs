@@ -390,14 +390,25 @@ fn scatter_add(target: &mut Mat, src: &Mat, idx: &[Option<usize>]) {
 /// pools plus a log node count. Max pooling captures dominant operators;
 /// mean pooling (≈ sum / n) matches the additive structure of plan cost.
 fn pool_into(h: &Mat, pooled: &mut Mat, arg: &mut Vec<usize>) {
+    pooled.resize_in_place(1, 2 * h.cols + 1);
+    pool_rows_into(h, 0, h.rows, &mut pooled.data, arg);
+}
+
+/// Pools the node rows `r0..r1` of `h` into `out` (one `2d+1`-wide pooled
+/// row). Shared by the single-tree [`pool_into`] and the forest forward, so
+/// a tree pooled as a forest segment is bit-identical to pooling it alone:
+/// the per-column scan order (ascending row) and the division by the segment
+/// length are the same. `arg` records the absolute argmax rows.
+fn pool_rows_into(h: &Mat, r0: usize, r1: usize, out: &mut [f32], arg: &mut Vec<usize>) {
     let d = h.cols;
-    pooled.resize_in_place(1, 2 * d + 1);
+    debug_assert_eq!(out.len(), 2 * d + 1, "pooled row width");
+    let n = r1 - r0;
     arg.clear();
     arg.resize(d, 0);
     for (c, arg_c) in arg.iter_mut().enumerate() {
         let mut best = f32::MIN;
         let mut sum = 0.0;
-        for r in 0..h.rows {
+        for r in r0..r1 {
             let v = h.get(r, c);
             sum += v;
             if v > best {
@@ -405,10 +416,10 @@ fn pool_into(h: &Mat, pooled: &mut Mat, arg: &mut Vec<usize>) {
                 *arg_c = r;
             }
         }
-        pooled.data[c] = best;
-        pooled.data[d + c] = sum / h.rows.max(1) as f32;
+        out[c] = best;
+        out[d + c] = sum / n.max(1) as f32;
     }
-    pooled.data[2 * d] = (1.0 + h.rows as f32).ln();
+    out[2 * d] = (1.0 + n as f32).ln();
 }
 
 /// The full PlanEmb tree-convolutional encoder: two tree-conv layers,
@@ -454,6 +465,47 @@ impl TcnWs {
 pub struct TcnCache {
     x: Mat,
     ws: TcnWs,
+}
+
+/// Reusable buffers for [`Tcn::forward_forest_ws`]: the stacked node matrix
+/// and offset tree structure of the whole batch, the shared convolution
+/// activations, and the per-tree pooled/embedding rows. One warm instance
+/// per serving worker; never reallocates once the largest batch shape has
+/// been seen.
+#[derive(Debug, Clone, Default)]
+pub struct ForestWs {
+    x: Mat,
+    tree: TreeStructure,
+    /// Prefix node offsets: tree `b` owns rows `bounds[b]..bounds[b+1]`.
+    bounds: Vec<usize>,
+    h1: Mat,
+    h2: Mat,
+    pooled: Mat,
+    argmax: Vec<usize>,
+    emb: Mat,
+}
+
+impl ForestWs {
+    /// The batch embeddings of the last forward: one row per tree, in input
+    /// order.
+    pub fn emb(&self) -> &Mat {
+        &self.emb
+    }
+
+    /// Bytes held by the batch buffers.
+    pub fn bytes(&self) -> usize {
+        let f = std::mem::size_of::<f32>();
+        let u = std::mem::size_of::<usize>();
+        (self.x.data.capacity()
+            + self.h1.data.capacity()
+            + self.h2.data.capacity()
+            + self.pooled.data.capacity()
+            + self.emb.data.capacity())
+            * f
+            + (self.bounds.capacity() + self.argmax.capacity()) * u
+            + (self.tree.left.capacity() + self.tree.right.capacity())
+                * std::mem::size_of::<Option<usize>>()
+    }
 }
 
 impl Tcn {
@@ -525,6 +577,62 @@ impl Tcn {
         let mut ws = TcnWs::default();
         self.forward_ws(x, tree, &mut ws);
         ws.emb
+    }
+
+    /// Batched ("forest") encoding: stacks every tree's node features into
+    /// one padded node matrix with offset child indices, so both convolution
+    /// layers run as a single fused kernel invocation over all nodes of the
+    /// batch, then pools each tree's row segment and projects the whole
+    /// pooled batch through one matmul. The embeddings land in `ws.emb()`,
+    /// one row per input tree, in input order.
+    ///
+    /// Bit-identical to encoding each tree alone with [`Tcn::infer`]: the
+    /// convolution is row-local (a node sees only itself and its own
+    /// children, whose indices are offset within the same tree), pooling
+    /// shares the per-segment kernel with the single-tree path, and the
+    /// projection computes each output row as an independent dot product.
+    pub fn forward_forest_ws(&self, items: &[(&Mat, &TreeStructure)], ws: &mut ForestWs) {
+        let ForestWs {
+            x,
+            tree,
+            bounds,
+            h1,
+            h2,
+            pooled,
+            argmax,
+            emb,
+        } = ws;
+        if items.is_empty() {
+            emb.resize_in_place(0, self.emb_dim());
+            return;
+        }
+        let in_dim = items[0].0.cols;
+        let total: usize = items.iter().map(|(xi, _)| xi.rows).sum();
+        x.resize_in_place(total, in_dim);
+        tree.left.clear();
+        tree.right.clear();
+        bounds.clear();
+        bounds.push(0);
+        let mut off = 0;
+        for (xi, ti) in items {
+            assert_eq!(xi.rows, ti.len(), "tree/feature row mismatch");
+            assert_eq!(xi.cols, in_dim, "inconsistent feature widths in a batch");
+            x.data[off * in_dim..(off + xi.rows) * in_dim].copy_from_slice(&xi.data);
+            tree.left.extend(ti.left.iter().map(|c| c.map(|j| j + off)));
+            tree.right
+                .extend(ti.right.iter().map(|c| c.map(|j| j + off)));
+            off += xi.rows;
+            bounds.push(off);
+        }
+        self.conv1.forward_ws(x, tree, h1);
+        self.conv2.forward_ws(h1, tree, h2);
+        let d = h2.cols;
+        pooled.resize_in_place(items.len(), 2 * d + 1);
+        for b in 0..items.len() {
+            let row = &mut pooled.data[b * (2 * d + 1)..(b + 1) * (2 * d + 1)];
+            pool_rows_into(h2, bounds[b], bounds[b + 1], row, argmax);
+        }
+        self.proj.forward_into(pooled, emb);
     }
 
     /// Backward from an embedding gradient; accumulates parameter grads.
@@ -745,6 +853,47 @@ mod tests {
         let x = Mat::randn(3, 6, 1.0, &mut rng);
         let (emb, _) = tcn.forward(&x, &tiny_tree());
         assert_eq!((emb.rows, emb.cols), (1, 3));
+    }
+
+    /// The batched forest forward must be bit-identical to encoding every
+    /// tree alone — the guarantee the serving layer's request batching
+    /// stands on. Mixed shapes (chains, the three-node tree, a single leaf)
+    /// exercise the segment offsets.
+    #[test]
+    fn forest_forward_matches_single_tree_inference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let tcn = Tcn::new(5, 8, 6, 4, &mut rng);
+        let chain = |n: usize| TreeStructure {
+            left: (0..n)
+                .map(|i| if i + 1 < n { Some(i + 1) } else { None })
+                .collect(),
+            right: vec![None; n],
+        };
+        let trees = [tiny_tree(), chain(5), chain(1), tiny_tree(), chain(7)];
+        let xs: Vec<Mat> = trees
+            .iter()
+            .map(|t| Mat::randn(t.len(), 5, 1.0, &mut rng))
+            .collect();
+        let items: Vec<(&Mat, &TreeStructure)> = xs.iter().zip(trees.iter()).collect();
+
+        let mut ws = ForestWs::default();
+        tcn.forward_forest_ws(&items, &mut ws);
+        assert_eq!((ws.emb().rows, ws.emb().cols), (items.len(), 4));
+        for (b, (x, t)) in items.iter().enumerate() {
+            let single = tcn.infer(x, t);
+            assert_eq!(
+                ws.emb().row(b),
+                &single.data[..],
+                "forest row {b} must be bit-identical to the single-tree path"
+            );
+        }
+        // Warm reuse with a different batch size stays correct.
+        tcn.forward_forest_ws(&items[..2], &mut ws);
+        assert_eq!(ws.emb().rows, 2);
+        assert_eq!(ws.emb().row(1), &tcn.infer(&xs[1], &trees[1]).data[..]);
+        // An empty batch yields an empty embedding matrix.
+        tcn.forward_forest_ws(&[], &mut ws);
+        assert_eq!(ws.emb().rows, 0);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Seeded open-loop arrival processes.
+//!
+//! The serving benchmark is *open-loop*: arrival times are drawn up front
+//! from a seeded process and do not react to how fast the system serves
+//! them (closed-loop load generators hide overload, the classic
+//! coordinated-omission mistake). Three profiles cover the traffic shapes
+//! a multi-tenant warehouse sees:
+//!
+//! * [`ArrivalProfile::Poisson`] — memoryless steady-state traffic;
+//! * [`ArrivalProfile::Bursty`] — a fraction of arrivals land inside
+//!   bursts where inter-arrival gaps shrink by a factor;
+//! * [`ArrivalProfile::Diurnal`] — a sinusoidal daily load cycle, the
+//!   pattern the cluster simulator's machines follow.
+//!
+//! Every arrival is tagged with a tenant and a query template drawn from
+//! that tenant's *working set* — production projects resubmit a small set
+//! of recurring templates, which is exactly what makes the plan-signature
+//! decision cache effective.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of the open-loop arrival process. All rates are in queries per
+/// second of virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProfile {
+    /// Memoryless arrivals at a constant rate.
+    Poisson {
+        /// Mean arrival rate (> 0).
+        rate_qps: f64,
+    },
+    /// Poisson base traffic where a fraction of arrivals fall inside
+    /// bursts with `burst_factor`× compressed gaps.
+    Bursty {
+        /// Mean base arrival rate (> 0).
+        rate_qps: f64,
+        /// Gap compression inside a burst (≥ 1).
+        burst_factor: f64,
+        /// Probability that an arrival is burst-compressed, in `[0, 1]`.
+        burst_fraction: f64,
+    },
+    /// Rate modulated sinusoidally around the mean, like a daily cycle.
+    Diurnal {
+        /// Mean arrival rate (> 0).
+        rate_qps: f64,
+        /// Relative modulation amplitude, in `[0, 1)`.
+        amplitude: f64,
+        /// Cycle length in virtual seconds (> 0).
+        period_s: f64,
+    },
+}
+
+impl ArrivalProfile {
+    /// The profile's mean rate.
+    pub fn rate_qps(&self) -> f64 {
+        match self {
+            ArrivalProfile::Poisson { rate_qps }
+            | ArrivalProfile::Bursty { rate_qps, .. }
+            | ArrivalProfile::Diurnal { rate_qps, .. } => *rate_qps,
+        }
+    }
+
+    /// Short display name ("poisson", "bursty", "diurnal").
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProfile::Poisson { .. } => "poisson",
+            ArrivalProfile::Bursty { .. } => "bursty",
+            ArrivalProfile::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// Validates the profile's parameters; the message names the offender.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        let rate = self.rate_qps();
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(format!("arrival rate must be positive, got {rate}"));
+        }
+        match self {
+            ArrivalProfile::Poisson { .. } => Ok(()),
+            ArrivalProfile::Bursty {
+                burst_factor,
+                burst_fraction,
+                ..
+            } => {
+                if !burst_factor.is_finite() || *burst_factor < 1.0 {
+                    Err(format!("burst_factor must be ≥ 1, got {burst_factor}"))
+                } else if !(0.0..=1.0).contains(burst_fraction) {
+                    Err(format!(
+                        "burst_fraction must be in [0, 1], got {burst_fraction}"
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            ArrivalProfile::Diurnal {
+                amplitude,
+                period_s,
+                ..
+            } => {
+                if !(0.0..1.0).contains(amplitude) {
+                    Err(format!(
+                        "diurnal amplitude must be in [0, 1), got {amplitude}"
+                    ))
+                } else if !period_s.is_finite() || *period_s <= 0.0 {
+                    Err(format!("diurnal period must be positive, got {period_s}"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// One request of the open-loop trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Position in the trace (0-based).
+    pub seq: u64,
+    /// Virtual arrival time in seconds.
+    pub t_s: f64,
+    /// Submitting tenant.
+    pub tenant: u32,
+    /// Query-template index into the session's template library.
+    pub template: u32,
+}
+
+/// Probability that a tenant strays outside its recurring working set.
+const COLD_QUERY_P: f64 = 0.1;
+
+/// Generates `n` arrivals over `tenants` tenants and `n_templates`
+/// templates. Deterministic in `seed`: the RNG consumes the same draw
+/// sequence per arrival regardless of the profile's rate, so two traces
+/// that differ only in rate contain the same (tenant, template) sequence
+/// at proportionally scaled times.
+pub fn generate_arrivals(
+    profile: &ArrivalProfile,
+    n: usize,
+    tenants: usize,
+    n_templates: usize,
+    seed: u64,
+) -> Vec<Arrival> {
+    assert!(tenants > 0 && n_templates > 0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa221_7a1e_5eed_0001);
+    // Tenant working sets: a contiguous (wrapped) slice of the template
+    // library, staggered so tenants overlap only partially.
+    let set_len = n_templates.div_ceil(tenants).max(1);
+    let mut t = 0.0f64;
+    (0..n as u64)
+        .map(|seq| {
+            // One exponential draw per arrival, scaled by the local rate.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let std_gap = -u.ln();
+            let burst: bool = match profile {
+                ArrivalProfile::Bursty { burst_fraction, .. } => rng.gen_bool(*burst_fraction),
+                _ => rng.gen_bool(0.0),
+            };
+            let local_rate = match profile {
+                ArrivalProfile::Poisson { rate_qps } => *rate_qps,
+                ArrivalProfile::Bursty {
+                    rate_qps,
+                    burst_factor,
+                    ..
+                } => {
+                    if burst {
+                        rate_qps * burst_factor
+                    } else {
+                        *rate_qps
+                    }
+                }
+                ArrivalProfile::Diurnal {
+                    rate_qps,
+                    amplitude,
+                    period_s,
+                } => rate_qps * (1.0 + amplitude * (std::f64::consts::TAU * t / period_s).sin()),
+            };
+            t += std_gap / local_rate;
+            let tenant = rng.gen_range(0..tenants as u32);
+            let template = if rng.gen_bool(COLD_QUERY_P) {
+                rng.gen_range(0..n_templates as u32)
+            } else {
+                let off = rng.gen_range(0..set_len as u32);
+                (tenant * set_len as u32 + off) % n_templates as u32
+            };
+            Arrival {
+                seq,
+                t_s: t,
+                tenant,
+                template,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let p = ArrivalProfile::Poisson { rate_qps: 50.0 };
+        let a = generate_arrivals(&p, 200, 4, 16, 7);
+        let b = generate_arrivals(&p, 200, 4, 16, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_arrivals(&p, 200, 4, 16, 8));
+    }
+
+    #[test]
+    fn rate_scales_times_but_not_the_request_mix() {
+        let slow = generate_arrivals(&ArrivalProfile::Poisson { rate_qps: 10.0 }, 300, 4, 16, 3);
+        let fast = generate_arrivals(&ArrivalProfile::Poisson { rate_qps: 100.0 }, 300, 4, 16, 3);
+        for (s, f) in slow.iter().zip(&fast) {
+            assert_eq!((s.tenant, s.template), (f.tenant, f.template));
+            assert!((s.t_s / f.t_s - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn arrival_times_are_strictly_increasing() {
+        for p in [
+            ArrivalProfile::Poisson { rate_qps: 40.0 },
+            ArrivalProfile::Bursty {
+                rate_qps: 40.0,
+                burst_factor: 8.0,
+                burst_fraction: 0.3,
+            },
+            ArrivalProfile::Diurnal {
+                rate_qps: 40.0,
+                amplitude: 0.8,
+                period_s: 5.0,
+            },
+        ] {
+            p.validate().unwrap();
+            let arrivals = generate_arrivals(&p, 500, 8, 32, 11);
+            for w in arrivals.windows(2) {
+                assert!(w[1].t_s > w[0].t_s, "{}: times must increase", p.name());
+            }
+            assert!(arrivals.iter().all(|a| a.tenant < 8 && a.template < 32));
+        }
+    }
+
+    #[test]
+    fn tenants_mostly_stay_in_their_working_set() {
+        let p = ArrivalProfile::Poisson { rate_qps: 50.0 };
+        let arrivals = generate_arrivals(&p, 2000, 4, 16, 5);
+        // Working sets are 4 templates wide; at most the cold fraction
+        // (plus noise) should stray outside.
+        let strays = arrivals
+            .iter()
+            .filter(|a| {
+                let base = a.tenant * 4;
+                !(base..base + 4).contains(&a.template)
+            })
+            .count();
+        assert!(
+            strays < 2000 / 5,
+            "too many out-of-working-set picks: {strays}"
+        );
+    }
+
+    #[test]
+    fn degenerate_profiles_are_rejected() {
+        assert!(ArrivalProfile::Poisson { rate_qps: 0.0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProfile::Bursty {
+            rate_qps: 10.0,
+            burst_factor: 0.5,
+            burst_fraction: 0.2
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProfile::Diurnal {
+            rate_qps: 10.0,
+            amplitude: 1.0,
+            period_s: 60.0
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -5,11 +5,14 @@
 //! loamctl optimize --project <1..5> [--query <i>] [--all-knobs]
 //! loamctl train    --project <1..5> --out <model.json> [--scale <0..1>]
 //! loamctl serve    --project <1..5> --model <model.json> [--queries <n>]
+//!                  [--requests <n>] [--batch <n>] [--rate <qps>]
 //! ```
 //!
 //! `train` runs the full offline pipeline (history → adaptive training →
 //! flighting validation gate) and refuses to write a model that fails the
-//! gate. `serve` loads a saved model and steers a day of queries with it.
+//! gate. `serve` loads a saved model and drives seeded open-loop traffic
+//! over a day's query templates through a `ServeSession` (batched
+//! inference, feature + decision caches, graceful degradation).
 
 use loam::prelude::*;
 use loam_core::gate::{validate as validate_gate, GateConfig};
@@ -173,6 +176,15 @@ fn serve(project_n: usize, scale: f64, args: &[String]) {
     let n_queries: usize = arg_value(args, "--queries")
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
+    let requests: usize = arg_value(args, "--requests")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(128);
+    let batch: usize = arg_value(args, "--batch")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let rate: f64 = arg_value(args, "--rate")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64.0);
     let model = load_predictor(&model_path).unwrap_or_else(|e| {
         eprintln!("cannot load model {}: {e}", model_path.display());
         std::process::exit(1);
@@ -181,36 +193,96 @@ fn serve(project_n: usize, scale: f64, args: &[String]) {
     let optimizer = NativeOptimizer::new(&project.catalog);
     let explorer = PlanExplorer::default();
     let mut flighting = Flighting::new(99, project.profile.env_noise_sigma);
-    // Serve "online" queries from a held-out day.
+
+    // The template library: candidate sets for "online" queries from a
+    // held-out day, with replayed costs so the deployment gate has
+    // something to validate against.
     let queries = project.workload_for_day(26);
-    let strategy = EnvStrategy::MeanHistorical(EnvMetrics::new(0.55, 0.05, 8.0, 0.55));
-    let mut steered_total = 0.0;
-    let mut native_total = 0.0;
-    for q in queries.iter().take(n_queries) {
-        let set = explorer.explore(&optimizer, q);
-        let plans: Vec<&PlanTree> = set.candidates.iter().map(|c| &c.plan).collect();
-        let (choice, _) = select_plan(&model, &plans, &strategy);
-        let steered = flighting.average_cost(&set.candidates[choice].plan, &project.catalog, 3);
-        let native =
-            flighting.average_cost(&set.candidates[set.default_idx].plan, &project.catalog, 3);
-        steered_total += steered;
-        native_total += native;
-        println!(
-            "query {}: native {:.0}, steered {:.0} ({})",
-            q.id,
-            native,
-            steered,
-            if choice == set.default_idx {
-                "kept default"
-            } else {
-                "steered"
+    let templates: Vec<EvaluatedQuery> = queries
+        .iter()
+        .take(n_queries)
+        .map(|q| {
+            let set = explorer.explore(&optimizer, q);
+            let plans: Vec<PlanTree> = set.candidates.iter().map(|c| c.plan.clone()).collect();
+            let refs: Vec<&PlanTree> = plans.iter().collect();
+            let costs = flighting.replay_synchronized(&refs, &project.catalog, 3);
+            EvaluatedQuery {
+                query_id: q.id,
+                plans,
+                costs,
+                default_idx: set.default_idx,
             }
-        );
+        })
+        .collect();
+    if templates.is_empty() {
+        eprintln!("the held-out day has no queries at this scale");
+        std::process::exit(1);
     }
+
+    let strategy = EnvStrategy::MeanHistorical(EnvMetrics::new(0.55, 0.05, 8.0, 0.55));
+    let cfg = ServeConfig::builder()
+        .arrival(ArrivalProfile::Poisson { rate_qps: rate })
+        .requests(requests)
+        .batch_size(batch)
+        .strategy(strategy)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("invalid serving configuration: {e}");
+            std::process::exit(2);
+        });
+    let session = ServeSession::new(cfg).unwrap_or_else(|e| {
+        eprintln!("invalid serving configuration: {e}");
+        std::process::exit(2);
+    });
+    let report = session
+        .run(&model, &templates, &project.catalog, None)
+        .unwrap_or_else(|e| {
+            eprintln!("serving failed: {e}");
+            std::process::exit(1);
+        });
+
     println!(
-        "\ntotals: native {:.0}, steered {:.0} ({:+.1}%)",
-        native_total,
-        steered_total,
-        100.0 * (1.0 - steered_total / native_total)
+        "gate: {} | {} requests over {} templates ({} tenants)",
+        if report.gate_deployed {
+            "DEPLOY"
+        } else {
+            "HOLD (serving defaults)"
+        },
+        report.requests,
+        templates.len(),
+        session.config().tenants,
+    );
+    println!(
+        "throughput: {:.0} qps in {} batches; latency p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        report.qps(),
+        report.batches,
+        report.latency.p50() * 1e3,
+        report.latency.p95() * 1e3,
+        report.latency.p99() * 1e3,
+    );
+    println!(
+        "outcomes: {} completed, {} failed, {} shed ({:.1}%)",
+        report.completed,
+        report.failed,
+        report.shed,
+        report.shed_rate() * 100.0
+    );
+    println!(
+        "steering: {} steered, {} kept default, {} degraded",
+        report.resolution_count(Resolution::Steered),
+        report.resolution_count(Resolution::Default),
+        report
+            .decision_log
+            .iter()
+            .filter(|d| matches!(
+                d.outcome,
+                RequestOutcome::Served { resolution, .. } if resolution.is_degraded()
+            ))
+            .count(),
+    );
+    println!(
+        "caches: feature {:.0}% hit, decision {:.0}% hit",
+        report.feature_hit_rate() * 100.0,
+        report.decision_hit_rate() * 100.0
     );
 }

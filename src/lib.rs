@@ -41,6 +41,7 @@ pub use mcsim_exec;
 pub use mcsim_obs;
 pub use mcsim_optimizer;
 pub use mcsim_plan;
+pub use mcsim_serve;
 pub use tinygbdt;
 pub use tinynn;
 
@@ -55,9 +56,9 @@ pub mod prelude {
     pub use loam_core::error::LoamError;
     pub use loam_core::explorer::{Candidate, CandidateSet, ExplorerConfig, PlanExplorer};
     pub use loam_core::gate::{GateConfig, GateReport};
-    pub use loam_core::inference::{
-        select_plan, select_plan_guarded, select_plan_guarded_traced, EnvStrategy, DEFAULT_MARGIN,
-    };
+    pub use loam_core::inference::{select_plan, EnvStrategy, DEFAULT_MARGIN};
+    #[allow(deprecated)] // legacy surface; prefer RobustServer / ServeSession
+    pub use loam_core::inference::{select_plan_guarded, select_plan_guarded_traced};
     pub use loam_core::persist::{
         load_predictor, load_ranker, save_predictor, save_ranker, PersistError,
     };
@@ -69,13 +70,13 @@ pub mod prelude {
     };
     pub use loam_core::predictor::baselines::CostModel;
     pub use loam_core::predictor::train::{train, TrainConfig, TrainReport, TrainSample};
-    pub use loam_core::robust::{
-        execute_with_fallback, run_robust_serving, select_plan_robust, Resolution, RobustConfig,
-        RobustQueryResult, RobustRunReport,
-    };
+    #[allow(deprecated)] // legacy surface; prefer RobustServer / ServeSession
+    pub use loam_core::robust::{execute_with_fallback, run_robust_serving, select_plan_robust};
+    pub use loam_core::robust::{Resolution, RobustConfig, RobustQueryResult, RobustRunReport};
     pub use loam_core::selector::{
         evaluate_filter, evaluate_filter_traced, ranker_features, FilterConfig, Ranker,
     };
+    pub use loam_core::serving::RobustServer;
     pub use loam_core::theory::{Deviance, KsTest, LogNormal};
     pub use loam_core::{validate_deployment, validate_deployment_traced};
     pub use loam_core::{AdaptiveCostPredictor, EnvSource, PlanFeaturizer};
@@ -94,4 +95,8 @@ pub mod prelude {
     pub use mcsim_obs::{InMemoryRecorder, MetricsSnapshot, NoopRecorder, Recorder};
     pub use mcsim_optimizer::{Knobs, NativeOptimizer, OptimizerFlags};
     pub use mcsim_plan::{Operator, PlanSignature, PlanTree};
+    pub use mcsim_serve::{
+        ArrivalProfile, DecisionCache, DecisionRecord, RequestOutcome, ServeConfig, ServeReport,
+        ServeSession, ShedPolicy,
+    };
 }

@@ -5,6 +5,7 @@
 //!
 //! The recorder is process-global, so everything lives in one test function
 //! — parallel test threads would otherwise interleave their metrics.
+#![allow(deprecated)] // still drives the run_robust_serving shim on purpose
 
 use loam::prelude::*;
 use std::sync::{Arc, Mutex};

@@ -2,6 +2,11 @@
 //! degrade gracefully — it always terminates, never panics, and every
 //! degraded query leaves a typed [`Decision::Fallback`] provenance record
 //! whose `query_id` matches the query it degraded.
+//!
+//! Deliberately exercises the deprecated free-function surface
+//! (`run_robust_serving` & co.) so the shims stay behaviorally equivalent
+//! to [`loam_core::serving::RobustServer`]; new code should use the latter.
+#![allow(deprecated)]
 
 use loam::prelude::*;
 
