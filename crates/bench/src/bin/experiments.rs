@@ -36,6 +36,11 @@
 //!             latency percentiles, shed rate, and cache hit rates;
 //!             `--quick` restricts to the single/batched pair; writes
 //!             BENCH_serve.json
+//!   exec      simulation-core scaling: dense per-tick reference vs the
+//!             event-driven engine over 1k/5k/10k-machine pools, plus the
+//!             10k-machine × 1M-query headline session; `--quick`
+//!             restricts to the 1k pool and skips the headline; writes
+//!             BENCH_exec.json
 //!
 //! experiments compare <old.json> <new.json> [--threshold <pct>]
 //!
@@ -113,14 +118,14 @@ fn main() {
     let started = std::time::Instant::now();
     eprintln!("running `{id}` at {scale:?} scale");
 
-    // `chaos` and `serve` are context-free too, but take the extra
-    // `--quick` flag.
-    if id == "chaos" || id == "serve" {
+    // `chaos`, `serve`, and `exec` are context-free too, but take the
+    // extra `--quick` flag.
+    if id == "chaos" || id == "serve" || id == "exec" {
         let quick = args.iter().any(|a| a == "--quick");
-        if id == "chaos" {
-            exps::chaos::run(scale, quick);
-        } else {
-            exps::serve::run(scale, quick);
+        match id {
+            "chaos" => exps::chaos::run(scale, quick),
+            "serve" => exps::serve::run(scale, quick),
+            _ => exps::exec::run(scale, quick),
         }
         emit_metrics(id, scale, &recorder);
         return;

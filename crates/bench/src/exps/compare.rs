@@ -3,10 +3,26 @@
 //!
 //! Diffs per-phase and total wall-clock between an old (baseline) and a new
 //! report and flags any phase whose `parallel_s` regressed past a
-//! configurable percentage threshold. Exit codes: 0 = within threshold,
-//! 1 = regression detected, 2 = unreadable/unparsable input.
+//! configurable percentage threshold. Exit codes: [`EXIT_OK`] = within
+//! threshold, [`EXIT_REGRESSION`] = regression detected, [`EXIT_PARSE`] =
+//! unreadable/unparsable input.
+//!
+//! Besides the timing schema shared by `BENCH_parallel.json` /
+//! `BENCH_train.json` / `BENCH_chaos.json` / `BENCH_serve.json`, phases may
+//! carry the `BENCH_exec.json` scaling extras (`machines`, `queries`,
+//! `events_per_s`) and the `degenerate` marker `experiments parallel` sets
+//! when both legs ran at the same thread count; both are surfaced in the
+//! diff but never gate it.
 
 use serde::Deserialize;
+
+/// Exit code: every phase stayed within the threshold.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: at least one phase (or the total) regressed past the
+/// threshold.
+pub const EXIT_REGRESSION: i32 = 1;
+/// Exit code: a report could not be read or parsed.
+pub const EXIT_PARSE: i32 = 2;
 
 /// One phase row of a `BENCH_*.json` report.
 #[derive(Debug, Clone, Deserialize)]
@@ -19,6 +35,23 @@ pub struct PhaseRow {
     pub parallel_s: f64,
     /// serial_s / parallel_s.
     pub speedup: f64,
+    /// `BENCH_exec.json`: machines in the simulated pool.
+    pub machines: Option<u64>,
+    /// `BENCH_exec.json`: queries executed per engine leg.
+    pub queries: Option<u64>,
+    /// `BENCH_exec.json`: fault events drained per second by the event
+    /// engine.
+    pub events_per_s: Option<f64>,
+    /// `BENCH_parallel.json`: both legs ran at the same thread count, so
+    /// the speedup column is meaningless.
+    pub degenerate: Option<bool>,
+}
+
+impl PhaseRow {
+    /// Whether the phase carries the `degenerate: true` marker.
+    pub fn is_degenerate(&self) -> bool {
+        self.degenerate == Some(true)
+    }
 }
 
 /// The `total` block of a report.
@@ -120,13 +153,14 @@ pub fn load_report(path: &str) -> Result<BenchReport, String> {
 }
 
 /// The full subcommand: loads both reports, prints the diff table, and
-/// returns the process exit code (0 ok, 1 regression, 2 parse error).
+/// returns the process exit code ([`EXIT_OK`], [`EXIT_REGRESSION`], or
+/// [`EXIT_PARSE`]).
 pub fn run(old_path: &str, new_path: &str, threshold_pct: f64) -> i32 {
     let (old, new) = match (load_report(old_path), load_report(new_path)) {
         (Ok(o), Ok(n)) => (o, n),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("compare: {e}");
-            return 2;
+            return EXIT_PARSE;
         }
     };
     println!(
@@ -140,6 +174,13 @@ pub fn run(old_path: &str, new_path: &str, threshold_pct: f64) -> i32 {
             old.bench, new.bench
         );
     }
+    if let Some(p) = new.phases.iter().find(|p| p.is_degenerate()) {
+        eprintln!(
+            "compare: warning: phase `{}` in {new_path} is marked degenerate \
+             (both legs ran at the same thread count) — its speedup is meaningless",
+            p.name
+        );
+    }
     let cmp = compare(&old, &new, threshold_pct);
     println!(
         "{:<16} {:>12} {:>12} {:>9}",
@@ -151,20 +192,40 @@ pub fn run(old_path: &str, new_path: &str, threshold_pct: f64) -> i32 {
         } else {
             ""
         };
+        // Exec-scaling extras ride along the row when the new report has
+        // them (informational; the gate stays a pure timing diff).
+        let extra = new
+            .phases
+            .iter()
+            .find(|p| p.name == d.name)
+            .map(|p| {
+                let mut s = String::new();
+                if let Some(m) = p.machines {
+                    s.push_str(&format!("  machines={m}"));
+                }
+                if let Some(q) = p.queries {
+                    s.push_str(&format!(" queries={q}"));
+                }
+                if let Some(e) = p.events_per_s {
+                    s.push_str(&format!(" events/s={e:.0}"));
+                }
+                s
+            })
+            .unwrap_or_default();
         println!(
-            "{:<16} {:>12.3} {:>12.3} {:>+8.1}%{flag}",
+            "{:<16} {:>12.3} {:>12.3} {:>+8.1}%{flag}{extra}",
             d.name, d.old_s, d.new_s, d.delta_pct
         );
     }
     if cmp.regressions.is_empty() {
         println!("ok: no phase regressed more than {threshold_pct:.0}%");
-        0
+        EXIT_OK
     } else {
         eprintln!(
             "regression: {} exceeded the {threshold_pct:.0}% threshold",
             cmp.regressions.join(", ")
         );
-        1
+        EXIT_REGRESSION
     }
 }
 
@@ -183,6 +244,10 @@ mod tests {
                 serial_s: phase_s * 1.5,
                 parallel_s: phase_s,
                 speedup: 1.5,
+                machines: None,
+                queries: None,
+                events_per_s: None,
+                degenerate: None,
             }],
             total: TotalRow {
                 serial_s: total_s * 1.5,
@@ -228,5 +293,29 @@ mod tests {
     #[test]
     fn parse_errors_are_typed_not_panics() {
         assert!(load_report("/nonexistent/BENCH.json").is_err());
+    }
+
+    /// The exec scaling extras and the parallel degenerate marker parse out
+    /// of the shared schema; plain reports without them default cleanly.
+    #[test]
+    fn exec_extras_and_degenerate_marker_parse() {
+        let json = r#"{"bench":"exec","scale":"small","threads_serial":1,
+            "threads_parallel":1,
+            "phases":[{"name":"exec_10k","serial_s":40.0,"parallel_s":1.0,
+                       "speedup":40.0,"machines":10000,"queries":1000,
+                       "events_per_s":52000.0},
+                      {"name":"warm","serial_s":1.0,"parallel_s":1.0,
+                       "speedup":1.0,"degenerate":true}],
+            "total":{"serial_s":41.0,"parallel_s":2.0,"speedup":20.5},
+            "headline":{"machines":10000,"queries":1000000}}"#;
+        let r: BenchReport = serde_json::from_str(json).expect("exec schema parses");
+        assert_eq!(r.phases[0].machines, Some(10_000));
+        assert_eq!(r.phases[0].queries, Some(1_000));
+        assert_eq!(r.phases[0].events_per_s, Some(52_000.0));
+        assert!(!r.phases[0].is_degenerate());
+        assert!(r.phases[1].is_degenerate());
+        // Extras never gate: a regression-free diff stays regression-free.
+        let cmp = compare(&r, &r, 25.0);
+        assert!(cmp.regressions.is_empty());
     }
 }

@@ -3,6 +3,7 @@
 pub mod chaos;
 pub mod common;
 pub mod compare;
+pub mod exec;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

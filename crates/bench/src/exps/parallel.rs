@@ -46,7 +46,10 @@ fn run_phases(scale: Scale) -> PhaseTimes {
 }
 
 /// Renders the report as a JSON document. Both thread counts are the ones
-/// the legs actually ran with, not assumptions.
+/// the legs actually ran with, not assumptions. When both legs ran at the
+/// same thread count the speedup signal is degenerate — every phase is
+/// marked `degenerate: true` so downstream tooling (`experiments compare`)
+/// knows not to read meaning into the ratio.
 fn report_json(
     scale: Scale,
     serial_threads: usize,
@@ -55,13 +58,20 @@ fn report_json(
     parallel: &PhaseTimes,
 ) -> String {
     let scale_name = format!("{scale:?}").to_lowercase();
+    let degenerate = serial_threads == parallel_threads;
+    let mark = if degenerate {
+        ",\"degenerate\":true"
+    } else {
+        ""
+    };
     let mut phases = String::new();
     for (i, ((name, s), (_, p))) in serial.phases.iter().zip(&parallel.phases).enumerate() {
         if i > 0 {
             phases.push(',');
         }
         phases.push_str(&format!(
-            "{{\"name\":\"{name}\",\"serial_s\":{s:.6},\"parallel_s\":{p:.6},\"speedup\":{:.4}}}",
+            "{{\"name\":\"{name}\",\"serial_s\":{s:.6},\"parallel_s\":{p:.6},\
+             \"speedup\":{:.4}{mark}}}",
             s / p.max(1e-9)
         ));
     }
@@ -93,7 +103,8 @@ pub fn run(scale: Scale) {
     if parallel_threads == serial_threads {
         eprintln!(
             "warning: both legs will run with {serial_threads} thread(s) — the speedup \
-             column is meaningless; pass --threads N or set MCSIM_PAR_THREADS"
+             column is meaningless and every phase will be marked `degenerate: true` \
+             in BENCH_parallel.json; pass --threads N or set MCSIM_PAR_THREADS"
         );
     }
 
@@ -153,6 +164,7 @@ mod tests {
         serial_s: f64,
         parallel_s: f64,
         speedup: f64,
+        degenerate: Option<bool>,
     }
 
     #[derive(Debug, Deserialize)]
@@ -181,8 +193,24 @@ mod tests {
         assert!((r.phases[0].serial_s - 2.0).abs() < 1e-9);
         assert!((r.phases[0].parallel_s - 1.0).abs() < 1e-9);
         assert!((r.phases[0].speedup - 2.0).abs() < 1e-9);
+        assert!(
+            r.phases[0].degenerate.is_none(),
+            "distinct thread counts are sound"
+        );
         assert!((r.total.serial_s - 6.0).abs() < 1e-9);
         assert!((r.total.parallel_s - 3.0).abs() < 1e-9);
         assert!((r.total.speedup - 2.0).abs() < 1e-9);
+    }
+
+    /// A run where both legs use the same thread count marks every phase
+    /// degenerate, so nobody mistakes a 1.0x "speedup" for a measurement.
+    #[test]
+    fn same_thread_count_marks_phases_degenerate() {
+        let times = PhaseTimes {
+            phases: vec![("a", 2.0), ("b", 4.0)],
+        };
+        let json = report_json(Scale::Small, 1, 1, &times, &times);
+        let r: Report = serde_json::from_str(&json).expect("valid json");
+        assert!(r.phases.iter().all(|p| p.degenerate == Some(true)));
     }
 }

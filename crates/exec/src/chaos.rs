@@ -14,7 +14,7 @@
 //! assert_eq!(a.cluster.fault_log(), b.cluster.fault_log()); // both empty, same state
 //! ```
 
-use crate::cluster::{Cluster, ClusterConfig};
+use crate::cluster::{Cluster, ClusterConfig, EngineMode};
 use crate::execute::Executor;
 use crate::fault::{FaultConfig, RetryPolicy};
 
@@ -58,6 +58,13 @@ impl ChaosScenario {
     /// Overrides the fault configuration wholesale.
     pub fn fault(mut self, config: FaultConfig) -> Self {
         self.fault = config;
+        self
+    }
+
+    /// Selects the simulation core (event-driven by default; the dense
+    /// tick loop is the bit-identical reference engine).
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.cluster.engine = mode;
         self
     }
 

@@ -215,7 +215,9 @@ impl Executor {
 
             let mut attempt = 0u32;
             loop {
-                let machines = self.cluster.allocate(instances, 0.15);
+                // Each instance claims a modest slot share on its machines
+                // for the stage's occupancy window.
+                let machines = self.cluster.allocate(instances, 0.06);
                 mcsim_obs::observe("exec.alloc.instances", instances as f64);
 
                 // The stage runs for a work-dependent number of 20 s ticks;
@@ -355,11 +357,12 @@ impl Executor {
             }
         }
         if mcsim_obs::enabled() {
-            // cluster_mean() walks every machine, so compute it only when a
-            // recorder is actually listening.
+            // The estimate is exact at small pools and a fixed-size machine
+            // sample at fleet scale — the gauge must not re-introduce an
+            // O(machines) cost on every query.
             mcsim_obs::gauge(
                 "exec.cluster.utilization",
-                1.0 - self.cluster.cluster_mean().cpu_idle,
+                self.cluster.utilization_estimate(),
             );
         }
 

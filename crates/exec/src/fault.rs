@@ -3,14 +3,27 @@
 //! Production clusters fail in ways load noise never captures: machines die
 //! and get blacklisted by Fuxi until they recover, individual stages straggle
 //! behind their siblings, and preemption kills stage attempts outright. This
-//! module injects all three, driven by a dedicated RNG stream seeded from
-//! [`FaultConfig::seed`] — so every chaos scenario replays byte-for-byte
-//! from its seed, and a disabled config draws *nothing* from any RNG,
-//! leaving the fault-free simulation bit-identical to a build without this
-//! module.
+//! module injects all three — and every draw replays byte-for-byte from
+//! [`FaultConfig::seed`], while a disabled config draws *nothing* from any
+//! RNG, leaving the fault-free simulation bit-identical to a build without
+//! this module.
+//!
+//! Machine failures are **event-scheduled**: instead of a per-tick Bernoulli
+//! sweep over the whole pool (`O(machines)` every tick), each machine owns a
+//! counter-based draw stream from which the cluster pulls geometric
+//! inter-failure gaps (`⌊ln(1−U)/ln(1−p)⌋ + 1`, distributionally identical
+//! to per-tick coin flips at rate `p`) and uniform downtimes — and schedules
+//! them as queue events. Per-machine streams mean neither evaluation order
+//! nor the engine (event vs dense) can perturb any machine's fault
+//! trajectory. Stage-level faults (stragglers, kills) stay on a sequential
+//! RNG: the executor samples them in a deterministic per-attempt order.
 
+use crate::load::stream_uniform;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Stream id of the per-machine failure-schedule draws.
+const STREAM_FAULT: u64 = 0x0fa1;
 
 /// Fault-injection rates and magnitudes. The default config is fully
 /// disabled (all probabilities zero); [`FaultConfig::chaos`] is the
@@ -120,14 +133,18 @@ pub enum FaultEvent {
 }
 
 /// The live fault-injection state a [`crate::Cluster`] carries: the config,
-/// the dedicated fault RNG, per-machine blacklist deadlines, and the
-/// append-only event log.
+/// the stage-fault RNG, per-machine blacklist deadlines and draw-stream
+/// positions, and the append-only event log.
 #[derive(Debug, Clone)]
 pub struct FaultState {
     config: FaultConfig,
+    /// Sequential stream for stage-attempt faults (stragglers, kills) —
+    /// sampled by the executor in deterministic per-attempt order.
     rng: StdRng,
     /// Blacklist deadline per machine; 0 = up.
     down_until: Vec<u64>,
+    /// Per-machine position in the counter-based failure-schedule stream.
+    draws: Vec<u64>,
     log: Vec<FaultEvent>,
 }
 
@@ -139,8 +156,63 @@ impl FaultState {
             config,
             rng,
             down_until: vec![0; n_machines],
+            draws: vec![0; n_machines],
             log: Vec::new(),
         }
+    }
+
+    /// The next uniform draw of machine `m`'s dedicated stream.
+    fn draw(&mut self, m: usize) -> f64 {
+        let c = self.draws[m];
+        self.draws[m] += 1;
+        stream_uniform(self.config.seed ^ 0xfa17_0bad, STREAM_FAULT, m as u64, c)
+    }
+
+    /// Ticks until machine `m`'s next failure, drawn geometrically from its
+    /// dedicated stream (equivalent to per-tick Bernoulli at
+    /// `machine_fail_prob`, but scheduled as one event). `None` when machine
+    /// failures are disabled — in which case *nothing* is drawn.
+    pub(crate) fn next_failure_gap(&mut self, m: usize) -> Option<u64> {
+        let p = self.config.machine_fail_prob;
+        if p <= 0.0 {
+            return None;
+        }
+        let u = self.draw(m);
+        if p >= 1.0 {
+            return Some(1);
+        }
+        let gap = ((1.0 - u).ln() / (1.0 - p).ln()).floor() + 1.0;
+        Some(gap.clamp(1.0, 1.0e15) as u64)
+    }
+
+    /// Blacklist duration for machine `m`'s next failure, drawn uniformly
+    /// in `[downtime/2, downtime·3/2)` from its dedicated stream.
+    pub(crate) fn downtime_ticks(&mut self, m: usize) -> u64 {
+        let lo = (self.config.machine_downtime_ticks / 2).max(1);
+        let hi = (self.config.machine_downtime_ticks.saturating_mul(3) / 2).max(lo + 1);
+        let u = self.draw(m);
+        lo + ((hi - lo) as f64 * u) as u64
+    }
+
+    /// Blacklists machine `m` from `tick` until `until` and logs it.
+    pub(crate) fn mark_down(&mut self, m: usize, tick: u64, until: u64) {
+        self.down_until[m] = until;
+        self.log.push(FaultEvent::MachineDown {
+            machine: m as u32,
+            tick,
+            until,
+        });
+        mcsim_obs::counter("exec.fault.machine_failures", 1);
+    }
+
+    /// Returns machine `m` to the pool at `tick` and logs it.
+    pub(crate) fn mark_up(&mut self, m: usize, tick: u64) {
+        self.down_until[m] = 0;
+        self.log.push(FaultEvent::MachineUp {
+            machine: m as u32,
+            tick,
+        });
+        mcsim_obs::counter("exec.fault.machine_recoveries", 1);
     }
 
     /// True if any fault class can fire.
@@ -166,35 +238,6 @@ impl FaultState {
     /// The replayable fault log, in injection order.
     pub fn log(&self) -> &[FaultEvent] {
         &self.log
-    }
-
-    /// Samples machine failures and recoveries for one cluster tick.
-    pub(crate) fn tick_machines(&mut self, tick: u64) {
-        for i in 0..self.down_until.len() {
-            if self.down_until[i] != 0 {
-                if tick >= self.down_until[i] {
-                    self.down_until[i] = 0;
-                    self.log.push(FaultEvent::MachineUp {
-                        machine: i as u32,
-                        tick,
-                    });
-                    mcsim_obs::counter("exec.fault.machine_recoveries", 1);
-                }
-            } else if self.config.machine_fail_prob > 0.0
-                && self.rng.gen_bool(self.config.machine_fail_prob)
-            {
-                let lo = (self.config.machine_downtime_ticks / 2).max(1);
-                let hi = (self.config.machine_downtime_ticks.saturating_mul(3) / 2).max(lo + 1);
-                let until = tick + self.rng.gen_range(lo..hi);
-                self.down_until[i] = until;
-                self.log.push(FaultEvent::MachineDown {
-                    machine: i as u32,
-                    tick,
-                    until,
-                });
-                mcsim_obs::counter("exec.fault.machine_failures", 1);
-            }
-        }
     }
 
     /// Samples whether a stage attempt straggles; returns the slowdown.
@@ -374,21 +417,51 @@ mod tests {
     }
 
     #[test]
-    fn same_seed_same_tick_sequence_gives_identical_logs() {
+    fn same_seed_gives_identical_failure_schedules() {
         let cfg = FaultConfig {
             machine_fail_prob: 0.05,
             ..FaultConfig::chaos(42)
         };
         let mut a = FaultState::new(cfg.clone(), 16);
         let mut b = FaultState::new(cfg, 16);
-        for t in 0..500 {
-            a.tick_machines(t);
-            b.tick_machines(t);
+        for m in 0..16 {
+            assert_eq!(a.next_failure_gap(m), b.next_failure_gap(m));
+            assert_eq!(a.downtime_ticks(m), b.downtime_ticks(m));
         }
         let _ = a.sample_straggler(0, 0);
         let _ = b.sample_straggler(0, 0);
-        assert!(!a.log().is_empty(), "5% per-tick failures must fire");
         assert_eq!(a.log(), b.log());
+    }
+
+    #[test]
+    fn failure_gaps_are_independent_of_draw_order() {
+        let cfg = FaultConfig {
+            machine_fail_prob: 0.05,
+            ..FaultConfig::chaos(42)
+        };
+        let mut fwd = FaultState::new(cfg.clone(), 16);
+        let mut rev = FaultState::new(cfg, 16);
+        let a: Vec<_> = (0..16).map(|m| fwd.next_failure_gap(m)).collect();
+        let mut b: Vec<_> = (0..16).rev().map(|m| rev.next_failure_gap(m)).collect();
+        b.reverse();
+        assert_eq!(a, b, "per-machine streams must not interleave");
+    }
+
+    #[test]
+    fn failure_gaps_match_the_bernoulli_rate() {
+        // Geometric gaps with success probability p have mean 1/p.
+        let cfg = FaultConfig {
+            machine_fail_prob: 0.02,
+            ..FaultConfig::chaos(9)
+        };
+        let mut s = FaultState::new(cfg, 4);
+        let n = 4_000;
+        let total: u64 = (0..n).map(|_| s.next_failure_gap(1).unwrap()).sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - 50.0).abs() < 3.0,
+            "mean gap {mean} should approximate 1/p = 50"
+        );
     }
 
     #[test]
@@ -399,25 +472,28 @@ mod tests {
             ..FaultConfig::chaos(3)
         };
         let mut s = FaultState::new(cfg, 8);
-        let mut saw_down = false;
-        let mut saw_up = false;
-        for t in 0..200 {
-            s.tick_machines(t);
-            saw_down |= s.down_count(t) > 0;
-        }
-        for ev in s.log() {
-            saw_up |= matches!(ev, FaultEvent::MachineUp { .. });
-        }
-        assert!(saw_down && saw_up, "down={saw_down} up={saw_up}");
-        // After a long quiet period every blacklist deadline has passed.
-        assert_eq!(s.down_count(1_000_000), 0);
+        let gap = s.next_failure_gap(2).unwrap();
+        let down_at = gap;
+        let until = down_at + s.downtime_ticks(2);
+        s.mark_down(2, down_at, until);
+        assert!(s.is_down(2, down_at));
+        assert_eq!(s.down_count(down_at), 1);
+        assert!(!s.is_down(2, until), "deadline tick is already up");
+        s.mark_up(2, until);
+        assert_eq!(s.down_count(until), 0);
+        let kinds: Vec<bool> = s
+            .log()
+            .iter()
+            .map(|ev| matches!(ev, FaultEvent::MachineUp { .. }))
+            .collect();
+        assert_eq!(kinds, vec![false, true], "down then up");
     }
 
     #[test]
     fn disabled_state_never_logs_or_draws() {
         let mut s = FaultState::new(FaultConfig::disabled(), 8);
-        for t in 0..100 {
-            s.tick_machines(t);
+        for m in 0..8 {
+            assert!(s.next_failure_gap(m).is_none());
         }
         assert!(s.sample_straggler(0, 0).is_none());
         assert!(s.sample_stage_kill(0, 0, 0).is_none());

@@ -36,15 +36,18 @@ pub mod execute;
 pub mod fault;
 pub mod flighting;
 pub mod history;
+pub mod load;
 pub mod machine;
 
 pub use chaos::ChaosScenario;
 pub use cluster::{
-    Cluster, ClusterConfig, ClusterConfigBuilder, InvalidClusterConfig, TICKS_PER_DAY,
+    Cluster, ClusterConfig, ClusterConfigBuilder, EngineMode, EngineStats, InvalidClusterConfig,
+    TICKS_PER_DAY,
 };
 pub use envmodel::EnvModel;
 pub use execute::{ExecutionOutcome, Executor};
 pub use fault::{ExecFailure, FaultConfig, FaultEvent, FaultState, RetryPolicy};
 pub use flighting::Flighting;
 pub use history::{build_history, execute_and_log, HistoryOptions};
+pub use load::{LoadModel, OU_WINDOW};
 pub use machine::{LoadDynamics, Machine};

@@ -1,24 +1,30 @@
-//! One simulated machine with stochastically evolving load.
+//! Machine-level types: load-dynamics constants and read-only snapshots.
 //!
 //! Machines in the same cluster are intentionally homogeneous (Section 4:
 //! "we therefore reasonably assume identical computational power across
 //! machines") — what varies is their *load*, sampled every 20 seconds in
-//! production. Each metric follows a clamped mean-reverting (Ornstein–
-//! Uhlenbeck-style) process around a cluster baseline that itself moves with
-//! a diurnal multi-tenant cycle.
+//! production. Load trajectories themselves live in
+//! [`crate::load::LoadModel`] as pure functions of virtual time (the basis
+//! of the event engine's lazy evaluation); this module keeps the dynamics
+//! constants that parameterize them and the [`Machine`] snapshot the
+//! cluster hands out for diagnostics.
 
 use mcsim_catalog::EnvMetrics;
 use rand::Rng;
 
 /// Box–Muller standard normal draw from a uniform RNG (avoids needing a
-/// distributions crate).
+/// distributions crate). Used by the executor's log-normal noise path.
 pub fn std_normal<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(1e-12..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-/// Mean-reversion and volatility constants of the load processes.
+/// Mean-reversion and volatility constants of the load processes. `theta`
+/// is the per-tick mean-reversion rate (the OU window weights shocks by
+/// `(1 − theta)^age`); the sigmas are per-tick shock volatilities, exactly
+/// as in the historical tick-by-tick recurrence — so the stationary load
+/// spread is unchanged.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadDynamics {
     /// Mean-reversion rate per tick.
@@ -42,55 +48,19 @@ impl Default for LoadDynamics {
     }
 }
 
-/// One machine.
+/// A read-only snapshot of one machine at the cluster's current tick, as
+/// returned by [`crate::Cluster::machine`]. The cluster does not store
+/// per-machine state between ticks — loads are pure functions of virtual
+/// time — so this is a view, not live state.
 #[derive(Debug, Clone)]
 pub struct Machine {
     /// Machine index within its cluster.
     pub id: u32,
-    /// Current load snapshot.
+    /// Load snapshot at the cluster's current tick.
     pub load: EnvMetrics,
-    /// Extra sustained load from queries this simulator itself placed here
-    /// (decays each tick).
+    /// Extra busy fraction from work this simulator placed here (active
+    /// occupancy intervals, capped at 0.9).
     pub assigned_busy: f64,
-}
-
-impl Machine {
-    /// Creates a machine with load centred on `baseline_busy`.
-    pub fn new<R: Rng>(id: u32, baseline_busy: f64, rng: &mut R) -> Self {
-        let busy = (baseline_busy + 0.2 * std_normal(rng)).clamp(0.02, 0.98);
-        Machine {
-            id,
-            load: EnvMetrics::new(
-                1.0 - busy,
-                (0.04 + 0.02 * std_normal(rng)).clamp(0.0, 0.3),
-                busy * 24.0 * rng.gen_range(0.6..1.4),
-                (0.35 + 0.5 * busy + 0.05 * std_normal(rng)).clamp(0.05, 0.98),
-            ),
-            assigned_busy: 0.0,
-        }
-    }
-
-    /// Advances the load one 20-second tick, mean-reverting toward
-    /// `baseline_busy` (the cluster's current multi-tenant pressure).
-    pub fn tick<R: Rng>(&mut self, baseline_busy: f64, dyn_: &LoadDynamics, rng: &mut R) {
-        let busy0 = 1.0 - self.load.cpu_idle;
-        let target = (baseline_busy + self.assigned_busy).clamp(0.02, 0.98);
-        let busy = (busy0 + dyn_.theta * (target - busy0) + dyn_.sigma_busy * std_normal(rng))
-            .clamp(0.02, 0.98);
-        let io = (self.load.io_wait
-            + dyn_.theta * (0.03 + 0.08 * busy - self.load.io_wait)
-            + dyn_.sigma_io * std_normal(rng))
-        .clamp(0.0, 0.5);
-        // LOAD5 follows the busy fraction with its own inertia.
-        let load5 = (self.load.load5 + 0.2 * (busy * 24.0 - self.load.load5)).max(0.0);
-        let mem = (self.load.mem_usage
-            + dyn_.theta * (0.35 + 0.5 * busy - self.load.mem_usage)
-            + dyn_.sigma_mem * std_normal(rng))
-        .clamp(0.05, 0.98);
-        self.load = EnvMetrics::new(1.0 - busy, io, load5, mem);
-        // Placed work decays as instances finish.
-        self.assigned_busy *= 0.7;
-    }
 }
 
 #[cfg(test)]
@@ -98,56 +68,6 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-
-    #[test]
-    fn load_stays_in_bounds_over_long_runs() {
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut m = Machine::new(0, 0.5, &mut rng);
-        let d = LoadDynamics::default();
-        for _ in 0..5000 {
-            m.tick(0.5, &d, &mut rng);
-            assert!((0.0..=1.0).contains(&m.load.cpu_idle));
-            assert!((0.0..=1.0).contains(&m.load.io_wait));
-            assert!(m.load.load5 >= 0.0);
-            assert!((0.0..=1.0).contains(&m.load.mem_usage));
-        }
-    }
-
-    #[test]
-    fn load_mean_reverts_to_baseline() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let mut m = Machine::new(0, 0.9, &mut rng);
-        let d = LoadDynamics::default();
-        // Drive toward a low baseline; busy fraction should fall.
-        let mut sum = 0.0;
-        for i in 0..2000 {
-            m.tick(0.2, &d, &mut rng);
-            if i >= 1000 {
-                sum += 1.0 - m.load.cpu_idle;
-            }
-        }
-        let mean_busy = sum / 1000.0;
-        assert!((mean_busy - 0.2).abs() < 0.1, "mean busy {mean_busy}");
-    }
-
-    #[test]
-    fn assigned_work_raises_busy() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let d = LoadDynamics::default();
-        let mut quiet = Machine::new(0, 0.3, &mut rng);
-        let mut loaded = quiet.clone();
-        loaded.assigned_busy = 0.6;
-        let mut q_sum = 0.0;
-        let mut l_sum = 0.0;
-        for _ in 0..50 {
-            loaded.assigned_busy = 0.6; // keep the query running
-            quiet.tick(0.3, &d, &mut rng);
-            loaded.tick(0.3, &d, &mut rng);
-            q_sum += 1.0 - quiet.load.cpu_idle;
-            l_sum += 1.0 - loaded.load.cpu_idle;
-        }
-        assert!(l_sum > q_sum + 5.0, "loaded {l_sum} vs quiet {q_sum}");
-    }
 
     #[test]
     fn std_normal_has_zero_mean_unit_variance() {

@@ -15,8 +15,11 @@
 //! virtual time, shedding is decided by a deterministic backlog
 //! simulation, batched inference is bit-identical to single-plan scoring,
 //! and every request executes on its own executor seeded from the request
-//! sequence number. Thread count, wall-clock speed, and tracing cannot
-//! change any [`DecisionRecord`].
+//! sequence number — with its cluster clock advanced to the arrival's
+//! virtual time, so each request sees the diurnal phase and fault
+//! timeline of its own moment. Thread count, wall-clock speed, tracing,
+//! and the simulation core ([`ServeConfig::engine`]) cannot change any
+//! [`DecisionRecord`].
 
 use crate::arrival::{generate_arrivals, Arrival, ArrivalProfile};
 use crate::cache::{CachedDecision, DecisionCache};
@@ -29,7 +32,7 @@ use loam_core::robust::{Resolution, RobustConfig, RobustQueryResult};
 use loam_core::serving::RobustServer;
 use loam_core::LoamError;
 use mcsim_catalog::Catalog;
-use mcsim_exec::{ChaosScenario, ClusterConfig};
+use mcsim_exec::{ChaosScenario, ClusterConfig, EngineMode};
 use mcsim_obs::trace::{Decision, Fallback, TraceContext};
 use mcsim_obs::Histogram;
 use mcsim_plan::{PlanSignature, PlanTree};
@@ -84,7 +87,14 @@ pub struct ServeConfig {
     pub fault_scale: f64,
     /// Machines in each per-request execution cluster (≥ 1).
     pub machines: usize,
-    /// Cluster warm-up ticks before each request executes.
+    /// Simulation core of the per-request clusters. The event-driven
+    /// default makes admitting a request at virtual time `t` an
+    /// `O(events)` jump instead of `O(machines × t)` ticking, which is
+    /// what lets arrivals feed the cluster's virtual clock (see
+    /// [`ServeSession::run`]).
+    pub engine: EngineMode,
+    /// Cluster warm-up ticks before each request executes (on top of the
+    /// arrival's own virtual-time offset).
     pub warmup_ticks: u64,
     /// Master seed: arrivals, shedding, and executors derive from it.
     pub seed: u64,
@@ -107,6 +117,7 @@ impl Default for ServeConfig {
             strategy: EnvStrategy::NoEnv,
             fault_scale: 0.0,
             machines: 24,
+            engine: EngineMode::default(),
             warmup_ticks: 24,
             seed: 0x5e12_7e55,
         }
@@ -234,6 +245,11 @@ impl ServeConfigBuilder {
     /// Machines per per-request execution cluster.
     pub fn machines(mut self, n: usize) -> Self {
         self.cfg.machines = n;
+        self
+    }
+    /// Simulation core of the per-request clusters.
+    pub fn engine(mut self, mode: EngineMode) -> Self {
+        self.cfg.engine = mode;
         self
     }
     /// Warm-up ticks per request executor.
@@ -449,6 +465,7 @@ impl ServeSession {
         )?;
         let cluster = ClusterConfig::builder()
             .n_machines(cfg.machines)
+            .engine(cfg.engine)
             .build()
             .map_err(|e| LoamError::InvalidConfig(e.to_string()))?;
         let features = cfg
@@ -771,7 +788,7 @@ impl ServeSession {
                 let mut exec = ChaosScenario::new(request_seed(self.cfg.seed, a.seq))
                     .cluster(self.cluster.clone())
                     .fault_scale(self.cfg.fault_scale)
-                    .warmup_ticks(self.cfg.warmup_ticks)
+                    .warmup_ticks(self.cfg.warmup_ticks + arrival_tick(a.t_s))
                     .build();
                 let qr = self
                     .server
@@ -886,6 +903,19 @@ fn strategy_fingerprint(s: &EnvStrategy) -> u64 {
         }
     }
     h
+}
+
+/// Seconds of virtual time per cluster tick (production samples loads
+/// every 20 seconds).
+const SECONDS_PER_TICK: f64 = 20.0;
+
+/// The cluster tick an arrival lands on. Feeding this offset into the
+/// per-request cluster clock means a request arriving mid-trace executes
+/// against the diurnal phase and fault timeline of *its* moment rather
+/// than the cluster epoch — affordable because the event engine's advance
+/// drains `O(events)`, not `O(machines × ticks)`.
+fn arrival_tick(t_s: f64) -> u64 {
+    (t_s.max(0.0) / SECONDS_PER_TICK) as u64
 }
 
 /// Per-request executor seed: splitmix of the master seed and the arrival

@@ -6,7 +6,9 @@
 //! named/tuple/unit structs, enums with unit/tuple/struct variants
 //! (including explicit discriminants), and plain type parameters, which
 //! get `::serde::Serialize`/`::serde::Deserialize` bounds added.
-//! `#[serde(...)]` attributes are not supported and are rejected.
+//! `#[serde(...)]` attributes are not supported and are rejected. As in
+//! upstream serde, named fields of type `Option<...>` are implicitly
+//! optional: a missing key deserializes as `None`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -18,10 +20,18 @@ struct Input {
 }
 
 enum Data {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// One named field: its identifier and whether its type is `Option<...>`
+/// (which makes the key optional on deserialization, as in upstream
+/// serde).
+struct Field {
+    name: String,
+    optional: bool,
 }
 
 struct Variant {
@@ -32,7 +42,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derives the serde shim's `Serialize` (a `to_value` impl).
@@ -197,7 +207,7 @@ fn parse_generic_param(seg: &[TokenTree]) -> (String, String, bool) {
     }
 }
 
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let toks: Vec<TokenTree> = body.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
@@ -206,16 +216,30 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         if i >= toks.len() {
             break;
         }
-        match &toks[i] {
-            TokenTree::Ident(id) => fields.push(id.to_string()),
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
             other => panic!("serde shim: expected field name, got {other}"),
-        }
+        };
         i += 1;
         assert!(
             is_punct(&toks[i], ':'),
             "serde shim: expected `:` after field"
         );
         i += 1;
+        // An `Option<...>` type (with or without a path prefix) marks the
+        // field optional. The last identifier before the first `<` decides
+        // — `Option`, `core::option::Option`, etc.
+        let mut head_idents: Vec<String> = Vec::new();
+        let mut j = i;
+        while j < toks.len() && !is_punct(&toks[j], '<') && !is_punct(&toks[j], ',') {
+            if let TokenTree::Ident(id) = &toks[j] {
+                head_idents.push(id.to_string());
+            }
+            j += 1;
+        }
+        let optional = is_punct(&toks[j.min(toks.len().saturating_sub(1))], '<')
+            && head_idents.last().is_some_and(|s| s == "Option");
+        fields.push(Field { name, optional });
         // Skip the type: everything up to the next comma outside `<...>`.
         let mut depth = 0usize;
         while i < toks.len() {
@@ -331,6 +355,7 @@ fn gen_serialize(item: &Input) -> String {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "__m.push((String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
                     )
@@ -372,10 +397,15 @@ fn gen_serialize(item: &Input) -> String {
                             )
                         }
                         VariantKind::Struct(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let elems: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
                                     )
@@ -398,18 +428,27 @@ fn gen_serialize(item: &Input) -> String {
     )
 }
 
+/// One named-field initializer for deserialization. `Option<...>` fields
+/// tolerate a missing key (deserialized as `None`, matching upstream
+/// serde); every other field requires its key.
+fn field_init(f: &Field, map: &str, ctx: &str) -> String {
+    let fname = &f.name;
+    if f.optional {
+        format!(
+            "{fname}: match ::serde::__private::field({map}, \"{fname}\", \"{ctx}\") {{ Ok(__fv) => ::serde::Deserialize::from_value(__fv)?, Err(_) => ::core::option::Option::None }},\n"
+        )
+    } else {
+        format!(
+            "{fname}: ::serde::Deserialize::from_value(::serde::__private::field({map}, \"{fname}\", \"{ctx}\")?)?,\n"
+        )
+    }
+}
+
 fn gen_deserialize(item: &Input) -> String {
     let name = &item.name;
     let body = match &item.data {
         Data::NamedStruct(fields) => {
-            let inits: String = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__m, \"{f}\", \"{name}\")?)?,\n"
-                    )
-                })
-                .collect();
+            let inits: String = fields.iter().map(|f| field_init(f, "__m", name)).collect();
             format!(
                 "let __m = ::serde::__private::as_map(__v, \"{name}\")?;\nOk({name} {{\n{inits}}})"
             )
@@ -451,14 +490,9 @@ fn gen_deserialize(item: &Input) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let inits: String = fields
-                            .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_value(::serde::__private::field(__m2, \"{f}\", \"{name}::{vn}\")?)?,\n"
-                                )
-                            })
-                            .collect();
+                        let ctx = format!("{name}::{vn}");
+                        let inits: String =
+                            fields.iter().map(|f| field_init(f, "__m2", &ctx)).collect();
                         map_arms.push_str(&format!(
                             "\"{vn}\" => {{ let __m2 = ::serde::__private::as_map(__val, \"{name}::{vn}\")?; Ok({name}::{vn} {{\n{inits}}}) }},\n"
                         ));

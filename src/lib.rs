@@ -84,9 +84,9 @@ pub mod prelude {
         Catalog, EnvMetrics, Project, ProjectId, ProjectProfile, QueryRepository, QuerySpec,
     };
     pub use mcsim_exec::{
-        build_history, ChaosScenario, Cluster, ClusterConfig, ClusterConfigBuilder, ExecFailure,
-        Executor, FaultConfig, FaultEvent, Flighting, HistoryOptions, InvalidClusterConfig,
-        RetryPolicy,
+        build_history, ChaosScenario, Cluster, ClusterConfig, ClusterConfigBuilder, EngineMode,
+        EngineStats, ExecFailure, Executor, FaultConfig, FaultEvent, Flighting, HistoryOptions,
+        InvalidClusterConfig, RetryPolicy,
     };
     pub use mcsim_obs::trace::{
         CandidateScore, Decision, Fallback, GateVerdict, PlanSelection, ProjectFilter,
