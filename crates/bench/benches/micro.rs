@@ -189,6 +189,88 @@ fn benches(c: &mut Criterion) {
             loss
         })
     });
+
+    // Single-plan vs. batched forest scoring of the same candidate set: the
+    // per-plan loop pays one full forward (and its featurization) per plan,
+    // the batched leg stacks every tree into one forest forward through a
+    // warm workspace + feature cache — the inference hot path's win.
+    let candidates = explorer.explore(&optimizer, query);
+    let cand_refs: Vec<&mcsim_plan::PlanTree> = candidates.plans();
+    let mut infer_ws = loam_core::predictor::InferWs::new();
+    let feat_cache = FeatureCache::new();
+    let mut costs = Vec::new();
+    c.bench_function("score_candidates_single", |b| {
+        b.iter(|| {
+            cand_refs
+                .iter()
+                .map(|p| predictor.predict(black_box(p), EnvSource::Uniform(env)))
+                .sum::<f64>()
+        })
+    });
+    c.bench_function("score_candidates_batched", |b| {
+        b.iter(|| {
+            predictor.predict_batch_into(
+                black_box(&cand_refs),
+                EnvSource::Uniform(env),
+                Some(&feat_cache),
+                &mut infer_ws,
+                &mut costs,
+            );
+            costs.iter().sum::<f64>()
+        })
+    });
+
+    // Scalar vs. SIMD kernel tier on the same blocked matmul (the tiers are
+    // bit-identical; this measures the four-lane unroll's throughput).
+    let ka = Mat::from_fn(128, 199, |i, j| {
+        ((i * 29 + j * 13) % 17) as f32 / 17.0 - 0.4
+    });
+    let kb = Mat::from_fn(199, 128, |i, j| {
+        ((i * 11 + j * 19) % 23) as f32 / 23.0 - 0.5
+    });
+    for (label, mode) in [
+        ("matmul_scalar_kernel", tinynn::KernelMode::Scalar),
+        ("matmul_simd_kernel", tinynn::KernelMode::Simd),
+    ] {
+        c.bench_function(label, |b| {
+            let prev = tinynn::set_kernel_mode(mode);
+            b.iter(|| black_box(&ka).matmul(black_box(&kb)));
+            tinynn::set_kernel_mode(prev);
+        });
+    }
+
+    // Dense vs. CSR conv1 in the batched inference forward: same plans,
+    // same warm workspace, toggling only `InferWs::sparse` (the CSR leg
+    // indexes the ~90%-zero stacked feature rows and streams the blocked
+    // sparse kernel over the stored nonzeros — bit-identical outputs).
+    let mut dense_ws = loam_core::predictor::InferWs::new();
+    dense_ws.sparse = false;
+    c.bench_function("batched_forward_dense_conv1", |b| {
+        b.iter(|| {
+            predictor.predict_batch_into(
+                black_box(&cand_refs),
+                EnvSource::Uniform(env),
+                Some(&feat_cache),
+                &mut dense_ws,
+                &mut costs,
+            );
+            costs.iter().sum::<f64>()
+        })
+    });
+    let mut sparse_ws = loam_core::predictor::InferWs::new();
+    sparse_ws.sparse = true;
+    c.bench_function("batched_forward_csr_conv1", |b| {
+        b.iter(|| {
+            predictor.predict_batch_into(
+                black_box(&cand_refs),
+                EnvSource::Uniform(env),
+                Some(&feat_cache),
+                &mut sparse_ws,
+                &mut costs,
+            );
+            costs.iter().sum::<f64>()
+        })
+    });
 }
 
 criterion_group! {

@@ -41,6 +41,11 @@
 //!             10k-machine × 1M-query headline session; `--quick`
 //!             restricts to the 1k pool and skips the headline; writes
 //!             BENCH_exec.json
+//!   infer     inference hot path: legacy single-plan scoring vs the
+//!             workspace-batched SIMD forward (dense/sparse, cold/warm
+//!             feature cache) over the fig7 candidate sets, with a
+//!             bit-identity check and steady-state allocation probe;
+//!             `--quick` shrinks the workload; writes BENCH_infer.json
 //!
 //! experiments compare <old.json> <new.json> [--threshold <pct>]
 //!
@@ -118,14 +123,15 @@ fn main() {
     let started = std::time::Instant::now();
     eprintln!("running `{id}` at {scale:?} scale");
 
-    // `chaos`, `serve`, and `exec` are context-free too, but take the
-    // extra `--quick` flag.
-    if id == "chaos" || id == "serve" || id == "exec" {
+    // `chaos`, `serve`, `exec`, and `infer` are context-free too, but take
+    // the extra `--quick` flag.
+    if id == "chaos" || id == "serve" || id == "exec" || id == "infer" {
         let quick = args.iter().any(|a| a == "--quick");
         match id {
             "chaos" => exps::chaos::run(scale, quick),
             "serve" => exps::serve::run(scale, quick),
-            _ => exps::exec::run(scale, quick),
+            "exec" => exps::exec::run(scale, quick),
+            _ => exps::infer::run(scale, quick),
         }
         emit_metrics(id, scale, &recorder);
         return;

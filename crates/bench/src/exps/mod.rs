@@ -15,6 +15,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod infer;
 pub mod parallel;
 pub mod population;
 pub mod sec73;

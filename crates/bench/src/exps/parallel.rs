@@ -96,9 +96,25 @@ fn report_json(
 /// directory.
 pub fn run(scale: Scale) {
     println!("Parallel-compute benchmark — fig5+fig7 subset, serial vs pool\n");
-    // The pool-configured count (--threads / MCSIM_PAR_THREADS / core
-    // count), not a fresh default_threads() that would ignore overrides.
-    let parallel_threads = mcsim_par::threads();
+    // The pool-configured count (--threads / MCSIM_PAR_THREADS), unless the
+    // pool sits at a single thread — then the parallel leg defaults to the
+    // machine's available parallelism, so an unconfigured run still
+    // exercises the pool instead of silently producing a degenerate 1-vs-1
+    // report.
+    let configured = mcsim_par::threads();
+    let parallel_threads = if configured > 1 {
+        configured
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    if parallel_threads != configured {
+        eprintln!(
+            "note: pool configured with {configured} thread(s); parallel leg \
+             defaulted to the machine's {parallel_threads}"
+        );
+    }
     let serial_threads = 1;
     if parallel_threads == serial_threads {
         eprintln!(
@@ -137,9 +153,34 @@ pub fn run(scale: Scale) {
 
     let json = report_json(scale, serial_threads, parallel_threads, &serial, &parallel);
     let path = "BENCH_parallel.json";
+    if serial_threads == parallel_threads && existing_is_nondegenerate(path) {
+        eprintln!(
+            "refusing to overwrite the non-degenerate {path} with a degenerate \
+             1-vs-1 run; pass --threads N or set MCSIM_PAR_THREADS to regenerate it"
+        );
+        return;
+    }
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// True when `path` holds a parseable report whose two legs ran at distinct
+/// thread counts. Missing or malformed files are treated as degenerate (and
+/// may therefore be overwritten freely).
+fn existing_is_nondegenerate(path: &str) -> bool {
+    #[derive(serde::Deserialize)]
+    struct ThreadCounts {
+        threads_serial: u64,
+        threads_parallel: u64,
+    }
+    let Ok(s) = std::fs::read_to_string(path) else {
+        return false;
+    };
+    match serde_json::from_str::<ThreadCounts>(&s) {
+        Ok(t) => t.threads_serial != t.threads_parallel,
+        Err(_) => false,
     }
 }
 
@@ -200,6 +241,32 @@ mod tests {
         assert!((r.total.serial_s - 6.0).abs() < 1e-9);
         assert!((r.total.parallel_s - 3.0).abs() < 1e-9);
         assert!((r.total.speedup - 2.0).abs() < 1e-9);
+    }
+
+    /// The overwrite guard recognizes a checked-in non-degenerate report
+    /// and treats missing/garbage/degenerate files as fair game.
+    #[test]
+    fn overwrite_guard_classifies_existing_reports() {
+        let dir = std::env::temp_dir().join("mcsim-parallel-guard-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+        let times = PhaseTimes {
+            phases: vec![("a", 2.0)],
+        };
+        let good = p("good.json");
+        std::fs::write(&good, report_json(Scale::Small, 1, 4, &times, &times)).unwrap();
+        assert!(existing_is_nondegenerate(&good));
+
+        let degen = p("degen.json");
+        std::fs::write(&degen, report_json(Scale::Small, 1, 1, &times, &times)).unwrap();
+        assert!(!existing_is_nondegenerate(&degen));
+
+        let junk = p("junk.json");
+        std::fs::write(&junk, "not json").unwrap();
+        assert!(!existing_is_nondegenerate(&junk));
+
+        assert!(!existing_is_nondegenerate(&p("missing.json")));
     }
 
     /// A run where both legs use the same thread count marks every phase

@@ -74,20 +74,84 @@ impl Default for PlanFeaturizer {
 impl PlanFeaturizer {
     /// Vectorizes `plan` into (node features, tree structure). Node row `i`
     /// corresponds to plan `NodeId` `i`.
+    ///
+    /// Thin allocating wrapper over [`PlanFeaturizer::featurize_into`].
     pub fn featurize(&self, plan: &PlanTree, env: EnvSource<'_>) -> (Mat, TreeStructure) {
+        let mut x = Mat::default();
+        let mut tree = TreeStructure::default();
+        self.featurize_into(plan, env, &mut x, &mut tree);
+        (x, tree)
+    }
+
+    /// Vectorizes `plan` into caller-owned buffers, reusing their capacity
+    /// across calls; identical output to [`PlanFeaturizer::featurize`].
+    pub fn featurize_into(
+        &self,
+        plan: &PlanTree,
+        env: EnvSource<'_>,
+        x: &mut Mat,
+        tree: &mut TreeStructure,
+    ) {
         mcsim_obs::counter("loam.featurize.calls", 1);
-        let n = plan.len();
-        let mut x = Mat::zeros(n, FEATURE_DIM);
-        let stage_of: Option<Vec<usize>> = match &env {
+        x.resize_in_place(plan.len(), FEATURE_DIM);
+        x.fill(0.0);
+        tree.left.clear();
+        tree.right.clear();
+        self.encode_plan_at(plan, &env, x, 0, tree);
+    }
+
+    /// Structure-of-arrays batch vectorization: every plan's node rows land
+    /// contiguously in one stacked feature matrix, with child indices offset
+    /// into the stack and `bounds` holding `plans.len() + 1` prefix node
+    /// offsets — exactly the stacked-batch contract of
+    /// `tinynn::ForestWs::stacked_parts_mut`, so a scoring batch goes from
+    /// plans to one fused forest forward without any per-plan matrices. Row
+    /// content is identical to featurizing each plan alone (the encoder is
+    /// row-local), just relocated by the plan's node offset.
+    pub fn featurize_forest_into(
+        &self,
+        plans: &[&PlanTree],
+        env: EnvSource<'_>,
+        x: &mut Mat,
+        tree: &mut TreeStructure,
+        bounds: &mut Vec<usize>,
+    ) {
+        mcsim_obs::counter("loam.featurize.calls", plans.len() as u64);
+        let total: usize = plans.iter().map(|p| p.len()).sum();
+        x.resize_in_place(total, FEATURE_DIM);
+        x.fill(0.0);
+        tree.left.clear();
+        tree.right.clear();
+        bounds.clear();
+        bounds.push(0);
+        let mut off = 0;
+        for plan in plans {
+            self.encode_plan_at(plan, &env, x, off, tree);
+            off += plan.len();
+            bounds.push(off);
+        }
+    }
+
+    /// Encodes one plan's node rows starting at row `off` of the stacked
+    /// matrix (rows must be pre-zeroed) and appends its offset child links.
+    fn encode_plan_at(
+        &self,
+        plan: &PlanTree,
+        env: &EnvSource<'_>,
+        x: &mut Mat,
+        off: usize,
+        tree: &mut TreeStructure,
+    ) {
+        let stage_of: Option<Vec<usize>> = match env {
             EnvSource::PerStage(_) => Some(decompose(plan).stage_of_node),
             _ => None,
         };
 
         for (id, node) in plan.iter() {
-            let row = x.row_mut(id);
+            let row = x.row_mut(off + id);
             encode_operator(&node.op, row);
             if self.use_env {
-                let metrics = match &env {
+                let metrics = match env {
                     EnvSource::PerStage(envs) => {
                         let s = stage_of.as_ref().expect("stage map")[id];
                         envs.get(s).copied().unwrap_or_default()
@@ -104,15 +168,10 @@ impl PlanFeaturizer {
             }
         }
 
-        let mut tree = TreeStructure {
-            left: vec![None; n],
-            right: vec![None; n],
-        };
-        for (id, node) in plan.iter() {
-            tree.left[id] = node.left;
-            tree.right[id] = node.right;
-        }
-        (x, tree)
+        tree.left
+            .extend(plan.iter().map(|(_, n)| n.left.map(|j| j + off)));
+        tree.right
+            .extend(plan.iter().map(|(_, n)| n.right.map(|j| j + off)));
     }
 }
 
@@ -322,6 +381,71 @@ mod tests {
         let (x, _) = f.featurize(&plan, EnvSource::Uniform(env));
         for r in 0..x.rows {
             assert!(x.row(r)[ENV_OFF..].iter().all(|&v| v == 0.0));
+        }
+    }
+
+    /// The stacked (structure-of-arrays) batch featurization must equal
+    /// featurizing every plan alone: identical row bits at the plan's offset
+    /// and identically offset child links.
+    #[test]
+    fn forest_featurization_matches_per_plan_bitwise() {
+        let f = PlanFeaturizer::default();
+        let small = {
+            let mut t = PlanTree::new();
+            let a = t.leaf(Operator::table_scan(7, 1, 4, vec![70, 71]));
+            let s = t.unary(Operator::Sink, a);
+            t.set_root(s);
+            t
+        };
+        let plans = [join_plan(), small, join_plan()];
+        let refs: Vec<&PlanTree> = plans.iter().collect();
+        let env = EnvMetrics::new(0.6, 0.05, 4.0, 0.5);
+
+        let mut x = Mat::default();
+        let mut tree = TreeStructure::default();
+        let mut bounds = Vec::new();
+        f.featurize_forest_into(
+            &refs,
+            EnvSource::Uniform(env),
+            &mut x,
+            &mut tree,
+            &mut bounds,
+        );
+
+        let total: usize = plans.iter().map(|p| p.len()).sum();
+        assert_eq!((x.rows, x.cols), (total, FEATURE_DIM));
+        assert_eq!(bounds, {
+            let mut b = vec![0];
+            let mut off = 0;
+            for p in &plans {
+                off += p.len();
+                b.push(off);
+            }
+            b
+        });
+        for (b, plan) in plans.iter().enumerate() {
+            let (xa, ta) = f.featurize(plan, EnvSource::Uniform(env));
+            let off = bounds[b];
+            for r in 0..plan.len() {
+                assert_eq!(x.row(off + r), xa.row(r), "plan {b} row {r}");
+            }
+            for i in 0..plan.len() {
+                assert_eq!(tree.left[off + i], ta.left[i].map(|j| j + off));
+                assert_eq!(tree.right[off + i], ta.right[i].map(|j| j + off));
+            }
+        }
+        // Warm reuse with a smaller batch stays identical.
+        f.featurize_forest_into(
+            &refs[..1],
+            EnvSource::Uniform(env),
+            &mut x,
+            &mut tree,
+            &mut bounds,
+        );
+        let (xa, _) = f.featurize(&plans[0], EnvSource::Uniform(env));
+        assert_eq!(bounds, vec![0, plans[0].len()]);
+        for r in 0..plans[0].len() {
+            assert_eq!(x.row(r), xa.row(r));
         }
     }
 

@@ -83,17 +83,21 @@ pub const DEFAULT_MARGIN: f64 = 0.4;
 /// Selects the candidate plan with the lowest estimated cost under the
 /// given environment strategy. Returns `(index, predicted_costs)`.
 ///
-/// Candidates are scored independently, so scoring fans out across the
-/// global pool; the winner is picked from the order-preserved cost vector,
-/// identical to a serial scan.
+/// The whole candidate set is scored with one batched forward through the
+/// calling thread's warm inference workspace (models without a batched
+/// forward fall back to a per-plan loop via the trait default); inner
+/// kernels still fan out row blocks across the global pool above the work
+/// gate, so the cost vector is bit-identical at any thread count.
 pub fn select_plan<M: CostModel + Sync + ?Sized>(
     model: &M,
     plans: &[&PlanTree],
     strategy: &EnvStrategy,
 ) -> (usize, Vec<f64>) {
     assert!(!plans.is_empty(), "candidate set must be non-empty");
-    let costs: Vec<f64> = mcsim_par::ThreadPool::global()
-        .parallel_map(plans, |p| model.predict(p, strategy.env_source()));
+    let mut costs = Vec::with_capacity(plans.len());
+    crate::predictor::with_thread_infer_ws(|ws| {
+        model.predict_batch_into(plans, strategy.env_source(), None, ws, &mut costs);
+    });
     let best = costs
         .iter()
         .enumerate()

@@ -8,7 +8,7 @@
 //! exactly why they suffer from the default→candidate distribution shift.
 
 use super::train::{TrainConfig, TrainSample};
-use super::AdaptiveCostPredictor;
+use super::{AdaptiveCostPredictor, InferWs};
 use crate::featurize::{EnvSource, FeatureCache, PlanFeaturizer, FEATURE_DIM};
 use mcsim_plan::PlanTree;
 use rand::rngs::StdRng;
@@ -39,6 +39,23 @@ pub trait CostModel: Send + Sync {
     ) -> Vec<f64> {
         plans.iter().map(|p| self.predict(p, env.clone())).collect()
     }
+    /// [`predict_batch`](Self::predict_batch) into caller-owned buffers so
+    /// serving loops can reuse one warm workspace across scoring batches.
+    /// `out` receives one cost per plan (cleared first). The default ignores
+    /// the workspace and delegates to `predict_batch`; models with a
+    /// workspace-based forward override this to score with zero steady-state
+    /// allocations. Implementations must be bit-identical to `predict_batch`.
+    fn predict_batch_into(
+        &self,
+        plans: &[&PlanTree],
+        env: EnvSource<'_>,
+        cache: Option<&FeatureCache>,
+        _ws: &mut InferWs,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend(self.predict_batch(plans, env, cache));
+    }
     /// Approximate model size in bytes.
     fn size_bytes(&self) -> usize;
 }
@@ -57,6 +74,16 @@ impl CostModel for AdaptiveCostPredictor {
         cache: Option<&FeatureCache>,
     ) -> Vec<f64> {
         AdaptiveCostPredictor::predict_batch(self, plans, env, cache)
+    }
+    fn predict_batch_into(
+        &self,
+        plans: &[&PlanTree],
+        env: EnvSource<'_>,
+        cache: Option<&FeatureCache>,
+        ws: &mut InferWs,
+        out: &mut Vec<f64>,
+    ) {
+        AdaptiveCostPredictor::predict_batch_into(self, plans, env, cache, ws, out)
     }
     fn size_bytes(&self) -> usize {
         AdaptiveCostPredictor::size_bytes(self)

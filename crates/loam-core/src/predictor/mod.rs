@@ -10,11 +10,62 @@ use mcsim_plan::PlanTree;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
-use tinynn::{ForestWs, Mat, Mlp, Tcn};
+use std::cell::RefCell;
+use tinynn::{ForestWs, Mat, Mlp, MlpWs, Tcn};
 
 /// Width of the intermediate plan embedding `e_P`.
 pub const EMB_DIM: usize = 32;
+
+/// Caller-owned workspace for batched inference: the cached-feature refs,
+/// the stacked forest buffers, and the cost-head activations. One warm
+/// instance per serving worker; after the largest batch shape has been seen,
+/// scoring a batch performs zero heap allocations (given warm feature-cache
+/// hits).
+#[derive(Debug)]
+pub struct InferWs {
+    feats: Vec<CachedFeatures>,
+    forest: ForestWs,
+    head: MlpWs,
+    /// When true (the default), conv1 consumes a CSR index of the stacked
+    /// feature matrix — bit-identical and faster on ~90%-zero feature rows.
+    pub sparse: bool,
+}
+
+impl InferWs {
+    /// A workspace with the default (sparse conv1) configuration.
+    pub fn new() -> Self {
+        InferWs {
+            feats: Vec::new(),
+            forest: ForestWs::default(),
+            head: MlpWs::default(),
+            sparse: true,
+        }
+    }
+
+    /// Bytes held by the reusable buffers.
+    pub fn bytes(&self) -> usize {
+        self.forest.bytes()
+            + self.head.bytes()
+            + self.feats.capacity() * std::mem::size_of::<CachedFeatures>()
+    }
+}
+
+impl Default for InferWs {
+    fn default() -> Self {
+        InferWs::new()
+    }
+}
+
+thread_local! {
+    static THREAD_INFER_WS: RefCell<InferWs> = RefCell::new(InferWs::new());
+}
+
+/// Runs `f` with this thread's long-lived [`InferWs`], so per-thread scoring
+/// paths (e.g. a parallel evaluation worker calling `select_plan` per query)
+/// reuse one warm workspace across queries instead of allocating per batch.
+pub fn with_thread_infer_ws<R>(f: impl FnOnce(&mut InferWs) -> R) -> R {
+    THREAD_INFER_WS.with(|ws| f(&mut ws.borrow_mut()))
+}
 
 /// LOAM's adaptive cost predictor.
 ///
@@ -90,24 +141,56 @@ impl AdaptiveCostPredictor {
         env: EnvSource<'_>,
         cache: Option<&FeatureCache>,
     ) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_batch_into(plans, env, cache, &mut InferWs::new(), &mut out);
+        out
+    }
+
+    /// [`predict_batch`](Self::predict_batch) into caller-owned buffers:
+    /// `out` receives one cost per plan (cleared first). With a warm
+    /// [`InferWs`] and a warm [`FeatureCache`], a steady-state scoring batch
+    /// performs zero heap allocations; without a cache, plans are featurized
+    /// directly into the stacked (structure-of-arrays) batch matrix, so no
+    /// per-plan feature matrices exist either way.
+    pub fn predict_batch_into(
+        &self,
+        plans: &[&PlanTree],
+        env: EnvSource<'_>,
+        cache: Option<&FeatureCache>,
+        ws: &mut InferWs,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
         if plans.is_empty() {
-            return Vec::new();
+            return;
         }
-        let feats: Vec<CachedFeatures> = plans
-            .iter()
-            .map(|p| match cache {
-                Some(c) => c.featurize(&self.featurizer, p, env.clone()),
-                None => Arc::new(self.featurizer.featurize(p, env.clone())),
-            })
-            .collect();
-        let items: Vec<(&Mat, &tinynn::TreeStructure)> =
-            feats.iter().map(|f| (&f.0, &f.1)).collect();
-        let mut ws = ForestWs::default();
-        self.plan_emb.forward_forest_ws(&items, &mut ws);
-        let out = self.cost_head.infer(ws.emb());
-        debug_assert_eq!(out.rows, plans.len());
-        debug_assert_eq!(out.cols, 1);
-        out.data.iter().map(|&s| self.denormalize(s)).collect()
+        let InferWs {
+            feats,
+            forest,
+            head,
+            sparse,
+        } = ws;
+        match cache {
+            Some(c) => {
+                feats.clear();
+                feats.extend(
+                    plans
+                        .iter()
+                        .map(|p| c.featurize(&self.featurizer, p, env.clone())),
+                );
+                forest.stack_with(plans.len(), |i| (&feats[i].0, &feats[i].1));
+            }
+            None => {
+                let (x, tree, bounds) = forest.stacked_parts_mut();
+                self.featurizer
+                    .featurize_forest_into(plans, env, x, tree, bounds);
+            }
+        }
+        self.plan_emb.forward_forest_stacked_ws(forest, *sparse);
+        let y = self.cost_head.infer_ws(forest.emb(), head);
+        debug_assert_eq!(y.rows, plans.len());
+        debug_assert_eq!(y.cols, 1);
+        out.extend(y.data.iter().map(|&s| self.denormalize(s)));
     }
 
     /// Converts a raw head output back to a cost.
@@ -202,6 +285,34 @@ mod tests {
         assert!(p
             .predict_batch(&[], EnvSource::Uniform(env), None)
             .is_empty());
+
+        // The workspace entry point matches too, for both conv1 modes, with
+        // warm reuse across batches of different sizes.
+        let mut ws = InferWs::new();
+        let mut out = Vec::new();
+        let want = p.predict_batch(&refs, EnvSource::Uniform(env), None);
+        for sparse in [true, false] {
+            ws.sparse = sparse;
+            for slice in [&refs[..], &refs[..2]] {
+                p.predict_batch_into(slice, EnvSource::Uniform(env), None, &mut ws, &mut out);
+                assert_eq!(out.len(), slice.len());
+                for (b, (got, want)) in out.iter().zip(&want).enumerate() {
+                    assert_eq!(got.to_bits(), want.to_bits(), "sparse={sparse} plan {b}");
+                }
+            }
+        }
+        // And through the cached path into the same warm workspace.
+        let cache = crate::featurize::FeatureCache::new();
+        p.predict_batch_into(
+            &refs,
+            EnvSource::Uniform(env),
+            Some(&cache),
+            &mut ws,
+            &mut out,
+        );
+        for (got, want) in out.iter().zip(&want) {
+            assert_eq!(got.to_bits(), want.to_bits(), "cached ws path diverges");
+        }
     }
 
     #[test]

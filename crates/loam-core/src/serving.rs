@@ -19,6 +19,7 @@ use crate::gate::validate_traced;
 use crate::inference::{guarded_choice_traced, select_plan, EnvStrategy};
 use crate::pipeline::EvaluatedQuery;
 use crate::predictor::baselines::CostModel;
+use crate::predictor::InferWs;
 use crate::robust::{Resolution, RobustConfig, RobustQueryResult, RobustRunReport};
 use mcsim_catalog::Catalog;
 use mcsim_exec::{ExecutionOutcome, Executor};
@@ -74,6 +75,21 @@ impl RobustServer {
         cache: Option<&FeatureCache>,
     ) -> Vec<f64> {
         model.predict_batch(plans, self.strategy.env_source(), cache)
+    }
+
+    /// [`score_batch`](Self::score_batch) into caller-owned buffers: `out`
+    /// receives one cost per candidate (cleared first). With a warm
+    /// workspace and feature cache, a steady-state scoring batch performs
+    /// zero heap allocations. Bit-identical to `score_batch`.
+    pub fn score_batch_into<M: CostModel + Sync + ?Sized>(
+        &self,
+        model: &M,
+        plans: &[&PlanTree],
+        cache: Option<&FeatureCache>,
+        ws: &mut InferWs,
+        out: &mut Vec<f64>,
+    ) {
+        model.predict_batch_into(plans, self.strategy.env_source(), cache, ws, out);
     }
 
     /// Guarded selection: scores the candidates and keeps the default plan
@@ -147,7 +163,8 @@ impl RobustServer {
         (chosen, None)
     }
 
-    /// Robust selection: scores the candidates (parallel fan-out) and runs
+    /// Robust selection: scores the candidates with one batched forward
+    /// through the calling thread's warm inference workspace and runs
     /// [`resolve_scored`](Self::resolve_scored). The returned reason is
     /// `Some` exactly when the predictor misbehaved.
     pub fn select_robust<M: CostModel + Sync + ?Sized>(
@@ -159,8 +176,10 @@ impl RobustServer {
         query_id: u64,
     ) -> (usize, Option<String>) {
         assert!(!plans.is_empty(), "candidate set must be non-empty");
-        let costs: Vec<f64> = mcsim_par::ThreadPool::global()
-            .parallel_map(plans, |p| model.predict(p, self.strategy.env_source()));
+        let mut costs = Vec::with_capacity(plans.len());
+        crate::predictor::with_thread_infer_ws(|ws| {
+            model.predict_batch_into(plans, self.strategy.env_source(), None, ws, &mut costs);
+        });
         self.resolve_scored(plans, &costs, default_idx, trace, query_id)
     }
 

@@ -37,8 +37,10 @@
 //! mlp.adam_step(0.01, 1, &AdamConfig::default());
 //! ```
 
+mod convsimd;
 pub mod gcn;
 pub mod grl;
+pub mod kernels;
 pub mod linear;
 pub mod loss;
 pub mod mat;
@@ -52,6 +54,7 @@ pub mod workspace;
 
 pub use gcn::{Gcn, GcnCache, GcnWs, Graph};
 pub use grl::{lambda_schedule, reverse_gradient, reverse_gradient_into};
+pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};
 pub use linear::{relu, relu_backward, relu_mask_into, softmax_rows, softmax_rows_into, Linear};
 pub use loss::{accuracy, cross_entropy_logits, cross_entropy_logits_into, mse, mse_into};
 pub use mat::Mat;

@@ -149,21 +149,74 @@ fn elementwise_chunk(n: usize, pool: &mcsim_par::ThreadPool) -> Option<usize> {
     }
 }
 
+/// Elementwise ReLU clamp over a slice, dispatching on the process-wide
+/// [`crate::kernels`] mode. Every element is written exactly once, so the
+/// unrolled epilogue is trivially bit-identical to the plain loop.
+#[inline]
+fn relu_clamp(c: &mut [f32]) {
+    match crate::kernels::kernel_mode() {
+        crate::kernels::KernelMode::Scalar => {
+            for v in c.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        crate::kernels::KernelMode::Simd => {
+            let n = c.len();
+            let (main, tail) = c.split_at_mut(n - n % 8);
+            for o in main.chunks_exact_mut(8) {
+                o[0] = o[0].max(0.0);
+                o[1] = o[1].max(0.0);
+                o[2] = o[2].max(0.0);
+                o[3] = o[3].max(0.0);
+                o[4] = o[4].max(0.0);
+                o[5] = o[5].max(0.0);
+                o[6] = o[6].max(0.0);
+                o[7] = o[7].max(0.0);
+            }
+            for v in tail.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+    }
+}
+
+/// Elementwise `v /= sum` over a softmax row; same dispatch and bit-identity
+/// argument as [`relu_clamp`] (one division per element in both modes).
+#[inline]
+fn div_by_sum(row: &mut [f32], sum: f32) {
+    match crate::kernels::kernel_mode() {
+        crate::kernels::KernelMode::Scalar => {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        crate::kernels::KernelMode::Simd => {
+            let n = row.len();
+            let (main, tail) = row.split_at_mut(n - n % 8);
+            for o in main.chunks_exact_mut(8) {
+                o[0] /= sum;
+                o[1] /= sum;
+                o[2] /= sum;
+                o[3] /= sum;
+                o[4] /= sum;
+                o[5] /= sum;
+                o[6] /= sum;
+                o[7] /= sum;
+            }
+            for v in tail.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
 /// ReLU forward; returns output (input preserved for backward).
 pub fn relu(x: &Mat) -> Mat {
     let mut out = x.clone();
     let pool = mcsim_par::ThreadPool::global();
     match elementwise_chunk(out.data.len(), &pool) {
-        Some(chunk) => pool.parallel_for_chunks_mut(&mut out.data, chunk, |_, c| {
-            for v in c.iter_mut() {
-                *v = v.max(0.0);
-            }
-        }),
-        None => {
-            for v in out.data.iter_mut() {
-                *v = v.max(0.0);
-            }
-        }
+        Some(chunk) => pool.parallel_for_chunks_mut(&mut out.data, chunk, |_, c| relu_clamp(c)),
+        None => relu_clamp(&mut out.data),
     }
     out
 }
@@ -227,9 +280,7 @@ pub fn softmax_rows_into(x: &Mat, out: &mut Mat) {
                 *v = (*v - max).exp();
                 sum += *v;
             }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
+            div_by_sum(row, sum);
         }
     };
     let cols = out.cols;
@@ -319,6 +370,24 @@ mod tests {
         assert_eq!(y.data, vec![0.0, 0.0, 0.5, 2.0]);
         let g = relu_backward(&x, &Mat::from_vec(1, 4, vec![1.0; 4]));
         assert_eq!(g.data, vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    /// Both epilogue widths must clamp/scale to the same bits — widths that
+    /// exercise the 8-wide body plus every tail length.
+    #[test]
+    fn unrolled_epilogues_match_scalar_bitwise() {
+        use crate::kernels::{set_kernel_mode, KernelMode};
+        let mut rng = StdRng::seed_from_u64(33);
+        for cols in [1usize, 4, 7, 8, 9, 16, 23] {
+            let x = Mat::randn(3, cols, 1.0, &mut rng);
+            let prev = set_kernel_mode(KernelMode::Scalar);
+            let (r_s, sm_s) = (relu(&x), softmax_rows(&x));
+            set_kernel_mode(KernelMode::Simd);
+            let (r_u, sm_u) = (relu(&x), softmax_rows(&x));
+            set_kernel_mode(prev);
+            assert_eq!(r_s, r_u, "relu cols {cols}");
+            assert_eq!(sm_s, sm_u, "softmax cols {cols}");
+        }
     }
 
     #[test]

@@ -346,10 +346,20 @@ pub(crate) fn run_row_blocked(
     }
 }
 
-/// `out += a * x`, unrolled by 4. Each output element is touched exactly
-/// once, so the unroll factor does not change any accumulation order.
+/// `out += a * x`: dispatches on the process-wide [`crate::kernels`] mode.
+/// Each output element is touched exactly once, so the unroll width never
+/// changes any accumulation order — both modes are bit-identical.
 #[inline]
 pub(crate) fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
+    match crate::kernels::kernel_mode() {
+        crate::kernels::KernelMode::Scalar => axpy_scalar(out, a, x),
+        crate::kernels::KernelMode::Simd => axpy_unrolled8(out, a, x),
+    }
+}
+
+/// Reference `out += a * x`, unrolled by 4.
+#[inline]
+fn axpy_scalar(out: &mut [f32], a: f32, x: &[f32]) {
     let n = out.len();
     let (main_o, tail_o) = out.split_at_mut(n - n % 4);
     let (main_x, tail_x) = x.split_at(n - n % 4);
@@ -364,11 +374,45 @@ pub(crate) fn axpy(out: &mut [f32], a: f32, x: &[f32]) {
     }
 }
 
+/// `out += a * x` retiring 8 elements per iteration. Elementwise, so
+/// bit-identical to [`axpy_scalar`] at any width; the wider straight-line
+/// body vectorizes to full-width SIMD.
+#[inline]
+fn axpy_unrolled8(out: &mut [f32], a: f32, x: &[f32]) {
+    let n = out.len();
+    let (main_o, tail_o) = out.split_at_mut(n - n % 8);
+    let (main_x, tail_x) = x.split_at(n - n % 8);
+    for (o, b) in main_o.chunks_exact_mut(8).zip(main_x.chunks_exact(8)) {
+        o[0] += a * b[0];
+        o[1] += a * b[1];
+        o[2] += a * b[2];
+        o[3] += a * b[3];
+        o[4] += a * b[4];
+        o[5] += a * b[5];
+        o[6] += a * b[6];
+        o[7] += a * b[7];
+    }
+    for (o, &b) in tail_o.iter_mut().zip(tail_x) {
+        *o += a * b;
+    }
+}
+
 /// Dot product with four independent accumulators (breaks the add-latency
 /// chain); combined as `((s0 + s1) + (s2 + s3)) + tail`, a fixed order used
-/// by serial and parallel paths alike.
+/// by serial and parallel paths alike. Dispatches on the process-wide
+/// [`crate::kernels`] mode; both variants share the four-lane reduction
+/// shape and are bit-identical.
 #[inline]
 pub(crate) fn dot(x: &[f32], y: &[f32]) -> f32 {
+    match crate::kernels::kernel_mode() {
+        crate::kernels::KernelMode::Scalar => dot_scalar(x, y),
+        crate::kernels::KernelMode::Simd => dot_unrolled8(x, y),
+    }
+}
+
+/// Reference four-lane dot: 4 elements per iteration.
+#[inline]
+fn dot_scalar(x: &[f32], y: &[f32]) -> f32 {
     let n = x.len();
     let main = n - n % 4;
     let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
@@ -380,6 +424,42 @@ pub(crate) fn dot(x: &[f32], y: &[f32]) -> f32 {
     }
     let mut s = (s0 + s1) + (s2 + s3);
     for (&a, &b) in x[main..].iter().zip(&y[main..]) {
+        s += a * b;
+    }
+    s
+}
+
+/// Four-lane dot retiring 8 elements (two 4-lane rounds) per iteration.
+/// Lane `j` still accumulates exactly the elements `x[j], x[j+4], x[j+8], …`
+/// in ascending order, and the lanes combine as
+/// `((s0 + s1) + (s2 + s3)) + tail` — the same floating-point operations in
+/// the same order as [`dot_scalar`], hence bit-identical.
+#[inline]
+fn dot_unrolled8(x: &[f32], y: &[f32]) -> f32 {
+    let n = x.len();
+    let main4 = n - n % 4;
+    let main8 = n - n % 8;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for (a, b) in x[..main8].chunks_exact(8).zip(y[..main8].chunks_exact(8)) {
+        s0 += a[0] * b[0];
+        s1 += a[1] * b[1];
+        s2 += a[2] * b[2];
+        s3 += a[3] * b[3];
+        s0 += a[4] * b[4];
+        s1 += a[5] * b[5];
+        s2 += a[6] * b[6];
+        s3 += a[7] * b[7];
+    }
+    if main8 < main4 {
+        // One leftover 4-lane round.
+        let (a, b) = (&x[main8..main4], &y[main8..main4]);
+        s0 += a[0] * b[0];
+        s1 += a[1] * b[1];
+        s2 += a[2] * b[2];
+        s3 += a[3] * b[3];
+    }
+    let mut s = (s0 + s1) + (s2 + s3);
+    for (&a, &b) in x[main4..].iter().zip(&y[main4..]) {
         s += a * b;
     }
     s
@@ -476,6 +556,52 @@ mod tests {
         }
         x.matmul_nt_bias_into(&w, &bias, true, &mut fused);
         assert_eq!(fused, want);
+    }
+
+    /// The unrolled-8 kernels must reproduce the scalar reference bit for
+    /// bit across lengths that exercise every 8/4/tail split, both at the
+    /// kernel level and through a full matmul.
+    #[test]
+    fn unrolled8_kernels_match_scalar_bitwise() {
+        use crate::kernels::{set_kernel_mode, KernelMode, MODE_TEST_MUTEX};
+        let _guard = MODE_TEST_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 12, 15, 16, 17, 31, 64, 249] {
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let y: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            assert_eq!(
+                dot_scalar(&x, &y).to_bits(),
+                dot_unrolled8(&x, &y).to_bits(),
+                "dot length {n}"
+            );
+            let base: Vec<f32> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let (mut oa, mut ob) = (base.clone(), base.clone());
+            axpy_scalar(&mut oa, 0.7, &x);
+            axpy_unrolled8(&mut ob, 0.7, &x);
+            let (ba, bb): (Vec<u32>, Vec<u32>) = (
+                oa.iter().map(|v| v.to_bits()).collect(),
+                ob.iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(ba, bb, "axpy length {n}");
+        }
+        // End to end: every matmul variant under both modes.
+        let a = Mat::randn(6, 13, 1.0, &mut rng);
+        let b = Mat::randn(13, 9, 1.0, &mut rng);
+        let c = Mat::randn(13, 6, 1.0, &mut rng);
+        let d = Mat::randn(9, 13, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..9).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let prev = set_kernel_mode(KernelMode::Scalar);
+        let (m1, m2, m3) = (a.matmul(&b), c.matmul_tn(&b), a.matmul_nt(&d));
+        let mut m4 = Mat::default();
+        a.matmul_nt_bias_into(&d, &bias, true, &mut m4);
+        set_kernel_mode(KernelMode::Simd);
+        assert_eq!(m1, a.matmul(&b));
+        assert_eq!(m2, c.matmul_tn(&b));
+        assert_eq!(m3, a.matmul_nt(&d));
+        let mut u4 = Mat::default();
+        a.matmul_nt_bias_into(&d, &bias, true, &mut u4);
+        assert_eq!(m4, u4);
+        set_kernel_mode(prev);
     }
 
     #[test]

@@ -96,6 +96,14 @@ impl Mlp {
         ws.acts.pop().expect("at least one layer")
     }
 
+    /// Inference-only forward into a caller-owned workspace: zero steady-state
+    /// allocations once the largest batch shape has been seen. Returns the
+    /// output buffer (also reachable as `ws.out()`).
+    pub fn infer_ws<'a>(&self, x: &Mat, ws: &'a mut MlpWs) -> &'a Mat {
+        self.forward_ws(x, ws);
+        ws.out()
+    }
+
     /// Backward pass: accumulates parameter gradients, returns the gradient
     /// w.r.t. the MLP input.
     ///

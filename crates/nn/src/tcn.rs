@@ -14,9 +14,11 @@
 //! heap allocation. The legacy `forward`/`backward` pair delegates to the
 //! same kernels.
 
+use crate::convsimd::{self, ConvTransposes};
+use crate::kernels::{kernel_mode, KernelMode};
 use crate::linear::{relu_mask_into, Linear};
 use crate::mat::{axpy, dot, run_row_blocked, Mat};
-use crate::param::{AdamConfig, Param};
+use crate::param::{AdamConfig, Param, WeightsGen};
 use crate::sparse::{sparse_dot, SparseRows};
 use crate::workspace::Workspace;
 use rand::Rng;
@@ -52,6 +54,12 @@ pub struct TreeConvLayer {
     w_left: Param,
     w_right: Param,
     b: Param,
+    /// Weight-state stamp: minted fresh at construction/deserialization and
+    /// re-minted by every method that mutates or exposes the weights, so
+    /// the inference path can reuse weight-derived scratch (the transposed
+    /// matrices of the lane-rows kernel) across calls. Equal stamps imply
+    /// bit-identical weights; see [`WeightsGen`].
+    gen: WeightsGen,
 }
 
 /// Cache for the backward pass of one layer.
@@ -70,6 +78,7 @@ impl TreeConvLayer {
             w_left: Param::new(Mat::randn(out_dim, in_dim, std, rng)),
             w_right: Param::new(Mat::randn(out_dim, in_dim, std, rng)),
             b: Param::new(Mat::zeros(1, out_dim)),
+            gen: WeightsGen::fresh(),
         }
     }
 
@@ -99,7 +108,10 @@ impl TreeConvLayer {
     /// contribute nothing (a zero row's dot product). Row-parallel above the
     /// work gate with a fixed per-element accumulation order
     /// (self + left + right + bias), so results are bit-identical at any
-    /// thread count.
+    /// thread count. Under [`KernelMode::Simd`] each node runs through the
+    /// output-blocked kernel of the `convsimd` module — bit-identical to the
+    /// reference loop (the mode is sampled once per call, so one forward
+    /// never mixes kernels across row blocks).
     pub fn forward_ws(&self, x: &Mat, tree: &TreeStructure, out: &mut Mat) {
         let n = x.rows;
         let id = x.cols;
@@ -109,6 +121,7 @@ impl TreeConvLayer {
         out.resize_in_place(n, od);
         let (ws, wl, wr) = (&self.w_self.value, &self.w_left.value, &self.w_right.value);
         let bias = &self.b.value.data;
+        let simd = kernel_mode() == KernelMode::Simd;
         let flops = 6 * n * id * od;
         run_row_blocked(out, flops, |i0, chunk| {
             for (bi, orow) in chunk.chunks_mut(od).enumerate() {
@@ -116,6 +129,12 @@ impl TreeConvLayer {
                 let xi = x.row(i);
                 let xl = tree.left[i].map(|j| x.row(j));
                 let xr = tree.right[i].map(|j| x.row(j));
+                if simd {
+                    convsimd::conv_node_dense(
+                        xi, xl, xr, &ws.data, &wl.data, &wr.data, bias, id, orow,
+                    );
+                    continue;
+                }
                 for (j, (o, &bj)) in orow.iter_mut().zip(bias).enumerate() {
                     let mut s = dot(xi, &ws.data[j * id..(j + 1) * id]);
                     if let Some(xl) = xl {
@@ -162,6 +181,50 @@ impl TreeConvLayer {
                     *o = (s + bj).max(0.0);
                 }
             }
+        });
+    }
+
+    /// [`TreeConvLayer::forward_ws_sparse`] through the lane-rows kernel of
+    /// the `convsimd` module: instead of `od` branchy passes over each CSR
+    /// row, every stored nonzero streams one sequential multiply-add row
+    /// against the transposed weights (rebuilt in place into `wt` — zero
+    /// allocation once warm). Bitwise identical to the scalar sparse kernel,
+    /// and through it to the dense forward; see the `convsimd` module docs
+    /// for the lane argument. The inference hot path's conv1 kernel.
+    pub(crate) fn forward_ws_sparse_blocked(
+        &self,
+        x: &SparseRows,
+        tree: &TreeStructure,
+        wt: &mut ConvTransposes,
+        out: &mut Mat,
+    ) {
+        let n = x.rows();
+        let id = x.dim();
+        let od = self.out_dim();
+        assert_eq!(id, self.w_self.value.cols, "tree conv input width");
+        assert_eq!(n, tree.len(), "tree/feature row mismatch");
+        out.resize_in_place(n, od);
+        wt.prepare(
+            self.gen.value(),
+            &self.w_self.value,
+            &self.w_left.value,
+            &self.w_right.value,
+        );
+        let wt = &*wt;
+        let bias = &self.b.value.data;
+        let flops = 6 * x.nnz() * od;
+        run_row_blocked(out, flops, |i0, chunk| {
+            convsimd::with_sparse_scratch(od, |scratch| {
+                for (bi, orow) in chunk.chunks_mut(od).enumerate() {
+                    let i = i0 + bi;
+                    let rows = [
+                        Some(x.row(i)),
+                        tree.left[i].map(|j| x.row(j)),
+                        tree.right[i].map(|j| x.row(j)),
+                    ];
+                    convsimd::conv_node_sparse(rows, wt.slices(), bias, id, od, scratch, orow);
+                }
+            });
         });
     }
 
@@ -278,8 +341,10 @@ impl TreeConvLayer {
         [&self.w_self, &self.w_left, &self.w_right, &self.b]
     }
 
-    /// Mutable parameter access in canonical order.
+    /// Mutable parameter access in canonical order. Conservatively marks a
+    /// new weight state (the caller may write through the borrows).
     pub fn params_mut(&mut self) -> [&mut Param; 4] {
+        self.gen.bump();
         [
             &mut self.w_self,
             &mut self.w_left,
@@ -306,6 +371,7 @@ impl TreeConvLayer {
 
     /// Adam step.
     pub fn adam_step(&mut self, lr: f32, t: u64, cfg: &AdamConfig) {
+        self.gen.bump();
         self.w_self.adam_step(lr, t, cfg);
         self.w_left.adam_step(lr, t, cfg);
         self.w_right.adam_step(lr, t, cfg);
@@ -478,6 +544,16 @@ pub struct ForestWs {
     tree: TreeStructure,
     /// Prefix node offsets: tree `b` owns rows `bounds[b]..bounds[b+1]`.
     bounds: Vec<usize>,
+    /// CSR view of `x`, rebuilt in place by the sparse forward.
+    sx: SparseRows,
+    /// CSR view of the post-ReLU `h1` (≈half exact zeros), rebuilt in place
+    /// by the SIMD-mode sparse forward so conv2 can skip them too.
+    sh1: SparseRows,
+    /// Transposed conv1 weights for the SIMD-mode sparse kernel, rebuilt in
+    /// place per forward.
+    wt: ConvTransposes,
+    /// Transposed conv2 weights, same role as `wt`.
+    wt2: ConvTransposes,
     h1: Mat,
     h2: Mat,
     pooled: Mat,
@@ -492,6 +568,57 @@ impl ForestWs {
         &self.emb
     }
 
+    /// Mutable access to the stacked input: the batch node matrix, the
+    /// offset tree structure, and the prefix bounds. For callers that build
+    /// the batch directly instead of stacking per-tree matrices — e.g. a
+    /// batched featurizer writing every plan's rows contiguously in place —
+    /// after which [`Tcn::forward_forest_stacked_ws`] consumes exactly these
+    /// three buffers. The stacking contract: `x` holds all trees' node rows
+    /// back to back, `tree` holds child indices offset into the stack, and
+    /// `bounds` holds `ntrees + 1` prefix offsets starting at 0 and ending
+    /// at `x.rows`.
+    pub fn stacked_parts_mut(&mut self) -> (&mut Mat, &mut TreeStructure, &mut Vec<usize>) {
+        (&mut self.x, &mut self.tree, &mut self.bounds)
+    }
+
+    /// Stacks `n` trees (produced by `item`, called twice per index: once to
+    /// size the batch, once to fill it) into the workspace's batch buffers
+    /// per the [`ForestWs::stacked_parts_mut`] contract. Closure-based so
+    /// callers holding trees behind `Arc`s or caches can stack without first
+    /// materializing a slice of references.
+    pub fn stack_with<'a>(
+        &mut self,
+        n: usize,
+        item: impl Fn(usize) -> (&'a Mat, &'a TreeStructure),
+    ) {
+        self.tree.left.clear();
+        self.tree.right.clear();
+        self.bounds.clear();
+        self.bounds.push(0);
+        if n == 0 {
+            self.x.resize_in_place(0, self.x.cols.max(1));
+            return;
+        }
+        let in_dim = item(0).0.cols;
+        let total: usize = (0..n).map(|i| item(i).0.rows).sum();
+        self.x.resize_in_place(total, in_dim);
+        let mut off = 0;
+        for i in 0..n {
+            let (xi, ti) = item(i);
+            assert_eq!(xi.rows, ti.len(), "tree/feature row mismatch");
+            assert_eq!(xi.cols, in_dim, "inconsistent feature widths in a batch");
+            self.x.data[off * in_dim..(off + xi.rows) * in_dim].copy_from_slice(&xi.data);
+            self.tree
+                .left
+                .extend(ti.left.iter().map(|c| c.map(|j| j + off)));
+            self.tree
+                .right
+                .extend(ti.right.iter().map(|c| c.map(|j| j + off)));
+            off += xi.rows;
+            self.bounds.push(off);
+        }
+    }
+
     /// Bytes held by the batch buffers.
     pub fn bytes(&self) -> usize {
         let f = std::mem::size_of::<f32>();
@@ -502,6 +629,10 @@ impl ForestWs {
             + self.pooled.data.capacity()
             + self.emb.data.capacity())
             * f
+            + self.sx.bytes()
+            + self.sh1.bytes()
+            + self.wt.bytes()
+            + self.wt2.bytes()
             + (self.bounds.capacity() + self.argmax.capacity()) * u
             + (self.tree.left.capacity() + self.tree.right.capacity())
                 * std::mem::size_of::<Option<usize>>()
@@ -592,43 +723,76 @@ impl Tcn {
     /// shares the per-segment kernel with the single-tree path, and the
     /// projection computes each output row as an independent dot product.
     pub fn forward_forest_ws(&self, items: &[(&Mat, &TreeStructure)], ws: &mut ForestWs) {
+        ws.stack_with(items.len(), |i| items[i]);
+        self.forward_forest_stacked_ws(ws, false);
+    }
+
+    /// [`Tcn::forward_forest_ws`] with conv1 consuming a CSR index of the
+    /// stacked feature matrix instead of the dense rows — bitwise identical
+    /// (see the [`crate::sparse`] module docs), and the main single-thread
+    /// win of the inference hot path: plan-feature rows are ~90% zeros.
+    pub fn forward_forest_ws_sparse(&self, items: &[(&Mat, &TreeStructure)], ws: &mut ForestWs) {
+        ws.stack_with(items.len(), |i| items[i]);
+        self.forward_forest_stacked_ws(ws, true);
+    }
+
+    /// The compute half of the forest forward: consumes a batch already
+    /// stacked into `ws` (via [`ForestWs::stack_with`] or written directly
+    /// through [`ForestWs::stacked_parts_mut`]) and leaves the embeddings in
+    /// `ws.emb()`. When `sparse`, conv1 runs over a CSR index of the stacked
+    /// matrix, rebuilt in place — under [`KernelMode::Simd`] through the
+    /// lane-rows kernel, otherwise through the scalar CSR kernel; the result
+    /// is bitwise identical every way.
+    pub fn forward_forest_stacked_ws(&self, ws: &mut ForestWs, sparse: bool) {
         let ForestWs {
             x,
             tree,
             bounds,
+            sx,
+            sh1,
+            wt,
+            wt2,
             h1,
             h2,
             pooled,
             argmax,
             emb,
         } = ws;
-        if items.is_empty() {
+        let ntrees = bounds.len().saturating_sub(1);
+        if ntrees == 0 {
             emb.resize_in_place(0, self.emb_dim());
             return;
         }
-        let in_dim = items[0].0.cols;
-        let total: usize = items.iter().map(|(xi, _)| xi.rows).sum();
-        x.resize_in_place(total, in_dim);
-        tree.left.clear();
-        tree.right.clear();
-        bounds.clear();
-        bounds.push(0);
-        let mut off = 0;
-        for (xi, ti) in items {
-            assert_eq!(xi.rows, ti.len(), "tree/feature row mismatch");
-            assert_eq!(xi.cols, in_dim, "inconsistent feature widths in a batch");
-            x.data[off * in_dim..(off + xi.rows) * in_dim].copy_from_slice(&xi.data);
-            tree.left.extend(ti.left.iter().map(|c| c.map(|j| j + off)));
-            tree.right
-                .extend(ti.right.iter().map(|c| c.map(|j| j + off)));
-            off += xi.rows;
-            bounds.push(off);
+        debug_assert_eq!(bounds[0], 0, "bounds must start at 0");
+        debug_assert_eq!(bounds[ntrees], x.rows, "bounds must end at x.rows");
+        if sparse && kernel_mode() == KernelMode::Simd {
+            // conv1 through the sparse node kernel over the feature
+            // nonzeros. conv2's input is the post-ReLU `h1` (skipping its
+            // exact zeros is bit-exact too — see the `crate::sparse` module
+            // docs), but whether that pays depends on how much ReLU actually
+            // zeroed: the sparse kernel beats the dense output-blocked
+            // kernel only below ~60% density, so the choice is gated on the
+            // measured nonzero count. Either way the bits are identical —
+            // the gate is a pure performance decision.
+            sx.assign_from_dense(x);
+            self.conv1.forward_ws_sparse_blocked(sx, tree, wt, h1);
+            sh1.assign_from_dense(h1);
+            if sh1.nnz() * 5 <= h1.rows * h1.cols * 3 {
+                self.conv2.forward_ws_sparse_blocked(sh1, tree, wt2, h2);
+            } else {
+                self.conv2.forward_ws(h1, tree, h2);
+            }
+        } else if sparse {
+            sx.assign_from_dense(x);
+            self.conv1.forward_ws_sparse(sx, tree, h1);
+            self.conv2.forward_ws(h1, tree, h2);
+        } else {
+            self.conv1.forward_ws(x, tree, h1);
+            self.conv2.forward_ws(h1, tree, h2);
         }
-        self.conv1.forward_ws(x, tree, h1);
-        self.conv2.forward_ws(h1, tree, h2);
         let d = h2.cols;
-        pooled.resize_in_place(items.len(), 2 * d + 1);
-        for b in 0..items.len() {
+        pooled.resize_in_place(ntrees, 2 * d + 1);
+        for b in 0..ntrees {
             let row = &mut pooled.data[b * (2 * d + 1)..(b + 1) * (2 * d + 1)];
             pool_rows_into(h2, bounds[b], bounds[b + 1], row, argmax);
         }
@@ -894,6 +1058,128 @@ mod tests {
         // An empty batch yields an empty embedding matrix.
         tcn.forward_forest_ws(&[], &mut ws);
         assert_eq!(ws.emb().rows, 0);
+    }
+
+    /// The sparse-conv1 forest forward and the direct-stacked entry point
+    /// must both be bit-identical to the dense item-slice path.
+    #[test]
+    fn sparse_and_prestacked_forest_paths_match_dense_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let tcn = Tcn::new(24, 8, 6, 4, &mut rng);
+        let chain = |n: usize| TreeStructure {
+            left: (0..n)
+                .map(|i| if i + 1 < n { Some(i + 1) } else { None })
+                .collect(),
+            right: vec![None; n],
+        };
+        let trees = [tiny_tree(), chain(4), chain(1), chain(6)];
+        // Feature-like rows: a guaranteed one-hot slot plus a few nonzeros.
+        let xs: Vec<Mat> = trees
+            .iter()
+            .map(|t| {
+                let mut x = Mat::zeros(t.len(), 24);
+                for r in 0..t.len() {
+                    x.set(r, r % 24, 1.0);
+                    for k in 0..3 {
+                        x.set(r, (r * 5 + k * 7) % 24, rng.gen_range(-1.5..1.5f32));
+                    }
+                }
+                x
+            })
+            .collect();
+        let items: Vec<(&Mat, &TreeStructure)> = xs.iter().zip(trees.iter()).collect();
+
+        let mut ws_d = ForestWs::default();
+        tcn.forward_forest_ws(&items, &mut ws_d);
+        let mut ws_s = ForestWs::default();
+        tcn.forward_forest_ws_sparse(&items, &mut ws_s);
+        assert_eq!(ws_d.emb(), ws_s.emb(), "sparse forest forward diverged");
+
+        // Stacking through the closure API + the prestacked entry point is
+        // the cached serving path; it must match too (both modes).
+        for sparse in [false, true] {
+            let mut ws_p = ForestWs::default();
+            ws_p.stack_with(items.len(), |i| items[i]);
+            tcn.forward_forest_stacked_ws(&mut ws_p, sparse);
+            assert_eq!(ws_d.emb(), ws_p.emb(), "prestacked (sparse={sparse})");
+        }
+
+        // Empty prestacked batch.
+        let mut ws_e = ForestWs::default();
+        ws_e.stack_with(0, |_| unreachable!());
+        tcn.forward_forest_stacked_ws(&mut ws_e, true);
+        assert_eq!(ws_e.emb().rows, 0);
+    }
+
+    /// The SIMD-mode convolution kernels (output-blocked dense, lane-rows
+    /// sparse) must be bit-identical to the scalar reference kernels on the
+    /// same inputs — single-tree and stacked-forest paths alike. Dimensions
+    /// are chosen to exercise every tail: `id % 4 != 0` (column tails),
+    /// `od % 4 != 0` (output-block tails), and rows with nonzeros in the
+    /// final tail columns (the sparse kernel's sequential epilogue).
+    #[test]
+    fn simd_conv_kernels_match_scalar_bitwise() {
+        let _guard = crate::kernels::MODE_TEST_MUTEX
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        use crate::kernels::{set_kernel_mode, KernelMode};
+        let mut rng = StdRng::seed_from_u64(33);
+        let tcn = Tcn::new(30, 10, 6, 4, &mut rng);
+        let chain = |n: usize| TreeStructure {
+            left: (0..n)
+                .map(|i| if i + 1 < n { Some(i + 1) } else { None })
+                .collect(),
+            right: vec![None; n],
+        };
+        let trees = [tiny_tree(), chain(5), chain(1), chain(8)];
+        let xs: Vec<Mat> = trees
+            .iter()
+            .map(|t| {
+                let mut x = Mat::zeros(t.len(), 30);
+                for r in 0..t.len() {
+                    x.set(r, r % 26, 1.0);
+                    for k in 0..4 {
+                        x.set(r, (r * 5 + k * 7) % 26, rng.gen_range(-1.5..1.5f32));
+                    }
+                    // Tail columns (28, 29) land past `id - id % 4` = 28.
+                    x.set(r, 28 + r % 2, rng.gen_range(-1.5..1.5f32));
+                }
+                x
+            })
+            .collect();
+        let items: Vec<(&Mat, &TreeStructure)> = xs.iter().zip(trees.iter()).collect();
+
+        let prev = set_kernel_mode(KernelMode::Scalar);
+        let mut ws_scalar = ForestWs::default();
+        tcn.forward_forest_ws(&items, &mut ws_scalar);
+        let mut ws_scalar_sp = ForestWs::default();
+        tcn.forward_forest_ws_sparse(&items, &mut ws_scalar_sp);
+        let singles: Vec<Mat> = items.iter().map(|(x, t)| tcn.infer(x, t)).collect();
+
+        set_kernel_mode(KernelMode::Simd);
+        let mut ws_simd = ForestWs::default();
+        tcn.forward_forest_ws(&items, &mut ws_simd);
+        let mut ws_simd_sp = ForestWs::default();
+        tcn.forward_forest_ws_sparse(&items, &mut ws_simd_sp);
+        assert_eq!(
+            ws_scalar.emb(),
+            ws_simd.emb(),
+            "dense blocked kernel diverged from scalar"
+        );
+        assert_eq!(
+            ws_scalar_sp.emb(),
+            ws_simd_sp.emb(),
+            "sparse lane-rows kernel diverged from scalar"
+        );
+        assert_eq!(ws_scalar.emb(), ws_scalar_sp.emb(), "sparse vs dense");
+        for (b, single) in singles.iter().enumerate() {
+            assert_eq!(
+                tcn.infer(items[b].0, items[b].1),
+                *single,
+                "single-tree SIMD forward diverged from scalar (tree {b})"
+            );
+        }
+        set_kernel_mode(prev);
     }
 
     #[test]

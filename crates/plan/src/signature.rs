@@ -64,19 +64,34 @@ pub fn fnv1a_seeded(seed: u64, bytes: &[u8]) -> u64 {
 
 impl PlanSignature {
     /// Computes the signature of `plan`.
+    ///
+    /// Allocation-free: the pre-order walk (node, then left subtree, then
+    /// right subtree — the same visit order as [`PlanTree::preorder`])
+    /// recurses directly instead of materializing the node-id list, so a
+    /// warm serving cache can fingerprint every incoming plan without
+    /// touching the allocator.
     pub fn of(plan: &PlanTree) -> PlanSignature {
         let mut h = Fnv::new();
-        if plan.try_root().is_none() {
-            return PlanSignature(h.0);
-        }
-        for id in plan.preorder() {
-            let n = plan.node(id);
-            hash_operator(&mut h, &n.op);
-            // Mark shape: which children exist.
-            let shape = (n.left.is_some() as u8) | ((n.right.is_some() as u8) << 1);
-            h.write(&[0xfe, shape]);
+        if let Some(root) = plan.try_root() {
+            hash_subtree(plan, root, &mut h);
         }
         PlanSignature(h.0)
+    }
+}
+
+/// Hashes the subtree rooted at `id` in pre-order, byte-for-byte identical
+/// to the historical `preorder()`-driven loop.
+fn hash_subtree(plan: &PlanTree, id: usize, h: &mut Fnv) {
+    let n = plan.node(id);
+    hash_operator(h, &n.op);
+    // Mark shape: which children exist.
+    let shape = (n.left.is_some() as u8) | ((n.right.is_some() as u8) << 1);
+    h.write(&[0xfe, shape]);
+    if let Some(l) = n.left {
+        hash_subtree(plan, l, h);
+    }
+    if let Some(r) = n.right {
+        hash_subtree(plan, r, h);
     }
 }
 

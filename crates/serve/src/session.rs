@@ -28,6 +28,7 @@ use loam_core::gate::{validate_traced, GateConfig};
 use loam_core::inference::{EnvStrategy, DEFAULT_MARGIN};
 use loam_core::pipeline::EvaluatedQuery;
 use loam_core::predictor::baselines::CostModel;
+use loam_core::predictor::InferWs;
 use loam_core::robust::{Resolution, RobustConfig, RobustQueryResult};
 use loam_core::serving::RobustServer;
 use loam_core::LoamError;
@@ -37,6 +38,7 @@ use mcsim_obs::trace::{Decision, Fallback, TraceContext};
 use mcsim_obs::Histogram;
 use mcsim_plan::{PlanSignature, PlanTree};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Admission-control policy applied to the arrival trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -449,6 +451,10 @@ pub struct ServeSession {
     cluster: ClusterConfig,
     features: Option<FeatureCache>,
     decisions: Option<DecisionCache>,
+    /// Warm inference workspace + cost buffer reused by every scoring batch
+    /// of the session (`run` takes `&self`, so the scratch sits behind a
+    /// mutex; batches score one at a time while execution fans out).
+    scratch: Mutex<(InferWs, Vec<f64>)>,
 }
 
 impl ServeSession {
@@ -480,6 +486,7 @@ impl ServeSession {
             cluster,
             features,
             decisions,
+            scratch: Mutex::new((InferWs::new(), Vec::new())),
         })
     }
 
@@ -735,9 +742,10 @@ impl ServeSession {
                     refs.extend(templates[t as usize].plans.iter());
                     bounds.push(refs.len());
                 }
-                let costs = self
-                    .server
-                    .score_batch(model, &refs, self.features.as_ref());
+                let mut scratch = self.scratch.lock().unwrap_or_else(|e| e.into_inner());
+                let (infer_ws, costs) = &mut *scratch;
+                self.server
+                    .score_batch_into(model, &refs, self.features.as_ref(), infer_ws, costs);
                 for (i, &t) in to_score.iter().enumerate() {
                     let eq = &templates[t as usize];
                     let slice_refs = &refs[bounds[i]..bounds[i + 1]];
