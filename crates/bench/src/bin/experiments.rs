@@ -46,13 +46,22 @@
 //!             feature cache) over the fig7 candidate sets, with a
 //!             bit-identity check and steady-state allocation probe;
 //!             `--quick` shrinks the workload; writes BENCH_infer.json
+//!   sweep     deterministic scenario matrix: a declarative spec (grid or
+//!             seeded Latin hypercube) over {machines × tenants ×
+//!             fault_scale × arrival × threads}, every cell a seeded
+//!             serve pass over the once-trained pipeline; `--quick` runs
+//!             the embedded 16-cell grid, `--spec FILE` a custom spec;
+//!             writes canonical-JSON BENCH_sweep.json (bit-identical
+//!             across reruns and thread counts)
 //!
 //! experiments compare <old.json> <new.json> [--threshold <pct>]
 //!
-//!   diff two BENCH_*.json reports (BENCH_parallel.json and
-//!   BENCH_train.json share the phase schema); exits 1 if any phase's pool
-//!   wall-clock regressed more than the threshold (default 25%), 2 on
-//!   parse errors
+//!   diff two BENCH_*.json reports. Timing reports (BENCH_parallel.json
+//!   and friends share the phase schema) gate on pool wall-clock;
+//!   BENCH_sweep.json reports diff cell-by-cell on deterministic metrics.
+//!   Exit codes: 0 ok, 1 regression past the threshold (default 25%), 2 on
+//!   parse errors, 3 when the reports are structurally incomparable
+//!   (mixed kinds or missing sweep cells)
 //!
 //! `--threads N` overrides the mcsim-par pool size for the whole run
 //! (equivalent to MCSIM_PAR_THREADS=N).
@@ -123,14 +132,22 @@ fn main() {
     let started = std::time::Instant::now();
     eprintln!("running `{id}` at {scale:?} scale");
 
-    // `chaos`, `serve`, `exec`, and `infer` are context-free too, but take
-    // the extra `--quick` flag.
-    if id == "chaos" || id == "serve" || id == "exec" || id == "infer" {
+    // `chaos`, `serve`, `exec`, `infer`, and `sweep` are context-free too,
+    // but take the extra `--quick` flag (`sweep` also `--spec FILE`).
+    if id == "chaos" || id == "serve" || id == "exec" || id == "infer" || id == "sweep" {
         let quick = args.iter().any(|a| a == "--quick");
         match id {
             "chaos" => exps::chaos::run(scale, quick),
             "serve" => exps::serve::run(scale, quick),
             "exec" => exps::exec::run(scale, quick),
+            "sweep" => {
+                let spec_path = args
+                    .iter()
+                    .position(|a| a == "--spec")
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str);
+                exps::sweep::run(scale, quick, spec_path);
+            }
             _ => exps::infer::run(scale, quick),
         }
         emit_metrics(id, scale, &recorder);

@@ -1,20 +1,33 @@
 //! The `experiments compare` subcommand: a regression gate over two
-//! `BENCH_*.json` reports (as written by `experiments parallel`).
+//! `BENCH_*.json` reports.
 //!
-//! Diffs per-phase and total wall-clock between an old (baseline) and a new
-//! report and flags any phase whose `parallel_s` regressed past a
-//! configurable percentage threshold. Exit codes: [`EXIT_OK`] = within
-//! threshold, [`EXIT_REGRESSION`] = regression detected, [`EXIT_PARSE`] =
-//! unreadable/unparsable input.
+//! Two report kinds are understood, dispatched on the `bench` field:
 //!
-//! Besides the timing schema shared by `BENCH_parallel.json` /
-//! `BENCH_train.json` / `BENCH_chaos.json` / `BENCH_serve.json`, phases may
-//! carry the `BENCH_exec.json` scaling extras (`machines`, `queries`,
-//! `events_per_s`) and the `degenerate` marker `experiments parallel` sets
-//! when both legs ran at the same thread count; both are surfaced in the
-//! diff but never gate it.
+//! * **Timing reports** (as written by `experiments parallel` and friends):
+//!   diffs per-phase and total wall-clock between an old (baseline) and a
+//!   new report and flags any phase whose `parallel_s` regressed past a
+//!   configurable percentage threshold. Phases may carry the
+//!   `BENCH_exec.json` scaling extras (`machines`, `queries`,
+//!   `events_per_s`) and the `degenerate` marker `experiments parallel`
+//!   sets when both legs ran at the same thread count; both are surfaced
+//!   in the diff but never gate it.
+//! * **Sweep reports** (`bench: "sweep"`, as written by
+//!   `experiments sweep`): diffs the scenario matrices cell-by-cell,
+//!   matching cells by `config_hash`, with per-metric gates —
+//!   `total_cost` / `total_wasted_cost` relative increase and
+//!   `completion_rate` relative decrease past the threshold percentage,
+//!   `shed_rate` absolute increase past the threshold in points, and any
+//!   `decision_hash` drift (a determinism break regresses at any
+//!   threshold). Cells present on only one side make the reports
+//!   structurally incomparable.
+//!
+//! Exit codes are typed: [`EXIT_OK`] = within threshold,
+//! [`EXIT_REGRESSION`] = regression detected, [`EXIT_PARSE`] =
+//! unreadable/unparsable input, [`EXIT_DEGENERATE`] = structurally
+//! incomparable reports (mixed kinds, missing cells, or nothing matched).
 
-use serde::Deserialize;
+use super::sweep::SweepReport;
+use serde::{Deserialize, Value};
 
 /// Exit code: every phase stayed within the threshold.
 pub const EXIT_OK: i32 = 0;
@@ -23,6 +36,9 @@ pub const EXIT_OK: i32 = 0;
 pub const EXIT_REGRESSION: i32 = 1;
 /// Exit code: a report could not be read or parsed.
 pub const EXIT_PARSE: i32 = 2;
+/// Exit code: the reports are structurally incomparable — different report
+/// kinds, sweep cells present on only one side, or no matching cells.
+pub const EXIT_DEGENERATE: i32 = 3;
 
 /// One phase row of a `BENCH_*.json` report.
 #[derive(Debug, Clone, Deserialize)]
@@ -152,11 +168,240 @@ pub fn load_report(path: &str) -> Result<BenchReport, String> {
     serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e:?}"))
 }
 
-/// The full subcommand: loads both reports, prints the diff table, and
-/// returns the process exit code ([`EXIT_OK`], [`EXIT_REGRESSION`], or
-/// [`EXIT_PARSE`]).
+// ------------------------------------------------------------ sweep diff
+
+/// One gated issue of one compared sweep cell.
+#[derive(Debug, Clone)]
+pub struct SweepCellDelta {
+    /// The cell's matrix index in the new report.
+    pub index: u64,
+    /// The `config_hash` the cells were matched by.
+    pub config_hash: String,
+    /// Human-readable gate breaches (empty = cell is clean).
+    pub issues: Vec<String>,
+}
+
+/// The outcome of a cell-by-cell sweep comparison.
+#[derive(Debug, Clone)]
+pub struct SweepComparison {
+    /// Cells matched by `config_hash` across both reports.
+    pub matched: usize,
+    /// Matched cells with byte-identical metrics.
+    pub identical: usize,
+    /// Config hashes only the baseline has.
+    pub missing_in_new: Vec<String>,
+    /// Config hashes only the new report has.
+    pub missing_in_old: Vec<String>,
+    /// One entry per matched cell that breached a gate.
+    pub regressions: Vec<SweepCellDelta>,
+}
+
+impl SweepComparison {
+    /// Whether the reports are structurally incomparable (missing cells or
+    /// nothing matched) — [`EXIT_DEGENERATE`] territory, which takes
+    /// precedence over metric regressions.
+    pub fn is_degenerate(&self) -> bool {
+        self.matched == 0 || !self.missing_in_new.is_empty() || !self.missing_in_old.is_empty()
+    }
+
+    /// The typed exit code this comparison maps to.
+    pub fn exit_code(&self) -> i32 {
+        if self.is_degenerate() {
+            EXIT_DEGENERATE
+        } else if self.regressions.is_empty() {
+            EXIT_OK
+        } else {
+            EXIT_REGRESSION
+        }
+    }
+}
+
+/// Compares two sweep reports cell-by-cell. `threshold_pct` gates the
+/// relative cost/completion metrics (percent) and the shed-rate increase
+/// (points); `decision_hash` drift regresses at any threshold.
+pub fn compare_sweeps(old: &SweepReport, new: &SweepReport, threshold_pct: f64) -> SweepComparison {
+    let rel = |o: f64, n: f64| 100.0 * (n - o) / o.max(1e-9);
+    let mut cmp = SweepComparison {
+        matched: 0,
+        identical: 0,
+        missing_in_new: Vec::new(),
+        missing_in_old: Vec::new(),
+        regressions: Vec::new(),
+    };
+    for nc in &new.cells {
+        if !old.cells.iter().any(|oc| oc.config_hash == nc.config_hash) {
+            cmp.missing_in_old.push(nc.config_hash.clone());
+        }
+    }
+    for oc in &old.cells {
+        let Some(nc) = new.cells.iter().find(|c| c.config_hash == oc.config_hash) else {
+            cmp.missing_in_new.push(oc.config_hash.clone());
+            continue;
+        };
+        cmp.matched += 1;
+        if nc.metrics_hash == oc.metrics_hash {
+            cmp.identical += 1;
+            continue;
+        }
+        let (om, nm) = (&oc.metrics, &nc.metrics);
+        let mut issues = Vec::new();
+        if nm.decision_hash != om.decision_hash {
+            issues.push(format!(
+                "decision_hash drift ({} -> {})",
+                om.decision_hash, nm.decision_hash
+            ));
+        }
+        let cost = rel(om.total_cost, nm.total_cost);
+        if cost > threshold_pct {
+            issues.push(format!("total_cost {cost:+.1}%"));
+        }
+        let waste = rel(om.total_wasted_cost, nm.total_wasted_cost);
+        if waste > threshold_pct {
+            issues.push(format!("total_wasted_cost {waste:+.1}%"));
+        }
+        let completion = rel(om.completion_rate, nm.completion_rate);
+        if -completion > threshold_pct {
+            issues.push(format!("completion_rate {completion:+.1}%"));
+        }
+        let shed_pts = 100.0 * (nm.shed_rate - om.shed_rate);
+        if shed_pts > threshold_pct {
+            issues.push(format!("shed_rate {shed_pts:+.1} pts"));
+        }
+        if !issues.is_empty() {
+            cmp.regressions.push(SweepCellDelta {
+                index: nc.index,
+                config_hash: nc.config_hash.clone(),
+                issues,
+            });
+        }
+    }
+    cmp
+}
+
+/// The `bench` field of a report, read without committing to a schema.
+fn report_kind(text: &str) -> Option<String> {
+    let v: Value = serde_json::from_str(text).ok()?;
+    let Value::Map(entries) = v else { return None };
+    entries.into_iter().rev().find_map(|(k, v)| match v {
+        Value::Str(s) if k == "bench" => Some(s),
+        _ => None,
+    })
+}
+
+fn run_sweep_diff(
+    old_path: &str,
+    old: &SweepReport,
+    new_path: &str,
+    new: &SweepReport,
+    threshold_pct: f64,
+) -> i32 {
+    println!(
+        "comparing sweep {old_path} (runbook {}, {} cells) -> {new_path} (runbook {}, {} cells), \
+         threshold {threshold_pct:.0}%",
+        old.runbook.id,
+        old.cells.len(),
+        new.runbook.id,
+        new.cells.len()
+    );
+    if old.spec_hash != new.spec_hash {
+        eprintln!(
+            "compare: warning: different sweep specs ({} vs {}) — matching cells by config",
+            old.spec_hash, new.spec_hash
+        );
+    }
+    for (path, r) in [(old_path, old), (new_path, new)] {
+        if !r.runbook.thread_invariant {
+            eprintln!(
+                "compare: warning: {path} failed its thread-invariance self-check — \
+                 its metrics may not be trustworthy"
+            );
+        }
+    }
+    let cmp = compare_sweeps(old, new, threshold_pct);
+    println!(
+        "{} matched cell(s): {} byte-identical, {} drifted",
+        cmp.matched,
+        cmp.identical,
+        cmp.matched - cmp.identical
+    );
+    for d in &cmp.regressions {
+        println!(
+            "  cell {} ({}): {}",
+            d.index,
+            d.config_hash,
+            d.issues.join(", ")
+        );
+    }
+    if cmp.is_degenerate() {
+        if cmp.matched == 0 {
+            eprintln!("degenerate: no cell matched between the reports");
+        }
+        if !cmp.missing_in_new.is_empty() {
+            eprintln!(
+                "degenerate: {} baseline cell(s) missing from {new_path}: {}",
+                cmp.missing_in_new.len(),
+                cmp.missing_in_new.join(", ")
+            );
+        }
+        if !cmp.missing_in_old.is_empty() {
+            eprintln!(
+                "degenerate: {} cell(s) in {new_path} missing from the baseline: {}",
+                cmp.missing_in_old.len(),
+                cmp.missing_in_old.join(", ")
+            );
+        }
+    } else if cmp.regressions.is_empty() {
+        println!("ok: no cell regressed more than {threshold_pct:.0}%");
+    } else {
+        eprintln!(
+            "regression: {} cell(s) breached the {threshold_pct:.0}% threshold",
+            cmp.regressions.len()
+        );
+    }
+    cmp.exit_code()
+}
+
+/// The full subcommand: loads both reports, dispatches on report kind
+/// (sweep vs timing), prints the diff table, and returns the process exit
+/// code ([`EXIT_OK`], [`EXIT_REGRESSION`], [`EXIT_PARSE`], or
+/// [`EXIT_DEGENERATE`]).
 pub fn run(old_path: &str, new_path: &str, threshold_pct: f64) -> i32 {
-    let (old, new) = match (load_report(old_path), load_report(new_path)) {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
+    let (old_text, new_text) = match (read(old_path), read(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("compare: {e}");
+            return EXIT_PARSE;
+        }
+    };
+    let old_sweep = report_kind(&old_text).as_deref() == Some("sweep");
+    let new_sweep = report_kind(&new_text).as_deref() == Some("sweep");
+    if old_sweep != new_sweep {
+        eprintln!(
+            "compare: `{old_path}` and `{new_path}` are different report kinds \
+             (sweep vs timing) — incomparable"
+        );
+        return EXIT_DEGENERATE;
+    }
+    if old_sweep {
+        let parse = |path: &str, text: &str| -> Result<SweepReport, String> {
+            serde_json::from_str(text).map_err(|e| format!("cannot parse `{path}`: {e:?}"))
+        };
+        let (old, new) = match (parse(old_path, &old_text), parse(new_path, &new_text)) {
+            (Ok(o), Ok(n)) => (o, n),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("compare: {e}");
+                return EXIT_PARSE;
+            }
+        };
+        return run_sweep_diff(old_path, &old, new_path, &new, threshold_pct);
+    }
+    let parse = |path: &str, text: &str| -> Result<BenchReport, String> {
+        serde_json::from_str(text).map_err(|e| format!("cannot parse `{path}`: {e:?}"))
+    };
+    let (old, new) = match (parse(old_path, &old_text), parse(new_path, &new_text)) {
         (Ok(o), Ok(n)) => (o, n),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("compare: {e}");
@@ -317,5 +562,168 @@ mod tests {
         // Extras never gate: a regression-free diff stays regression-free.
         let cmp = compare(&r, &r, 25.0);
         assert!(cmp.regressions.is_empty());
+    }
+
+    // ------------------------------------------------------- sweep diff
+
+    use crate::canon;
+    use crate::exps::sweep::{CellConfig, CellMetrics, Runbook, SpecEcho, SweepCell};
+
+    fn sweep_cell(machines: u64, total_cost: f64, decisions: &str) -> SweepCell {
+        let config = CellConfig {
+            arrival: "poisson".into(),
+            fault_scale: 0.0,
+            machines,
+            tenants: 4,
+            threads: 1,
+        };
+        let metrics = CellMetrics {
+            requests: 32,
+            shed: 2,
+            admitted: 30,
+            completed: 30,
+            failed: 0,
+            batches: 2,
+            degraded: 1,
+            total_retries: 0,
+            total_cost,
+            total_wasted_cost: 0.0,
+            completion_rate: 1.0,
+            shed_rate: 0.0625,
+            decision_hash: decisions.to_string(),
+        };
+        SweepCell {
+            index: 0,
+            seed: 7,
+            config_hash: canon::hash_of(&config),
+            metrics_hash: canon::hash_of(&metrics),
+            config,
+            metrics,
+        }
+    }
+
+    fn sweep_report(cells: Vec<SweepCell>) -> SweepReport {
+        SweepReport {
+            bench: "sweep".into(),
+            scale: "small".into(),
+            spec: SpecEcho {
+                mode: "grid".into(),
+                samples: 0,
+                seed: 7,
+                requests: 32,
+                batch_size: 16,
+                axes: vec![],
+            },
+            spec_hash: "0".repeat(16),
+            runbook: Runbook {
+                id: "0".repeat(16),
+                jobs: cells.len() as u64,
+                cells: cells.len() as u64,
+                sweep_seed: 7,
+                seeds: cells.iter().map(|c| c.seed).collect(),
+                artifacts: vec!["BENCH_sweep.json".into()],
+                thread_invariant: true,
+            },
+            cells,
+        }
+    }
+
+    #[test]
+    fn identical_sweeps_compare_clean() {
+        let r = sweep_report(vec![sweep_cell(8, 100.0, "aa"), sweep_cell(16, 90.0, "bb")]);
+        let cmp = compare_sweeps(&r, &r, 10.0);
+        assert_eq!(cmp.exit_code(), EXIT_OK);
+        assert_eq!(cmp.matched, 2);
+        assert_eq!(cmp.identical, 2);
+        assert!(cmp.regressions.is_empty());
+    }
+
+    #[test]
+    fn cost_breach_past_threshold_is_a_regression() {
+        let old = sweep_report(vec![sweep_cell(8, 100.0, "aa")]);
+        let new = sweep_report(vec![sweep_cell(8, 125.0, "aa")]);
+        // +25% cost: clean at a 30% threshold, regressed at 10%.
+        assert_eq!(compare_sweeps(&old, &new, 30.0).exit_code(), EXIT_OK);
+        let cmp = compare_sweeps(&old, &new, 10.0);
+        assert_eq!(cmp.exit_code(), EXIT_REGRESSION);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].issues[0].contains("total_cost"));
+    }
+
+    #[test]
+    fn decision_hash_drift_regresses_at_any_threshold() {
+        let old = sweep_report(vec![sweep_cell(8, 100.0, "aa")]);
+        let new = sweep_report(vec![sweep_cell(8, 100.0, "bb")]);
+        let cmp = compare_sweeps(&old, &new, 1e9);
+        assert_eq!(cmp.exit_code(), EXIT_REGRESSION);
+        assert!(cmp.regressions[0].issues[0].contains("decision_hash"));
+    }
+
+    #[test]
+    fn missing_cells_are_degenerate_and_outrank_regressions() {
+        let old = sweep_report(vec![sweep_cell(8, 100.0, "aa"), sweep_cell(16, 90.0, "bb")]);
+        let new = sweep_report(vec![sweep_cell(8, 500.0, "aa")]);
+        let cmp = compare_sweeps(&old, &new, 10.0);
+        assert!(cmp.is_degenerate());
+        assert_eq!(cmp.exit_code(), EXIT_DEGENERATE);
+        assert_eq!(cmp.missing_in_new.len(), 1);
+        // The matched cell's cost breach is still recorded for the diff
+        // table even though the exit code is the degenerate one.
+        assert_eq!(cmp.regressions.len(), 1);
+        // Nothing matched at all is degenerate too.
+        let disjoint = sweep_report(vec![sweep_cell(64, 10.0, "cc")]);
+        assert_eq!(
+            compare_sweeps(&old, &disjoint, 10.0).exit_code(),
+            EXIT_DEGENERATE
+        );
+    }
+
+    #[test]
+    fn mixed_report_kinds_exit_degenerate() {
+        let dir = std::env::temp_dir();
+        let sweep_path = dir.join("cmp_mixed_sweep.json");
+        let timing_path = dir.join("cmp_mixed_timing.json");
+        let sweep = sweep_report(vec![sweep_cell(8, 100.0, "aa")]);
+        std::fs::write(&sweep_path, canon::canonical_of(&sweep)).expect("write sweep");
+        std::fs::write(
+            &timing_path,
+            r#"{"bench":"parallel","scale":"small","threads_serial":1,"threads_parallel":2,
+               "phases":[],"total":{"serial_s":1.0,"parallel_s":1.0,"speedup":1.0}}"#,
+        )
+        .expect("write timing");
+        let code = run(
+            sweep_path.to_str().expect("utf8 path"),
+            timing_path.to_str().expect("utf8 path"),
+            25.0,
+        );
+        assert_eq!(code, EXIT_DEGENERATE);
+        // Two sweeps through the same entry point take the sweep path.
+        let code = run(
+            sweep_path.to_str().expect("utf8 path"),
+            sweep_path.to_str().expect("utf8 path"),
+            25.0,
+        );
+        assert_eq!(code, EXIT_OK);
+        let _ = std::fs::remove_file(&sweep_path);
+        let _ = std::fs::remove_file(&timing_path);
+    }
+
+    #[test]
+    fn completion_drop_and_shed_rise_are_gated() {
+        let old = sweep_report(vec![sweep_cell(8, 100.0, "aa")]);
+        let mut worse = sweep_report(vec![sweep_cell(8, 100.0, "aa")]);
+        worse.cells[0].metrics.completion_rate = 0.5;
+        worse.cells[0].metrics.shed_rate = 0.4;
+        worse.cells[0].metrics_hash = canon::hash_of(&worse.cells[0].metrics);
+        let cmp = compare_sweeps(&old, &worse, 10.0);
+        assert_eq!(cmp.exit_code(), EXIT_REGRESSION);
+        let issues = cmp.regressions[0].issues.join("; ");
+        assert!(issues.contains("completion_rate"), "{issues}");
+        assert!(issues.contains("shed_rate"), "{issues}");
+        // Improvements never regress.
+        let mut better = sweep_report(vec![sweep_cell(8, 50.0, "aa")]);
+        better.cells[0].metrics.shed_rate = 0.0;
+        better.cells[0].metrics_hash = canon::hash_of(&better.cells[0].metrics);
+        assert_eq!(compare_sweeps(&old, &better, 10.0).exit_code(), EXIT_OK);
     }
 }

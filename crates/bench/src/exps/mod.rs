@@ -20,6 +20,7 @@ pub mod parallel;
 pub mod population;
 pub mod sec73;
 pub mod serve;
+pub mod sweep;
 pub mod tab1;
 pub mod thm1;
 pub mod trace;

@@ -4,6 +4,7 @@
 //! LOAM paper, plus shared helpers (scaled project profiles, model zoo,
 //! reporting utilities) and criterion micro-benchmarks.
 
+pub mod canon;
 pub mod exps;
 pub mod report;
 pub mod scale;

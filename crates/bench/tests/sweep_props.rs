@@ -1,0 +1,138 @@
+//! Property tests for the sweep harness's expansion layer: determinism of
+//! the job grid, Latin-hypercube bounds and distinctness, and pairwise
+//! distinct job seeds.
+//!
+//! These are the structural guarantees the `BENCH_sweep.json` contract
+//! rests on — if expansion is a pure function of the spec and every job's
+//! seed is unique, a sweep report is a complete, collision-free
+//! reproduction recipe.
+
+use loam_bench::canon;
+use loam_bench::exps::sweep::{expand, SweepSpec};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Builds a grid spec over subsets of fixed value pools (masks are 1..8 so
+/// every axis keeps at least one value).
+fn grid_spec(seed: u64, m_mask: u8, t_mask: u8, f_mask: u8, a_mask: u8) -> String {
+    let pick = |mask: u8, pool: &[&str]| -> String {
+        pool.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, v)| *v)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    format!(
+        "mode = grid\nseed = {seed}\nrequests = 16\n\
+         axis.machines = {}\naxis.tenants = {}\naxis.fault_scale = {}\n\
+         axis.arrival = {}\naxis.threads = 1,2\n",
+        pick(m_mask, &["8", "16", "32"]),
+        pick(t_mask, &["2", "4", "8"]),
+        pick(f_mask, &["0.0", "0.5", "1.0"]),
+        pick(a_mask, &["poisson", "bursty", "diurnal"]),
+    )
+}
+
+fn lhs_spec(seed: u64, samples: usize, slack: u64) -> String {
+    format!(
+        "mode = lhs\nsamples = {samples}\nseed = {seed}\nrequests = 16\n\
+         axis.machines = 8..{}\naxis.tenants = 2..16\n\
+         axis.fault_scale = 0.0..2.0\n\
+         axis.arrival = poisson,bursty,diurnal\naxis.threads = 1,2,4\n",
+        8 + samples as u64 - 1 + slack
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same spec text ⇒ byte-identical job grid: equal jobs, equal seeds,
+    /// and equal canonical hashes of the echo and of every job config.
+    #[test]
+    fn same_spec_and_seed_expand_identically(
+        seed in 0u64..1_000_000,
+        m_mask in 1u8..8,
+        t_mask in 1u8..8,
+        f_mask in 1u8..8,
+        a_mask in 1u8..8,
+    ) {
+        let text = grid_spec(seed, m_mask, t_mask, f_mask, a_mask);
+        let a = SweepSpec::parse(&text).expect("generated spec parses");
+        let b = SweepSpec::parse(&text).expect("generated spec parses");
+        prop_assert_eq!(&a, &b);
+        let ja = expand(&a).expect("expands");
+        let jb = expand(&b).expect("expands");
+        prop_assert_eq!(&ja, &jb);
+        prop_assert_eq!(canon::hash_of(&a.echo()), canon::hash_of(&b.echo()));
+        for (x, y) in ja.iter().zip(&jb) {
+            prop_assert_eq!(canon::hash_of(&x.config), canon::hash_of(&y.config));
+        }
+        // The grid covers the full cross-product of the workload axes.
+        let expect = (m_mask.count_ones()
+            * t_mask.count_ones()
+            * f_mask.count_ones()
+            * a_mask.count_ones()) as usize;
+        prop_assert_eq!(ja.len(), expect);
+    }
+
+    /// Job seeds are pairwise distinct, and distinct configs get distinct
+    /// canonical hashes (no silent cell collisions in `compare`).
+    #[test]
+    fn grid_job_seeds_and_config_hashes_are_pairwise_distinct(
+        seed in 0u64..1_000_000,
+        m_mask in 1u8..8,
+        t_mask in 1u8..8,
+        f_mask in 1u8..8,
+    ) {
+        let text = grid_spec(seed, m_mask, t_mask, f_mask, 0b111);
+        let spec = SweepSpec::parse(&text).expect("parses");
+        let jobs = expand(&spec).expect("expands");
+        let seeds: HashSet<u64> = jobs.iter().map(|j| j.seed).collect();
+        prop_assert_eq!(seeds.len(), jobs.len());
+        let hashes: HashSet<String> =
+            jobs.iter().map(|j| canon::hash_of(&j.config)).collect();
+        prop_assert_eq!(hashes.len(), jobs.len());
+    }
+
+    /// LHS sampling is deterministic, stays inside every axis's bounds,
+    /// and never produces duplicate jobs (the separating axis places each
+    /// sample at a distinct value).
+    #[test]
+    fn lhs_cells_are_in_bounds_distinct_and_deterministic(
+        seed in 0u64..1_000_000,
+        samples in 2usize..12,
+        slack in 0u64..40,
+    ) {
+        let text = lhs_spec(seed, samples, slack);
+        let spec = SweepSpec::parse(&text).expect("parses");
+        let jobs = expand(&spec).expect("expands");
+        prop_assert_eq!(jobs.len(), samples);
+        prop_assert_eq!(&jobs, &expand(&spec).expect("expands again"));
+        let hi = 8 + samples as u64 - 1 + slack;
+        for j in &jobs {
+            prop_assert!((8..=hi).contains(&j.config.machines));
+            prop_assert!((2..=16).contains(&j.config.tenants));
+            prop_assert!(j.config.fault_scale >= 0.0 && j.config.fault_scale < 2.0);
+            prop_assert!(["poisson", "bursty", "diurnal"]
+                .contains(&j.config.arrival.as_str()));
+        }
+        let configs: HashSet<String> =
+            jobs.iter().map(|j| canon::hash_of(&j.config)).collect();
+        prop_assert_eq!(configs.len(), jobs.len());
+        let seeds: HashSet<u64> = jobs.iter().map(|j| j.seed).collect();
+        prop_assert_eq!(seeds.len(), jobs.len());
+    }
+
+    /// The master seed matters: different sweep seeds give different job
+    /// seed streams (first job already differs).
+    #[test]
+    fn different_sweep_seeds_give_different_seed_streams(seed in 0u64..1_000_000) {
+        let a = SweepSpec::parse(&grid_spec(seed, 1, 1, 1, 1)).expect("parses");
+        let b = SweepSpec::parse(&grid_spec(seed + 1, 1, 1, 1, 1)).expect("parses");
+        let ja = expand(&a).expect("expands");
+        let jb = expand(&b).expect("expands");
+        prop_assert_ne!(ja[0].seed, jb[0].seed);
+        prop_assert_ne!(canon::hash_of(&a.echo()), canon::hash_of(&b.echo()));
+    }
+}

@@ -49,5 +49,5 @@ pub use execute::{ExecutionOutcome, Executor};
 pub use fault::{ExecFailure, FaultConfig, FaultEvent, FaultState, RetryPolicy};
 pub use flighting::Flighting;
 pub use history::{build_history, execute_and_log, HistoryOptions};
-pub use load::{LoadModel, OU_WINDOW};
+pub use load::{seed_stream, splitmix64, LoadModel, OU_WINDOW};
 pub use machine::{LoadDynamics, Machine};

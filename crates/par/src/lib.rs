@@ -141,6 +141,26 @@ impl Drop for WorkerGuard {
     }
 }
 
+/// Runs `f` with the global thread count pinned to `n`, restoring the
+/// previous setting afterwards (also on panic). The sweep harness uses this
+/// to execute each thread-count group of a scenario matrix at its declared
+/// pool size without leaking the override into the rest of the process.
+///
+/// The override is process-global, exactly like [`set_threads`]: concurrent
+/// callers racing on it would observe each other's settings. Results are
+/// unaffected either way — the pool is bit-identical at any thread count —
+/// so the scope guard is about keeping *scheduling* intent local.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_threads(self.0);
+        }
+    }
+    let _restore = Restore(set_threads(n));
+    f()
+}
+
 /// Sets the work gate. Tests set 1 to force parallel execution on tiny
 /// inputs; benchmarks may raise it to keep small kernels serial. Returns the
 /// previous gate.
@@ -518,6 +538,22 @@ mod tests {
         assert_eq!(ThreadPool::new(7).threads(), 7, "fixed pools are pinned");
         set_threads(baseline);
         assert_eq!(threads(), baseline);
+    }
+
+    #[test]
+    fn with_threads_scopes_the_override_and_restores_on_panic() {
+        let _guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let baseline = threads();
+        let inner = with_threads(5, || {
+            assert_eq!(threads(), 5);
+            ThreadPool::global().threads()
+        });
+        assert_eq!(inner, 5);
+        assert_eq!(threads(), baseline, "override must not leak");
+        // A panicking body still restores the previous setting.
+        let caught = std::panic::catch_unwind(|| with_threads(3, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(threads(), baseline, "override must not leak on panic");
     }
 
     #[test]

@@ -387,6 +387,50 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// A 64-bit FNV-1a digest of the decision log — the session's
+    /// deterministic-replay fingerprint.
+    ///
+    /// Every field of every [`DecisionRecord`] (including exact cost and
+    /// prediction bit patterns) feeds the hash in arrival order, so two
+    /// runs digest equal **iff** they made identical decisions with
+    /// identical outcomes. Because the log is a pure function of the seed
+    /// and the semantic configuration, the digest is bit-stable across
+    /// thread counts, reruns, and machines — which is what lets the sweep
+    /// harness pin a whole scenario cell to one hex string.
+    pub fn decision_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for r in &self.decision_log {
+            eat(&r.seq.to_le_bytes());
+            eat(&r.tenant.to_le_bytes());
+            eat(&r.template.to_le_bytes());
+            eat(&r.query_id.to_le_bytes());
+            match r.outcome {
+                RequestOutcome::Shed => eat(&[0u8]),
+                RequestOutcome::Served {
+                    choice,
+                    resolution,
+                    predicted_bits,
+                    cost_bits,
+                    decision_cached,
+                } => {
+                    eat(&[1u8, resolution as u8, u8::from(decision_cached)]);
+                    eat(&(choice as u64).to_le_bytes());
+                    eat(&predicted_bits.to_le_bytes());
+                    eat(&cost_bits.to_le_bytes());
+                }
+            }
+        }
+        h
+    }
+
     /// Completed requests per wall-clock second.
     pub fn qps(&self) -> f64 {
         if self.wall_s > 0.0 {
@@ -939,6 +983,63 @@ fn request_seed(seed: u64, seq: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn decision_digest_fingerprints_the_log_exactly() {
+        let mut report = ServeReport {
+            gate_deployed: true,
+            requests: 2,
+            shed: 1,
+            admitted: 1,
+            completed: 1,
+            failed: 0,
+            batches: 1,
+            wall_s: 0.0,
+            virtual_makespan_s: 0.0,
+            latency: Histogram::default(),
+            feature_cache_hits: 0,
+            feature_cache_misses: 0,
+            decision_cache_hits: 0,
+            decision_cache_misses: 0,
+            total_cost: 0.0,
+            total_wasted_cost: 0.0,
+            total_retries: 0,
+            decision_log: vec![
+                DecisionRecord {
+                    seq: 0,
+                    tenant: 1,
+                    template: 2,
+                    query_id: 3,
+                    outcome: RequestOutcome::Served {
+                        choice: 1,
+                        resolution: Resolution::Steered,
+                        predicted_bits: 1.5f64.to_bits(),
+                        cost_bits: 2.5f64.to_bits(),
+                        decision_cached: false,
+                    },
+                },
+                DecisionRecord {
+                    seq: 1,
+                    tenant: 0,
+                    template: 0,
+                    query_id: 9,
+                    outcome: RequestOutcome::Shed,
+                },
+            ],
+        };
+        let base = report.decision_digest();
+        // A pure function of the log: wall-clock and counters don't feed it.
+        report.wall_s = 42.0;
+        report.feature_cache_hits = 99;
+        assert_eq!(report.decision_digest(), base);
+        // Any semantic change to any record moves the digest.
+        let mut drifted = report.decision_log.clone();
+        if let RequestOutcome::Served { ref mut choice, .. } = drifted[0].outcome {
+            *choice += 1;
+        }
+        report.decision_log = drifted;
+        assert_ne!(report.decision_digest(), base);
+    }
 
     #[test]
     fn builder_validates_every_knob() {
